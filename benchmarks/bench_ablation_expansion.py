@@ -1,0 +1,60 @@
+"""Ablation -- exact best-first expansion vs the paper's literal BFS.
+
+Algorithm 1 + Observation 1 expand in level order and never re-expand a
+node, which can under-approximate OntoScores when edge factors are
+non-uniform (Taxonomy/Relationships). Our default is the exact max-heap
+formulation (DESIGN.md); this benchmark measures both the cost delta and
+how often the literal variant actually diverges on the experimental
+ontology.
+"""
+
+from repro.core.ontoscore import (RelationshipsOntoScore,
+                                  relationships_seed_scorer)
+from repro.ir.tokenizer import Keyword
+
+from conftest import record_result
+
+KEYWORDS = ("asthma", "arrest", "effusion", "amiodarone", "bronchial",
+            "fever", "valve", "coarctation", "pain", "cyanosis")
+
+
+def compute_all(computer):
+    return {text: computer.compute(Keyword.from_text(text))
+            for text in KEYWORDS}
+
+
+def compare(ontology):
+    seeds = relationships_seed_scorer(ontology)
+    exact = RelationshipsOntoScore(ontology, seeds, exact=True)
+    literal = RelationshipsOntoScore(ontology, seeds, exact=False)
+    exact_scores = compute_all(exact)
+    literal_scores = compute_all(literal)
+    divergent_entries = 0
+    total_entries = 0
+    missing_entries = 0
+    for text in KEYWORDS:
+        left = exact_scores[text]
+        right = literal_scores[text]
+        total_entries += len(left)
+        missing_entries += len(set(left) - set(right))
+        for concept, score in left.items():
+            other = right.get(concept)
+            if other is not None and abs(other - score) > 1e-12:
+                divergent_entries += 1
+    return total_entries, divergent_entries, missing_entries
+
+
+def test_ablation_expansion_order(benchmark, bench_ontology):
+    total, divergent, missing = benchmark.pedantic(
+        compare, args=(bench_ontology,), rounds=1, iterations=1)
+    text = ("ABLATION -- exact best-first vs literal level-order BFS\n"
+            f"hash-map entries compared: {total}\n"
+            f"entries with diverging scores: {divergent}\n"
+            f"entries missing from the literal variant: {missing}\n")
+    record_result("ablation_expansion", text)
+    assert total > 0
+    # The literal variant is an under-approximation: it may miss or
+    # under-score entries but the exact variant dominates it, so the
+    # missing direction is one-sided by construction (asserted in the
+    # property suite); here we only require the comparison ran.
+    assert divergent + missing >= 0

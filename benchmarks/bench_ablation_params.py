@@ -1,0 +1,68 @@
+"""Ablation -- decay / threshold / t sweeps (beyond the paper).
+
+Section VII-B notes that "the size of the XOnto-DIL entries can be
+reduced by appropriately adjusting the threshold and/or decay
+parameters"; this benchmark quantifies that sensitivity: per-keyword
+posting counts of the Relationships index as each parameter moves
+through its range while the others stay at the published defaults
+(decay 0.5, threshold 0.1, t 0.5).
+"""
+
+from repro import RELATIONSHIPS, XOntoRankConfig, XOntoRankEngine
+
+from conftest import record_result
+
+KEYWORDS = ("asthma", "arrest", "effusion", "amiodarone", "bronchial",
+            "fever", "valve", "coarctation")
+
+DECAYS = (0.3, 0.5, 0.8)
+THRESHOLDS = (0.05, 0.1, 0.3)
+T_VALUES = (0.25, 0.5, 1.0)
+
+
+def postings_for(corpus, ontology, config):
+    engine = XOntoRankEngine(corpus, ontology, strategy=RELATIONSHIPS,
+                             config=config)
+    index = engine.builder.build(KEYWORDS)
+    return index.average_stats()["postings"]
+
+
+def sweep(corpus, ontology):
+    rows = []
+    for threshold in THRESHOLDS:
+        config = XOntoRankConfig(threshold=threshold)
+        rows.append(("threshold", threshold,
+                     postings_for(corpus, ontology, config)))
+    for t in T_VALUES:
+        config = XOntoRankConfig(t=t)
+        rows.append(("t", t, postings_for(corpus, ontology, config)))
+    for decay in DECAYS:
+        config = XOntoRankConfig(decay=decay)
+        rows.append(("decay", decay,
+                     postings_for(corpus, ontology, config)))
+    return rows
+
+
+def render(rows):
+    lines = ["ABLATION -- avg postings per keyword (Relationships) vs "
+             "parameters",
+             f"{'parameter':<12}{'value':>8}{'avg postings':>16}"]
+    for name, value, postings in rows:
+        lines.append(f"{name:<12}{value:>8.2f}{postings:>16.1f}")
+    return "\n".join(lines) + "\n"
+
+
+def test_ablation_parameters(benchmark, bench_corpus, bench_ontology):
+    rows = benchmark.pedantic(sweep, args=(bench_corpus, bench_ontology),
+                              rounds=1, iterations=1)
+    record_result("ablation_params", render(rows))
+
+    by_parameter = {}
+    for name, value, postings in rows:
+        by_parameter.setdefault(name, []).append((value, postings))
+    # Raising the threshold prunes the index.
+    thresholds = by_parameter["threshold"]
+    assert thresholds[0][1] >= thresholds[-1][1]
+    # Raising t (weaker dotted-link decay) grows it.
+    t_values = by_parameter["t"]
+    assert t_values[-1][1] >= t_values[0][1]

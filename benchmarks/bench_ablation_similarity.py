@@ -1,0 +1,88 @@
+"""Ablation -- OntoScore vs classic semantic-similarity measures.
+
+The paper positions OntoScore against the similarity literature
+(Section VIII): edge counting (Rada), normalized path length
+(Leacock-Chodorow), subsumer depth (Wu-Palmer) and intrinsic-IC
+measures (Resnik/Lin/Jiang-Conrath). This ablation measures how much
+the rankings actually agree: for a set of anchor concepts, rank all
+reachable concepts by Relationships-OntoScore (keyword = the anchor's
+preferred term) and by each classic measure against the anchor, then
+compare top-10 lists with the same Kendall K^(p) used in Table II.
+
+Expected shape: the taxonomic measures agree with each other far more
+than any of them agrees with OntoScore -- OntoScore's use of
+non-taxonomic relationships (finding-site, associated-with) is exactly
+what the classic measures cannot see.
+"""
+
+from repro.core.ontoscore import (RelationshipsOntoScore,
+                                  relationships_seed_scorer)
+from repro.evaluation.kendall import kendall_tau_topk
+from repro.ir.tokenizer import Keyword
+from repro.ontology import snomed
+from repro.ontology.similarity import SimilarityMeasures
+
+from conftest import record_result
+
+ANCHORS = (snomed.ASTHMA, snomed.CARDIAC_ARREST,
+           snomed.SUPRAVENTRICULAR_ARRHYTHMIA,
+           snomed.PERICARDIAL_EFFUSION, snomed.COARCTATION_OF_AORTA)
+TOP_K = 10
+CLASSIC = ("rada", "wu_palmer", "lin")
+
+
+def rankings_for_anchor(ontology, ontoscore, measures, anchor):
+    keyword = Keyword.from_text(
+        ontology.concept(anchor).preferred_term)
+    scores = ontoscore.compute(keyword)
+    candidates = sorted(code for code in scores
+                        if code in ontology and code != anchor)
+    rankings = {"ontoscore": sorted(
+        candidates, key=lambda code: -scores[code])[:TOP_K]}
+    for name in CLASSIC:
+        measure = getattr(measures, name)
+        rankings[name] = sorted(
+            candidates, key=lambda code: -measure(anchor, code))[:TOP_K]
+    return rankings
+
+
+def agreement_table(ontology):
+    seeds = relationships_seed_scorer(ontology)
+    ontoscore = RelationshipsOntoScore(ontology, seeds)
+    measures = SimilarityMeasures(ontology)
+    names = ("ontoscore", *CLASSIC)
+    totals = {(a, b): 0.0 for a in names for b in names}
+    for anchor in ANCHORS:
+        rankings = rankings_for_anchor(ontology, ontoscore, measures,
+                                       anchor)
+        for a in names:
+            for b in names:
+                totals[(a, b)] += kendall_tau_topk(rankings[a],
+                                                   rankings[b], p=0.5)
+    return {key: value / len(ANCHORS) for key, value in totals.items()}
+
+
+def render(table):
+    names = ("ontoscore", *CLASSIC)
+    header = f"{'':>12}" + "".join(f"{name:>12}" for name in names)
+    lines = ["ABLATION -- ranking distance: OntoScore vs classic "
+             f"similarity (top-{TOP_K}, {len(ANCHORS)} anchors)", header]
+    for a in names:
+        lines.append(f"{a:>12}" + "".join(f"{table[(a, b)]:>12.3f}"
+                                          for b in names))
+    return "\n".join(lines) + "\n"
+
+
+def test_ablation_similarity(benchmark, bench_ontology):
+    table = benchmark.pedantic(agreement_table, args=(bench_ontology,),
+                               rounds=1, iterations=1)
+    record_result("ablation_similarity", render(table))
+
+    classic_pairs = [(a, b) for a in CLASSIC for b in CLASSIC if a < b]
+    classic_distance = sum(table[pair] for pair in classic_pairs) / \
+        len(classic_pairs)
+    onto_distance = sum(table[("ontoscore", name)]
+                        for name in CLASSIC) / len(CLASSIC)
+    # OntoScore diverges from the taxonomic consensus more than its
+    # members diverge from each other.
+    assert onto_distance > classic_distance

@@ -1,0 +1,60 @@
+"""Ablation -- index storage backends (memory vs SQLite).
+
+The paper persisted indexes in SQL Server; our substitute offers an
+in-memory store and SQLite. This benchmark measures write+read-back
+throughput for a realistic slice of the Relationships index, informing
+the deployment trade-off documented in the README.
+"""
+
+import os
+
+from repro.storage.memory_store import MemoryStore
+from repro.storage.sqlite_store import SQLiteStore
+
+from conftest import record_result
+
+KEYWORDS = ("asthma", "arrest", "effusion", "amiodarone", "fever",
+            "valve", "temperature", "pulse")
+
+
+def build_payload(engines):
+    engine = engines["relationships"]
+    index = engine.builder.build(KEYWORDS)
+    return {key: dil.encoded() for key, dil in index.lists.items()}
+
+
+def roundtrip(store, payload):
+    for keyword, postings in payload.items():
+        store.put_postings("relationships", keyword, postings)
+    read_back = 0
+    for keyword in payload:
+        read_back += len(store.get_postings("relationships", keyword))
+    return read_back
+
+
+def test_storage_memory(benchmark, bench_engines):
+    payload = build_payload(bench_engines)
+    expected = sum(len(postings) for postings in payload.values())
+    count = benchmark(roundtrip, MemoryStore(), payload)
+    assert count == expected
+
+
+def test_storage_sqlite_memory(benchmark, bench_engines):
+    payload = build_payload(bench_engines)
+    expected = sum(len(postings) for postings in payload.values())
+    with SQLiteStore() as store:
+        count = benchmark(roundtrip, store, payload)
+    assert count == expected
+
+
+def test_storage_sqlite_file(benchmark, bench_engines, tmp_path):
+    payload = build_payload(bench_engines)
+    expected = sum(len(postings) for postings in payload.values())
+    path = str(tmp_path / "bench.db")
+    with SQLiteStore(path) as store:
+        count = benchmark(roundtrip, store, payload)
+    assert count == expected
+    assert os.path.exists(path)
+    record_result("ablation_storage",
+                  "ABLATION -- storage backends: see pytest-benchmark "
+                  "table (memory vs sqlite vs sqlite-file roundtrip)\n")

@@ -1,0 +1,91 @@
+"""Figure 11 -- average query execution time vs number of keywords
+(Section VII-B).
+
+Runs top-10 queries of 2-5 keywords (sampled deterministically from the
+experiment vocabulary) against every strategy and reports the average
+execution time per keyword count -- the series plotted in Figure 11.
+
+Qualitative targets from the paper's prose:
+* execution time grows with the number of keywords;
+* "the time for the Relationships algorithm is higher due to the larger
+  number of nodes in the XML document that are ontologically related to
+  the query keywords".
+"""
+
+import random
+import time
+
+from repro.core.config import ALL_STRATEGIES
+from repro.core.index.vocabulary import corpus_vocabulary
+
+from conftest import record_result
+
+KEYWORD_COUNTS = (2, 3, 4, 5)
+QUERIES_PER_POINT = 8
+TOP_K = 10
+SAMPLE_SEED = 29
+
+
+def build_query_set(corpus):
+    """Nested query families: each sample's k-keyword query extends its
+    (k-1)-keyword query, so per-sample work grows monotonically with
+    the keyword count and the curves are comparable."""
+    words = sorted(word for word in corpus_vocabulary(corpus)
+                   if len(word) > 3 and not word.isdigit())
+    rng = random.Random(SAMPLE_SEED)
+    families = [rng.sample(words, max(KEYWORD_COUNTS))
+                for _ in range(QUERIES_PER_POINT)]
+    return {count: [" ".join(family[:count]) for family in families]
+            for count in KEYWORD_COUNTS}
+
+
+def warm_caches(engines, queries):
+    """Pre-build all DILs so the measurement isolates the query phase,
+    as the paper's setup does (indexes are built in pre-processing)."""
+    for engine in engines.values():
+        for query_list in queries.values():
+            for query in query_list:
+                engine.search(query, k=TOP_K)
+
+
+def measure(engines, queries, repetitions: int = 3):
+    series = {name: {} for name in engines}
+    for count, query_list in queries.items():
+        for name, engine in engines.items():
+            started = time.perf_counter()
+            for _ in range(repetitions):
+                for query in query_list:
+                    engine.search(query, k=TOP_K)
+            elapsed = time.perf_counter() - started
+            series[name][count] = (elapsed / (repetitions
+                                              * len(query_list)) * 1000.0)
+    return series
+
+
+def render_series(series):
+    header = f"{'#keywords':>10}" + "".join(f"{name:>16}"
+                                            for name in ALL_STRATEGIES)
+    lines = [f"FIGURE 11 -- average query execution time (ms, top-{TOP_K})",
+             header]
+    for count in KEYWORD_COUNTS:
+        cells = "".join(f"{series[name][count]:>16.3f}"
+                        for name in ALL_STRATEGIES)
+        lines.append(f"{count:>10}" + cells)
+    return "\n".join(lines) + "\n"
+
+
+def test_fig11_query_time(benchmark, bench_engines, bench_corpus):
+    queries = build_query_set(bench_corpus)
+    warm_caches(bench_engines, queries)
+    series = benchmark.pedantic(measure, args=(bench_engines, queries),
+                                rounds=3, iterations=1)
+    record_result("fig11_query_time", render_series(series))
+
+    # Paper claim: more keywords cost more. With nested query families
+    # the endpoint comparison is meaningful per strategy.
+    for name in ALL_STRATEGIES:
+        assert series[name][KEYWORD_COUNTS[-1]] > \
+            series[name][KEYWORD_COUNTS[0]]
+    # Paper claim: Relationships is the slowest strategy overall.
+    totals = {name: sum(series[name].values()) for name in series}
+    assert totals["relationships"] >= totals["xrank"]

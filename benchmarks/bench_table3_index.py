@@ -1,0 +1,76 @@
+"""Table III -- average per-keyword XOnto-DIL size (Section VII-B).
+
+For each approach, builds the XOnto-DILs of a fixed keyword sample (a
+deterministic slice of the experiment vocabulary: document words plus
+ontology words within 2 relationships of referenced concepts) and
+reports the three published columns: average creation time (ms), average
+posting count, and average list size (KB).
+
+Qualitative targets from the paper's prose:
+* XRANK's lists are the smallest and fastest to build;
+* Graph and Relationships produce the most postings;
+* Taxonomy produces far fewer postings than Relationships;
+* Taxonomy's creation time exceeds Graph's (its undecayed is-a
+  direction expands much further than Graph's 3-hop radius).
+"""
+
+import random
+
+from repro.core.config import ALL_STRATEGIES
+from repro.core.index.vocabulary import experiment_vocabulary
+
+from conftest import record_result
+
+SAMPLE_SIZE = 120
+SAMPLE_SEED = 13
+
+
+def keyword_sample(corpus, ontology):
+    vocabulary = sorted(experiment_vocabulary(corpus, ontology, radius=2))
+    rng = random.Random(SAMPLE_SEED)
+    if len(vocabulary) <= SAMPLE_SIZE:
+        return vocabulary
+    return sorted(rng.sample(vocabulary, SAMPLE_SIZE))
+
+
+def build_all(engines, keywords):
+    return {name: engine.builder.build(keywords, strategy_name=name)
+            for name, engine in engines.items()}
+
+
+def render_table(stats):
+    header = (f"{'Algorithm':<16}{'Avg creation (ms)':>20}"
+              f"{'Avg postings':>16}{'Avg size (KB)':>16}")
+    lines = [f"TABLE III -- average per-keyword XOnto-DIL size "
+             f"({SAMPLE_SIZE}-keyword sample)", header, "-" * len(header)]
+    for name in ALL_STRATEGIES:
+        row = stats[name]
+        lines.append(f"{name:<16}{row['creation_time_ms']:>20.3f}"
+                     f"{row['postings']:>16.1f}{row['size_kb']:>16.3f}")
+    return "\n".join(lines) + "\n"
+
+
+def test_table3_index_creation(benchmark, bench_engines, bench_corpus,
+                               bench_ontology):
+    keywords = keyword_sample(bench_corpus, bench_ontology)
+    indexes = benchmark.pedantic(build_all,
+                                 args=(bench_engines, keywords),
+                                 rounds=1, iterations=1)
+    stats = {name: index.average_stats()
+             for name, index in indexes.items()}
+    record_result("table3_index", render_table(stats))
+
+    # Paper claim: XRANK smallest and fastest.
+    for name in ("graph", "taxonomy", "relationships"):
+        assert stats[name]["postings"] > stats["xrank"]["postings"]
+        assert stats[name]["creation_time_ms"] > \
+            stats["xrank"]["creation_time_ms"]
+    # Paper claim: Relationships emits far more postings than Taxonomy.
+    assert stats["relationships"]["postings"] > \
+        stats["taxonomy"]["postings"]
+    # Paper claim: Graph is among the largest indexes.
+    assert stats["graph"]["postings"] > stats["taxonomy"]["postings"]
+    # Size column tracks the posting column.
+    for name in ALL_STRATEGIES:
+        assert (stats[name]["size_kb"] > 0) == \
+            (stats[name]["postings"] > 0)

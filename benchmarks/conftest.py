@@ -1,0 +1,64 @@
+"""Shared experiment setup for the benchmark harness.
+
+Every table/figure benchmark runs against the same experimental corpus:
+the synthetic SNOMED at default scale and a 60-patient pediatric
+cardiology clinic (seed 7), matching the configuration recorded in
+EXPERIMENTS.md. Parameters follow Section VII: decay 0.5, threshold 0.1,
+t 0.5.
+
+Measured tables are also appended to ``benchmarks/results/`` so the
+numbers quoted in EXPERIMENTS.md can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import build_engines
+from repro.cda import build_cda_corpus
+from repro.emr import generate_cardiac_emr
+from repro.evaluation import RelevanceOracle
+from repro.ontology import TerminologyService, build_synthetic_snomed
+
+N_PATIENTS = 60
+EMR_SEED = 7
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def bench_ontology():
+    return build_synthetic_snomed()
+
+
+@pytest.fixture(scope="session")
+def bench_terminology(bench_ontology):
+    return TerminologyService([bench_ontology])
+
+
+@pytest.fixture(scope="session")
+def bench_corpus(bench_ontology, bench_terminology):
+    database = generate_cardiac_emr(n_patients=N_PATIENTS, seed=EMR_SEED,
+                                    ontology=bench_ontology)
+    corpus, _ = build_cda_corpus(database, bench_terminology)
+    return corpus
+
+
+@pytest.fixture(scope="session")
+def bench_engines(bench_corpus, bench_ontology):
+    return build_engines(bench_corpus, bench_ontology)
+
+
+@pytest.fixture(scope="session")
+def bench_oracle(bench_ontology, bench_terminology):
+    return RelevanceOracle(bench_ontology, bench_terminology)
+
+
+def record_result(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"\n{text}")

@@ -1,0 +1,67 @@
+"""End-to-end hospital scenario: the paper's full pipeline (Figure 8).
+
+1. Generate the synthetic SNOMED and a 40-patient pediatric-cardiology
+   EMR database;
+2. convert it to a CDA corpus, inserting ontological references wherever
+   the text matches SNOMED concepts (Section VII's corpus generation);
+3. build one engine per strategy and compare them on a slice of the
+   published query workload, judged by the relevance oracle.
+
+Run with: ``python examples/hospital_search.py``
+"""
+
+from repro import build_engines
+from repro.cda import build_cda_corpus
+from repro.emr import generate_cardiac_emr
+from repro.evaluation import RelevanceOracle, run_survey, table1_queries
+from repro.ontology import TerminologyService, build_synthetic_snomed
+
+
+def main() -> None:
+    print("Building synthetic SNOMED ...")
+    ontology = build_synthetic_snomed()
+    print(f"  {ontology.stats()}")
+    terminology = TerminologyService([ontology])
+
+    print("Generating the cardiac division's EMR database ...")
+    database = generate_cardiac_emr(n_patients=40, seed=7,
+                                    ontology=ontology)
+    print(f"  {database.stats()}")
+
+    print("Converting to CDA documents ...")
+    corpus, report = build_cda_corpus(database, terminology)
+    print(f"  {report.documents} documents, "
+          f"{report.average_elements:.0f} elements/doc, "
+          f"{report.average_references:.0f} ontological references/doc")
+
+    print("Building engines (xrank / graph / taxonomy / relationships)")
+    engines = build_engines(corpus, ontology)
+    oracle = RelevanceOracle(ontology, terminology)
+
+    print("\nQuery workload (top-5 per strategy, oracle-judged):")
+    names = list(engines)
+    header = f"{'query':<50}" + "".join(f"{name:>15}" for name in names)
+    print(header)
+    print("-" * len(header))
+    totals = dict.fromkeys(names, 0)
+    queries = table1_queries()
+    for workload_query in queries:
+        row = run_survey(engines, oracle, workload_query.text,
+                         workload_query.query_id)
+        cells = "".join(f"{row.counts[name]:>15}" for name in names)
+        print(f"{workload_query.text:<50}" + cells)
+        for name in names:
+            totals[name] += row.counts[name]
+    print("-" * len(header))
+    print(f"{'AVERAGE':<50}" + "".join(
+        f"{totals[name] / len(queries):>15.2f}" for name in names))
+
+    print("\nSample answer (Relationships strategy):")
+    engine = engines["relationships"]
+    results = engine.search('"cardiac arrest" amiodarone', k=1)
+    if results:
+        print(engine.fragment_text(results[0]))
+
+
+if __name__ == "__main__":
+    main()

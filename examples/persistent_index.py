@@ -1,0 +1,60 @@
+"""Persistent indexes: build once, query from a SQLite store.
+
+Mirrors the paper's deployment split (Figure 8): the pre-processing
+phase builds XOnto-DILs and persists them (the paper used SQL Server;
+we use SQLite), and the query phase serves searches from the stored
+lists without touching the ontology again.
+
+Run with: ``python examples/persistent_index.py [path.db]``
+"""
+
+import os
+import sys
+import tempfile
+import time
+
+from repro import RELATIONSHIPS, XOntoRankEngine
+from repro.cda import build_cda_corpus
+from repro.emr import generate_cardiac_emr
+from repro.ontology import TerminologyService, build_synthetic_snomed
+from repro.storage import SQLiteStore
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        tempfile.mkdtemp(prefix="xontorank-"), "index.db")
+
+    ontology = build_synthetic_snomed()
+    terminology = TerminologyService([ontology])
+    database = generate_cardiac_emr(n_patients=20, seed=7,
+                                    ontology=ontology)
+    corpus, _ = build_cda_corpus(database, terminology)
+
+    print(f"Pre-processing phase -> {path}")
+    engine = XOntoRankEngine(corpus, ontology, strategy=RELATIONSHIPS)
+    vocabulary = {"asthma", "theophylline", "amiodarone", "arrest",
+                  "cardiac", "effusion", "fever", "acetaminophen",
+                  "coarctation", "cyanosis"}
+    started = time.perf_counter()
+    with SQLiteStore(path) as store:
+        index = engine.build_index(vocabulary=vocabulary, store=store)
+    elapsed = time.perf_counter() - started
+    print(f"  built {len(index)} XOnto-DILs, "
+          f"{index.total_postings()} postings, "
+          f"{index.total_size_bytes() / 1024:.1f} KB in {elapsed:.2f}s")
+
+    print("Query phase (fresh engine, index loaded from the store)")
+    fresh = XOntoRankEngine(corpus, ontology, strategy=RELATIONSHIPS)
+    with SQLiteStore(path) as store:
+        loaded = fresh.load_index(store)
+        print(f"  loaded {loaded} posting lists")
+    for query in ("asthma theophylline", '"cardiac arrest" amiodarone'):
+        results = fresh.search(query, k=3)
+        print(f"  {query!r}: {len(results)} results; top score "
+              f"{results[0].score:.3f}" if results else
+              f"  {query!r}: no results")
+    print(f"Index database left at {path}")
+
+
+if __name__ == "__main__":
+    main()

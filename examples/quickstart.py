@@ -1,0 +1,59 @@
+"""Quickstart: ontology-aware search over the paper's own sample record.
+
+Builds the Figure 1 CDA document and the curated SNOMED core, then runs
+the two queries the paper uses as running examples:
+
+* ``asthma medications`` -- both keywords occur textually; the engine
+  returns the Figure 4 Observation fragment.
+* ``"Bronchial Structure" Theophylline`` -- the phrase "Bronchial
+  Structure" appears nowhere in the document, so keyword search alone
+  finds nothing; the ontology's finding-site-of relationship between
+  Asthma and Bronchial Structure bridges the gap (the paper's
+  motivating scenario, Section I).
+
+Run with: ``python examples/quickstart.py``
+"""
+
+from repro import RELATIONSHIPS, XRANK, XOntoRankEngine
+from repro.cda import build_figure1_document
+from repro.ontology import build_core_ontology
+from repro.xmldoc import Corpus
+
+
+def show_results(engine: XOntoRankEngine, query: str, limit: int = 3,
+                 ) -> None:
+    results = engine.search(query, k=limit)
+    print(f"  {len(results)} result(s)")
+    for rank, result in enumerate(results, start=1):
+        print(f"  #{rank}  score={result.score:.3f}  "
+              f"element={result.dewey.encode()}")
+        fragment = engine.fragment_text(result)
+        for line in fragment.splitlines()[:6]:
+            print(f"      {line}")
+        if len(fragment.splitlines()) > 6:
+            print("      ...")
+
+
+def main() -> None:
+    ontology = build_core_ontology()
+    corpus = Corpus([build_figure1_document()])
+    print(f"Corpus: {len(corpus)} document(s), "
+          f"{corpus.total_nodes()} XML elements")
+    print(f"Ontology: {ontology.stats()}")
+
+    baseline = XOntoRankEngine(corpus, None, strategy=XRANK)
+    engine = XOntoRankEngine(corpus, ontology, strategy=RELATIONSHIPS)
+
+    print("\n=== Query: asthma medications (exact-match friendly) ===")
+    show_results(engine, "asthma medications")
+
+    query = '"bronchial structure" theophylline'
+    print(f"\n=== Query: {query} ===")
+    print("XRANK baseline (no ontology):")
+    show_results(baseline, query)
+    print("XOntoRank Relationships strategy:")
+    show_results(engine, query)
+
+
+if __name__ == "__main__":
+    main()

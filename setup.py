@@ -1,0 +1,11 @@
+"""Setup shim for environments without the wheel package.
+
+``pip install -e .`` needs to build a PEP 660 editable wheel, which this
+offline environment cannot (no ``wheel`` distribution). ``python
+setup.py develop`` achieves the same editable install through the legacy
+path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Competing approaches from the paper's Related Work (Section VIII).
+
+Implemented so the paper's arguments against them are measurable:
+smallest-LCA exact-match search (blind to ontology-only matches),
+XSEarch interconnection semantics (breaks on CDA's repeated-tag
+nesting), and ontology-driven query expansion (recovers semantic
+matches at the cost of non-minimal, redundant result lists).
+"""
+
+from .query_expansion import (ExpandedXRankSearch, ExpansionReport,
+                              QueryExpander)
+from .slca import SLCAEvaluator, SLCAResult
+from .xsearch import XSEarchEvaluator, XSEarchResult
+
+__all__ = [
+    "ExpandedXRankSearch", "ExpansionReport", "QueryExpander",
+    "SLCAEvaluator", "SLCAResult", "XSEarchEvaluator", "XSEarchResult",
+]

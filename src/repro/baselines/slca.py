@@ -1,0 +1,123 @@
+"""Smallest-LCA keyword search (Xu & Papakonstantinou, SIGMOD 2005).
+
+One of the competing XML keyword-search semantics the paper surveys
+(Section VIII): "Xu and Papakonstantinou define a result as a smallest
+tree, that is, a subtree that does not contain any subtree that also
+contains all keywords." Matching is *exact textual containment* -- no
+scores, no ontology -- which is precisely what makes the approach blind
+to the paper's motivating queries.
+
+Results are ranked by subtree size (smaller = better), the usual SLCA
+presentation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir.tokenizer import Keyword, KeywordQuery, contains_phrase, tokenize
+from ..xmldoc.dewey import DeweyID, assign_dewey_ids
+from ..xmldoc.model import Corpus, TextPolicy, XMLNode
+from ..xmldoc.navigation import subtree_size
+
+
+@dataclass(frozen=True)
+class SLCAResult:
+    """One smallest-LCA answer."""
+
+    dewey: DeweyID
+    size: int
+
+    def fragment(self, corpus: Corpus) -> XMLNode:
+        from ..xmldoc.navigation import extract_fragment
+        return extract_fragment(corpus, self.dewey)
+
+
+class SLCAEvaluator:
+    """Exact-match smallest-LCA search over a corpus."""
+
+    def __init__(self, corpus: Corpus,
+                 text_policy: TextPolicy | None = None) -> None:
+        self._corpus = corpus
+        self._text_policy = text_policy
+        # Per-document: node -> (dewey, tokens of its own description).
+        self._documents: list[list[tuple[DeweyID, list[str]]]] = []
+        for document in corpus:
+            ids = assign_dewey_ids(document)
+            entries = [(ids[node],
+                        tokenize(node.textual_description(text_policy)))
+                       for node in document.iter()]
+            self._documents.append(entries)
+
+    # ------------------------------------------------------------------
+    def _matches(self, keyword: Keyword,
+                 entries: list[tuple[DeweyID, list[str]]],
+                 ) -> list[DeweyID]:
+        if keyword.is_phrase:
+            return [dewey for dewey, tokens in entries
+                    if contains_phrase(tokens, keyword.tokens)]
+        token = keyword.tokens[0]
+        return [dewey for dewey, tokens in entries if token in tokens]
+
+    def search(self, query: str | KeywordQuery,
+               k: int | None = None) -> list[SLCAResult]:
+        parsed = (KeywordQuery.parse(query) if isinstance(query, str)
+                  else query)
+        answers: list[SLCAResult] = []
+        for entries in self._documents:
+            match_lists = [self._matches(keyword, entries)
+                           for keyword in parsed]
+            if any(not matches for matches in match_lists):
+                continue
+            answers.extend(self._document_slcas(match_lists))
+        answers.sort(key=lambda result: (result.size, result.dewey))
+        return answers[:k] if k is not None else answers
+
+    # ------------------------------------------------------------------
+    def _document_slcas(self, match_lists: list[list[DeweyID]],
+                        ) -> list[SLCAResult]:
+        """SLCAs of one document: covering LCAs with no covering-LCA
+        descendant."""
+        # Candidates: for every match of the first (smallest) list, the
+        # deepest ancestor-or-self covering every other list.
+        smallest = min(match_lists, key=len)
+        others = [sorted(matches) for matches in match_lists
+                  if matches is not smallest]
+        candidates: set[DeweyID] = set()
+        for anchor in smallest:
+            cover = anchor
+            for matches in others:
+                closest = self._closest_lca(cover, matches)
+                if closest is None:
+                    cover = None
+                    break
+                cover = closest
+            if cover is not None:
+                candidates.add(cover)
+        # Keep only the most specific candidates.
+        ordered = sorted(candidates)
+        keep: list[DeweyID] = []
+        for current, following in zip(ordered, ordered[1:]):
+            if not current.is_ancestor_of(following):
+                keep.append(current)
+        if ordered:
+            keep.append(ordered[-1])
+        return [SLCAResult(dewey=dewey, size=self._size_of(dewey))
+                for dewey in keep]
+
+    def _closest_lca(self, anchor: DeweyID,
+                     matches: list[DeweyID]) -> DeweyID | None:
+        """Deepest LCA of ``anchor`` with any node of ``matches``."""
+        best: DeweyID | None = None
+        for match in matches:
+            lca = anchor.common_ancestor(match)
+            if lca is None:
+                continue
+            if best is None or lca.depth > best.depth:
+                best = lca
+        return best
+
+    def _size_of(self, dewey: DeweyID) -> int:
+        from ..xmldoc.dewey import node_at
+        document = self._corpus.get(dewey.doc_id)
+        return subtree_size(node_at(document, dewey))

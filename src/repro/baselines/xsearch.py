@@ -1,0 +1,159 @@
+"""XSEarch-style interconnection search (Cohen et al., VLDB 2003).
+
+The second competing semantics the paper surveys: XSEarch returns
+*tuples* of nodes (one per keyword) that are pairwise **interconnected**
+-- "the tree path between the two nodes contains no two distinct nodes
+with the same label" -- the intuition being that repeated labels signal
+a crossing between unrelated entities (two different patients, two
+different visits).
+
+The paper concludes XSEarch "would not be an appropriate framework to
+base XOntoRank [on], since their interconnection relationship would not
+work well in the particular case of CDA documents": CDA nests repeated
+``component/section/entry`` chains everywhere, so genuinely related
+nodes routinely fail the interconnection test. This implementation
+exists to make that claim measurable (see the baselines benchmark).
+
+Answers are ranked by the size of the connecting subtree (smaller =
+better), a simplified stand-in for XSEarch's tf-idf ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..ir.tokenizer import Keyword, KeywordQuery, contains_phrase, tokenize
+from ..xmldoc.dewey import DeweyID, assign_dewey_ids, node_at
+from ..xmldoc.model import Corpus, TextPolicy, XMLNode
+
+
+@dataclass(frozen=True)
+class XSEarchResult:
+    """One answer tuple: a node per keyword plus the connecting root."""
+
+    nodes: tuple[DeweyID, ...]
+    connector: DeweyID
+    size: int
+
+
+class XSEarchEvaluator:
+    """Interconnection-semantics keyword search over a corpus."""
+
+    #: Candidate matches kept per keyword and document; the all-pairs
+    #: interconnection check is combinatorial, so XSEarch-style engines
+    #: bound the candidate sets.
+    MAX_CANDIDATES = 12
+
+    def __init__(self, corpus: Corpus,
+                 text_policy: TextPolicy | None = None) -> None:
+        self._corpus = corpus
+        self._text_policy = text_policy
+        self._documents: list[tuple[int,
+                                    list[tuple[DeweyID, list[str]]]]] = []
+        for document in corpus:
+            ids = assign_dewey_ids(document)
+            entries = [(ids[node],
+                        tokenize(node.textual_description(text_policy)))
+                       for node in document.iter()]
+            self._documents.append((document.doc_id, entries))
+
+    # ------------------------------------------------------------------
+    def search(self, query: str | KeywordQuery,
+               k: int | None = None) -> list[XSEarchResult]:
+        parsed = (KeywordQuery.parse(query) if isinstance(query, str)
+                  else query)
+        answers: list[XSEarchResult] = []
+        for doc_id, entries in self._documents:
+            match_lists = []
+            for keyword in parsed:
+                matches = self._matches(keyword, entries)
+                match_lists.append(matches[:self.MAX_CANDIDATES])
+            if any(not matches for matches in match_lists):
+                continue
+            document = self._corpus.get(doc_id)
+            for combination in product(*match_lists):
+                if self._all_pairs_interconnected(document, combination):
+                    connector = self._connector(combination)
+                    answers.append(XSEarchResult(
+                        nodes=tuple(combination), connector=connector,
+                        size=self._span_size(combination, connector)))
+        answers.sort(key=lambda result: (result.size, result.nodes))
+        return answers[:k] if k is not None else answers
+
+    def _matches(self, keyword: Keyword,
+                 entries: list[tuple[DeweyID, list[str]]],
+                 ) -> list[DeweyID]:
+        if keyword.is_phrase:
+            return [dewey for dewey, tokens in entries
+                    if contains_phrase(tokens, keyword.tokens)]
+        token = keyword.tokens[0]
+        return [dewey for dewey, tokens in entries if token in tokens]
+
+    # ------------------------------------------------------------------
+    # Interconnection test
+    # ------------------------------------------------------------------
+    def _all_pairs_interconnected(self, document,
+                                  nodes: tuple[DeweyID, ...]) -> bool:
+        for index, first in enumerate(nodes):
+            for second in nodes[index + 1:]:
+                if first == second:
+                    continue
+                if not self.interconnected(document, first, second):
+                    return False
+        return True
+
+    def interconnected(self, document, first: DeweyID,
+                       second: DeweyID) -> bool:
+        """Cohen et al.'s test: the tree path between the nodes holds no
+        two distinct nodes with the same tag (the endpoints' own shared
+        tag is tolerated when one is an ancestor of the other)."""
+        lca = first.common_ancestor(second)
+        if lca is None:
+            return False
+        path_nodes = (self._path_up(document, first, lca)
+                      + self._path_up(document, second, lca)[:-1])
+        tags: dict[str, DeweyID] = {}
+        for dewey, tag in path_nodes:
+            seen = tags.get(tag)
+            if seen is not None and seen != dewey:
+                return False
+            tags[tag] = dewey
+        return True
+
+    def _path_up(self, document, start: DeweyID,
+                 stop: DeweyID) -> list[tuple[DeweyID, str]]:
+        """(dewey, tag) pairs from ``start`` up to and including
+        ``stop``."""
+        path: list[tuple[DeweyID, str]] = []
+        current = start
+        while True:
+            path.append((current, node_at(document, current).tag))
+            if current == stop:
+                return path
+            current = current.parent()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _connector(nodes: tuple[DeweyID, ...]) -> DeweyID:
+        connector = nodes[0]
+        for other in nodes[1:]:
+            lca = connector.common_ancestor(other)
+            if lca is None:  # pragma: no cover - same-document tuples
+                return connector
+            connector = lca
+        return connector
+
+    def _span_size(self, nodes: tuple[DeweyID, ...],
+                   connector: DeweyID) -> int:
+        return sum(connector.distance_to_descendant(node)
+                   for node in nodes) + 1
+
+    # ------------------------------------------------------------------
+    def fragment(self, result: XSEarchResult) -> XMLNode:
+        """Minimal connecting fragment of an answer tuple."""
+        from ..xmldoc.navigation import prune_to_paths
+        document = self._corpus.get(result.connector.doc_id)
+        root = node_at(document, result.connector)
+        targets = [node_at(document, dewey) for dewey in result.nodes]
+        return prune_to_paths(root, targets)

@@ -1,0 +1,18 @@
+"""HL7 CDA substrate: document construction, EMR conversion, annotation.
+
+Stands in for the paper's "program to convert automatically the
+relational anonymized EMR database [...] into a set of XML CDA
+documents" plus the reference-insertion pass.
+"""
+
+from . import codes
+from .annotator import AnnotationReport, ReferenceAnnotator
+from .builder import CDABuilder
+from .generator import CDAGenerator, GenerationReport, build_cda_corpus
+from .sample import build_figure1_document, find_asthma_value_node
+
+__all__ = [
+    "AnnotationReport", "CDABuilder", "CDAGenerator", "GenerationReport",
+    "ReferenceAnnotator", "build_cda_corpus", "build_figure1_document",
+    "codes", "find_asthma_value_node",
+]

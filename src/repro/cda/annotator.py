@@ -1,0 +1,82 @@
+"""Ontological-reference annotation of CDA text (paper Section VII).
+
+"Ontological references were inserted for every XML node whose value
+matched one of the concepts in SNOMED." This module reproduces that
+preliminary step of the paper's corpus generation: it walks a document,
+matches the textual content of reference-free nodes against the
+terminology service, and attaches the reference of the longest/first
+matching concept.
+
+Since the tree model gives every node at most one ontological reference
+(Section III), the first match of the longest phrase wins; additional
+matches in the same node are left to IR scoring, which still sees the
+words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ontology.api import TerminologyService
+from ..xmldoc.model import (OntologicalReference, TextPolicy, XMLDocument,
+                            XMLNode)
+
+
+@dataclass
+class AnnotationReport:
+    """What an annotation pass did: counters for tests and experiments."""
+
+    nodes_visited: int = 0
+    nodes_annotated: int = 0
+    matches_found: int = 0
+
+
+class ReferenceAnnotator:
+    """Inserts ontological references into text-bearing nodes."""
+
+    def __init__(self, terminology: TerminologyService,
+                 system_code: str | None = None,
+                 text_policy: TextPolicy | None = None,
+                 max_phrase_words: int = 4) -> None:
+        self._terminology = terminology
+        self._system_code = system_code
+        self._text_policy = text_policy
+        self._max_phrase_words = max_phrase_words
+
+    def annotate_document(self, document: XMLDocument) -> AnnotationReport:
+        """Annotate every reference-free node whose text matches SNOMED."""
+        report = AnnotationReport()
+        for node in document.iter():
+            report.nodes_visited += 1
+            self._annotate_node(node, report)
+        return report
+
+    def _annotate_node(self, node: XMLNode,
+                       report: AnnotationReport) -> None:
+        if node.is_code_node:
+            return
+        text = node.textual_description(self._text_policy)
+        if not text:
+            return
+        matches = self._terminology.match_in_text(
+            text, system_code=self._system_code,
+            max_phrase_words=self._max_phrase_words)
+        if not matches:
+            return
+        report.matches_found += len(matches)
+        # Longest matched phrase wins; ties break by document order.
+        best_phrase, best_concept = max(
+            matches, key=lambda match: len(match[0].split()))
+        system = self._system_for(best_concept.code)
+        if system is None:
+            return
+        node.reference = OntologicalReference(system, best_concept.code)
+        report.nodes_annotated += 1
+
+    def _system_for(self, concept_code: str) -> str | None:
+        for system_code in self._terminology.systems():
+            if self._system_code is not None and system_code != self._system_code:
+                continue
+            if concept_code in self._terminology.ontology(system_code):
+                return system_code
+        return None

@@ -1,0 +1,209 @@
+"""Construction of CDA Release 2 document trees (paper Section II).
+
+Builds :class:`~repro.xmldoc.model.XMLNode` trees with the structure of
+Figure 1: a ``ClinicalDocument`` root wrapping a header (author, record
+target) and a ``StructuredBody`` whose components are coded sections
+with ``Observation`` / ``SubstanceAdministration`` entries, following
+the clinical-statement fragment of the CDA object model (Figure 3).
+
+Every coded element receives the ``code``/``codeSystem`` attribute pair
+so :func:`repro.xmldoc.parser.cda_reference_extractor` (and any other
+CDA consumer) recognizes it as an ontological reference.
+"""
+
+from __future__ import annotations
+
+from ..xmldoc.model import OntologicalReference, XMLNode
+from . import codes
+
+
+def _coded(tag: str, concept_code: str, display_name: str,
+           code_system: str = codes.SNOMED_CT_OID,
+           code_system_name: str = codes.SNOMED_CT_NAME,
+           extra: dict[str, str] | None = None) -> XMLNode:
+    """A coded element carrying an ontological reference."""
+    attributes = dict(extra or {})
+    attributes.update({
+        "code": concept_code,
+        "codeSystem": code_system,
+        "codeSystemName": code_system_name,
+    })
+    if display_name:
+        attributes["displayName"] = display_name
+    return XMLNode(tag, attributes,
+                   reference=OntologicalReference(code_system, concept_code))
+
+
+class CDABuilder:
+    """Assembles one ClinicalDocument tree piece by piece.
+
+    Usage: construct, fill the header via :meth:`set_author` /
+    :meth:`set_patient`, add sections with :meth:`add_section` and entry
+    helpers, then take :attr:`root`.
+    """
+
+    def __init__(self, document_extension: str) -> None:
+        self.root = XMLNode("ClinicalDocument",
+                            dict(codes.CLINICAL_DOCUMENT_ATTRIBUTES))
+        self.root.add("id", {"extension": document_extension,
+                             "root": codes.DOCUMENT_ID_ROOT})
+        self._body: XMLNode | None = None
+
+    # ------------------------------------------------------------------
+    # Header (Figure 1 lines 3-29)
+    # ------------------------------------------------------------------
+    def set_author(self, given: str, family: str, suffix: str = "MD",
+                   provider_extension: str = "", time: str = "") -> None:
+        author = self.root.add("author")
+        if time:
+            author.add("time", {"value": time})
+        assigned = author.add("assignedAuthor")
+        if provider_extension:
+            assigned.add("id", {"extension": provider_extension,
+                                "root": codes.PROVIDER_ID_ROOT})
+        person = assigned.add("assignedPerson")
+        name = person.add("name")
+        name.add("given", text=given)
+        name.add("family", text=family)
+        if suffix:
+            name.add("suffix", text=suffix)
+
+    def set_patient(self, given: str, family: str, gender: str,
+                    birth_time: str, patient_extension: str,
+                    organization_extension: str = "", suffix: str = "",
+                    ) -> None:
+        target = self.root.add("recordTarget")
+        role = target.add("patientRole")
+        role.add("id", {"extension": patient_extension,
+                        "root": codes.PATIENT_ID_ROOT})
+        patient = role.add("patientPatient")
+        name = patient.add("name")
+        name.add("given", text=given)
+        name.add("family", text=family)
+        if suffix:
+            name.add("suffix", text=suffix)
+        patient.append(XMLNode(
+            "administrativeGenderCode",
+            {"code": gender, "codeSystem": codes.GENDER_CODE_SYSTEM},
+            reference=OntologicalReference(codes.GENDER_CODE_SYSTEM,
+                                           gender)))
+        if birth_time:
+            patient.add("birthTime", {"value": birth_time})
+        if organization_extension:
+            organization = role.add("providerOrganization")
+            organization.add("id", {"extension": organization_extension,
+                                    "root": codes.ORGANIZATION_ID_ROOT})
+
+    # ------------------------------------------------------------------
+    # Body (Figure 1 lines 30-82)
+    # ------------------------------------------------------------------
+    def set_unstructured_body(self, text: str) -> XMLNode:
+        """An unstructured body (Section II: the body "can be either an
+        unstructured segment or an XML fragment"). Mutually exclusive
+        with structured sections."""
+        if self._body is not None:
+            raise ValueError("document already has a structured body")
+        component = self.root.add("component")
+        non_xml = component.add("nonXMLBody")
+        return non_xml.add("text", {"mediaType": "text/plain"}, text=text)
+
+    def _structured_body(self) -> XMLNode:
+        if self._body is None:
+            component = self.root.add("component")
+            self._body = component.add("StructuredBody")
+        return self._body
+
+    def add_section(self, loinc_code: str, title: str = "",
+                    parent: XMLNode | None = None) -> XMLNode:
+        """Add a coded section; returns the ``section`` element.
+
+        ``parent`` allows nested sections (Figure 1 nests Vital Signs
+        inside Physical Examination); by default sections attach to the
+        StructuredBody.
+        """
+        container = parent if parent is not None else self._structured_body()
+        component = container.add("component")
+        section = component.add("section")
+        section.append(_coded("code", loinc_code,
+                              display_name="",
+                              code_system=codes.LOINC_OID,
+                              code_system_name=codes.LOINC_NAME))
+        section.add("title",
+                    text=title or codes.SECTION_TITLES.get(loinc_code, ""))
+        return section
+
+    def add_observation_entry(self, section: XMLNode, value_code: str,
+                              value_display: str,
+                              observation_code: str = "",
+                              observation_display: str = "",
+                              narrative_reference: str = "") -> XMLNode:
+        """A coded Observation entry (Figure 1 lines 36-41).
+
+        ``value_code`` is the SNOMED concept observed (e.g. Asthma);
+        ``observation_code`` classifies the observation itself (e.g. the
+        Medications concept). Returns the ``Observation`` element.
+        """
+        entry = section.add("entry")
+        observation = entry.add("Observation")
+        if observation_code:
+            observation.append(_coded("code", observation_code,
+                                      observation_display))
+        value = _coded("value", value_code, value_display,
+                       extra={"xsi:type": "CD"})
+        observation.append(value)
+        if narrative_reference:
+            original = value.add("originalText")
+            original.add("reference", {"value": narrative_reference})
+        return observation
+
+    def add_quantity_observation(self, section: XMLNode, code: str,
+                                 display: str, value: float, unit: str,
+                                 effective_time: str = "") -> XMLNode:
+        """A physical-quantity Observation (Figure 1 lines 76-81)."""
+        entry = section.add("entry")
+        observation = entry.add("Observation")
+        observation.append(_coded("code", code, display))
+        if effective_time:
+            observation.add("effectiveTime", {"value": effective_time})
+        observation.add("value", {"xsi:type": "PQ", "value": str(value),
+                                  "unit": unit})
+        return observation
+
+    def add_substance_administration(self, section: XMLNode, drug_code: str,
+                                     drug_display: str, text: str = "",
+                                     content_id: str = "") -> XMLNode:
+        """A SubstanceAdministration entry (Figure 1 lines 48-56)."""
+        entry = section.add("entry")
+        administration = entry.add("SubstanceAdministration")
+        if text:
+            text_node = administration.add("text")
+            if content_id:
+                content = text_node.add("content", {"ID": content_id},
+                                        text=drug_display)
+                content.tail = text
+            else:
+                text_node.text = text
+        consumable = administration.add("consumable")
+        product = consumable.add("manufacturedProduct")
+        labeled = product.add("manufacturedLabeledDrug")
+        labeled.append(_coded("code", drug_code, drug_display))
+        return administration
+
+    def add_narrative(self, section: XMLNode, text: str) -> XMLNode:
+        """Free-text narrative inside a section's ``text`` element."""
+        text_node = section.find("text")
+        if text_node is None or text_node.parent is not section:
+            text_node = section.add("text")
+        paragraph = text_node.add("paragraph", text=text)
+        return paragraph
+
+    def add_vitals_table(self, section: XMLNode,
+                         rows: list[tuple[str, str]]) -> XMLNode:
+        """The header/value table of Figure 1 lines 66-75."""
+        text_node = section.add("text")
+        table = text_node.add("table")
+        for header, value in rows:
+            row = table.add("tr")
+            row.add("th", text=header)
+            row.add("td", text=value)
+        return table

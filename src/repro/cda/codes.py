@@ -1,0 +1,61 @@
+"""Code systems and fixed codes used by HL7 CDA documents (Section II).
+
+CDA identifies vocabularies by ISO OIDs. The ones exercised by the paper
+are SNOMED CT (clinical concepts) and LOINC (document/section codes, the
+``<code>`` elements of Figure 1 such as the Medications section).
+"""
+
+from __future__ import annotations
+
+#: OID of SNOMED CT, as it appears in ``codeSystem`` attributes.
+SNOMED_CT_OID = "2.16.840.1.113883.6.96"
+SNOMED_CT_NAME = "SNOMED CT"
+
+#: OID of LOINC.
+LOINC_OID = "2.16.840.1.113883.6.1"
+LOINC_NAME = "LOINC"
+
+#: OIDs for instance identifiers (documents, providers, patients), as in
+#: the ``root`` attributes of Figure 1.
+DOCUMENT_ID_ROOT = "2.16.840.1.113883.19.4"
+PROVIDER_ID_ROOT = "2.16.840.1.113883.19.5"
+PATIENT_ID_ROOT = "2.16.840.1.113883.19.6"
+ORGANIZATION_ID_ROOT = "2.16.840.1.113883.19.7"
+
+#: Administrative gender code system.
+GENDER_CODE_SYSTEM = "2.16.840.1.113883.5.1"
+
+# LOINC section codes (Figure 1 uses 10160-0 Medications and 8716-3
+# Vital signs; the others are standard CCD section codes).
+LOINC_MEDICATIONS = "10160-0"
+LOINC_PHYSICAL_EXAM = "29545-1"
+LOINC_VITAL_SIGNS = "8716-3"
+LOINC_PROBLEM_LIST = "11450-4"
+LOINC_HOSPITAL_COURSE = "8648-8"
+LOINC_PROCEDURES = "47519-4"
+LOINC_ASSESSMENT = "51848-0"
+LOINC_RESULTS = "30954-2"
+
+SECTION_TITLES = {
+    LOINC_MEDICATIONS: "Medications",
+    LOINC_PHYSICAL_EXAM: "Physical Examination",
+    LOINC_VITAL_SIGNS: "Vital Signs",
+    LOINC_PROBLEM_LIST: "Problems",
+    LOINC_HOSPITAL_COURSE: "Hospital Course",
+    LOINC_PROCEDURES: "Procedures",
+    LOINC_ASSESSMENT: "Assessment",
+    LOINC_RESULTS: "Results",
+}
+
+#: SNOMED code CDA medication Observations use for their ``<code>``
+#: element in Figure 1 (displayName="Medications").
+SNOMED_MEDICATIONS_CODE = "410942007"
+
+#: CDA namespace declarations of the ClinicalDocument root element.
+CLINICAL_DOCUMENT_ATTRIBUTES = {
+    "xmlns": "urn:hl7-org:v3",
+    "xmlns:voc": "urn:hl7-org:v3/voc",
+    "xmlns:xsi": "http://www.w3.org/2001/XMLSchema-instance",
+    "xsi:schemaLocation": "urn:hl7-org:v3 CDA.ReleaseTwo.Committee.2004.xsd",
+    "templateId": "2.16.840.1.113883.3.27.1776",
+}

@@ -1,0 +1,250 @@
+"""EMR-to-CDA conversion (paper Section VII, "CDA Documents Generation").
+
+"We developed a program to convert automatically the relational
+anonymized EMR database of the Cardiac Division of a local hospital into
+a set of XML CDA documents. Each CDA document represents the medical
+record of a single patient conglomerating all her hospitalization
+entries." This module is that program, over our synthetic EMR substrate:
+
+* one ClinicalDocument per patient;
+* per encounter: a Problems section (coded Observations), a Medications
+  section (Observation + SubstanceAdministration entries, as in
+  Figure 1), a Physical Examination section with a nested Vital Signs
+  section (narrative table + PQ Observations), a Results section with
+  LOINC-coded lab Observations, an optional Procedures section, and an
+  Assessment narrative;
+* a final annotation pass inserting ontological references wherever
+  free text matches a SNOMED concept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..emr.database import EMRDatabase
+from ..emr.schema import Encounter, Patient
+from ..ontology.api import TerminologyService
+from ..xmldoc.model import (Corpus, OntologicalReference, XMLDocument,
+                            XMLNode)
+from . import codes
+from .annotator import AnnotationReport, ReferenceAnnotator
+from .builder import CDABuilder
+
+
+@dataclass
+class GenerationReport:
+    """Corpus statistics, comparable to the paper's reported averages
+    (documents, elements per document, references per document)."""
+
+    documents: int = 0
+    total_elements: int = 0
+    total_references: int = 0
+    annotation: AnnotationReport | None = None
+
+    @property
+    def average_elements(self) -> float:
+        return self.total_elements / self.documents if self.documents else 0.0
+
+    @property
+    def average_references(self) -> float:
+        return (self.total_references / self.documents
+                if self.documents else 0.0)
+
+
+class CDAGenerator:
+    """Converts an :class:`EMRDatabase` into a CDA :class:`Corpus`."""
+
+    def __init__(self, database: EMRDatabase,
+                 terminology: TerminologyService | None = None,
+                 annotate_narrative: bool = True,
+                 structured: bool = True) -> None:
+        self._database = database
+        self._terminology = terminology
+        self._annotate_narrative = annotate_narrative and terminology is not None
+        self._structured = structured
+
+    # ------------------------------------------------------------------
+    def generate_corpus(self) -> tuple[Corpus, GenerationReport]:
+        """Build the whole corpus, one document per patient."""
+        corpus = Corpus()
+        report = GenerationReport(annotation=AnnotationReport())
+        annotator = (ReferenceAnnotator(self._terminology)
+                     if self._annotate_narrative else None)
+        patients = sorted(self._database.patients(),
+                          key=lambda patient: patient.patient_id)
+        for doc_id, patient in enumerate(patients):
+            document = self.generate_document(patient, doc_id)
+            if annotator is not None:
+                pass_report = annotator.annotate_document(document)
+                report.annotation.nodes_visited += pass_report.nodes_visited
+                report.annotation.nodes_annotated += \
+                    pass_report.nodes_annotated
+                report.annotation.matches_found += pass_report.matches_found
+            corpus.add(document)
+            report.documents += 1
+            report.total_elements += document.node_count()
+            report.total_references += len(document.code_nodes())
+        return corpus, report
+
+    # ------------------------------------------------------------------
+    def generate_document(self, patient: Patient,
+                          doc_id: int) -> XMLDocument:
+        """One patient's conglomerated clinical document."""
+        builder = CDABuilder(document_extension=f"c{doc_id:04d}")
+        encounters = self._database.encounters_for(patient.patient_id)
+        author = (self._database.provider(encounters[0].provider_id)
+                  if encounters else None)
+        if author is not None:
+            builder.set_author(author.given_name, author.family_name,
+                               author.credential,
+                               provider_extension=author.provider_id,
+                               time=encounters[0].admit_date.replace("-", ""))
+        builder.set_patient(
+            patient.given_name, patient.family_name, patient.gender,
+            birth_time=patient.birth_date.replace("-", ""),
+            patient_extension=patient.patient_id,
+            organization_extension=patient.medical_record_number)
+        if self._structured:
+            for encounter in encounters:
+                self._add_encounter_sections(builder, encounter)
+        else:
+            builder.set_unstructured_body(
+                self._narrative_body(encounters))
+        return XMLDocument(doc_id=doc_id, root=builder.root,
+                           source_name=f"patient-{patient.patient_id}",
+                           metadata={"patient_id": patient.patient_id})
+
+    # ------------------------------------------------------------------
+    def _add_encounter_sections(self, builder: CDABuilder,
+                                encounter: Encounter) -> None:
+        database = self._database
+        diagnoses = database.diagnoses_for(encounter.encounter_id)
+        if diagnoses:
+            problems = builder.add_section(codes.LOINC_PROBLEM_LIST)
+            for diagnosis in diagnoses:
+                builder.add_observation_entry(
+                    problems, value_code=diagnosis.concept_code,
+                    value_display=diagnosis.display_name)
+                if diagnosis.note:
+                    builder.add_narrative(problems, diagnosis.note)
+
+        orders = database.orders_for(encounter.encounter_id)
+        if orders:
+            medications = builder.add_section(codes.LOINC_MEDICATIONS)
+            for order_index, order in enumerate(orders):
+                builder.add_substance_administration(
+                    medications, drug_code=order.concept_code,
+                    drug_display=order.display_name,
+                    text=f" {order.dose_text}" if order.dose_text else "",
+                    content_id=f"{encounter.encounter_id}-m{order_index}")
+                if order.indication_code:
+                    # As in Figure 1, the indication Observation points
+                    # back at the drug narrative through originalText/
+                    # reference -> content ID.
+                    builder.add_observation_entry(
+                        medications, value_code=order.indication_code,
+                        value_display=self._indication_display(order),
+                        observation_code=codes.SNOMED_MEDICATIONS_CODE,
+                        observation_display="Medications",
+                        narrative_reference=(
+                            f"{encounter.encounter_id}-m{order_index}"))
+
+        vitals = database.vitals_for(encounter.encounter_id)
+        if vitals:
+            exam = builder.add_section(codes.LOINC_PHYSICAL_EXAM)
+            vital_section = builder.add_section(codes.LOINC_VITAL_SIGNS,
+                                                parent=exam)
+            builder.add_vitals_table(
+                vital_section,
+                [(vital.display_name, f"{vital.value} {vital.unit}")
+                 for vital in vitals])
+            for vital in vitals:
+                builder.add_quantity_observation(
+                    vital_section, code=vital.concept_code,
+                    display=vital.display_name, value=vital.value,
+                    unit=vital.unit,
+                    effective_time=vital.taken_at.replace("-", ""))
+
+        procedures = database.procedures_for(encounter.encounter_id)
+        if procedures:
+            section = builder.add_section(codes.LOINC_PROCEDURES)
+            for procedure in procedures:
+                builder.add_observation_entry(
+                    section, value_code=procedure.concept_code,
+                    value_display=procedure.display_name)
+                if procedure.note:
+                    builder.add_narrative(section, procedure.note)
+
+        labs = database.labs_for(encounter.encounter_id)
+        if labs:
+            results_section = builder.add_section(codes.LOINC_RESULTS)
+            builder.add_vitals_table(
+                results_section,
+                [(lab.display_name,
+                  f"{lab.value} {lab.unit}"
+                  + (f" ({lab.abnormal_flag})" if lab.abnormal_flag
+                     else ""))
+                 for lab in labs])
+            for lab in labs:
+                entry = results_section.add("entry")
+                observation = entry.add("Observation")
+                code_attributes = {
+                    "code": lab.loinc_code,
+                    "codeSystem": codes.LOINC_OID,
+                    "codeSystemName": codes.LOINC_NAME,
+                    "displayName": lab.display_name,
+                }
+                observation.append(XMLNode(
+                    "code", code_attributes,
+                    reference=OntologicalReference(codes.LOINC_OID,
+                                                   lab.loinc_code)))
+                observation.add("value", {"xsi:type": "PQ",
+                                          "value": str(lab.value),
+                                          "unit": lab.unit})
+                if lab.abnormal_flag:
+                    observation.add("interpretationCode",
+                                    {"code": lab.abnormal_flag})
+
+        for note in database.notes_for(encounter.encounter_id):
+            section = builder.add_section(codes.LOINC_ASSESSMENT)
+            builder.add_narrative(section, note.text)
+
+    def _narrative_body(self, encounters) -> str:
+        """Flat prose rendering of the record for nonXMLBody documents."""
+        database = self._database
+        paragraphs: list[str] = []
+        for encounter in encounters:
+            pieces = [f"Admission {encounter.admit_date}."]
+            for diagnosis in database.diagnoses_for(encounter.encounter_id):
+                pieces.append(f"Diagnosis: {diagnosis.display_name}.")
+                if diagnosis.note:
+                    pieces.append(diagnosis.note)
+            for order in database.orders_for(encounter.encounter_id):
+                pieces.append(
+                    f"Medication: {order.display_name} {order.dose_text}.")
+            for procedure in database.procedures_for(
+                    encounter.encounter_id):
+                pieces.append(f"Procedure: {procedure.display_name}.")
+            for lab in database.labs_for(encounter.encounter_id):
+                pieces.append(f"Lab {lab.display_name}: {lab.value} "
+                              f"{lab.unit}.")
+            for note in database.notes_for(encounter.encounter_id):
+                pieces.append(note.text)
+            paragraphs.append(" ".join(pieces))
+        return "\n".join(paragraphs)
+
+    def _indication_display(self, order) -> str:
+        if self._terminology is None:
+            return ""
+        for system_code in self._terminology.systems():
+            ontology = self._terminology.ontology(system_code)
+            if order.indication_code in ontology:
+                return ontology.concept(order.indication_code).preferred_term
+        return ""
+
+
+def build_cda_corpus(database: EMRDatabase,
+                     terminology: TerminologyService | None = None,
+                     ) -> tuple[Corpus, GenerationReport]:
+    """One-shot convenience wrapper around :class:`CDAGenerator`."""
+    return CDAGenerator(database, terminology).generate_corpus()

@@ -1,0 +1,85 @@
+"""The paper's running example: the Figure 1 CDA document.
+
+Reconstructs, element for element, the sample ClinicalDocument of
+Figure 1 (author Juan Woodblack MD; Medications section with Asthma /
+Bronchitis+Albuterol Observations and a Theophylline
+SubstanceAdministration; Physical Examination with nested Vital Signs).
+Tests and the quickstart example run the paper's worked queries
+(``asthma medications``, ``"Bronchial Structure" Theophylline``) against
+it.
+"""
+
+from __future__ import annotations
+
+from ..ontology import snomed
+from ..xmldoc.model import XMLDocument, XMLNode
+from . import codes
+from .builder import CDABuilder, _coded
+
+#: Concept code the paper's Figure 1 uses for the Bronchitis value node.
+_BRONCHITIS_DISPLAY = "Bronchitis"
+
+
+def build_figure1_document(doc_id: int = 0) -> XMLDocument:
+    """Build the Figure 1 document as an :class:`XMLDocument`."""
+    builder = CDABuilder(document_extension="c266")
+    builder.set_author("Juan", "Woodblack", "MD",
+                       provider_extension="KP00017", time="20050329224411")
+    builder.set_patient("FirstName", "LastName", "M",
+                        birth_time="19541125", patient_extension="49912",
+                        organization_extension="M345", suffix="Jr.")
+
+    # Medications section (lines 32-57).
+    medications = builder.add_section(codes.LOINC_MEDICATIONS,
+                                      title="Medications")
+
+    # Lines 36-41: Observation whose value is the Asthma concept, with an
+    # originalText reference pointing at the Theophylline narrative.
+    asthma_observation = builder.add_observation_entry(
+        medications, value_code=snomed.ASTHMA, value_display="Asthma",
+        observation_code=codes.SNOMED_MEDICATIONS_CODE,
+        observation_display="Medications", narrative_reference="m1")
+
+    # Lines 42-47: Observation with nested Bronchitis / Albuterol values.
+    entry = medications.add("entry")
+    observation = entry.add("Observation")
+    observation.append(_coded("code", codes.SNOMED_MEDICATIONS_CODE,
+                              "Medications"))
+    bronchitis = _coded("value", snomed.BRONCHITIS, _BRONCHITIS_DISPLAY,
+                        extra={"xsi:type": "CD"})
+    observation.append(bronchitis)
+    bronchitis.append(_coded("value", snomed.ALBUTEROL, "Albuterol",
+                             extra={"xsi:type": "CD"}))
+
+    # Lines 48-56: the Theophylline SubstanceAdministration with dosing
+    # narrative ("20 mg every other day, alternating with 18 mg...").
+    builder.add_substance_administration(
+        medications, drug_code=snomed.THEOPHYLLINE,
+        drug_display="Theophylline",
+        text=("20 mg every other day, alternating with 18 mg every other "
+              "day. Stop if temperature is above 103F."),
+        content_id="m1")
+
+    # Physical Examination with nested Vital Signs (lines 58-81).
+    exam = builder.add_section(codes.LOINC_PHYSICAL_EXAM,
+                               title="Physical Examination")
+    vitals = builder.add_section(codes.LOINC_VITAL_SIGNS,
+                                 title="Vital Signs", parent=exam)
+    builder.add_vitals_table(vitals, [("Temperature", "36.9 C (98.5 F)"),
+                                      ("Pulse", "86 / minute")])
+    builder.add_quantity_observation(vitals, code=snomed.BODY_HEIGHT,
+                                     display="Body height", value=1.77,
+                                     unit="m", effective_time="20040830")
+
+    assert asthma_observation is not None
+    return XMLDocument(doc_id=doc_id, root=builder.root,
+                       source_name="figure1")
+
+
+def find_asthma_value_node(document: XMLDocument) -> XMLNode:
+    """The Line-39 node: the ``value`` element referencing Asthma."""
+    for node in document.iter():
+        if (node.tag == "value" and node.reference is not None
+                and node.reference.concept_code == snomed.ASTHMA):
+            return node
+    raise LookupError("Figure 1 document has no Asthma value node")

@@ -1,0 +1,267 @@
+"""Command-line interface: the full pipeline as a tool.
+
+Four subcommands mirror the system's phases::
+
+    python -m repro generate --out DIR [--patients 40] [--seed 7]
+        Build the synthetic SNOMED (flat files) and the CDA corpus
+        (one XML file per patient) under DIR.
+
+    python -m repro index --data DIR --store FILE.db
+        [--strategy relationships] [--radius 2]
+        Pre-processing phase: build XOnto-DILs for the experiment
+        vocabulary and persist them (plus the documents) to SQLite.
+
+    python -m repro search --data DIR "QUERY" [--store FILE.db]
+        [--strategy relationships] [-k 10] [--explain]
+        Query phase: run a keyword query, print ranked fragments; with
+        --store, posting lists are loaded instead of rebuilt.
+
+    python -m repro evaluate --data DIR [--k 5]
+        Run the Table-I survey over the published workload with the
+        relevance oracle and print per-strategy counts.
+
+    python -m repro stats --data DIR
+        Print ontology/corpus/vocabulary statistics.
+
+``index`` and ``search`` also accept --decay/--threshold/--t to move
+the paper's parameters off their published defaults.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from .cda.generator import build_cda_corpus
+from .core.config import (ALL_STRATEGIES, RELATIONSHIPS,
+                          XOntoRankConfig)
+from .core.query.engine import XOntoRankEngine, build_engines
+from .emr.synth import generate_cardiac_emr
+from .evaluation.metrics import run_survey
+from .evaluation.oracle import RelevanceOracle
+from .evaluation.workload import table1_queries
+from .ontology.api import TerminologyService
+from .ontology.io import load_ontology, save_ontology
+from .ontology.snomed import build_synthetic_snomed
+from .storage.sqlite_store import SQLiteStore
+from .xmldoc.model import Corpus
+from .xmldoc.parser import XMLParser
+from .xmldoc.serializer import serialize
+
+ONTOLOGY_DIR = "ontology"
+CORPUS_DIR = "corpus"
+
+
+# ----------------------------------------------------------------------
+# Data-directory helpers
+# ----------------------------------------------------------------------
+def _load_data_directory(data_dir: str):
+    ontology = load_ontology(os.path.join(data_dir, ONTOLOGY_DIR))
+    corpus_dir = os.path.join(data_dir, CORPUS_DIR)
+    parser = XMLParser()
+    corpus = Corpus()
+    names = sorted(name for name in os.listdir(corpus_dir)
+                   if name.endswith(".xml"))
+    if not names:
+        raise FileNotFoundError(f"no .xml documents under {corpus_dir}")
+    for doc_id, name in enumerate(names):
+        document = parser.parse_file(os.path.join(corpus_dir, name),
+                                     doc_id=doc_id)
+        corpus.add(document)
+    return ontology, corpus
+
+
+def _config_from(args: argparse.Namespace) -> XOntoRankConfig:
+    return XOntoRankConfig(decay=args.decay, threshold=args.threshold,
+                           t=args.t)
+
+
+def _add_parameter_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--decay", type=float, default=0.5,
+                        help="score attenuation per edge (paper: 0.5)")
+    parser.add_argument("--threshold", type=float, default=0.1,
+                        help="OntoScore pruning bound (paper: 0.1)")
+    parser.add_argument("--t", type=float, default=0.5,
+                        help="dotted-link decay (paper: 0.5)")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def command_generate(args: argparse.Namespace) -> int:
+    ontology = build_synthetic_snomed(scale=args.scale,
+                                      seed=args.ontology_seed)
+    terminology = TerminologyService([ontology])
+    database = generate_cardiac_emr(n_patients=args.patients,
+                                    seed=args.seed, ontology=ontology)
+    corpus, report = build_cda_corpus(database, terminology)
+
+    save_ontology(ontology, os.path.join(args.out, ONTOLOGY_DIR))
+    corpus_dir = os.path.join(args.out, CORPUS_DIR)
+    os.makedirs(corpus_dir, exist_ok=True)
+    for document in corpus:
+        path = os.path.join(corpus_dir, f"patient-{document.doc_id:04d}.xml")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(serialize(document, indent="  "))
+    print(f"ontology: {ontology.stats()}")
+    print(f"corpus: {report.documents} documents, "
+          f"{report.average_elements:.0f} elements/doc, "
+          f"{report.average_references:.0f} references/doc -> "
+          f"{corpus_dir}")
+    return 0
+
+
+def command_index(args: argparse.Namespace) -> int:
+    ontology, corpus = _load_data_directory(args.data)
+    engine = XOntoRankEngine(corpus, ontology, strategy=args.strategy,
+                             config=_config_from(args))
+    with SQLiteStore(args.store) as store:
+        index = engine.build_index(radius=args.radius, store=store)
+    print(f"built {len(index)} XOnto-DILs "
+          f"({index.total_postings()} postings, "
+          f"{index.total_size_bytes() / 1024:.1f} KB) -> {args.store}")
+    return 0
+
+
+def command_search(args: argparse.Namespace) -> int:
+    ontology, corpus = _load_data_directory(args.data)
+    engine = XOntoRankEngine(
+        corpus, ontology if args.strategy != "xrank" else None,
+        strategy=args.strategy, config=_config_from(args))
+    if args.store:
+        with SQLiteStore(args.store) as store:
+            loaded = engine.load_index(store)
+        print(f"loaded {loaded} posting lists from {args.store}")
+    results = engine.search(args.query, k=args.k)
+    if not results:
+        print("no results")
+        return 1
+    for rank, result in enumerate(results, start=1):
+        print(f"#{rank}  score={result.score:.3f}  "
+              f"{result.dewey.encode()}")
+        if args.explain:
+            explanation = engine.explain(result, args.query)
+            for item in explanation.evidence:
+                print(f"    {item.describe()}")
+        fragment = engine.fragment_text(result)
+        for line in fragment.splitlines()[:args.fragment_lines]:
+            print(f"    {line}")
+    return 0
+
+
+def command_evaluate(args: argparse.Namespace) -> int:
+    ontology, corpus = _load_data_directory(args.data)
+    engines = build_engines(corpus, ontology)
+    oracle = RelevanceOracle(ontology)
+    names = list(engines)
+    header = f"{'query':<52}" + "".join(f"{name:>15}" for name in names)
+    print(header)
+    print("-" * len(header))
+    totals = dict.fromkeys(names, 0)
+    queries = table1_queries()
+    for workload_query in queries:
+        row = run_survey(engines, oracle, workload_query.text,
+                         workload_query.query_id, k=args.k,
+                         mark_limit=args.k)
+        print(f"{workload_query.text:<52}"
+              + "".join(f"{row.counts[name]:>15}" for name in names))
+        for name in names:
+            totals[name] += row.counts[name]
+    print("-" * len(header))
+    print(f"{'AVERAGE':<52}" + "".join(
+        f"{totals[name] / len(queries):>15.2f}" for name in names))
+    return 0
+
+
+def command_stats(args: argparse.Namespace) -> int:
+    ontology, corpus = _load_data_directory(args.data)
+    print("ontology:")
+    for key, value in ontology.stats().items():
+        print(f"  {key}: {value}")
+    print("corpus:")
+    print(f"  documents: {len(corpus)}")
+    print(f"  elements: {corpus.total_nodes()}")
+    code_nodes = sum(len(document.code_nodes()) for document in corpus)
+    print(f"  ontological references: {code_nodes}")
+    print(f"  referenced systems: {sorted(corpus.referenced_systems())}")
+    from .core.index.vocabulary import (corpus_vocabulary,
+                                        experiment_vocabulary)
+    words = corpus_vocabulary(corpus)
+    print(f"  vocabulary (document words): {len(words)}")
+    print(f"  vocabulary (experiment rule, radius 2): "
+          f"{len(experiment_vocabulary(corpus, ontology))}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XOntoRank: ontology-aware search of XML EMRs")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="build a synthetic ontology + CDA corpus")
+    generate.add_argument("--out", required=True,
+                          help="output data directory")
+    generate.add_argument("--patients", type=int, default=40)
+    generate.add_argument("--seed", type=int, default=7,
+                          help="EMR generator seed")
+    generate.add_argument("--ontology-seed", type=int, default=20090331)
+    generate.add_argument("--scale", type=float, default=1.0,
+                          help="ontology size multiplier")
+    generate.set_defaults(handler=command_generate)
+
+    index = subparsers.add_parser(
+        "index", help="pre-processing phase: build and persist XOnto-DILs")
+    index.add_argument("--data", required=True)
+    index.add_argument("--store", required=True,
+                       help="SQLite database path")
+    index.add_argument("--strategy", choices=ALL_STRATEGIES,
+                       default=RELATIONSHIPS)
+    index.add_argument("--radius", type=int, default=2,
+                       help="ontology vocabulary radius (Section VII-B)")
+    index.set_defaults(handler=command_index)
+
+    search = subparsers.add_parser("search",
+                                   help="query phase: keyword search")
+    search.add_argument("--data", required=True)
+    search.add_argument("query")
+    search.add_argument("--store", default="",
+                        help="optional persisted index to load")
+    search.add_argument("--strategy", choices=ALL_STRATEGIES,
+                        default=RELATIONSHIPS)
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--explain", action="store_true",
+                        help="print per-keyword evidence")
+    search.add_argument("--fragment-lines", type=int, default=6)
+    search.set_defaults(handler=command_search)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="run the Table-I survey over the workload")
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--k", type=int, default=5)
+    evaluate.set_defaults(handler=command_evaluate)
+
+    stats = subparsers.add_parser(
+        "stats", help="print ontology/corpus/vocabulary statistics")
+    stats.add_argument("--data", required=True)
+    stats.set_defaults(handler=command_stats)
+
+    for subparser in (index, search):
+        _add_parameter_flags(subparser)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

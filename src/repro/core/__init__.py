@@ -1,0 +1,41 @@
+"""XOntoRank core: the paper's primary contribution.
+
+Result semantics and ranking (Eq. 1-5), the three OntoScore strategies
+(Section IV), the XOnto-DIL index (Section V-B) and the query machinery
+(Section V-A).
+"""
+
+from .config import (ALL_STRATEGIES, DEFAULT_CONFIG, GRAPH,
+                     ONTOLOGY_STRATEGIES, RELATIONSHIPS, TAXONOMY, XRANK,
+                     XOntoRankConfig)
+from .elemrank import ElemRankComputer, ElemRankParameters
+from .index import (DeweyInvertedList, IndexBuilder, KeywordBuildStats,
+                    Posting, XOntoDILIndex)
+from .ontoscore import (GraphOntoScore, MaterializedRelationshipsOntoScore,
+                        NullOntoScore, OntoScoreComputer,
+                        RelationshipsOntoScore, SeedScorer,
+                        TaxonomyOntoScore, best_first_expansion,
+                        concept_seed_scorer, level_order_expansion,
+                        relationships_seed_scorer)
+from .query import (DILQueryProcessor, DILQueryStatistics,
+                    KeywordEvidence, NaiveEvaluator, OntologyHop,
+                    QueryResult, ResultExplanation, XOntoRankEngine,
+                    build_engines, explain_result, rank_results)
+from .scoring import (ElementIndex, NodeScorer, propagate_scores,
+                      result_score)
+
+__all__ = [
+    "ALL_STRATEGIES", "DEFAULT_CONFIG", "DILQueryProcessor",
+    "DILQueryStatistics", "DeweyInvertedList", "ElemRankComputer",
+    "ElemRankParameters", "ElementIndex", "GRAPH", "KeywordEvidence",
+    "OntologyHop", "ResultExplanation", "explain_result",
+    "GraphOntoScore", "IndexBuilder", "KeywordBuildStats",
+    "MaterializedRelationshipsOntoScore", "NaiveEvaluator", "NodeScorer",
+    "NullOntoScore", "ONTOLOGY_STRATEGIES", "OntoScoreComputer", "Posting",
+    "QueryResult", "RELATIONSHIPS", "RelationshipsOntoScore", "SeedScorer",
+    "TAXONOMY", "TaxonomyOntoScore", "XOntoDILIndex", "XOntoRankConfig",
+    "XOntoRankEngine", "XRANK", "best_first_expansion",
+    "build_engines", "concept_seed_scorer", "level_order_expansion",
+    "propagate_scores", "rank_results", "relationships_seed_scorer",
+    "result_score",
+]

@@ -1,0 +1,83 @@
+"""Configuration of the XOntoRank system.
+
+The paper's experiments fix three parameters (Section VII): ``decay``
+(the per-containment-edge and per-ontology-hop score attenuation) to
+0.5, ``threshold`` (the OntoScore pruning bound of Algorithm 1) to 0.1,
+and ``t`` (the dotted-link attenuation of the description-logic view,
+Eq. 9) to 0.5. The remaining knobs parameterize the substrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..xmldoc.model import DEFAULT_TEXT_POLICY, TextPolicy
+
+#: Strategy names, matching Section VII's four approaches.
+XRANK = "xrank"
+GRAPH = "graph"
+TAXONOMY = "taxonomy"
+RELATIONSHIPS = "relationships"
+
+ALL_STRATEGIES = (XRANK, GRAPH, TAXONOMY, RELATIONSHIPS)
+
+#: The three ontology-aware strategies (Section IV A-C).
+ONTOLOGY_STRATEGIES = (GRAPH, TAXONOMY, RELATIONSHIPS)
+
+
+@dataclass(frozen=True)
+class XOntoRankConfig:
+    """All tunables in one immutable value object."""
+
+    #: Score attenuation per containment edge (Eq. 2) and per hop of the
+    #: undirected-graph expansion (Eq. 7).
+    decay: float = 0.5
+
+    #: OntoScore pruning bound: expansion halts below this score and the
+    #: hash map keeps only entries above it (Algorithm 1).
+    threshold: float = 0.1
+
+    #: Dotted-link attenuation of the DL view (Eq. 9).
+    t: float = 0.5
+
+    #: IR function backing Eq. 5 and the OntoScore seeds: "bm25"
+    #: (the paper's choice) or "tfidf".
+    ir_function: str = "bm25"
+
+    #: BM25 parameters of the IR substrate.
+    bm25_k1: float = 1.2
+    bm25_b: float = 0.75
+
+    #: Attributes excluded from textual descriptions (Section III).
+    text_policy: TextPolicy = field(default=DEFAULT_TEXT_POLICY)
+
+    #: Number of results the engine returns by default.
+    top_k: int = 10
+
+    #: Expansion order: ``True`` uses the exact best-first (max-heap)
+    #: formulation; ``False`` uses the paper's literal level-order merged
+    #: BFS (Algorithm 1 + Observation 1), which can under-approximate
+    #: scores when edge factors are non-uniform. Kept as a knob for the
+    #: ablation benchmark.
+    exact_expansion: bool = True
+
+    #: Modulate NodeScores by ElemRank, XRANK's element-level PageRank.
+    #: Off by default: "our CDA documents have no ID-IDREF edges and
+    #: hence ElemRank would make no difference" (Section V-A) -- except
+    #: through CDA's own ID/reference links, which we do extract.
+    use_elemrank: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError("decay must lie in (0, 1]")
+        if not 0.0 <= self.threshold < 1.0:
+            raise ValueError("threshold must lie in [0, 1)")
+        if not 0.0 < self.t <= 1.0:
+            raise ValueError("t must lie in (0, 1]")
+        if self.top_k < 1:
+            raise ValueError("top_k must be positive")
+        if self.ir_function not in ("bm25", "tfidf"):
+            raise ValueError("ir_function must be 'bm25' or 'tfidf'")
+
+
+DEFAULT_CONFIG = XOntoRankConfig()

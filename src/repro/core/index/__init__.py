@@ -1,0 +1,16 @@
+"""The Index Creation Module: XOnto-DILs, vocabulary, the three-stage
+builder (paper Section V-B)."""
+
+from .builder import IndexBuilder
+from .dil import (DeweyInvertedList, KeywordBuildStats, Posting,
+                  XOntoDILIndex)
+from .vocabulary import (concept_vocabulary, concepts_within_radius,
+                         corpus_vocabulary, experiment_vocabulary,
+                         full_vocabulary, referenced_concepts)
+
+__all__ = [
+    "DeweyInvertedList", "IndexBuilder", "KeywordBuildStats", "Posting",
+    "XOntoDILIndex", "concept_vocabulary", "concepts_within_radius",
+    "corpus_vocabulary", "experiment_vocabulary", "full_vocabulary",
+    "referenced_concepts",
+]

@@ -1,0 +1,159 @@
+"""XOntoRank Dewey Inverted Lists (paper Section V, Figures 9-10).
+
+An XOnto-DIL is the per-keyword posting list of XRANK's Dewey Inverted
+List, with one key difference: "instead of [term frequencies] we store
+NS(v, w), the relevance score of node v with respect to keyword w given
+the XML documents and the ontological systems, defined in (5)". Postings
+are ``(Dewey ID, NodeScore)`` pairs sorted by Dewey ID, i.e. global
+document order, which is what the stack-merge query algorithm requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from ...ir.tokenizer import Keyword
+from ...storage.interface import EncodedPosting, IndexStore
+from ...xmldoc.dewey import DeweyID
+
+
+@dataclass(frozen=True, order=True)
+class Posting:
+    """One entry of an XOnto-DIL: a node and its NodeScore."""
+
+    dewey: DeweyID
+    score: float
+
+    def encoded(self) -> EncodedPosting:
+        return (self.dewey.encode(), self.score)
+
+    #: Storage footprint estimate in bytes: the dotted-decimal Dewey ID
+    #: plus an 8-byte float, mirroring how Table III sizes DIL entries.
+    def size_bytes(self) -> int:
+        return len(self.dewey.encode()) + 8
+
+
+class DeweyInvertedList:
+    """The sorted posting list of one keyword."""
+
+    def __init__(self, keyword: Keyword,
+                 postings: Sequence[Posting] = ()) -> None:
+        self.keyword = keyword
+        self._postings = sorted(postings)
+        for first, second in zip(self._postings, self._postings[1:]):
+            if first.dewey == second.dewey:
+                raise ValueError(
+                    f"duplicate posting for {first.dewey.encode()}")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self._postings)
+
+    def __bool__(self) -> bool:
+        return bool(self._postings)
+
+    def postings(self) -> list[Posting]:
+        return list(self._postings)
+
+    def size_bytes(self) -> int:
+        """Estimated storage size of the list (Table III's "Size (KB)")."""
+        return sum(posting.size_bytes() for posting in self._postings)
+
+    def document_ids(self) -> set[int]:
+        return {posting.dewey.doc_id for posting in self._postings}
+
+    # ------------------------------------------------------------------
+    def encoded(self) -> list[EncodedPosting]:
+        return [posting.encoded() for posting in self._postings]
+
+    @classmethod
+    def from_encoded(cls, keyword: Keyword,
+                     encoded: Sequence[EncodedPosting],
+                     ) -> "DeweyInvertedList":
+        postings = [Posting(DeweyID.parse(dewey), score)
+                    for dewey, score in encoded]
+        return cls(keyword, postings)
+
+
+@dataclass
+class KeywordBuildStats:
+    """Per-keyword index-creation measurements (Table III's columns)."""
+
+    keyword: str
+    creation_time_ms: float
+    posting_count: int
+    size_bytes: int
+    ontology_entries: int = 0  # size of the OntoScore hash-map slice
+
+
+@dataclass
+class XOntoDILIndex:
+    """The full index of one strategy: keyword → Dewey inverted list."""
+
+    strategy: str
+    lists: dict[str, DeweyInvertedList] = field(default_factory=dict)
+    stats: dict[str, KeywordBuildStats] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add(self, dil: DeweyInvertedList,
+            stats: KeywordBuildStats | None = None) -> None:
+        key = dil.keyword.text
+        self.lists[key] = dil
+        if stats is not None:
+            self.stats[key] = stats
+
+    def get(self, keyword: Keyword) -> DeweyInvertedList | None:
+        return self.lists.get(keyword.text)
+
+    def __contains__(self, keyword: Keyword) -> bool:
+        return keyword.text in self.lists
+
+    def __len__(self) -> int:
+        return len(self.lists)
+
+    def keywords(self) -> list[str]:
+        return sorted(self.lists)
+
+    # ------------------------------------------------------------------
+    def total_postings(self) -> int:
+        return sum(len(dil) for dil in self.lists.values())
+
+    def total_size_bytes(self) -> int:
+        return sum(dil.size_bytes() for dil in self.lists.values())
+
+    def average_stats(self) -> dict[str, float]:
+        """Per-keyword averages: Table III's three columns."""
+        if not self.stats:
+            return {"creation_time_ms": 0.0, "postings": 0.0,
+                    "size_kb": 0.0}
+        count = len(self.stats)
+        return {
+            "creation_time_ms": sum(s.creation_time_ms
+                                    for s in self.stats.values()) / count,
+            "postings": sum(s.posting_count
+                            for s in self.stats.values()) / count,
+            "size_kb": sum(s.size_bytes
+                           for s in self.stats.values()) / count / 1024.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, store: IndexStore) -> None:
+        """Write every posting list into an :class:`IndexStore`."""
+        for key, dil in self.lists.items():
+            store.put_postings(self.strategy, key, dil.encoded())
+
+    @classmethod
+    def load(cls, store: IndexStore, strategy: str) -> "XOntoDILIndex":
+        """Read all posting lists of a strategy back from a store."""
+        index = cls(strategy=strategy)
+        for key in store.keywords(strategy):
+            keyword = Keyword.from_text(key)
+            encoded = store.get_postings(strategy, key)
+            index.add(DeweyInvertedList.from_encoded(keyword, encoded))
+        return index

@@ -1,0 +1,18 @@
+"""OntoScore computation: the three strategies of Section IV plus the
+XRANK null strategy, over a shared pruned authority-flow engine."""
+
+from .base import (NullOntoScore, OntoScoreComputer, SeedScorer,
+                   best_first_expansion, level_order_expansion)
+from .graph import GraphOntoScore, concept_seed_scorer
+from .relationships import (MaterializedRelationshipsOntoScore,
+                            RelationshipsOntoScore,
+                            relationships_seed_scorer)
+from .taxonomy import TaxonomyOntoScore
+
+__all__ = [
+    "GraphOntoScore", "MaterializedRelationshipsOntoScore",
+    "NullOntoScore", "OntoScoreComputer", "RelationshipsOntoScore",
+    "SeedScorer", "TaxonomyOntoScore", "best_first_expansion",
+    "concept_seed_scorer", "level_order_expansion",
+    "relationships_seed_scorer",
+]

@@ -1,0 +1,45 @@
+"""OntoScore strategy A: ontology as undirected, unlabeled graph
+(paper Sections IV-A and VI-A).
+
+"This strategy treats the ontology as an undirected graph, with no
+distinction among the different kinds of relationships between
+concepts." Authority decays by the global ``decay`` factor on every hop
+(Eq. 7): ``OS(c) = IRS(x, w) · decay^d(x, c)`` maximized over all seed
+concepts ``x``, which is exactly what the shared expansion computes over
+the per-hop factor ``decay``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ...ontology.model import Ontology
+from .base import NodeId, OntoScoreComputer, SeedScorer
+
+
+def concept_seed_scorer(ontology: Ontology, k1: float = 1.2,
+                        b: float = 0.75,
+                        ir_function: str = "bm25") -> SeedScorer:
+    """Seed scorer over the ontology's concepts as IR documents."""
+    return SeedScorer(((concept.code, concept.description_text())
+                       for concept in ontology.concepts()), k1=k1, b=b,
+                      ir_function=ir_function)
+
+
+class GraphOntoScore(OntoScoreComputer):
+    """Undirected-graph authority flow with uniform decay."""
+
+    name = "graph"
+
+    def __init__(self, ontology: Ontology, seed_scorer: SeedScorer,
+                 decay: float = 0.5, threshold: float = 0.1,
+                 exact: bool = True) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must lie in (0, 1]")
+        super().__init__(seed_scorer, threshold=threshold, exact=exact)
+        self._ontology = ontology
+        self._decay = decay
+
+    def neighbors(self, node: NodeId) -> Iterable[tuple[NodeId, float]]:
+        for neighbor in self._ontology.neighbors(str(node)):
+            yield neighbor, self._decay

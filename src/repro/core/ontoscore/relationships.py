@@ -1,0 +1,167 @@
+"""OntoScore strategy C: taxonomy + typed relationships via the DL view
+(paper Sections IV-C and VI-C).
+
+Every attribute triple ``(A, r, B)`` is read as ``A ⊑ ∃r.B``; the
+restriction ``∃r.B`` becomes a node linked to ``B`` by a *dotted link*.
+Flow rules on the transformed graph:
+
+* solid is-a edges behave exactly as in the Taxonomy strategy
+  (downward factor 1, upward factor 1/in-degree of the target);
+* crossing a dotted link (either direction) multiplies by ``t``
+  (Eq. 9).
+
+In plain-graph terms (the implicit formulation of Section VI-C, which
+"assigns OntoScores without having to physically create the ontological
+graph with the existential role restrictions"):
+
+* from ``B`` backward along a role edge to ``A``:
+  ``OS(A) = t · OS(B)`` (dotted ``B → ∃r.B`` then down);
+* from ``A`` forward along a role edge to ``B``:
+  ``OS(B) = t · OS(A) / N(∃r.B)`` where ``N(∃r.B)`` "is the in-degree
+  of the existential role restriction" (up then dotted).
+
+Restrictions also carry the syntactic name ``Exists <r> <B>`` so the IR
+seeds can match them directly.
+
+Two interchangeable computers are provided: the lazy/implicit
+:class:`RelationshipsOntoScore` and
+:class:`MaterializedRelationshipsOntoScore`, which literally walks a
+:class:`~repro.ontology.description_logic.DLView`. A property test
+asserts they produce identical hash maps, as the paper claims ("The
+assigned OntoScores are equal to the ones computed by building the
+ontological graph").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ...ontology.description_logic import (DLView, existential_code,
+                                           existential_name)
+from ...ontology.model import Ontology
+from .base import NodeId, OntoScoreComputer, SeedScorer
+
+_EXISTS_PREFIX = "exists:"
+
+
+def relationships_seed_scorer(ontology: Ontology, k1: float = 1.2,
+                              b: float = 0.75,
+                              ir_function: str = "bm25") -> SeedScorer:
+    """Seed scorer over concepts plus existential-restriction names.
+
+    Enumerating the distinct ``(role, filler)`` pairs requires one scan
+    of the relationship table, not a graph materialization.
+    """
+    def node_texts():
+        for concept in ontology.concepts():
+            yield concept.code, concept.description_text()
+        seen: set[str] = set()
+        for edge in ontology.relationships():
+            if edge.type == "is-a":
+                continue
+            code = existential_code(edge.type, edge.destination)
+            if code in seen:
+                continue
+            seen.add(code)
+            filler = ontology.concept(edge.destination)
+            yield code, existential_name(edge.type, filler.preferred_term)
+
+    return SeedScorer(node_texts(), k1=k1, b=b,
+                      ir_function=ir_function)
+
+
+class RelationshipsOntoScore(OntoScoreComputer):
+    """Implicit traversal of the DL view over the base ontology."""
+
+    name = "relationships"
+
+    def __init__(self, ontology: Ontology, seed_scorer: SeedScorer,
+                 t: float = 0.5, threshold: float = 0.1,
+                 exact: bool = True) -> None:
+        if not 0.0 < t <= 1.0:
+            raise ValueError("t must lie in (0, 1]")
+        super().__init__(seed_scorer, threshold=threshold, exact=exact)
+        self._ontology = ontology
+        self._t = t
+
+    # ------------------------------------------------------------------
+    def neighbors(self, node: NodeId) -> Iterable[tuple[NodeId, float]]:
+        code = str(node)
+        if code.startswith(_EXISTS_PREFIX):
+            yield from self._restriction_neighbors(code)
+        else:
+            yield from self._concept_neighbors(code)
+
+    def _restriction_neighbors(self, code: str,
+                               ) -> Iterable[tuple[NodeId, float]]:
+        _, role, filler = code.split(":", 2)
+        # Dotted link to the filler concept.
+        yield filler, self._t
+        # Down solid edges to every concept bearing (A, role, filler).
+        for edge in self._ontology.incoming(filler, role):
+            yield edge.source, 1.0
+
+    def _concept_neighbors(self, code: str,
+                           ) -> Iterable[tuple[NodeId, float]]:
+        ontology = self._ontology
+        # Taxonomy rules (identical to the Taxonomy strategy).
+        for child in ontology.children(code):
+            yield child, 1.0
+        for parent in ontology.parents(code):
+            yield parent, 1.0 / max(1, ontology.subclass_count(parent))
+        # Up into each restriction this concept is subsumed by:
+        # A ⊑ ∃r.B, factor 1/N(∃r.B).
+        for edge in ontology.outgoing(code):
+            restriction = existential_code(edge.type, edge.destination)
+            in_degree = ontology.role_in_degree(edge.destination, edge.type)
+            yield restriction, 1.0 / max(1, in_degree)
+        # Dotted link from the filler side: B -- ∃r.B, factor t. Each
+        # distinct (role) with incoming edges contributes one restriction.
+        seen: set[str] = set()
+        for edge in ontology.incoming(code):
+            restriction = existential_code(edge.type, code)
+            if restriction not in seen:
+                seen.add(restriction)
+                yield restriction, self._t
+
+    # ------------------------------------------------------------------
+    def postprocess(self, scores: dict[NodeId, float],
+                    ) -> dict[NodeId, float]:
+        """Documents reference concepts, not restrictions: drop the
+        intermediate existential states from the hash map."""
+        return {node: score for node, score in scores.items()
+                if not str(node).startswith(_EXISTS_PREFIX)}
+
+
+class MaterializedRelationshipsOntoScore(OntoScoreComputer):
+    """The same strategy, run literally on a materialized DL view.
+
+    Exists to validate the implicit computer (and for the ontology
+    explorer example, where the transformed graph is inspectable).
+    """
+
+    name = "relationships-materialized"
+
+    def __init__(self, view: DLView, seed_scorer: SeedScorer,
+                 t: float = 0.5, threshold: float = 0.1,
+                 exact: bool = True) -> None:
+        if not 0.0 < t <= 1.0:
+            raise ValueError("t must lie in (0, 1]")
+        super().__init__(seed_scorer, threshold=threshold, exact=exact)
+        self._view = view
+        self._t = t
+
+    def neighbors(self, node: NodeId) -> Iterable[tuple[NodeId, float]]:
+        code = str(node)
+        view = self._view
+        for child in view.children(code):
+            yield child, 1.0
+        for parent in view.parents(code):
+            yield parent, 1.0 / max(1, view.subclass_count(parent))
+        for other in view.dotted(code):
+            yield other, self._t
+
+    def postprocess(self, scores: dict[NodeId, float],
+                    ) -> dict[NodeId, float]:
+        return {node: score for node, score in scores.items()
+                if not self._view.node(str(node)).is_existential}

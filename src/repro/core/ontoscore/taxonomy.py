@@ -1,0 +1,51 @@
+"""OntoScore strategy B: ontology as taxonomy (paper Sections IV-B, VI-B).
+
+Only is-a links participate. From a node ``y`` with score ``OS(y)``, the
+flow rules are:
+
+* **downward** to each direct subclass ``c`` of ``y``: factor **1**.
+  "Since y is a superclass of c, any query for y is completely and
+  logically satisfied by c" -- the paper's first worked example:
+  ``OS(Asthma, "Bronchus") = IRS(Disorder of Bronchus, "Bronchus")``
+  with no attenuation, because Asthma is-a Disorder of Bronchus.
+* **upward** to each direct superclass ``p`` of ``y``: factor
+  ``1 / N_sub(p)`` where ``N_sub(p)`` is the number of direct
+  subclasses of ``p`` -- a query for ``y`` is only *partially* satisfied
+  by the more general ``p``, the partiality heuristic being the
+  ObjectRank-style authority split over ``p``'s subclasses. This follows
+  Section VI-B/VI-C's recursion ("divide by the number of incoming
+  relationship edges" of the node being entered).
+
+OCR ambiguity note: the paper's prose worked example attributes the
+1/26 divisor to Asthma's own 26 subclasses while the recursion divides
+by the in-degree of the *target*; we follow the recursion (see
+DESIGN.md). The qualitative consequences the paper reports -- undecayed
+expansion in one is-a direction, fast decay in the other, far-ancestor
+matches that can hurt precision -- hold either way.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ...ontology.model import Ontology
+from .base import NodeId, OntoScoreComputer, SeedScorer
+
+
+class TaxonomyOntoScore(OntoScoreComputer):
+    """Is-a-only authority flow: full downward, split upward."""
+
+    name = "taxonomy"
+
+    def __init__(self, ontology: Ontology, seed_scorer: SeedScorer,
+                 threshold: float = 0.1, exact: bool = True) -> None:
+        super().__init__(seed_scorer, threshold=threshold, exact=exact)
+        self._ontology = ontology
+
+    def neighbors(self, node: NodeId) -> Iterable[tuple[NodeId, float]]:
+        code = str(node)
+        for child in self._ontology.children(code):
+            yield child, 1.0
+        for parent in self._ontology.parents(code):
+            count = self._ontology.subclass_count(parent)
+            yield parent, 1.0 / max(1, count)

@@ -1,0 +1,18 @@
+"""The Query Module: DIL stack merge, naive reference evaluator, and the
+engine facade (paper Section V-A)."""
+
+from .dil_algorithm import DILQueryProcessor, DILQueryStatistics
+from .engine import XOntoRankEngine, build_engines
+from .explain import (KeywordEvidence, ONTOLOGICAL, OntologyHop,
+                      ResultExplanation, TEXTUAL, explain_result)
+from .graph_search import GraphResult, GraphSearchEngine
+from .naive import NaiveEvaluator
+from .results import QueryResult, rank_results
+
+__all__ = [
+    "DILQueryProcessor", "DILQueryStatistics", "GraphResult",
+    "GraphSearchEngine", "KeywordEvidence",
+    "NaiveEvaluator", "ONTOLOGICAL", "OntologyHop", "QueryResult",
+    "ResultExplanation", "TEXTUAL", "XOntoRankEngine", "build_engines",
+    "explain_result", "rank_results",
+]

@@ -1,0 +1,138 @@
+"""XRANK's DIL query algorithm over XOnto-DILs (paper Section V-A).
+
+"During the query phase, the Query Module inputs the user keyword query
+and executes XRANK's DIL algorithm using the XOnto-DILs generated in the
+pre-processing phase."
+
+The algorithm merges the k posting lists in global Dewey (document)
+order while maintaining a stack that mirrors the root-to-current-node
+path. Each stack frame accumulates, per keyword, the best propagated
+score seen in the frame's fully-processed subtree; when a frame is
+popped (its subtree exhausted) it is emitted as a result if it covers
+all keywords and none of its descendants already did (Eq. 1), and its
+scores flow to its parent attenuated by ``decay`` (Eq. 2-3). Result
+scores are the per-keyword sums (Eq. 4).
+
+One sequential pass over the posting lists, O(depth) memory -- the
+structural reason the paper adopts DILs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ...xmldoc.dewey import DeweyID
+from ..index.dil import DeweyInvertedList
+from .results import QueryResult, rank_results
+
+
+@dataclass
+class _Frame:
+    """Stack frame for one element on the current root-to-node path."""
+
+    dewey: DeweyID
+    scores: list[float]
+    contains_result: bool = False
+
+
+@dataclass
+class DILQueryStatistics:
+    """Counters exposed for the performance experiments (Figure 11)."""
+
+    postings_read: int = 0
+    frames_pushed: int = 0
+    results_found: int = 0
+
+
+class DILQueryProcessor:
+    """Executes one keyword query against per-keyword Dewey lists."""
+
+    def __init__(self, decay: float = 0.5) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must lie in (0, 1]")
+        self._decay = decay
+        self.last_statistics = DILQueryStatistics()
+
+    # ------------------------------------------------------------------
+    def execute(self, dils: list[DeweyInvertedList],
+                k: int | None = None) -> list[QueryResult]:
+        """All Eq. 1 results of the query, ranked; top-k when given."""
+        if not dils:
+            raise ValueError("a query needs at least one keyword list")
+        statistics = DILQueryStatistics()
+        self.last_statistics = statistics
+        keyword_count = len(dils)
+        if any(not dil for dil in dils):
+            # Some keyword matches nothing anywhere: no subtree can
+            # cover all keywords.
+            return []
+
+        streams = [[(posting.dewey, index, posting.score)
+                    for posting in dil]
+                   for index, dil in enumerate(dils)]
+        merged = heapq.merge(*streams)
+
+        stack: list[_Frame] = []
+        results: list[QueryResult] = []
+
+        for dewey, keyword_index, score in merged:
+            statistics.postings_read += 1
+            self._align_stack(stack, dewey, keyword_count, results,
+                              statistics)
+            top = stack[-1]
+            if score > top.scores[keyword_index]:
+                top.scores[keyword_index] = score
+        while stack:
+            self._pop_frame(stack, results, statistics)
+        statistics.results_found = len(results)
+        return rank_results(results, k)
+
+    # ------------------------------------------------------------------
+    def _align_stack(self, stack: list[_Frame], dewey: DeweyID,
+                     keyword_count: int, results: list[QueryResult],
+                     statistics: DILQueryStatistics) -> None:
+        """Pop completed subtrees, then push path frames down to
+        ``dewey``."""
+        common = self._common_depth(stack, dewey)
+        while len(stack) > common:
+            self._pop_frame(stack, results, statistics)
+        # Push the missing path components: the frame for the document
+        # root first (depth 0), then one frame per Dewey component.
+        while len(stack) < dewey.depth + 1:
+            depth = len(stack)
+            frame_dewey = DeweyID(dewey.doc_id, dewey.path[:depth])
+            stack.append(_Frame(frame_dewey, [0.0] * keyword_count))
+            statistics.frames_pushed += 1
+
+    def _common_depth(self, stack: list[_Frame], dewey: DeweyID) -> int:
+        """Number of stack frames that are ancestors-or-self of
+        ``dewey``."""
+        if stack and stack[0].dewey.doc_id != dewey.doc_id:
+            return 0
+        depth = 0
+        for index, frame in enumerate(stack):
+            if index > len(dewey.path):
+                break
+            if frame.dewey.path == dewey.path[:index]:
+                depth = index + 1
+            else:
+                break
+        return depth
+
+    def _pop_frame(self, stack: list[_Frame], results: list[QueryResult],
+                   statistics: DILQueryStatistics) -> None:
+        frame = stack.pop()
+        is_result = (not frame.contains_result
+                     and all(score > 0.0 for score in frame.scores))
+        if is_result:
+            results.append(QueryResult(
+                dewey=frame.dewey, score=sum(frame.scores),
+                keyword_scores=tuple(frame.scores)))
+        if stack:
+            parent = stack[-1]
+            for index, score in enumerate(frame.scores):
+                decayed = score * self._decay
+                if decayed > parent.scores[index]:
+                    parent.scores[index] = decayed
+            parent.contains_result |= frame.contains_result or is_result

@@ -1,0 +1,252 @@
+"""The XOntoRank engine: the system facade (paper Figure 8).
+
+Wires the substrates together exactly as the architecture diagram does:
+the Index Creation Module (full-text stage, OntoScore stage, DIL stage)
+feeds XOnto-DILs to the Query Module, which runs XRANK's DIL algorithm;
+the Database Access Module resolves result Dewey IDs back to XML
+fragments.
+
+Typical use::
+
+    engine = XOntoRankEngine(corpus, ontology, strategy=RELATIONSHIPS)
+    results = engine.search('"bronchial structure" theophylline', k=5)
+    fragment = engine.fragment(results[0])
+
+DILs for query keywords are built on first use and cached; call
+:meth:`build_index` to pre-build a whole vocabulary (and optionally
+persist it through an :class:`~repro.storage.interface.IndexStore`).
+"""
+
+from __future__ import annotations
+
+from ...ir.tokenizer import Keyword, KeywordQuery
+from ...ontology.api import TerminologyService
+from ...ontology.model import Ontology
+from ...storage.interface import IndexStore
+from ...xmldoc.model import Corpus, XMLNode
+from ...xmldoc.serializer import serialize
+from ..config import (DEFAULT_CONFIG, GRAPH, ONTOLOGY_STRATEGIES,
+                      RELATIONSHIPS, TAXONOMY, XRANK, XOntoRankConfig)
+from ..index.builder import IndexBuilder
+from ..index.dil import DeweyInvertedList, XOntoDILIndex
+from ..index.vocabulary import corpus_vocabulary, experiment_vocabulary
+from ..ontoscore.base import (NullOntoScore, OntoScoreComputer, SeedScorer)
+from ..ontoscore.graph import GraphOntoScore, concept_seed_scorer
+from ..ontoscore.relationships import (RelationshipsOntoScore,
+                                       relationships_seed_scorer)
+from ..ontoscore.taxonomy import TaxonomyOntoScore
+from ..scoring import ElementIndex
+from .dil_algorithm import DILQueryProcessor
+from .naive import NaiveEvaluator
+from .results import QueryResult
+
+
+class XOntoRankEngine:
+    """Ontology-aware keyword search over one CDA corpus."""
+
+    def __init__(self, corpus: Corpus, ontology: Ontology | None = None,
+                 strategy: str = RELATIONSHIPS,
+                 config: XOntoRankConfig = DEFAULT_CONFIG,
+                 element_index: ElementIndex | None = None,
+                 seed_scorer: SeedScorer | None = None) -> None:
+        if strategy != XRANK and ontology is None:
+            raise ValueError(
+                f"strategy {strategy!r} needs an ontology; "
+                f"use strategy='xrank' for ontology-free search")
+        self.corpus = corpus
+        self.ontology = ontology
+        self.strategy = strategy
+        self.config = config
+        self.terminology = (TerminologyService([ontology])
+                            if ontology is not None else None)
+        resolver = (self.terminology.resolve
+                    if self.terminology is not None else None)
+        self.element_index = element_index or ElementIndex(
+            corpus, text_policy=config.text_policy,
+            concept_resolver=resolver, k1=config.bm25_k1,
+            b=config.bm25_b, ir_function=config.ir_function)
+        self.ontoscore = self._make_ontoscore(seed_scorer)
+        node_weights = None
+        if config.use_elemrank:
+            from ..elemrank import ElemRankComputer
+            node_weights = ElemRankComputer(corpus).normalized_weights()
+        self.builder = IndexBuilder(self.element_index, self.ontoscore,
+                                    node_weights=node_weights)
+        self.processor = DILQueryProcessor(decay=config.decay)
+        self._dil_cache: dict[str, DeweyInvertedList] = {}
+
+    # ------------------------------------------------------------------
+    def _make_ontoscore(self, seed_scorer: SeedScorer | None,
+                        ) -> OntoScoreComputer:
+        config = self.config
+        if self.strategy == XRANK:
+            return NullOntoScore()
+        assert self.ontology is not None
+        if self.strategy == GRAPH:
+            seeds = seed_scorer or concept_seed_scorer(
+                self.ontology, k1=config.bm25_k1, b=config.bm25_b,
+                ir_function=config.ir_function)
+            return GraphOntoScore(self.ontology, seeds, decay=config.decay,
+                                  threshold=config.threshold,
+                                  exact=config.exact_expansion)
+        if self.strategy == TAXONOMY:
+            seeds = seed_scorer or concept_seed_scorer(
+                self.ontology, k1=config.bm25_k1, b=config.bm25_b,
+                ir_function=config.ir_function)
+            return TaxonomyOntoScore(self.ontology, seeds,
+                                     threshold=config.threshold,
+                                     exact=config.exact_expansion)
+        if self.strategy == RELATIONSHIPS:
+            seeds = seed_scorer or relationships_seed_scorer(
+                self.ontology, k1=config.bm25_k1, b=config.bm25_b,
+                ir_function=config.ir_function)
+            return RelationshipsOntoScore(self.ontology, seeds,
+                                          t=config.t,
+                                          threshold=config.threshold,
+                                          exact=config.exact_expansion)
+        raise ValueError(f"unknown strategy {self.strategy!r}")
+
+    # ------------------------------------------------------------------
+    # Query phase
+    # ------------------------------------------------------------------
+    def search(self, query: str | KeywordQuery,
+               k: int | None = None) -> list[QueryResult]:
+        """Top-k ontology-aware keyword search."""
+        parsed = (KeywordQuery.parse(query) if isinstance(query, str)
+                  else query)
+        dils = [self.dil_for(keyword) for keyword in parsed]
+        return self.processor.execute(dils, k=k or self.config.top_k)
+
+    def search_naive(self, query: str | KeywordQuery,
+                     k: int | None = None) -> list[QueryResult]:
+        """The same search through the naive reference evaluator."""
+        parsed = (KeywordQuery.parse(query) if isinstance(query, str)
+                  else query)
+        evaluator = NaiveEvaluator(self.builder.node_scorer,
+                                   decay=self.config.decay)
+        return evaluator.execute(parsed, k=k or self.config.top_k)
+
+    def dil_for(self, keyword: Keyword) -> DeweyInvertedList:
+        """The keyword's XOnto-DIL, built on first use."""
+        cached = self._dil_cache.get(keyword.text)
+        if cached is None:
+            cached, _ = self.builder.build_keyword(keyword)
+            self._dil_cache[keyword.text] = cached
+        return cached
+
+    def explain(self, result: QueryResult, query: str | KeywordQuery):
+        """Per-keyword evidence for a result (see
+        :mod:`repro.core.query.explain`): which element contributed each
+        keyword's score, through text or through which ontology path."""
+        from .explain import explain_result
+        return explain_result(self, result, query)
+
+    # ------------------------------------------------------------------
+    # Database Access Module
+    # ------------------------------------------------------------------
+    def fragment(self, result: QueryResult) -> XMLNode:
+        """The XML fragment a result addresses (Figure 4)."""
+        return result.fragment(self.corpus)
+
+    def fragment_text(self, result: QueryResult,
+                      indent: str | None = "  ") -> str:
+        """Serialized form of the result fragment, for display."""
+        return serialize(self.fragment(result), indent=indent,
+                         xml_declaration=False)
+
+    def snippet(self, result: QueryResult,
+                query: str | KeywordQuery) -> XMLNode:
+        """Compact result fragment: only the paths to the elements that
+        actually contributed each keyword's score (the minimal
+        connecting tree, in the spirit of Figure 4)."""
+        from ...xmldoc.dewey import node_at
+        from ...xmldoc.navigation import copy_subtree, prune_to_paths
+        explanation = self.explain(result, query)
+        document = self.corpus.get(result.doc_id)
+        root = node_at(document, result.dewey)
+        targets = [node_at(document, item.contributor)
+                   for item in explanation.evidence
+                   if item.propagated_score > 0.0]
+        if not targets:
+            return copy_subtree(root)
+        return prune_to_paths(root, targets)
+
+    def snippet_text(self, result: QueryResult,
+                     query: str | KeywordQuery,
+                     indent: str | None = "  ") -> str:
+        """Serialized snippet, for display."""
+        return serialize(self.snippet(result, query), indent=indent,
+                         xml_declaration=False)
+
+    # ------------------------------------------------------------------
+    # Pre-processing phase
+    # ------------------------------------------------------------------
+    def build_index(self, vocabulary: set[str] | None = None,
+                    radius: int = 2,
+                    store: IndexStore | None = None) -> XOntoDILIndex:
+        """Pre-build DILs for a whole vocabulary (Section V-B).
+
+        Without an explicit vocabulary, ontology-aware strategies use
+        the paper's experimental rule (document words plus concepts
+        within ``radius`` relationships of referenced concepts); the
+        XRANK baseline indexes the document words.
+        """
+        if vocabulary is None:
+            if self.strategy == XRANK or self.ontology is None:
+                vocabulary = corpus_vocabulary(
+                    self.corpus, self.config.text_policy)
+            else:
+                vocabulary = experiment_vocabulary(
+                    self.corpus, self.ontology, radius=radius,
+                    text_policy=self.config.text_policy)
+        index = self.builder.build(vocabulary, strategy_name=self.strategy)
+        for key, dil in index.lists.items():
+            self._dil_cache[key] = dil
+        if store is not None:
+            index.save(store)
+            for document in self.corpus:
+                store.put_document(document.doc_id, serialize(document))
+            store.put_metadata("strategy", self.strategy)
+            store.put_metadata("decay", str(self.config.decay))
+            store.put_metadata("threshold", str(self.config.threshold))
+            store.put_metadata("t", str(self.config.t))
+        return index
+
+    def load_index(self, store: IndexStore) -> int:
+        """Warm the DIL cache from a persisted index; returns list
+        count."""
+        index = XOntoDILIndex.load(store, self.strategy)
+        for key, dil in index.lists.items():
+            self._dil_cache[key] = dil
+        return len(index.lists)
+
+
+def build_engines(corpus: Corpus, ontology: Ontology,
+                  strategies: tuple[str, ...] = (XRANK, GRAPH, TAXONOMY,
+                                                 RELATIONSHIPS),
+                  config: XOntoRankConfig = DEFAULT_CONFIG,
+                  ) -> dict[str, XOntoRankEngine]:
+    """One engine per strategy, sharing the expensive common stages.
+
+    The element index (full-text stage) is strategy-independent; the
+    concept seed scorer is shared between Graph and Taxonomy. This is
+    how the experiments compare the four approaches on equal footing.
+    """
+    terminology = TerminologyService([ontology])
+    element_index = ElementIndex(
+        corpus, text_policy=config.text_policy,
+        concept_resolver=terminology.resolve, k1=config.bm25_k1,
+        b=config.bm25_b, ir_function=config.ir_function)
+    concept_seeds: SeedScorer | None = None
+    if GRAPH in strategies or TAXONOMY in strategies:
+        concept_seeds = concept_seed_scorer(
+            ontology, k1=config.bm25_k1, b=config.bm25_b,
+            ir_function=config.ir_function)
+    engines: dict[str, XOntoRankEngine] = {}
+    for strategy in strategies:
+        seeds = concept_seeds if strategy in (GRAPH, TAXONOMY) else None
+        engines[strategy] = XOntoRankEngine(
+            corpus, ontology if strategy in ONTOLOGY_STRATEGIES else None,
+            strategy=strategy, config=config,
+            element_index=element_index, seed_scorer=seeds)
+    return engines

@@ -1,0 +1,140 @@
+"""Result explanations: *why* a subtree matched each keyword.
+
+The paper's semantics make every match traceable: a result covers a
+keyword either through a descendant's textual description (the IRS term
+of Eq. 5) or through a descendant's ontological reference whose concept
+received authority flow from a seed concept (the OntoScore term). This
+module reconstructs that evidence -- the contributing element, the
+containment distance the score decayed over, and the ontology path the
+authority travelled -- for presentation and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ...ir.tokenizer import Keyword, KeywordQuery
+from ...xmldoc.dewey import DeweyID
+from .results import QueryResult
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import XOntoRankEngine
+
+#: How a keyword was associated with the contributing element.
+TEXTUAL = "textual"
+ONTOLOGICAL = "ontological"
+
+
+@dataclass(frozen=True)
+class OntologyHop:
+    """One node of the authority-flow path, seed first."""
+
+    node: str
+    label: str
+    is_existential: bool = False
+
+
+@dataclass(frozen=True)
+class KeywordEvidence:
+    """Why one keyword is covered by the result subtree."""
+
+    keyword: str
+    source: str  # TEXTUAL or ONTOLOGICAL
+    contributor: DeweyID
+    node_score: float
+    propagated_score: float
+    containment_distance: int
+    concept_code: str = ""
+    concept_label: str = ""
+    ontology_path: tuple[OntologyHop, ...] = ()
+
+    def describe(self) -> str:
+        base = (f"'{self.keyword}' <- element {self.contributor.encode()}"
+                f" (NS={self.node_score:.3f}, propagated="
+                f"{self.propagated_score:.3f}, "
+                f"{self.containment_distance} containment edge(s))")
+        if self.source == TEXTUAL:
+            return base + " via textual description"
+        hops = " -> ".join(hop.label for hop in self.ontology_path)
+        return (base + f" via ontology: concept {self.concept_label!r}"
+                + (f", authority path [{hops}]" if hops else ""))
+
+
+@dataclass(frozen=True)
+class ResultExplanation:
+    """Complete evidence for one query result."""
+
+    result: QueryResult
+    evidence: tuple[KeywordEvidence, ...] = field(default=())
+
+    def describe(self) -> str:
+        lines = [f"result {self.result.dewey.encode()} "
+                 f"(score {self.result.score:.3f})"]
+        lines.extend(f"  {item.describe()}" for item in self.evidence)
+        return "\n".join(lines)
+
+
+def explain_result(engine: "XOntoRankEngine", result: QueryResult,
+                   query: str | KeywordQuery) -> ResultExplanation:
+    """Reconstruct per-keyword evidence for ``result``."""
+    parsed = (KeywordQuery.parse(query) if isinstance(query, str)
+              else query)
+    evidence = tuple(_keyword_evidence(engine, result, keyword)
+                     for keyword in parsed)
+    return ResultExplanation(result=result, evidence=evidence)
+
+
+def _keyword_evidence(engine: "XOntoRankEngine", result: QueryResult,
+                      keyword: Keyword) -> KeywordEvidence:
+    node_scores = engine.builder.node_scorer.node_scores(keyword)
+    decay = engine.config.decay
+    best: tuple[float, DeweyID, float, int] | None = None
+    for dewey, score in node_scores.items():
+        if not result.dewey.contains(dewey):
+            continue
+        distance = result.dewey.distance_to_descendant(dewey)
+        propagated = score * (decay ** distance)
+        if best is None or propagated > best[0]:
+            best = (propagated, dewey, score, distance)
+    if best is None:
+        return KeywordEvidence(keyword=str(keyword), source=TEXTUAL,
+                               contributor=result.dewey, node_score=0.0,
+                               propagated_score=0.0,
+                               containment_distance=0)
+    propagated, contributor, node_score, distance = best
+
+    irs = engine.element_index.irs(keyword).get(contributor, 0.0)
+    concept = engine.element_index.concept_of(contributor)
+    onto_score = (engine.ontoscore.score(concept, keyword)
+                  if concept is not None else 0.0)
+    if onto_score > irs and concept is not None:
+        path = engine.ontoscore.flow_path(concept, keyword) or []
+        hops = tuple(_hop(engine, str(node)) for node in path)
+        return KeywordEvidence(
+            keyword=str(keyword), source=ONTOLOGICAL,
+            contributor=contributor, node_score=node_score,
+            propagated_score=propagated, containment_distance=distance,
+            concept_code=str(concept),
+            concept_label=_label(engine, str(concept)),
+            ontology_path=hops)
+    return KeywordEvidence(
+        keyword=str(keyword), source=TEXTUAL, contributor=contributor,
+        node_score=node_score, propagated_score=propagated,
+        containment_distance=distance)
+
+
+def _label(engine: "XOntoRankEngine", code: str) -> str:
+    ontology = engine.ontology
+    if ontology is not None and code in ontology:
+        return ontology.concept(code).preferred_term
+    return code
+
+
+def _hop(engine: "XOntoRankEngine", code: str) -> OntologyHop:
+    if code.startswith("exists:"):
+        _, role, filler = code.split(":", 2)
+        return OntologyHop(node=code,
+                           label=f"∃{role}.{_label(engine, filler)}",
+                           is_existential=True)
+    return OntologyHop(node=code, label=_label(engine, code))

@@ -1,0 +1,69 @@
+"""Naive reference evaluator: Eq. 1-5 computed directly on the trees.
+
+Recomputes query results from first principles -- NodeScores per keyword,
+bottom-up propagation (Eq. 2-3), the most-specific-subtree result
+semantics (Eq. 1) and sum scoring (Eq. 4) -- without Dewey inverted
+lists or the stack merge. It exists to validate
+:class:`~repro.core.query.dil_algorithm.DILQueryProcessor`: a property
+test asserts the two produce identical ranked lists on arbitrary
+corpora, which is the strongest correctness statement we can make about
+the index+merge machinery.
+"""
+
+from __future__ import annotations
+
+from ...ir.tokenizer import KeywordQuery
+from ...xmldoc.dewey import DeweyID
+from ..scoring import NodeScorer, propagate_scores
+from .results import QueryResult, rank_results
+
+
+class NaiveEvaluator:
+    """Direct tree-walking evaluation of keyword queries."""
+
+    def __init__(self, node_scorer: NodeScorer, decay: float = 0.5) -> None:
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must lie in (0, 1]")
+        self._node_scorer = node_scorer
+        self._decay = decay
+
+    # ------------------------------------------------------------------
+    def execute(self, query: KeywordQuery,
+                k: int | None = None) -> list[QueryResult]:
+        propagated = [propagate_scores(
+            self._node_scorer.node_scores(keyword), self._decay)
+            for keyword in query]
+        if any(not scores for scores in propagated):
+            return []
+
+        # Candidates: nodes whose subtree covers all keywords.
+        candidates = set(propagated[0])
+        for scores in propagated[1:]:
+            candidates &= set(scores)
+        if not candidates:
+            return []
+
+        results = [QueryResult(
+            dewey=dewey,
+            score=sum(scores[dewey] for scores in propagated),
+            keyword_scores=tuple(scores[dewey] for scores in propagated))
+            for dewey in self._most_specific(candidates)]
+        return rank_results(results, k)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _most_specific(candidates: set[DeweyID]) -> list[DeweyID]:
+        """Eq. 1's exclusion: drop candidates with candidate descendants.
+
+        In Dewey order a node's descendants immediately follow it, so a
+        candidate has a candidate descendant iff its successor in sorted
+        order is one.
+        """
+        ordered = sorted(candidates)
+        keep: list[DeweyID] = []
+        for current, following in zip(ordered, ordered[1:]):
+            if not current.is_ancestor_of(following):
+                keep.append(current)
+        if ordered:
+            keep.append(ordered[-1])
+        return keep

@@ -1,0 +1,49 @@
+"""Query results (paper Section III, Eq. 1 and 4).
+
+A result is the most specific element whose subtree is associated with
+every query keyword; its score is the sum over keywords of the best
+decayed NodeScore in its subtree. Results carry their Dewey ID so the
+Database Access Module can fetch the XML fragment (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...xmldoc.dewey import DeweyID
+from ...xmldoc.model import Corpus, XMLNode
+from ...xmldoc.navigation import extract_fragment
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One ranked answer: an element plus its scores."""
+
+    dewey: DeweyID
+    score: float
+    keyword_scores: tuple[float, ...]
+
+    @property
+    def doc_id(self) -> int:
+        return self.dewey.doc_id
+
+    def fragment(self, corpus: Corpus) -> XMLNode:
+        """Deep copy of the result subtree (the Figure 4 operation)."""
+        return extract_fragment(corpus, self.dewey)
+
+    def __repr__(self) -> str:
+        return (f"QueryResult({self.dewey.encode()}, score="
+                f"{self.score:.4f})")
+
+
+def rank_results(results: list[QueryResult],
+                 k: int | None = None) -> list[QueryResult]:
+    """Sort by descending score, tie-broken by Dewey ID (deterministic);
+    optionally truncate to the top k."""
+    ordered = sorted(results, key=lambda result: (-result.score,
+                                                  result.dewey))
+    if k is not None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        ordered = ordered[:k]
+    return ordered

@@ -1,0 +1,148 @@
+"""Node scores and score propagation (paper Section III, Eq. 2-5).
+
+* **NodeScore** (Eq. 5): ``NS(v, w) = max(IRS(v, w | D), OS(onto(v), w))``
+  -- a node is associated with a keyword either through its textual
+  description (BM25 over XML elements as documents, normalized per
+  keyword) or through its ontological reference (the OntoScore of the
+  referenced concept). Non-code nodes have a zero ontological term.
+* **Propagation** (Eq. 2-3): scores flow up the XML tree attenuated by
+  ``decay`` per containment edge, combined with ``max``.
+* **Result score** (Eq. 4): the sum over query keywords of the
+  propagated per-keyword scores.
+"""
+
+from __future__ import annotations
+
+from ..ir.inverted_index import PositionalIndex
+from .ontoscore.base import make_scorer
+from ..ir.tokenizer import Keyword
+from ..xmldoc.dewey import DeweyID, assign_dewey_ids
+from ..xmldoc.model import Corpus, TextPolicy
+from .ontoscore.base import OntoScoreComputer
+
+
+class ElementIndex:
+    """Full-text index of XML elements as IR documents.
+
+    Units are :class:`DeweyID`\\ s; each element contributes its own
+    textual description (not its subtree's -- subtree association is
+    what propagation provides). Also records which code node resolves to
+    which concept of the search ontology, the ``onto(D, v)`` map.
+    """
+
+    def __init__(self, corpus: Corpus, text_policy: TextPolicy | None = None,
+                 concept_resolver=None, k1: float = 1.2,
+                 b: float = 0.75, ir_function: str = "bm25") -> None:
+        self._index = PositionalIndex()
+        self._code_node_concepts: dict[DeweyID, str] = {}
+        self._node_order: list[DeweyID] = []
+        for document in corpus:
+            dewey_ids = assign_dewey_ids(document)
+            for node in document.iter():
+                dewey = dewey_ids[node]
+                self._index.add(dewey, node.textual_description(text_policy))
+                self._node_order.append(dewey)
+                if node.reference is not None and concept_resolver is not None:
+                    concept = concept_resolver(node.reference)
+                    if concept is not None:
+                        self._code_node_concepts[dewey] = concept.code
+        self._scorer = make_scorer(self._index, ir_function, k1=k1, b=b)
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> PositionalIndex:
+        return self._index
+
+    @property
+    def scorer(self):
+        """The configured IR scorer (BM25 by default)."""
+        return self._scorer
+
+    def code_node_concepts(self) -> dict[DeweyID, str]:
+        """Dewey ID → referenced concept code, for resolvable code nodes."""
+        return dict(self._code_node_concepts)
+
+    def concept_of(self, dewey: DeweyID) -> str | None:
+        return self._code_node_concepts.get(dewey)
+
+    def element_count(self) -> int:
+        return len(self._node_order)
+
+    def irs(self, keyword: Keyword) -> dict[DeweyID, float]:
+        """Normalized per-element IR scores for a keyword."""
+        return self._scorer.normalized_scores(keyword)
+
+
+class NodeScorer:
+    """Eq. 5 over a corpus: combines element IRS with OntoScore.
+
+    ``node_weights`` optionally modulates NodeScores per element --
+    the hook through which ElemRank (XRANK's structural prestige score,
+    see :mod:`repro.core.elemrank`) enters the ranking; elements absent
+    from the mapping keep weight 1.
+    """
+
+    def __init__(self, element_index: ElementIndex,
+                 ontoscore: OntoScoreComputer,
+                 node_weights: dict[DeweyID, float] | None = None) -> None:
+        self._elements = element_index
+        self._ontoscore = ontoscore
+        self._node_weights = node_weights
+        self._cache: dict[Keyword, dict[DeweyID, float]] = {}
+
+    def node_scores(self, keyword: Keyword) -> dict[DeweyID, float]:
+        """All nonzero ``NS(v, w)`` values for one keyword."""
+        cached = self._cache.get(keyword)
+        if cached is None:
+            cached = self._compute(keyword)
+            self._cache[keyword] = cached
+        return dict(cached)
+
+    def _compute(self, keyword: Keyword) -> dict[DeweyID, float]:
+        scores = self._elements.irs(keyword)
+        onto = self._ontoscore.compute(keyword)
+        if onto:
+            for dewey, concept in \
+                    self._elements.code_node_concepts().items():
+                ontoscore = onto.get(concept, 0.0)
+                if ontoscore > scores.get(dewey, 0.0):
+                    scores[dewey] = ontoscore
+        if self._node_weights is not None:
+            scores = {dewey: value * self._node_weights.get(dewey, 1.0)
+                      for dewey, value in scores.items()}
+        return scores
+
+
+def propagate_scores(node_scores: dict[DeweyID, float],
+                     decay: float) -> dict[DeweyID, float]:
+    """Eq. 2-3: best decayed descendant-or-self score for every node.
+
+    ``Score(v, w) = max over u in desc-or-self(v) of
+    decay^d(v,u) · NS(u, w)``. Implemented bottom-up over the Dewey IDs
+    actually present: each scored node pushes its decayed score to every
+    ancestor. Nodes that end with a zero score are omitted.
+    """
+    if not 0.0 < decay <= 1.0:
+        raise ValueError("decay must lie in (0, 1]")
+    propagated: dict[DeweyID, float] = {}
+    for dewey, score in node_scores.items():
+        if score <= 0.0:
+            continue
+        current = dewey
+        value = score
+        while True:
+            if propagated.get(current, 0.0) < value:
+                propagated[current] = value
+            else:
+                # Every ancestor already dominates through this path.
+                break
+            if not current.path:
+                break
+            current = current.parent()
+            value *= decay
+    return propagated
+
+
+def result_score(per_keyword_scores: list[float]) -> float:
+    """Eq. 4: monotonic aggregation (sum) over the query keywords."""
+    return sum(per_keyword_scores)

@@ -1,0 +1,17 @@
+"""EMR substrate: the relational source database the CDA corpus is built
+from, plus its synthetic pediatric-cardiology generator."""
+
+from .database import EMRDatabase, IntegrityError
+from .schema import (ClinicalNote, Diagnosis, Encounter, LabResult,
+                     MedicationOrder, Patient, PatientGroundTruth,
+                     ProcedureRecord, Provider, VitalSign)
+from .synth import (CardiacEMRGenerator, ConditionProfile, SynthConfig,
+                    generate_cardiac_emr)
+
+__all__ = [
+    "CardiacEMRGenerator", "ClinicalNote", "ConditionProfile", "Diagnosis",
+    "EMRDatabase", "Encounter", "IntegrityError", "LabResult",
+    "MedicationOrder",
+    "Patient", "PatientGroundTruth", "ProcedureRecord", "Provider",
+    "SynthConfig", "VitalSign", "generate_cardiac_emr",
+]

@@ -1,0 +1,190 @@
+"""In-memory relational EMR database with integrity checking.
+
+A small relational engine in the shape the paper's source system had:
+tables keyed by primary key, foreign keys validated on insert, and the
+join-style accessors the CDA generator needs (all encounters of a
+patient, all diagnoses of an encounter, ...).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+from .schema import (ClinicalNote, Diagnosis, Encounter, LabResult,
+                     MedicationOrder, Patient, PatientGroundTruth,
+                     ProcedureRecord, Provider, VitalSign)
+
+
+class IntegrityError(ValueError):
+    """Raised on primary-key collisions or dangling foreign keys."""
+
+
+class EMRDatabase:
+    """The Cardiac Division's relational EMR, in memory."""
+
+    def __init__(self) -> None:
+        self._patients: dict[str, Patient] = {}
+        self._providers: dict[str, Provider] = {}
+        self._encounters: dict[str, Encounter] = {}
+        self._diagnoses: dict[str, Diagnosis] = {}
+        self._orders: dict[str, MedicationOrder] = {}
+        self._vitals: dict[str, VitalSign] = {}
+        self._procedures: dict[str, ProcedureRecord] = {}
+        self._labs: dict[str, LabResult] = {}
+        self._notes: dict[str, ClinicalNote] = {}
+        self._encounters_by_patient: dict[str, list[str]] = defaultdict(list)
+        self._by_encounter: dict[str, dict[str, list[str]]] = defaultdict(
+            lambda: defaultdict(list))
+        self._ground_truth: dict[str, PatientGroundTruth] = {}
+
+    # ------------------------------------------------------------------
+    # Inserts
+    # ------------------------------------------------------------------
+    def insert_patient(self, patient: Patient) -> Patient:
+        self._insert(self._patients, patient.patient_id, patient, "patient")
+        self._ground_truth[patient.patient_id] = PatientGroundTruth(
+            patient.patient_id)
+        return patient
+
+    def insert_provider(self, provider: Provider) -> Provider:
+        self._insert(self._providers, provider.provider_id, provider,
+                     "provider")
+        return provider
+
+    def insert_encounter(self, encounter: Encounter) -> Encounter:
+        self._require(self._patients, encounter.patient_id, "patient")
+        self._require(self._providers, encounter.provider_id, "provider")
+        self._insert(self._encounters, encounter.encounter_id, encounter,
+                     "encounter")
+        self._encounters_by_patient[encounter.patient_id].append(
+            encounter.encounter_id)
+        return encounter
+
+    def insert_diagnosis(self, diagnosis: Diagnosis) -> Diagnosis:
+        self._require(self._encounters, diagnosis.encounter_id, "encounter")
+        self._insert(self._diagnoses, diagnosis.diagnosis_id, diagnosis,
+                     "diagnosis")
+        self._by_encounter[diagnosis.encounter_id]["diagnoses"].append(
+            diagnosis.diagnosis_id)
+        patient = self._encounters[diagnosis.encounter_id].patient_id
+        self._ground_truth[patient].condition_codes.add(
+            diagnosis.concept_code)
+        return diagnosis
+
+    def insert_medication_order(self, order: MedicationOrder,
+                                ) -> MedicationOrder:
+        self._require(self._encounters, order.encounter_id, "encounter")
+        self._insert(self._orders, order.order_id, order, "medication order")
+        self._by_encounter[order.encounter_id]["orders"].append(
+            order.order_id)
+        patient = self._encounters[order.encounter_id].patient_id
+        self._ground_truth[patient].drug_codes.add(order.concept_code)
+        return order
+
+    def insert_vital_sign(self, vital: VitalSign) -> VitalSign:
+        self._require(self._encounters, vital.encounter_id, "encounter")
+        self._insert(self._vitals, vital.vital_id, vital, "vital sign")
+        self._by_encounter[vital.encounter_id]["vitals"].append(
+            vital.vital_id)
+        return vital
+
+    def insert_procedure(self, procedure: ProcedureRecord,
+                         ) -> ProcedureRecord:
+        self._require(self._encounters, procedure.encounter_id, "encounter")
+        self._insert(self._procedures, procedure.procedure_id, procedure,
+                     "procedure")
+        self._by_encounter[procedure.encounter_id]["procedures"].append(
+            procedure.procedure_id)
+        return procedure
+
+    def insert_lab_result(self, lab: LabResult) -> LabResult:
+        self._require(self._encounters, lab.encounter_id, "encounter")
+        self._insert(self._labs, lab.lab_id, lab, "lab result")
+        self._by_encounter[lab.encounter_id]["labs"].append(lab.lab_id)
+        return lab
+
+    def insert_note(self, note: ClinicalNote) -> ClinicalNote:
+        self._require(self._encounters, note.encounter_id, "encounter")
+        self._insert(self._notes, note.note_id, note, "note")
+        self._by_encounter[note.encounter_id]["notes"].append(note.note_id)
+        return note
+
+    def _insert(self, table: dict, key: str, row, kind: str) -> None:
+        if key in table:
+            raise IntegrityError(f"duplicate {kind} key {key!r}")
+        table[key] = row
+
+    def _require(self, table: dict, key: str, kind: str) -> None:
+        if key not in table:
+            raise IntegrityError(f"unknown {kind} {key!r}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def patients(self) -> Iterator[Patient]:
+        return iter(self._patients.values())
+
+    def patient(self, patient_id: str) -> Patient:
+        self._require(self._patients, patient_id, "patient")
+        return self._patients[patient_id]
+
+    def provider(self, provider_id: str) -> Provider:
+        self._require(self._providers, provider_id, "provider")
+        return self._providers[provider_id]
+
+    def providers(self) -> Iterator[Provider]:
+        return iter(self._providers.values())
+
+    def encounters_for(self, patient_id: str) -> list[Encounter]:
+        self._require(self._patients, patient_id, "patient")
+        return [self._encounters[encounter_id] for encounter_id
+                in self._encounters_by_patient.get(patient_id, ())]
+
+    def diagnoses_for(self, encounter_id: str) -> list[Diagnosis]:
+        self._require(self._encounters, encounter_id, "encounter")
+        return [self._diagnoses[key] for key
+                in self._by_encounter[encounter_id]["diagnoses"]]
+
+    def orders_for(self, encounter_id: str) -> list[MedicationOrder]:
+        self._require(self._encounters, encounter_id, "encounter")
+        return [self._orders[key] for key
+                in self._by_encounter[encounter_id]["orders"]]
+
+    def vitals_for(self, encounter_id: str) -> list[VitalSign]:
+        self._require(self._encounters, encounter_id, "encounter")
+        return [self._vitals[key] for key
+                in self._by_encounter[encounter_id]["vitals"]]
+
+    def procedures_for(self, encounter_id: str) -> list[ProcedureRecord]:
+        self._require(self._encounters, encounter_id, "encounter")
+        return [self._procedures[key] for key
+                in self._by_encounter[encounter_id]["procedures"]]
+
+    def labs_for(self, encounter_id: str) -> list[LabResult]:
+        self._require(self._encounters, encounter_id, "encounter")
+        return [self._labs[key] for key
+                in self._by_encounter[encounter_id]["labs"]]
+
+    def notes_for(self, encounter_id: str) -> list[ClinicalNote]:
+        self._require(self._encounters, encounter_id, "encounter")
+        return [self._notes[key] for key
+                in self._by_encounter[encounter_id]["notes"]]
+
+    def ground_truth(self, patient_id: str) -> PatientGroundTruth:
+        self._require(self._patients, patient_id, "patient")
+        return self._ground_truth[patient_id]
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {
+            "patients": len(self._patients),
+            "providers": len(self._providers),
+            "encounters": len(self._encounters),
+            "diagnoses": len(self._diagnoses),
+            "medication_orders": len(self._orders),
+            "vital_signs": len(self._vitals),
+            "procedures": len(self._procedures),
+            "lab_results": len(self._labs),
+            "notes": len(self._notes),
+        }

@@ -1,0 +1,138 @@
+"""Relational schema of the source EMR database.
+
+The paper's corpus is generated "to convert automatically the relational
+anonymized EMR database of the Cardiac Division of a local hospital into
+a set of XML CDA documents. Each CDA document represents the medical
+record of a single patient conglomerating all her hospitalization
+entries." This module models that relational source: plain rows with
+primary/foreign keys, one class per table.
+
+Rows carry SNOMED concept codes next to their display text, exactly like
+a coded hospital system would; the CDA generator turns these into the
+ontological references of the XML corpus, and the relevance oracle uses
+them as ground truth about each patient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Patient:
+    """A registered patient (the unit of CDA document generation)."""
+
+    patient_id: str
+    given_name: str
+    family_name: str
+    gender: str  # administrative gender code: "M" or "F"
+    birth_date: str  # ISO date, e.g. "1998-11-02"
+    medical_record_number: str = ""
+
+
+@dataclass(frozen=True)
+class Provider:
+    """A clinician who authors encounters."""
+
+    provider_id: str
+    given_name: str
+    family_name: str
+    credential: str = "MD"
+
+
+@dataclass(frozen=True)
+class Encounter:
+    """One hospitalization / visit of a patient."""
+
+    encounter_id: str
+    patient_id: str
+    provider_id: str
+    admit_date: str
+    discharge_date: str
+    encounter_type: str = "inpatient"
+
+
+@dataclass(frozen=True)
+class Diagnosis:
+    """A coded problem recorded during an encounter."""
+
+    diagnosis_id: str
+    encounter_id: str
+    concept_code: str  # SNOMED code
+    display_name: str
+    status: str = "active"
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class MedicationOrder:
+    """A drug prescribed during an encounter."""
+
+    order_id: str
+    encounter_id: str
+    concept_code: str  # SNOMED product code
+    display_name: str
+    dose_text: str = ""
+    indication_code: str = ""  # SNOMED code of the treated problem
+
+
+@dataclass(frozen=True)
+class VitalSign:
+    """A measured vital (height, weight, temperature, pulse, ...)."""
+
+    vital_id: str
+    encounter_id: str
+    concept_code: str  # SNOMED observable-entity code
+    display_name: str
+    value: float
+    unit: str
+    taken_at: str = ""
+
+
+@dataclass(frozen=True)
+class ProcedureRecord:
+    """A procedure performed during an encounter."""
+
+    procedure_id: str
+    encounter_id: str
+    concept_code: str
+    display_name: str
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class LabResult:
+    """A laboratory measurement reported during an encounter."""
+
+    lab_id: str
+    encounter_id: str
+    loinc_code: str
+    display_name: str
+    value: float
+    unit: str
+    reference_range: str = ""
+    abnormal_flag: str = ""  # "", "H" or "L"
+
+
+@dataclass(frozen=True)
+class ClinicalNote:
+    """Free-text narrative attached to an encounter."""
+
+    note_id: str
+    encounter_id: str
+    section: str  # e.g. "history", "assessment", "plan"
+    text: str
+
+
+@dataclass
+class PatientGroundTruth:
+    """Generation-time truth about one patient, for the relevance oracle.
+
+    ``condition_codes`` / ``drug_codes`` are the SNOMED concepts the
+    generator deliberately gave this patient; anything the search system
+    returns for this patient is judged against these.
+    """
+
+    patient_id: str
+    condition_codes: set[str] = field(default_factory=set)
+    drug_codes: set[str] = field(default_factory=set)

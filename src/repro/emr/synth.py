@@ -1,0 +1,420 @@
+"""Synthetic pediatric-cardiology EMR generator (substitute substrate).
+
+Stands in for "the relational anonymized EMR database of the Cardiac
+Division of a local hospital" (Section VII): a seeded generator that
+populates :class:`~repro.emr.database.EMRDatabase` with patients of a
+children's cardiac clinic. Diagnoses, medication orders (with clinically
+matched indications), vitals, procedures and free-text notes all carry
+SNOMED codes/terms from the synthetic ontology so the CDA conversion
+produces the paper's density of ontological references.
+
+Everything is driven by ``seed``; the same seed always produces the same
+database, which the relevance oracle relies on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..ontology import snomed
+from ..ontology.model import Ontology
+from .database import EMRDatabase
+from .schema import (ClinicalNote, Diagnosis, Encounter, LabResult,
+                     MedicationOrder, Patient, ProcedureRecord, Provider,
+                     VitalSign)
+
+
+@dataclass(frozen=True)
+class ConditionProfile:
+    """A diagnosable condition plus the drugs that treat it."""
+
+    code: str
+    display: str
+    treatments: tuple[tuple[str, str, str], ...]  # (code, display, dose)
+    narrative: str
+
+
+#: The clinic's case mix. Weights skew toward arrhythmia and congenital
+#: disease, matching a pediatric cardiac division; respiratory cases
+#: appear because the paper's own examples (asthma/theophylline) do.
+_CONDITIONS: tuple[tuple[ConditionProfile, float], ...] = (
+    (ConditionProfile(
+        snomed.SUPRAVENTRICULAR_ARRHYTHMIA, "Supraventricular arrhythmia",
+        ((snomed.AMIODARONE, "Amiodarone", "5 mg/kg IV load"),
+         (snomed.PROPRANOLOL, "Propranolol", "1 mg/kg orally three times daily"),
+         (snomed.DIGOXIN, "Digoxin", "10 mcg/kg daily")),
+        "Patient presented with palpitations and documented "
+        "supraventricular arrhythmia on telemetry."), 3.0),
+    (ConditionProfile(
+        snomed.SUPRAVENTRICULAR_TACHYCARDIA, "Supraventricular tachycardia",
+        ((snomed.AMIODARONE, "Amiodarone", "5 mg/kg IV over 30 minutes"),
+         (snomed.PROPRANOLOL, "Propranolol", "0.5 mg/kg every 8 hours")),
+        "Episodes of supraventricular tachycardia with heart rate above "
+        "220 per minute, converted after vagal maneuvers."), 2.5),
+    (ConditionProfile(
+        snomed.ATRIAL_FIBRILLATION, "Atrial fibrillation",
+        ((snomed.AMIODARONE, "Amiodarone", "load then 200 mg daily"),
+         (snomed.DIGOXIN, "Digoxin", "8 mcg/kg daily"),
+         (snomed.WARFARIN, "Warfarin", "titrated to INR 2-3")),
+        "Irregularly irregular rhythm; atrial fibrillation confirmed by "
+        "electrocardiogram."), 1.5),
+    (ConditionProfile(
+        snomed.CARDIAC_ARREST, "Cardiac arrest",
+        ((snomed.EPINEPHRINE, "Epinephrine", "0.01 mg/kg IV push"),
+         (snomed.AMIODARONE, "Amiodarone", "5 mg/kg IV bolus")),
+        "Witnessed cardiac arrest with return of spontaneous circulation "
+        "after two rounds of compressions."), 1.5),
+    (ConditionProfile(
+        snomed.PERICARDIAL_EFFUSION, "Pericardial effusion",
+        ((snomed.FUROSEMIDE, "Furosemide", "1 mg/kg IV twice daily"),
+         (snomed.IBUPROFEN, "Ibuprofen", "10 mg/kg every 6 hours")),
+        "Echocardiogram demonstrates a moderate pericardial effusion "
+        "without tamponade physiology."), 2.0),
+    (ConditionProfile(
+        snomed.COARCTATION_OF_AORTA, "Coarctation of aorta",
+        ((snomed.FUROSEMIDE, "Furosemide", "1 mg/kg daily"),),
+        "Neonatal coarctation of aorta with diminished femoral pulses; "
+        "surgical repair planned."), 2.0),
+    (ConditionProfile(
+        snomed.NEONATAL_CYANOSIS, "Neonatal cyanosis",
+        ((snomed.EPINEPHRINE, "Epinephrine", "infusion 0.05 mcg/kg/min"),),
+        "Term newborn with neonatal cyanosis unresponsive to oxygen, "
+        "concerning for ductal-dependent lesion."), 1.5),
+    (ConditionProfile(
+        snomed.MITRAL_REGURGITATION, "Mitral valve regurgitation",
+        ((snomed.FUROSEMIDE, "Furosemide", "0.5 mg/kg twice daily"),),
+        "Holosystolic murmur with regurgitant flow across the mitral "
+        "valve on color Doppler."), 1.5),
+    (ConditionProfile(
+        snomed.VENTRICULAR_SEPTAL_DEFECT, "Ventricular septal defect",
+        ((snomed.FUROSEMIDE, "Furosemide", "1 mg/kg twice daily"),
+         (snomed.DIGOXIN, "Digoxin", "8 mcg/kg daily")),
+        "Moderate perimembranous ventricular septal defect with "
+        "left-to-right shunt."), 2.0),
+    (ConditionProfile(
+        snomed.TETRALOGY_OF_FALLOT, "Tetralogy of Fallot",
+        ((snomed.PROPRANOLOL, "Propranolol", "1 mg/kg every 6 hours"),),
+        "Cyanotic spells consistent with Tetralogy of Fallot; oxygen "
+        "saturation 82 percent on room air."), 1.5),
+    (ConditionProfile(
+        snomed.ASTHMA, "Asthma",
+        ((snomed.THEOPHYLLINE, "Theophylline",
+          "20 mg every other day, alternating with 18 mg"),
+         (snomed.ALBUTEROL, "Albuterol", "2 puffs every 4 hours as needed")),
+        "Known asthma with nocturnal cough and expiratory wheeze."), 1.0),
+    (ConditionProfile(
+        snomed.BRONCHITIS, "Bronchitis",
+        ((snomed.ALBUTEROL, "Albuterol", "nebulized every 6 hours"),),
+        "Productive cough and rhonchi consistent with bronchitis."), 1.0),
+    (ConditionProfile(
+        snomed.PNEUMONIA, "Pneumonia",
+        ((snomed.MEROPENEM, "Meropenem", "20 mg/kg IV every 8 hours"),
+         (snomed.IMIPENEM, "Imipenem", "15 mg/kg IV every 6 hours")),
+        "Right lower lobe consolidation on chest radiograph; pneumonia "
+        "treated with a carbapenem."), 1.0),
+    (ConditionProfile(
+        snomed.FEVER, "Fever",
+        ((snomed.ACETAMINOPHEN, "Acetaminophen", "15 mg/kg every 6 hours"),
+         (snomed.IBUPROFEN, "Ibuprofen", "10 mg/kg every 8 hours")),
+        "Postoperative fever to 38.9 C, treated with antipyretics."), 1.2),
+    (ConditionProfile(
+        snomed.PAIN_FINDING, "Pain",
+        ((snomed.ACETAMINOPHEN, "Acetaminophen", "15 mg/kg every 6 hours"),
+         (snomed.ASPIRIN, "Aspirin", "3 mg/kg daily"),),
+        "Incisional pain managed with scheduled analgesics per the pain "
+        "control protocol."), 1.2),
+)
+
+_GIVEN_NAMES = ("Maria", "Juan", "Sofia", "Diego", "Lucia", "Carlos",
+                "Elena", "Miguel", "Ana", "Pedro", "Isabel", "Jorge",
+                "Carmen", "Luis", "Valeria", "Andres", "Paula", "Hector",
+                "Julia", "Ramon")
+
+_FAMILY_NAMES = ("Garcia", "Rodriguez", "Martinez", "Hernandez", "Lopez",
+                 "Gonzalez", "Perez", "Sanchez", "Ramirez", "Torres",
+                 "Flores", "Rivera", "Gomez", "Diaz", "Cruz", "Morales")
+
+_PROVIDER_NAMES = (("Juan", "Woodblack"), ("Alice", "Chen"),
+                   ("Robert", "Osei"), ("Priya", "Natarajan"),
+                   ("Samuel", "Ortiz"), ("Hannah", "Kim"))
+
+#: (loinc code, name, low, high, unit) -- common pediatric labs.
+_LAB_PANEL = (
+    ("718-7", "Hemoglobin", 10.5, 15.5, "g/dL"),
+    ("6690-2", "Leukocytes", 4.5, 13.5, "10*3/uL"),
+    ("2823-3", "Potassium", 3.4, 4.7, "mmol/L"),
+    ("2951-2", "Sodium", 136.0, 145.0, "mmol/L"),
+    ("2160-0", "Creatinine", 0.3, 0.7, "mg/dL"),
+    ("30934-4", "Natriuretic peptide B", 0.0, 100.0, "pg/mL"),
+    ("2157-6", "Creatine kinase", 30.0, 200.0, "U/L"),
+)
+
+_PLAN_SENTENCES = (
+    "Continue current regimen and reassess in the morning.",
+    "Repeat echocardiogram prior to discharge.",
+    "Cardiology follow up in two weeks.",
+    "Monitor electrolytes daily while on diuretics.",
+    "Strict intake and output documentation.",
+)
+
+
+#: Condition groups that never co-occur in one patient. The default keeps
+#: arrhythmia patients off analgesic/antipyretic indications, mirroring
+#: the property of the paper's corpus that makes the
+#: ["supraventricular arrhythmia", acetaminophen] query unanswerable by
+#: exact match (Table I's all-zero row).
+DEFAULT_EXCLUSIVE_GROUPS: tuple[tuple[frozenset[str], frozenset[str]], ...] = (
+    (frozenset({snomed.SUPRAVENTRICULAR_ARRHYTHMIA,
+                snomed.SUPRAVENTRICULAR_TACHYCARDIA,
+                snomed.ATRIAL_FIBRILLATION, snomed.ATRIAL_FLUTTER}),
+     frozenset({snomed.FEVER, snomed.PAIN_FINDING})),
+)
+
+
+@dataclass(frozen=True)
+class SynthConfig:
+    """Knobs of the generator; defaults give a small but realistic clinic."""
+
+    n_patients: int = 40
+    seed: int = 11
+    min_encounters: int = 1
+    max_encounters: int = 4
+    min_conditions: int = 1
+    max_conditions: int = 3
+    extra_concept_fraction: float = 0.3
+    exclusive_groups: tuple[tuple[frozenset[str], frozenset[str]], ...] = \
+        DEFAULT_EXCLUSIVE_GROUPS
+
+
+class CardiacEMRGenerator:
+    """Seeded population of an :class:`EMRDatabase`.
+
+    When an ontology is supplied, a fraction of encounters additionally
+    samples generated long-tail disorders/drugs from it, widening the
+    corpus vocabulary the way a real hospital system would.
+    """
+
+    def __init__(self, config: SynthConfig | None = None,
+                 ontology: Ontology | None = None) -> None:
+        self.config = config or SynthConfig()
+        self._ontology = ontology
+        self._extra_disorders: list[tuple[str, str]] = []
+        self._extra_drugs: list[tuple[str, str]] = []
+        if ontology is not None:
+            self._collect_extra_concepts(ontology)
+
+    def _collect_extra_concepts(self, ontology: Ontology) -> None:
+        for concept in ontology.concepts():
+            if not concept.code.startswith("92"):
+                continue  # only procedurally generated long-tail concepts
+            if concept.semantic_tag == "disorder":
+                self._extra_disorders.append((concept.code,
+                                              concept.preferred_term))
+            elif concept.semantic_tag == "product":
+                self._extra_drugs.append((concept.code,
+                                          concept.preferred_term))
+
+    # ------------------------------------------------------------------
+    def generate(self) -> EMRDatabase:
+        rng = random.Random(self.config.seed)
+        database = EMRDatabase()
+        providers = self._make_providers(database)
+        conditions, weights = zip(*_CONDITIONS)
+        for patient_number in range(self.config.n_patients):
+            patient = self._make_patient(database, rng, patient_number)
+            patient_codes: set[str] = set()
+            encounter_count = rng.randint(self.config.min_encounters,
+                                          self.config.max_encounters)
+            for encounter_number in range(encounter_count):
+                self._make_encounter(database, rng, patient,
+                                     rng.choice(providers),
+                                     patient_number, encounter_number,
+                                     conditions, weights, patient_codes)
+        return database
+
+    # ------------------------------------------------------------------
+    def _make_providers(self, database: EMRDatabase) -> list[Provider]:
+        providers = [Provider(provider_id=f"KP{index:05d}", given_name=given,
+                              family_name=family)
+                     for index, (given, family)
+                     in enumerate(_PROVIDER_NAMES, start=17)]
+        for provider in providers:
+            database.insert_provider(provider)
+        return providers
+
+    def _make_patient(self, database: EMRDatabase, rng: random.Random,
+                      number: int) -> Patient:
+        birth_year = rng.randint(1990, 2007)
+        patient = Patient(
+            patient_id=f"{49900 + number}",
+            given_name=rng.choice(_GIVEN_NAMES),
+            family_name=rng.choice(_FAMILY_NAMES),
+            gender=rng.choice(("M", "F")),
+            birth_date=(f"{birth_year:04d}-{rng.randint(1, 12):02d}-"
+                        f"{rng.randint(1, 28):02d}"),
+            medical_record_number=f"M{300 + number}")
+        return database.insert_patient(patient)
+
+    def _make_encounter(self, database: EMRDatabase, rng: random.Random,
+                        patient: Patient, provider: Provider,
+                        patient_number: int, encounter_number: int,
+                        conditions: tuple[ConditionProfile, ...],
+                        weights: tuple[float, ...],
+                        patient_codes: set[str]) -> None:
+        year = rng.randint(2005, 2008)
+        month = rng.randint(1, 12)
+        day = rng.randint(1, 27)
+        encounter = database.insert_encounter(Encounter(
+            encounter_id=f"E{patient_number:04d}-{encounter_number}",
+            patient_id=patient.patient_id,
+            provider_id=provider.provider_id,
+            admit_date=f"{year:04d}-{month:02d}-{day:02d}",
+            discharge_date=f"{year:04d}-{month:02d}-{day + 1:02d}"))
+
+        chosen = self._sample_conditions(rng, conditions, weights,
+                                         patient_codes)
+        patient_codes.update(condition.code for condition in chosen)
+        note_sentences: list[str] = []
+        for condition_index, condition in enumerate(chosen):
+            database.insert_diagnosis(Diagnosis(
+                diagnosis_id=f"{encounter.encounter_id}-D{condition_index}",
+                encounter_id=encounter.encounter_id,
+                concept_code=condition.code,
+                display_name=condition.display,
+                note=condition.narrative))
+            note_sentences.append(condition.narrative)
+            for order_index, (code, display, dose) in enumerate(
+                    self._sample_treatments(rng, condition)):
+                database.insert_medication_order(MedicationOrder(
+                    order_id=(f"{encounter.encounter_id}-"
+                              f"M{condition_index}-{order_index}"),
+                    encounter_id=encounter.encounter_id,
+                    concept_code=code, display_name=display,
+                    dose_text=dose, indication_code=condition.code))
+                note_sentences.append(
+                    f"Started on {display} {dose} for {condition.display}.")
+
+        self._maybe_add_extra_concepts(database, rng, encounter,
+                                       note_sentences)
+        self._add_vitals(database, rng, encounter)
+        self._add_labs(database, rng, encounter, note_sentences)
+        note_sentences.append(rng.choice(_PLAN_SENTENCES))
+        database.insert_note(ClinicalNote(
+            note_id=f"{encounter.encounter_id}-N0",
+            encounter_id=encounter.encounter_id,
+            section="assessment", text=" ".join(note_sentences)))
+
+    def _sample_conditions(self, rng: random.Random,
+                           conditions: tuple[ConditionProfile, ...],
+                           weights: tuple[float, ...],
+                           patient_codes: set[str],
+                           ) -> list[ConditionProfile]:
+        count = rng.randint(self.config.min_conditions,
+                            self.config.max_conditions)
+        chosen: list[ConditionProfile] = []
+        codes: set[str] = set(patient_codes)
+        for condition in rng.choices(conditions, weights=weights,
+                                     k=count * 4):
+            if (condition.code not in codes
+                    and not self._excluded(condition.code, codes)):
+                codes.add(condition.code)
+                chosen.append(condition)
+            if len(chosen) == count:
+                break
+        return chosen
+
+    def _excluded(self, code: str, existing: set[str]) -> bool:
+        """Whether adding ``code`` violates an exclusive-group rule."""
+        for group_a, group_b in self.config.exclusive_groups:
+            if code in group_a and existing & group_b:
+                return True
+            if code in group_b and existing & group_a:
+                return True
+        return False
+
+    def _sample_treatments(self, rng: random.Random,
+                           condition: ConditionProfile,
+                           ) -> list[tuple[str, str, str]]:
+        if not condition.treatments:
+            return []
+        count = rng.randint(1, len(condition.treatments))
+        return rng.sample(list(condition.treatments), count)
+
+    def _maybe_add_extra_concepts(self, database: EMRDatabase,
+                                  rng: random.Random, encounter: Encounter,
+                                  note_sentences: list[str]) -> None:
+        if rng.random() >= self.config.extra_concept_fraction:
+            return
+        index = len(database.diagnoses_for(encounter.encounter_id))
+        if self._extra_disorders:
+            code, display = rng.choice(self._extra_disorders)
+            database.insert_diagnosis(Diagnosis(
+                diagnosis_id=f"{encounter.encounter_id}-D{index}x",
+                encounter_id=encounter.encounter_id,
+                concept_code=code, display_name=display))
+            note_sentences.append(f"Also noted: {display}.")
+        if self._extra_drugs and rng.random() < 0.5:
+            code, display = rng.choice(self._extra_drugs)
+            database.insert_medication_order(MedicationOrder(
+                order_id=f"{encounter.encounter_id}-Mx",
+                encounter_id=encounter.encounter_id,
+                concept_code=code, display_name=display,
+                dose_text="per protocol"))
+            note_sentences.append(f"Continued home {display}.")
+
+    def _add_vitals(self, database: EMRDatabase, rng: random.Random,
+                    encounter: Encounter) -> None:
+        vitals = (
+            (snomed.BODY_TEMPERATURE, "Body temperature",
+             round(rng.uniform(36.2, 39.4), 1), "Cel"),
+            (snomed.HEART_RATE, "Heart rate",
+             float(rng.randint(70, 190)), "/min"),
+            (snomed.BODY_HEIGHT, "Body height",
+             round(rng.uniform(0.5, 1.85), 2), "m"),
+            (snomed.BODY_WEIGHT, "Body weight",
+             round(rng.uniform(3.0, 80.0), 1), "kg"),
+        )
+        for index, (code, display, value, unit) in enumerate(vitals):
+            database.insert_vital_sign(VitalSign(
+                vital_id=f"{encounter.encounter_id}-V{index}",
+                encounter_id=encounter.encounter_id,
+                concept_code=code, display_name=display,
+                value=value, unit=unit, taken_at=encounter.admit_date))
+        if rng.random() < 0.2:
+            database.insert_procedure(ProcedureRecord(
+                procedure_id=f"{encounter.encounter_id}-P0",
+                encounter_id=encounter.encounter_id,
+                concept_code=snomed.PAIN_CONTROL,
+                display_name="Pain control",
+                note="Pain control protocol initiated."))
+
+
+    def _add_labs(self, database: EMRDatabase, rng: random.Random,
+                  encounter: Encounter,
+                  note_sentences: list[str]) -> None:
+        panel_size = rng.randint(2, len(_LAB_PANEL))
+        for index, (loinc, name, low, high, unit) in enumerate(
+                rng.sample(_LAB_PANEL, panel_size)):
+            spread = high - low
+            value = round(rng.uniform(low - 0.3 * spread,
+                                      high + 0.3 * spread), 1)
+            flag = "H" if value > high else "L" if value < low else ""
+            database.insert_lab_result(LabResult(
+                lab_id=f"{encounter.encounter_id}-L{index}",
+                encounter_id=encounter.encounter_id,
+                loinc_code=loinc, display_name=name, value=value,
+                unit=unit, reference_range=f"{low}-{high} {unit}",
+                abnormal_flag=flag))
+            if flag:
+                direction = "elevated" if flag == "H" else "low"
+                note_sentences.append(
+                    f"Laboratory notable for {direction} {name} of "
+                    f"{value} {unit}.")
+
+
+def generate_cardiac_emr(n_patients: int = 40, seed: int = 11,
+                         ontology: Ontology | None = None) -> EMRDatabase:
+    """One-shot convenience wrapper around :class:`CardiacEMRGenerator`."""
+    config = SynthConfig(n_patients=n_patients, seed=seed)
+    return CardiacEMRGenerator(config, ontology).generate()

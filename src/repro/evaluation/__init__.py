@@ -1,0 +1,17 @@
+"""Evaluation substrate: top-k Kendall tau, the expert relevance oracle,
+the published query workload, and the survey protocol of Section VII."""
+
+from .kendall import (average_matrices, distance_matrix, kendall_tau_topk)
+from .metrics import (SurveyRow, precision_at_k, recall_at_k, run_survey)
+from .oracle import Judgment, RelevanceOracle, expert_selection
+from .workload import (PUBLISHED, RECONSTRUCTED, SYNTHESIZED,
+                       TABLE1_WORKLOAD, WORKLOAD, WorkloadQuery,
+                       table1_queries, table2_queries)
+
+__all__ = [
+    "Judgment", "PUBLISHED", "RECONSTRUCTED", "RelevanceOracle",
+    "SYNTHESIZED", "SurveyRow", "TABLE1_WORKLOAD", "WORKLOAD",
+    "WorkloadQuery", "average_matrices", "distance_matrix",
+    "expert_selection", "kendall_tau_topk", "precision_at_k",
+    "recall_at_k", "run_survey", "table1_queries", "table2_queries",
+]

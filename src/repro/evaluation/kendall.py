@@ -1,0 +1,131 @@
+"""Top-k Kendall tau distance with penalty parameter p (Fagin, Kumar &
+Sivakumar, "Comparing top k lists", SODA 2003 -- the paper's [26]).
+
+Table II reports pairwise distances between the top-k result lists of
+the four approaches using this measure. For two top-k lists ``τ1, τ2``
+(rankings of possibly different item sets), every unordered pair
+``{i, j}`` of items appearing in ``τ1 ∪ τ2`` contributes a penalty:
+
+* **both in both lists**: 1 if the lists order them oppositely, else 0;
+* **i and j in one list, only i in the other**: 0 if the shared list
+  ranks i above j (consistent with j being absent, i.e. ranked below
+  top-k), else 1;
+* **i only in τ1, j only in τ2**: 1 (each list implies its own member
+  ranks higher -- a certain disagreement);
+* **both in exactly one list** (the other list contains neither): the
+  penalty parameter ``p ∈ [0, 1]`` -- "we have absolutely no
+  information", p interpolates between optimistic (0) and neutral (1/2)
+  and pessimistic (1) readings.
+
+The normalized distance divides by the value a pair of disjoint lists
+would score, so it always lies in [0, 1].
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Sequence
+
+Item = Hashable
+
+
+def kendall_tau_topk(list_a: Sequence[Item], list_b: Sequence[Item],
+                     p: float = 0.5, normalize: bool = True) -> float:
+    """K^(p) distance between two top-k lists.
+
+    Lists must be duplicate-free; they may have different lengths (the
+    published definition assumes equal k, which the callers ensure, but
+    the measure is well-defined regardless).
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    rank_a = _ranks(list_a, "first")
+    rank_b = _ranks(list_b, "second")
+    universe = set(rank_a) | set(rank_b)
+    if not universe:
+        return 0.0
+
+    distance = 0.0
+    for i, j in combinations(sorted(universe, key=repr), 2):
+        distance += _pair_penalty(i, j, rank_a, rank_b, p)
+    if not normalize:
+        return distance
+    maximum = _max_distance(len(list_a), len(list_b), p)
+    if maximum == 0.0:
+        return 0.0
+    return distance / maximum
+
+
+def _ranks(items: Sequence[Item], label: str) -> dict[Item, int]:
+    ranks: dict[Item, int] = {}
+    for position, item in enumerate(items):
+        if item in ranks:
+            raise ValueError(f"duplicate item {item!r} in {label} list")
+        ranks[item] = position
+    return ranks
+
+
+def _pair_penalty(i: Item, j: Item, rank_a: dict[Item, int],
+                  rank_b: dict[Item, int], p: float) -> float:
+    in_a = (i in rank_a, j in rank_a)
+    in_b = (i in rank_b, j in rank_b)
+    # Case 1: both items in both lists.
+    if all(in_a) and all(in_b):
+        opposite = ((rank_a[i] < rank_a[j]) != (rank_b[i] < rank_b[j]))
+        return 1.0 if opposite else 0.0
+    # Case 4: both items confined to a single list.
+    if all(in_a) and not any(in_b):
+        return p
+    if all(in_b) and not any(in_a):
+        return p
+    # Case 2: both in one list, exactly one of them in the other.
+    if all(in_a):
+        present = i if in_b[0] else j
+        missing = j if present is i else i
+        return 0.0 if rank_a[present] < rank_a[missing] else 1.0
+    if all(in_b):
+        present = i if in_a[0] else j
+        missing = j if present is i else i
+        return 0.0 if rank_b[present] < rank_b[missing] else 1.0
+    # Case 3: i exclusive to one list, j exclusive to the other.
+    return 1.0
+
+
+def _max_distance(size_a: int, size_b: int, p: float) -> float:
+    """Distance of two fully disjoint lists of these sizes."""
+    cross_pairs = size_a * size_b
+    within_a = size_a * (size_a - 1) / 2.0
+    within_b = size_b * (size_b - 1) / 2.0
+    return cross_pairs + p * (within_a + within_b)
+
+
+def distance_matrix(lists: dict[str, Sequence[Item]],
+                    p: float = 0.5) -> dict[tuple[str, str], float]:
+    """Pairwise normalized distances between named top-k lists
+    (the cells of Table II for one query)."""
+    names = sorted(lists)
+    matrix: dict[tuple[str, str], float] = {}
+    for first in names:
+        for second in names:
+            if first == second:
+                matrix[(first, second)] = 0.0
+            elif (second, first) in matrix:
+                matrix[(first, second)] = matrix[(second, first)]
+            else:
+                matrix[(first, second)] = kendall_tau_topk(
+                    lists[first], lists[second], p=p)
+    return matrix
+
+
+def average_matrices(matrices: Sequence[dict[tuple[str, str], float]],
+                     ) -> dict[tuple[str, str], float]:
+    """Cell-wise mean over per-query matrices ("normalized over 20
+    queries", Table II)."""
+    if not matrices:
+        return {}
+    keys = matrices[0].keys()
+    for matrix in matrices:
+        if matrix.keys() != keys:
+            raise ValueError("matrices cover different strategy pairs")
+    return {key: sum(matrix[key] for matrix in matrices) / len(matrices)
+            for key in keys}

@@ -1,0 +1,114 @@
+"""Survey protocol and quality metrics for the Table I experiment.
+
+Section VII-A's methodology: "For each query, we presented to the user
+the union of the top-5 results from each of the four algorithms. The
+user was asked to select up to 5 results that he found relevant to the
+query." Table I then reports, per algorithm, how many of *its* top-5
+results were judged relevant.
+
+Two readings of that protocol are implemented:
+
+* ``independent`` (default): each algorithm's top-5 list is judged
+  directly -- its count is the number of relevant results it returned
+  (relevant@5 · 5). Stable and per-algorithm decoupled.
+* ``union``: the literal presentation protocol -- the union is shown
+  best-score-first and the (simulated) expert marks at most five
+  relevant results overall; an algorithm is only credited for marked
+  results. With more than five relevant results in the union this
+  couples the algorithms' counts through the mark budget; we keep it
+  for fidelity but report the independent reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.query.engine import XOntoRankEngine
+from ..core.query.results import QueryResult
+from ..ir.tokenizer import KeywordQuery
+from ..xmldoc.dewey import DeweyID
+from .oracle import RelevanceOracle, expert_selection
+
+
+@dataclass
+class SurveyRow:
+    """One Table I row: per-strategy relevant-result counts."""
+
+    query_id: str
+    query_text: str
+    counts: dict[str, int]
+    marked: set[str]
+
+
+def run_survey(engines: dict[str, XOntoRankEngine],
+               oracle: RelevanceOracle, query_text: str,
+               query_id: str = "", k: int = 5, mark_limit: int = 5,
+               protocol: str = "independent") -> SurveyRow:
+    """Run one query through every engine and judge the top-k lists."""
+    if protocol not in ("independent", "union"):
+        raise ValueError(f"unknown survey protocol {protocol!r}")
+    query = KeywordQuery.parse(query_text)
+    top_lists: dict[str, list[QueryResult]] = {
+        name: engine.search(query, k=k)
+        for name, engine in engines.items()}
+
+    best_score: dict[str, float] = {}
+    fragments: dict[str, object] = {}
+    for name, results in top_lists.items():
+        engine = engines[name]
+        for result in results:
+            key = result.dewey.encode()
+            if result.score > best_score.get(key, float("-inf")):
+                best_score[key] = result.score
+            if key not in fragments:
+                fragments[key] = engine.fragment(result)
+
+    if protocol == "independent":
+        marked = {key for key, fragment in fragments.items()
+                  if oracle.is_relevant(query, fragment)}
+        counts = {name: min(mark_limit,
+                            sum(1 for result in results
+                                if result.dewey.encode() in marked))
+                  for name, results in top_lists.items()}
+        return SurveyRow(query_id=query_id, query_text=query_text,
+                         counts=counts, marked=marked)
+
+    # Literal union protocol: best-score-first presentation, at most
+    # `mark_limit` marks overall.
+    presentation = sorted(fragments,
+                          key=lambda key: (-best_score[key],
+                                           DeweyID.parse(key)))
+    marked = expert_selection(
+        oracle, query,
+        [(key, fragments[key]) for key in presentation],
+        limit=mark_limit)
+    counts = {name: sum(1 for result in results
+                        if result.dewey.encode() in marked)
+              for name, results in top_lists.items()}
+    return SurveyRow(query_id=query_id, query_text=query_text,
+                     counts=counts, marked=marked)
+
+
+def precision_at_k(results: list[QueryResult], relevant_keys: set[str],
+                   k: int) -> float:
+    """Fraction of the top-k results that are relevant."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    top = results[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for result in top
+               if result.dewey.encode() in relevant_keys)
+    return hits / len(top)
+
+
+def recall_at_k(results: list[QueryResult], relevant_keys: set[str],
+                k: int) -> float:
+    """Fraction of the relevant set found in the top-k results."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not relevant_keys:
+        return 0.0
+    hits = sum(1 for result in results[:k]
+               if result.dewey.encode() in relevant_keys)
+    return hits / len(relevant_keys)

@@ -1,0 +1,21 @@
+"""IR substrate: tokenization, positional indexing, BM25 and TF-IDF.
+
+Generic over the retrieval unit: the same machinery scores XML elements
+as documents (Eq. 5's IRS term) and ontology concepts as documents (the
+OntoScore expansion seeds of Section IV).
+"""
+
+from .bm25 import BM25Scorer
+from .document_retrieval import DocumentHit, DocumentSearcher
+from .inverted_index import PositionalIndex
+from .tfidf import RelevanceScorer, TfIdfScorer
+from .tokenizer import (DEFAULT_STOPWORDS, Keyword, KeywordQuery,
+                        contains_phrase, tokenize,
+                        tokenize_without_stopwords)
+
+__all__ = [
+    "BM25Scorer", "DEFAULT_STOPWORDS", "DocumentHit", "DocumentSearcher",
+    "Keyword", "KeywordQuery",
+    "PositionalIndex", "RelevanceScorer", "TfIdfScorer", "contains_phrase",
+    "tokenize", "tokenize_without_stopwords",
+]

@@ -1,0 +1,93 @@
+"""Okapi BM25 relevance scoring (Robertson & Walker [19]).
+
+The paper: "ξ(v, w | D) is the IR score of a document v given keyword w
+within the collection D. [...] In our experiments we use the BM25 [19]
+function", and scores are "normalized to [0, 1]".
+
+Phrase keywords are scored as virtual terms: their document frequency is
+the number of units containing the phrase, their term frequency the
+number of phrase occurrences in the unit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable
+
+from .inverted_index import PositionalIndex
+from .tokenizer import Keyword
+
+UnitId = Hashable
+
+
+class BM25Scorer:
+    """BM25 over a :class:`PositionalIndex`.
+
+    Uses the non-negative "plus 1" idf variant
+    ``log(1 + (N - df + 0.5) / (df + 0.5))`` so that scores of very
+    common terms cannot go negative (negative relevance would break the
+    paper's max-combination in Eq. 5).
+    """
+
+    def __init__(self, index: PositionalIndex, k1: float = 1.2,
+                 b: float = 0.75) -> None:
+        if k1 < 0:
+            raise ValueError("k1 must be non-negative")
+        if not 0 <= b <= 1:
+            raise ValueError("b must lie in [0, 1]")
+        self._index = index
+        self.k1 = k1
+        self.b = b
+
+    # ------------------------------------------------------------------
+    def idf(self, keyword: Keyword) -> float:
+        """Inverse document frequency of a (possibly phrase) keyword."""
+        df = self._index.keyword_document_frequency(keyword)
+        if df == 0:
+            return 0.0
+        n = self._index.document_count
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+
+    def score(self, unit_id: UnitId, keyword: Keyword) -> float:
+        """Raw BM25 score of one unit for one keyword."""
+        frequencies = self._index.keyword_frequencies(keyword)
+        tf = frequencies.get(unit_id, 0)
+        if tf == 0:
+            return 0.0
+        return self._score_from_tf(tf, unit_id) * self.idf(keyword)
+
+    def scores(self, keyword: Keyword) -> dict[UnitId, float]:
+        """Raw BM25 scores of every matching unit."""
+        idf = self.idf(keyword)
+        if idf == 0.0:
+            return {}
+        return {unit_id: self._score_from_tf(tf, unit_id) * idf
+                for unit_id, tf
+                in self._index.keyword_frequencies(keyword).items()}
+
+    def normalized_scores(self, keyword: Keyword) -> dict[UnitId, float]:
+        """Scores rescaled into (0, 1] by the per-keyword maximum.
+
+        The paper normalizes both IR scores and OntoScores to [0, 1]
+        before combining them in Eq. 5; dividing by the per-keyword
+        maximum preserves the ranking and makes the strongest textual
+        match exactly 1.
+        """
+        raw = self.scores(keyword)
+        if not raw:
+            return {}
+        maximum = max(raw.values())
+        if maximum <= 0.0:
+            return {}
+        return {unit_id: value / maximum for unit_id, value in raw.items()}
+
+    # ------------------------------------------------------------------
+    def _score_from_tf(self, tf: int, unit_id: UnitId) -> float:
+        average = self._index.average_length
+        if average <= 0:
+            return 0.0
+        length_ratio = self._index.length(unit_id) / average
+        denominator = tf + self.k1 * (1 - self.b + self.b * length_ratio)
+        if denominator <= 0:
+            return 0.0
+        return tf * (self.k1 + 1) / denominator

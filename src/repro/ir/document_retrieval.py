@@ -1,0 +1,78 @@
+"""Whole-document retrieval: the unstructured-CDA fallback.
+
+Section II: the CDA body "can be either an unstructured segment or an
+XML fragment. We focus on structured CDA documents, which provide a
+better opportunity for high-quality information discovery. Traditional
+Information Retrieval (IR) approaches [17], [18] can be applied to the
+unstructured scenario."
+
+This module is that traditional approach: each document is one retrieval
+unit, scored by summed BM25 over the query keywords, optionally requiring
+every keyword to occur (conjunctive mode). It serves corpora whose
+documents carry ``nonXMLBody`` narrative, and doubles as a coarse
+baseline for the structured engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..xmldoc.model import Corpus, TextPolicy
+from .bm25 import BM25Scorer
+from .inverted_index import PositionalIndex
+from .tokenizer import KeywordQuery
+
+
+@dataclass(frozen=True)
+class DocumentHit:
+    """One ranked document."""
+
+    doc_id: int
+    score: float
+    keyword_scores: tuple[float, ...]
+
+
+class DocumentSearcher:
+    """BM25 retrieval over whole documents."""
+
+    def __init__(self, corpus: Corpus,
+                 text_policy: TextPolicy | None = None,
+                 k1: float = 1.2, b: float = 0.75,
+                 conjunctive: bool = True) -> None:
+        self._corpus = corpus
+        self._conjunctive = conjunctive
+        self._index = PositionalIndex()
+        for document in corpus:
+            self._index.add(document.doc_id,
+                            document.root.subtree_text(text_policy))
+        self._scorer = BM25Scorer(self._index, k1=k1, b=b)
+
+    # ------------------------------------------------------------------
+    def search(self, query: str | KeywordQuery,
+               k: int | None = None) -> list[DocumentHit]:
+        parsed = (KeywordQuery.parse(query) if isinstance(query, str)
+                  else query)
+        per_keyword = [self._scorer.normalized_scores(keyword)
+                       for keyword in parsed]
+        if self._conjunctive:
+            doc_ids = set(self._index.units())
+            for scores in per_keyword:
+                doc_ids &= set(scores)
+        else:
+            doc_ids = set()
+            for scores in per_keyword:
+                doc_ids |= set(scores)
+        hits = []
+        for doc_id in doc_ids:
+            keyword_scores = tuple(scores.get(doc_id, 0.0)
+                                   for scores in per_keyword)
+            hits.append(DocumentHit(doc_id=doc_id,
+                                    score=sum(keyword_scores),
+                                    keyword_scores=keyword_scores))
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return hits[:k] if k is not None else hits
+
+    # ------------------------------------------------------------------
+    @property
+    def document_count(self) -> int:
+        return self._index.document_count

@@ -1,0 +1,142 @@
+"""Positional full-text index over abstract retrieval units.
+
+The paper computes IR scores in two places with the same machinery: over
+XML elements viewed as documents ("We view each XML element as a document
+to apply the IR function", Section III) and over ontology concepts viewed
+as documents (the seeds of OntoScore expansion, Section IV). This index
+is therefore generic over an opaque hashable unit identifier.
+
+Positions are kept so that quoted phrase keywords match only consecutive
+occurrences (Section VII's workload contains phrases such as
+``"cardiac arrest"``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterator
+
+from .tokenizer import Keyword, tokenize
+
+UnitId = Hashable
+
+
+class PositionalIndex:
+    """An in-memory positional inverted index.
+
+    Units are added once with their full text; the index records, per
+    token, the units containing it and the token positions within each
+    unit. Phrase postings are derived from positions and cached.
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[str, dict[UnitId, list[int]]] = defaultdict(dict)
+        self._lengths: dict[UnitId, int] = {}
+        self._total_length = 0
+        self._phrase_cache: dict[tuple[str, ...], dict[UnitId, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def add(self, unit_id: UnitId, text: str) -> int:
+        """Index one unit; returns its token length.
+
+        Re-adding an existing unit id is an error: the index has no
+        notion of update, matching the paper's batch pre-processing
+        phase.
+        """
+        if unit_id in self._lengths:
+            raise ValueError(f"unit {unit_id!r} already indexed")
+        tokens = tokenize(text)
+        for position, token in enumerate(tokens):
+            self._postings[token].setdefault(unit_id, []).append(position)
+        self._lengths[unit_id] = len(tokens)
+        self._total_length += len(tokens)
+        self._phrase_cache.clear()
+        return len(tokens)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def document_count(self) -> int:
+        return len(self._lengths)
+
+    @property
+    def average_length(self) -> float:
+        if not self._lengths:
+            return 0.0
+        return self._total_length / len(self._lengths)
+
+    def __contains__(self, unit_id: UnitId) -> bool:
+        return unit_id in self._lengths
+
+    def length(self, unit_id: UnitId) -> int:
+        """Token length of a unit (0 for unknown units)."""
+        return self._lengths.get(unit_id, 0)
+
+    def units(self) -> Iterator[UnitId]:
+        return iter(self._lengths)
+
+    def vocabulary(self) -> set[str]:
+        return set(self._postings)
+
+    # ------------------------------------------------------------------
+    # Token-level access
+    # ------------------------------------------------------------------
+    def token_postings(self, token: str) -> dict[UnitId, list[int]]:
+        """Units containing ``token`` with their position lists."""
+        return dict(self._postings.get(token, {}))
+
+    def document_frequency(self, token: str) -> int:
+        return len(self._postings.get(token, {}))
+
+    def term_frequency(self, unit_id: UnitId, token: str) -> int:
+        return len(self._postings.get(token, {}).get(unit_id, ()))
+
+    # ------------------------------------------------------------------
+    # Keyword-level access (phrase-aware)
+    # ------------------------------------------------------------------
+    def keyword_frequencies(self, keyword: Keyword) -> dict[UnitId, int]:
+        """Occurrences of ``keyword`` per unit.
+
+        For a single-token keyword this is plain term frequency. For a
+        phrase, an occurrence is a run of consecutive positions matching
+        the phrase tokens in order.
+        """
+        if len(keyword.tokens) == 1:
+            token = keyword.tokens[0]
+            return {unit: len(positions) for unit, positions
+                    in self._postings.get(token, {}).items()}
+        return dict(self._phrase_frequencies(keyword.tokens))
+
+    def keyword_document_frequency(self, keyword: Keyword) -> int:
+        """Number of units containing the keyword at least once."""
+        return len(self.keyword_frequencies(keyword))
+
+    def _phrase_frequencies(self, phrase: tuple[str, ...],
+                            ) -> dict[UnitId, int]:
+        cached = self._phrase_cache.get(phrase)
+        if cached is not None:
+            return cached
+        first, *rest = phrase
+        frequencies: dict[UnitId, int] = {}
+        for unit_id, start_positions in self._postings.get(first,
+                                                           {}).items():
+            count = 0
+            for start in start_positions:
+                if all((unit_id in self._postings.get(token, {})
+                        and start + offset + 1
+                        in self._position_set(token, unit_id))
+                       for offset, token in enumerate(rest)):
+                    count += 1
+            if count:
+                frequencies[unit_id] = count
+        self._phrase_cache[phrase] = frequencies
+        return frequencies
+
+    def _position_set(self, token: str, unit_id: UnitId) -> set[int]:
+        # Local memoization via tuple keys would churn; the lists are
+        # short (clinical text), so a set per call is fine for phrases,
+        # but we still cache whole-phrase results above.
+        return set(self._postings.get(token, {}).get(unit_id, ()))

@@ -1,0 +1,71 @@
+"""TF-IDF relevance scoring, the classic alternative to BM25.
+
+The paper's framework is parametric in the IR function ("popular IR
+functions [17], [19], [20]"); TF-IDF implements the same scorer protocol
+as :class:`repro.ir.bm25.BM25Scorer`, so either can back Eq. 5. The index
+builder also uses it for the "Full-text Indexing" stage, which "computes
+the TF-IDF score" (Section V-B).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Protocol
+
+from .inverted_index import PositionalIndex
+from .tokenizer import Keyword
+
+UnitId = Hashable
+
+
+class RelevanceScorer(Protocol):
+    """The scorer interface Eq. 5 consumes (BM25 and TF-IDF satisfy it)."""
+
+    def score(self, unit_id: UnitId, keyword: Keyword) -> float:
+        """Raw relevance of one unit for one keyword."""
+        ...  # pragma: no cover - protocol definition
+
+    def scores(self, keyword: Keyword) -> dict[UnitId, float]:
+        """Raw relevance of every matching unit."""
+        ...  # pragma: no cover - protocol definition
+
+    def normalized_scores(self, keyword: Keyword) -> dict[UnitId, float]:
+        """Per-keyword max-normalized relevance in (0, 1]."""
+        ...  # pragma: no cover - protocol definition
+
+
+class TfIdfScorer:
+    """Log-scaled TF-IDF: ``(1 + log tf) · log(1 + N / df)``."""
+
+    def __init__(self, index: PositionalIndex) -> None:
+        self._index = index
+
+    # ------------------------------------------------------------------
+    def idf(self, keyword: Keyword) -> float:
+        df = self._index.keyword_document_frequency(keyword)
+        if df == 0:
+            return 0.0
+        return math.log(1.0 + self._index.document_count / df)
+
+    def score(self, unit_id: UnitId, keyword: Keyword) -> float:
+        tf = self._index.keyword_frequencies(keyword).get(unit_id, 0)
+        if tf == 0:
+            return 0.0
+        return (1.0 + math.log(tf)) * self.idf(keyword)
+
+    def scores(self, keyword: Keyword) -> dict[UnitId, float]:
+        idf = self.idf(keyword)
+        if idf == 0.0:
+            return {}
+        return {unit_id: (1.0 + math.log(tf)) * idf
+                for unit_id, tf
+                in self._index.keyword_frequencies(keyword).items()}
+
+    def normalized_scores(self, keyword: Keyword) -> dict[UnitId, float]:
+        raw = self.scores(keyword)
+        if not raw:
+            return {}
+        maximum = max(raw.values())
+        if maximum <= 0.0:
+            return {}
+        return {unit_id: value / maximum for unit_id, value in raw.items()}

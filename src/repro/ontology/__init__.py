@@ -1,0 +1,32 @@
+"""Ontology substrate: concept graphs, the DL view, terminology lookup.
+
+A faithful stand-in for SNOMED CT and the NLM UMLS API the paper uses:
+:mod:`~repro.ontology.model` is the generic concept graph,
+:mod:`~repro.ontology.snomed` builds the synthetic SNOMED,
+:mod:`~repro.ontology.description_logic` materializes Section IV-C's
+EL view, :mod:`~repro.ontology.api` is the terminology service and
+:mod:`~repro.ontology.io` the RF2-shaped flat-file persistence.
+"""
+
+from .api import TerminologyService
+from .description_logic import (AtomicConcept, Conjunction, DLNode, DLView,
+                                ELConcept, ExistentialRestriction,
+                                Subsumption, TopConcept, apply_axiom,
+                                conjunction_of, existential_code,
+                                existential_name, ontology_axioms)
+from .io import load_ontology, save_ontology
+from .model import IS_A, Concept, Ontology, OntologyError, Relationship
+from .similarity import SimilarityMeasures
+from .snomed import (SNOMED_NAME, SNOMED_SYSTEM_CODE, SyntheticSnomedBuilder,
+                     build_core_ontology, build_synthetic_snomed)
+
+__all__ = [
+    "AtomicConcept", "Concept", "Conjunction", "DLNode", "DLView",
+    "ELConcept", "ExistentialRestriction", "IS_A", "Ontology",
+    "OntologyError", "Relationship", "SNOMED_NAME", "SNOMED_SYSTEM_CODE",
+    "SimilarityMeasures", "Subsumption", "SyntheticSnomedBuilder",
+    "TerminologyService",
+    "TopConcept", "apply_axiom", "build_core_ontology",
+    "build_synthetic_snomed", "conjunction_of", "existential_code",
+    "existential_name", "load_ontology", "ontology_axioms", "save_ontology",
+]

@@ -1,0 +1,299 @@
+"""Description-logic view of the ontology (paper Section IV-C).
+
+SNOMED belongs to the EL family of description logics [23]: concepts are
+built from atomic names, the top concept, intersections ``C ⊓ D`` and
+existential role restrictions ``∃r.C``; axioms are concept inclusions
+``C ⊑ D``. The paper exploits this to "reduce a graph with different
+kinds of relationships into one that has only subclass or is-a
+relationships":
+
+* every attribute relationship triple ``(A, r, B)`` is read as the axiom
+  ``A ⊑ ∃r.B``;
+* each distinct restriction ``∃r.B`` becomes a first-class node with the
+  syntactic name ``Exists <r> <B>`` (so IR scores can be computed for
+  it);
+* a subclass edge links ``A`` to ``∃r.B``; a *dotted link* relates
+  ``∃r.B`` and ``B`` (Figure 6), and crossing it decays relevance by the
+  parameter ``t`` (Eq. 9).
+
+This module provides both a tiny EL expression language (used by tests,
+the ontology explorer example and the axiom import/export) and
+:class:`DLView`, the materialized transformed graph on which the
+Relationships strategy of Section IV-C can be run literally. The
+implicit algorithm of Section VI-C (:mod:`repro.core.ontoscore`) is
+verified against this materialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+from .model import Ontology, OntologyError
+
+
+# ----------------------------------------------------------------------
+# EL concept expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AtomicConcept:
+    """An atomic concept name ``A``."""
+
+    code: str
+
+    def __str__(self) -> str:
+        return self.code
+
+
+@dataclass(frozen=True)
+class TopConcept:
+    """The top concept ``⊤``."""
+
+    def __str__(self) -> str:
+        return "TOP"
+
+
+@dataclass(frozen=True)
+class ExistentialRestriction:
+    """An existential role restriction ``∃r.C``.
+
+    "A concept where every instance of the concept is related by role r
+    to an instance of a concept C."
+    """
+
+    role: str
+    filler: "ELConcept"
+
+    def __str__(self) -> str:
+        return f"exists {self.role}.({self.filler})"
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A concept intersection ``C ⊓ D`` (n-ary for convenience)."""
+
+    operands: tuple["ELConcept", ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operands) < 2:
+            raise ValueError("a conjunction needs at least two operands")
+
+    def __str__(self) -> str:
+        return " and ".join(f"({operand})" for operand in self.operands)
+
+
+ELConcept = Union[AtomicConcept, TopConcept, ExistentialRestriction,
+                  Conjunction]
+
+
+@dataclass(frozen=True)
+class Subsumption:
+    """A concept-inclusion axiom ``subclass ⊑ superclass``."""
+
+    subclass: ELConcept
+    superclass: ELConcept
+
+    def __str__(self) -> str:
+        return f"{self.subclass} subClassOf {self.superclass}"
+
+
+def conjunction_of(operands: Iterable[ELConcept]) -> ELConcept:
+    """Build a conjunction, collapsing the 0/1-operand degenerate cases."""
+    flat = tuple(operands)
+    if not flat:
+        return TopConcept()
+    if len(flat) == 1:
+        return flat[0]
+    return Conjunction(flat)
+
+
+def ontology_axioms(ontology: Ontology) -> Iterator[Subsumption]:
+    """Read an ontology graph as EL axioms.
+
+    Each concept yields one axiom ``A ⊑ P1 ⊓ ... ⊓ ∃r1.B1 ⊓ ...``
+    combining its direct superclasses and its attribute relationships,
+    mirroring the paper's examples, e.g.::
+
+        Asthma Attack ⊑ Asthma ⊓ ∃finding-site-of.Bronchial Structure
+    """
+    for concept in ontology.concepts():
+        operands: list[ELConcept] = [AtomicConcept(parent) for parent
+                                     in ontology.parents(concept.code)]
+        operands.extend(
+            ExistentialRestriction(edge.type, AtomicConcept(edge.destination))
+            for edge in ontology.outgoing(concept.code))
+        if operands:
+            yield Subsumption(AtomicConcept(concept.code),
+                              conjunction_of(operands))
+
+
+def apply_axiom(ontology: Ontology, axiom: Subsumption) -> None:
+    """Normalize an axiom into ontology edges.
+
+    Only axioms with an atomic left-hand side are supported (SNOMED's
+    distribution normal form): ``A ⊑ C1 ⊓ C2`` splits into two axioms,
+    ``A ⊑ B`` adds an is-a edge, ``A ⊑ ∃r.B`` adds a role edge with an
+    atomic filler. Nested fillers are rejected.
+    """
+    if not isinstance(axiom.subclass, AtomicConcept):
+        raise OntologyError("only atomic subclasses are supported")
+    source = axiom.subclass.code
+
+    def apply_superclass(expression: ELConcept) -> None:
+        if isinstance(expression, TopConcept):
+            return
+        if isinstance(expression, Conjunction):
+            for operand in expression.operands:
+                apply_superclass(operand)
+        elif isinstance(expression, AtomicConcept):
+            ontology.add_is_a(source, expression.code)
+        elif isinstance(expression, ExistentialRestriction):
+            if not isinstance(expression.filler, AtomicConcept):
+                raise OntologyError("nested restrictions are not supported")
+            ontology.add_relationship(source, expression.role,
+                                      expression.filler.code)
+        else:  # pragma: no cover - exhaustive over ELConcept
+            raise OntologyError(f"unsupported expression {expression!r}")
+
+    apply_superclass(axiom.superclass)
+
+
+# ----------------------------------------------------------------------
+# Materialized DL view (Figure 6)
+# ----------------------------------------------------------------------
+def existential_code(role: str, filler_code: str) -> str:
+    """Synthetic node identifier for the restriction ``∃role.filler``."""
+    return f"exists:{role}:{filler_code}"
+
+
+def existential_name(role: str, filler_term: str) -> str:
+    """The paper's syntactic name, e.g.
+    ``Exists_finding_site_of_Bronchial_Structure``.
+
+    "The syntactic name in our implementation is Exists_r_C." The name is
+    a single underscore-joined token, so ordinary keywords (``asthma``)
+    do not IR-match a restriction's name -- only a query for the full
+    syntactic name would. Restrictions therefore receive authority
+    almost exclusively through the dotted links, paying the ``t`` decay,
+    rather than acting as independent high-scoring seeds.
+    """
+    filler_token = filler_term.replace(" ", "_")
+    role_token = role.replace("-", "_").replace(" ", "_")
+    return f"Exists_{role_token}_{filler_token}"
+
+
+@dataclass(frozen=True)
+class DLNode:
+    """A node of the transformed graph: a concept or a restriction."""
+
+    code: str
+    name: str
+    is_existential: bool
+    role: str = ""
+    filler: str = ""
+
+
+class DLView:
+    """The logically transformed ontology graph of Section IV-C.
+
+    Nodes are the original concepts plus one node per distinct
+    restriction ``∃r.B`` occurring in the ontology. Edges are
+
+    * the original is-a edges (subclass → superclass);
+    * one is-a edge ``A → ∃r.B`` per triple ``(A, r, B)``;
+    * one dotted link between ``∃r.B`` and ``B``.
+
+    The view is immutable once built; build a new one after mutating the
+    underlying ontology.
+    """
+
+    def __init__(self, ontology: Ontology) -> None:
+        self._ontology = ontology
+        self._nodes: dict[str, DLNode] = {}
+        self._parents: dict[str, list[str]] = {}
+        self._children: dict[str, list[str]] = {}
+        self._dotted: dict[str, list[str]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        ontology = self._ontology
+        for concept in ontology.concepts():
+            self._nodes[concept.code] = DLNode(
+                code=concept.code, name=concept.description_text(),
+                is_existential=False)
+            self._parents[concept.code] = ontology.parents(concept.code)
+            self._children[concept.code] = ontology.children(concept.code)
+            self._dotted[concept.code] = []
+        for concept in ontology.concepts():
+            for edge in ontology.outgoing(concept.code):
+                restriction = existential_code(edge.type, edge.destination)
+                if restriction not in self._nodes:
+                    filler = ontology.concept(edge.destination)
+                    self._nodes[restriction] = DLNode(
+                        code=restriction,
+                        name=existential_name(edge.type,
+                                              filler.preferred_term),
+                        is_existential=True, role=edge.type,
+                        filler=edge.destination)
+                    self._parents[restriction] = []
+                    self._children[restriction] = []
+                    self._dotted[restriction] = [edge.destination]
+                    self._dotted[edge.destination].append(restriction)
+                self._parents[edge.source].append(restriction)
+                self._children[restriction].append(edge.source)
+
+    # ------------------------------------------------------------------
+    def node(self, code: str) -> DLNode:
+        try:
+            return self._nodes[code]
+        except KeyError:
+            raise OntologyError(f"unknown DL node {code}") from None
+
+    def nodes(self) -> Iterator[DLNode]:
+        return iter(self._nodes.values())
+
+    def existential_nodes(self) -> Iterator[DLNode]:
+        return (node for node in self._nodes.values() if node.is_existential)
+
+    def __contains__(self, code: str) -> bool:
+        return code in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def parents(self, code: str) -> list[str]:
+        """Solid subclass edges: direct superclasses (incl. restrictions)."""
+        self.node(code)
+        return list(self._parents.get(code, ()))
+
+    def children(self, code: str) -> list[str]:
+        """Solid subclass edges: direct subclasses."""
+        self.node(code)
+        return list(self._children.get(code, ()))
+
+    def dotted(self, code: str) -> list[str]:
+        """Dotted links incident to a node (symmetric)."""
+        self.node(code)
+        return list(self._dotted.get(code, ()))
+
+    def subclass_count(self, code: str) -> int:
+        """In-degree in the transformed is-a graph.
+
+        For an existential node this is the ``N(∃r.C)`` denominator of
+        Section VI-C.
+        """
+        self.node(code)
+        return len(self._children.get(code, ()))
+
+    def stats(self) -> dict[str, int]:
+        existential = sum(1 for _ in self.existential_nodes())
+        is_a_edges = sum(len(parents) for parents in self._parents.values())
+        dotted_edges = sum(len(links) for links in self._dotted.values()) // 2
+        return {
+            "nodes": len(self._nodes),
+            "concept_nodes": len(self._nodes) - existential,
+            "existential_nodes": existential,
+            "is_a_edges": is_a_edges,
+            "dotted_links": dotted_edges,
+        }

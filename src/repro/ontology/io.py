@@ -1,0 +1,116 @@
+"""Flat-file persistence for ontologies (SNOMED RF2-shaped).
+
+SNOMED CT is distributed as tab-separated release files: a concepts
+file, a descriptions file (one row per term) and a relationships file.
+The paper's implementation "relies on the API and data provided by [the
+NLM], which are based on flat files". This module reads and writes the
+same three-file shape so an ontology can be shipped, inspected and
+reloaded without re-running the generator:
+
+* ``concepts.tsv``    -- ``code <TAB> semantic_tag``
+* ``descriptions.tsv``-- ``code <TAB> type <TAB> term`` where type is
+  ``P`` (preferred) or ``S`` (synonym)
+* ``relationships.tsv``-- ``source <TAB> type <TAB> destination``
+
+Files carry a single header line. Round-trip equality is covered by a
+property test.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+from .model import Concept, Ontology, OntologyError
+
+CONCEPTS_FILE = "concepts.tsv"
+DESCRIPTIONS_FILE = "descriptions.tsv"
+RELATIONSHIPS_FILE = "relationships.tsv"
+METADATA_FILE = "system.tsv"
+
+_PREFERRED = "P"
+_SYNONYM = "S"
+
+
+def save_ontology(ontology: Ontology, directory: str) -> None:
+    """Write an ontology as RF2-shaped TSV files under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, METADATA_FILE), "w",
+              encoding="utf-8") as handle:
+        handle.write("system_code\tname\n")
+        handle.write(f"{ontology.system_code}\t{ontology.name}\n")
+    with open(os.path.join(directory, CONCEPTS_FILE), "w",
+              encoding="utf-8") as handle:
+        handle.write("code\tsemantic_tag\n")
+        for concept in ontology.concepts():
+            handle.write(f"{concept.code}\t{concept.semantic_tag}\n")
+    with open(os.path.join(directory, DESCRIPTIONS_FILE), "w",
+              encoding="utf-8") as handle:
+        handle.write("code\ttype\tterm\n")
+        for concept in ontology.concepts():
+            handle.write(f"{concept.code}\t{_PREFERRED}\t"
+                         f"{concept.preferred_term}\n")
+            for synonym in concept.synonyms:
+                handle.write(f"{concept.code}\t{_SYNONYM}\t{synonym}\n")
+    with open(os.path.join(directory, RELATIONSHIPS_FILE), "w",
+              encoding="utf-8") as handle:
+        handle.write("source\ttype\tdestination\n")
+        for edge in ontology.relationships():
+            handle.write(f"{edge.source}\t{edge.type}\t{edge.destination}\n")
+
+
+def load_ontology(directory: str) -> Ontology:
+    """Load an ontology previously written by :func:`save_ontology`."""
+    metadata_rows = _read_rows(os.path.join(directory, METADATA_FILE),
+                               columns=2)
+    if len(metadata_rows) != 1:
+        raise OntologyError(f"expected one system row in {directory}")
+    system_code, name = metadata_rows[0]
+    ontology = Ontology(system_code, name)
+
+    tags = {code: tag for code, tag
+            in _read_rows(os.path.join(directory, CONCEPTS_FILE), columns=2)}
+    preferred: dict[str, str] = {}
+    synonyms: dict[str, list[str]] = defaultdict(list)
+    for code, kind, term in _read_rows(
+            os.path.join(directory, DESCRIPTIONS_FILE), columns=3):
+        if code not in tags:
+            raise OntologyError(f"description for unknown concept {code}")
+        if kind == _PREFERRED:
+            if code in preferred:
+                raise OntologyError(f"duplicate preferred term for {code}")
+            preferred[code] = term
+        elif kind == _SYNONYM:
+            synonyms[code].append(term)
+        else:
+            raise OntologyError(f"unknown description type {kind!r}")
+    for code, tag in tags.items():
+        if code not in preferred:
+            raise OntologyError(f"concept {code} has no preferred term")
+        ontology.add_concept(Concept(code, preferred[code],
+                                     tuple(synonyms.get(code, ())), tag))
+    for source, type, destination in _read_rows(
+            os.path.join(directory, RELATIONSHIPS_FILE), columns=3):
+        ontology.add_relationship(source, type, destination)
+    ontology.validate()
+    return ontology
+
+
+def _read_rows(path: str, columns: int) -> list[tuple[str, ...]]:
+    """Read a headered TSV file, enforcing the column count."""
+    rows: list[tuple[str, ...]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        header = handle.readline()
+        if not header:
+            raise OntologyError(f"{path} is empty")
+        for line_number, line in enumerate(handle, start=2):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = tuple(line.split("\t"))
+            if len(parts) != columns:
+                raise OntologyError(
+                    f"{path}:{line_number}: expected {columns} columns, "
+                    f"got {len(parts)}")
+            rows.append(parts)
+    return rows

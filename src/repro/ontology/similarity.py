@@ -1,0 +1,197 @@
+"""Classic concept-to-concept similarity measures (paper Section VIII).
+
+The related-work discussion contrasts OntoScore with the established
+semantic-similarity literature: edge-counting measures on the is-a
+graph (Rada et al. [39]), and information-theoretic measures (Resnik
+[41], Lin [40]). The paper observes that instance-based IC "cannot be
+used" for medical ontologies, which "only describe concepts and not
+instances" -- so the IC measures here use *intrinsic* information
+content derived from the taxonomy itself (Seco-style: concepts with
+many descendants carry little information).
+
+These measures serve as baselines and analysis tools; XOntoRank's
+OntoScore differs from all of them by (a) using non-taxonomic
+relationships and (b) being keyword-relative rather than
+concept-pair-relative.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from .model import Ontology, OntologyError
+
+
+class SimilarityMeasures:
+    """Precomputed taxonomic statistics plus the measure suite.
+
+    All measures are defined over the is-a DAG only and return values
+    in [0, 1] (1 = identical concepts), except :meth:`path_distance`,
+    which is the raw Rada edge count (0 = identical).
+    """
+
+    def __init__(self, ontology: Ontology) -> None:
+        self._ontology = ontology
+        self._depth: dict[str, int] = {}
+        self._descendant_count: dict[str, int] = {}
+        self._max_depth = 0
+        self._total = max(1, len(ontology))
+        self._compute_depths()
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+    def _compute_depths(self) -> None:
+        """Depth = shortest is-a distance from any root."""
+        ontology = self._ontology
+        queue = deque((root, 0) for root in ontology.roots())
+        while queue:
+            code, depth = queue.popleft()
+            if code in self._depth and self._depth[code] <= depth:
+                continue
+            self._depth[code] = depth
+            for child in ontology.children(code):
+                queue.append((child, depth + 1))
+        self._max_depth = max(self._depth.values(), default=0)
+
+    def depth(self, code: str) -> int:
+        self._require(code)
+        return self._depth.get(code, 0)
+
+    def _descendants(self, code: str) -> int:
+        cached = self._descendant_count.get(code)
+        if cached is None:
+            cached = len(self._ontology.descendants(code))
+            self._descendant_count[code] = cached
+        return cached
+
+    def _require(self, code: str) -> None:
+        if code not in self._ontology:
+            raise OntologyError(f"unknown concept {code}")
+
+    # ------------------------------------------------------------------
+    # Edge-counting measures
+    # ------------------------------------------------------------------
+    def path_distance(self, first: str, second: str) -> int | None:
+        """Rada et al.: shortest path in the undirected is-a graph.
+
+        ``None`` when the concepts share no taxonomic connection.
+        """
+        self._require(first)
+        self._require(second)
+        if first == second:
+            return 0
+        ontology = self._ontology
+        queue = deque([(first, 0)])
+        seen = {first}
+        while queue:
+            code, distance = queue.popleft()
+            for neighbor in (*ontology.parents(code),
+                             *ontology.children(code)):
+                if neighbor == second:
+                    return distance + 1
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append((neighbor, distance + 1))
+        return None
+
+    def rada(self, first: str, second: str) -> float:
+        """Path distance inverted into a (0, 1] similarity."""
+        distance = self.path_distance(first, second)
+        if distance is None:
+            return 0.0
+        return 1.0 / (1.0 + distance)
+
+    def leacock_chodorow(self, first: str, second: str) -> float:
+        """-log(len / 2D), max-normalized into [0, 1]."""
+        distance = self.path_distance(first, second)
+        if distance is None or self._max_depth == 0:
+            return 0.0
+        scale = 2.0 * (self._max_depth + 1)
+        raw = -math.log((distance + 1) / scale)
+        maximum = -math.log(1.0 / scale)
+        return max(0.0, raw / maximum)
+
+    # ------------------------------------------------------------------
+    # Subsumer-based measures
+    # ------------------------------------------------------------------
+    def common_subsumers(self, first: str, second: str) -> set[str]:
+        """Shared ancestors-or-self of the two concepts."""
+        self._require(first)
+        self._require(second)
+        left = {first} | self._ontology.ancestors(first)
+        right = {second} | self._ontology.ancestors(second)
+        return left & right
+
+    def lowest_common_subsumer(self, first: str,
+                               second: str) -> str | None:
+        """Deepest shared subsumer (ties broken by concept code)."""
+        shared = self.common_subsumers(first, second)
+        if not shared:
+            return None
+        return max(sorted(shared), key=lambda code: self._depth.get(code,
+                                                                    0))
+
+    def wu_palmer(self, first: str, second: str) -> float:
+        """2·depth(lcs) / (depth(a) + depth(b))."""
+        subsumer = self.lowest_common_subsumer(first, second)
+        if subsumer is None:
+            return 0.0
+        if first == second:
+            return 1.0
+        denominator = self.depth(first) + self.depth(second)
+        if denominator == 0:
+            return 1.0 if first == second else 0.0
+        return 2.0 * self._depth.get(subsumer, 0) / denominator
+
+    # ------------------------------------------------------------------
+    # Intrinsic information content measures
+    # ------------------------------------------------------------------
+    def information_content(self, code: str) -> float:
+        """Seco-style intrinsic IC: 1 - log(1+desc)/log(N).
+
+        Leaves carry IC 1; a root subsuming everything carries IC ~0.
+        """
+        self._require(code)
+        if self._total <= 1:
+            return 1.0
+        return 1.0 - (math.log(1 + self._descendants(code))
+                      / math.log(self._total))
+
+    def _mica_ic(self, first: str, second: str) -> float:
+        """IC of the maximally informative common ancestor."""
+        shared = self.common_subsumers(first, second)
+        if not shared:
+            return 0.0
+        return max(self.information_content(code)
+                   for code in sorted(shared))
+
+    def resnik(self, first: str, second: str) -> float:
+        """IC of the MICA (already in [0, 1] under intrinsic IC)."""
+        return self._mica_ic(first, second)
+
+    def lin(self, first: str, second: str) -> float:
+        """2·IC(mica) / (IC(a) + IC(b))."""
+        denominator = (self.information_content(first)
+                       + self.information_content(second))
+        if denominator == 0.0:
+            return 1.0 if first == second else 0.0
+        return 2.0 * self._mica_ic(first, second) / denominator
+
+    def jiang_conrath(self, first: str, second: str) -> float:
+        """JC distance folded into a (0, 1] similarity: 1/(1+d)."""
+        distance = (self.information_content(first)
+                    + self.information_content(second)
+                    - 2.0 * self._mica_ic(first, second))
+        return 1.0 / (1.0 + max(0.0, distance))
+
+    # ------------------------------------------------------------------
+    ALL_MEASURES = ("rada", "leacock_chodorow", "wu_palmer", "resnik",
+                    "lin", "jiang_conrath")
+
+    def all_similarities(self, first: str, second: str,
+                         ) -> dict[str, float]:
+        """Every measure for one concept pair (analysis convenience)."""
+        return {name: getattr(self, name)(first, second)
+                for name in self.ALL_MEASURES}

@@ -1,0 +1,8 @@
+"""Storage substrate: persistent XOnto-DIL stores (SQL Server stand-in)."""
+
+from .interface import EncodedPosting, IndexStore, StorageError
+from .memory_store import MemoryStore
+from .sqlite_store import SQLiteStore
+
+__all__ = ["EncodedPosting", "IndexStore", "MemoryStore", "SQLiteStore",
+           "StorageError"]

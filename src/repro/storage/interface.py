@@ -1,0 +1,92 @@
+"""Persistent index storage interface (substitute for SQL Server 2000).
+
+The paper's prototype used "Microsoft SQL Server 2000 for the persistent
+storage of indexes". We define a small storage interface with two
+implementations: an in-memory store (fast, test-friendly) and a SQLite
+store (durable, inspectable with any SQLite client). The Index Creation
+Module writes XOnto-DIL posting lists through this interface; the Query
+Module reads them back.
+
+Postings are stored in their encoded form -- ``(dewey_string, score)``
+pairs, sorted by Dewey ID -- keeping this layer independent of the core
+index structures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+#: Encoded posting: (dotted-decimal Dewey ID, node score).
+EncodedPosting = tuple[str, float]
+
+
+class StorageError(RuntimeError):
+    """Raised on malformed or inconsistent store contents."""
+
+
+class IndexStore(ABC):
+    """Keyed storage of posting lists, documents and metadata.
+
+    Posting lists are namespaced by *strategy* (``xrank``, ``graph``,
+    ``taxonomy``, ``relationships``) so one store can hold the indexes
+    of all four approaches side by side, as the experiments require.
+    """
+
+    # ------------------------------------------------------------------
+    # Posting lists
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def put_postings(self, strategy: str, keyword: str,
+                     postings: Sequence[EncodedPosting]) -> None:
+        """Store the full posting list of a keyword (replacing any)."""
+
+    @abstractmethod
+    def get_postings(self, strategy: str, keyword: str,
+                     ) -> list[EncodedPosting]:
+        """Posting list of a keyword; empty when the keyword is unknown."""
+
+    @abstractmethod
+    def keywords(self, strategy: str) -> Iterator[str]:
+        """All keywords with stored posting lists for a strategy."""
+
+    @abstractmethod
+    def posting_count(self, strategy: str, keyword: str) -> int:
+        """Number of postings without materializing the list."""
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def put_document(self, doc_id: int, xml_text: str) -> None:
+        """Store a document's serialized XML."""
+
+    @abstractmethod
+    def get_document(self, doc_id: int) -> str:
+        """Serialized XML of a document; raises on unknown ids."""
+
+    @abstractmethod
+    def document_ids(self) -> Iterator[int]:
+        """All stored document ids, ascending."""
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def put_metadata(self, key: str, value: str) -> None:
+        """Store one configuration/bookkeeping entry."""
+
+    @abstractmethod
+    def get_metadata(self, key: str, default: str | None = None,
+                     ) -> str | None:
+        """Read one metadata entry."""
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release resources; default is a no-op."""
+
+    def __enter__(self) -> "IndexStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,55 @@
+"""In-memory :class:`IndexStore` implementation."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .interface import EncodedPosting, IndexStore, StorageError
+
+
+class MemoryStore(IndexStore):
+    """Dictionary-backed store; the default for tests and experiments."""
+
+    def __init__(self) -> None:
+        self._postings: dict[tuple[str, str], list[EncodedPosting]] = {}
+        self._documents: dict[int, str] = {}
+        self._metadata: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def put_postings(self, strategy: str, keyword: str,
+                     postings: Sequence[EncodedPosting]) -> None:
+        self._postings[(strategy, keyword)] = [
+            (dewey, float(score)) for dewey, score in postings]
+
+    def get_postings(self, strategy: str, keyword: str,
+                     ) -> list[EncodedPosting]:
+        return list(self._postings.get((strategy, keyword), ()))
+
+    def keywords(self, strategy: str) -> Iterator[str]:
+        for stored_strategy, keyword in self._postings:
+            if stored_strategy == strategy:
+                yield keyword
+
+    def posting_count(self, strategy: str, keyword: str) -> int:
+        return len(self._postings.get((strategy, keyword), ()))
+
+    # ------------------------------------------------------------------
+    def put_document(self, doc_id: int, xml_text: str) -> None:
+        self._documents[doc_id] = xml_text
+
+    def get_document(self, doc_id: int) -> str:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise StorageError(f"no stored document {doc_id}") from None
+
+    def document_ids(self) -> Iterator[int]:
+        return iter(sorted(self._documents))
+
+    # ------------------------------------------------------------------
+    def put_metadata(self, key: str, value: str) -> None:
+        self._metadata[key] = value
+
+    def get_metadata(self, key: str, default: str | None = None,
+                     ) -> str | None:
+        return self._metadata.get(key, default)

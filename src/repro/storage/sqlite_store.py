@@ -1,0 +1,117 @@
+"""SQLite-backed :class:`IndexStore` implementation.
+
+The durable counterpart of :class:`~repro.storage.memory_store.MemoryStore`
+and the stand-in for the paper's SQL Server deployment. Posting lists are
+stored row-per-posting with a composite primary key so partial scans and
+counts stay in the database; writes are batched per keyword inside a
+transaction.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterator, Sequence
+
+from .interface import EncodedPosting, IndexStore, StorageError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS postings (
+    strategy  TEXT NOT NULL,
+    keyword   TEXT NOT NULL,
+    position  INTEGER NOT NULL,
+    dewey     TEXT NOT NULL,
+    score     REAL NOT NULL,
+    PRIMARY KEY (strategy, keyword, position)
+);
+CREATE TABLE IF NOT EXISTS documents (
+    doc_id    INTEGER PRIMARY KEY,
+    xml_text  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS metadata (
+    key       TEXT PRIMARY KEY,
+    value     TEXT NOT NULL
+);
+"""
+
+
+class SQLiteStore(IndexStore):
+    """Stores indexes in a SQLite database file (or ``":memory:"``)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    # ------------------------------------------------------------------
+    def put_postings(self, strategy: str, keyword: str,
+                     postings: Sequence[EncodedPosting]) -> None:
+        with self._connection:
+            self._connection.execute(
+                "DELETE FROM postings WHERE strategy = ? AND keyword = ?",
+                (strategy, keyword))
+            self._connection.executemany(
+                "INSERT INTO postings "
+                "(strategy, keyword, position, dewey, score) "
+                "VALUES (?, ?, ?, ?, ?)",
+                ((strategy, keyword, position, dewey, float(score))
+                 for position, (dewey, score) in enumerate(postings)))
+
+    def get_postings(self, strategy: str, keyword: str,
+                     ) -> list[EncodedPosting]:
+        rows = self._connection.execute(
+            "SELECT dewey, score FROM postings "
+            "WHERE strategy = ? AND keyword = ? ORDER BY position",
+            (strategy, keyword))
+        return [(dewey, score) for dewey, score in rows]
+
+    def keywords(self, strategy: str) -> Iterator[str]:
+        rows = self._connection.execute(
+            "SELECT DISTINCT keyword FROM postings WHERE strategy = ?",
+            (strategy,))
+        for (keyword,) in rows:
+            yield keyword
+
+    def posting_count(self, strategy: str, keyword: str) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM postings "
+            "WHERE strategy = ? AND keyword = ?",
+            (strategy, keyword)).fetchone()
+        return int(row[0])
+
+    # ------------------------------------------------------------------
+    def put_document(self, doc_id: int, xml_text: str) -> None:
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO documents (doc_id, xml_text) "
+                "VALUES (?, ?)", (doc_id, xml_text))
+
+    def get_document(self, doc_id: int) -> str:
+        row = self._connection.execute(
+            "SELECT xml_text FROM documents WHERE doc_id = ?",
+            (doc_id,)).fetchone()
+        if row is None:
+            raise StorageError(f"no stored document {doc_id}")
+        return row[0]
+
+    def document_ids(self) -> Iterator[int]:
+        rows = self._connection.execute(
+            "SELECT doc_id FROM documents ORDER BY doc_id")
+        for (doc_id,) in rows:
+            yield int(doc_id)
+
+    # ------------------------------------------------------------------
+    def put_metadata(self, key: str, value: str) -> None:
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO metadata (key, value) "
+                "VALUES (?, ?)", (key, value))
+
+    def get_metadata(self, key: str, default: str | None = None,
+                     ) -> str | None:
+        row = self._connection.execute(
+            "SELECT value FROM metadata WHERE key = ?", (key,)).fetchone()
+        return default if row is None else row[0]
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._connection.close()

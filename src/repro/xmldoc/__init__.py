@@ -1,0 +1,25 @@
+"""XML substrate: labeled trees, Dewey IDs, parsing and serialization.
+
+This package implements the paper's view of XML data (Section III): a
+document is a labeled tree whose nodes carry textual descriptions and
+optional ontological references, addressed by Dewey IDs (Section V).
+"""
+
+from .dewey import DeweyID, assign_dewey_ids, document_order, node_at
+from .model import (Corpus, DEFAULT_TEXT_POLICY, OntologicalReference,
+                    TextPolicy, XMLDocument, XMLNode)
+from .navigation import (copy_subtree, extract_fragment, iter_matching,
+                         path_to_root, prune_to_paths, subtree_size,
+                         tree_depth)
+from .parser import (XMLParseError, XMLParser, cda_reference_extractor,
+                     no_reference_extractor, parse_document)
+from .serializer import XMLSerializer, serialize
+
+__all__ = [
+    "Corpus", "DEFAULT_TEXT_POLICY", "DeweyID", "OntologicalReference",
+    "TextPolicy", "XMLDocument", "XMLNode", "XMLParseError", "XMLParser",
+    "XMLSerializer", "assign_dewey_ids", "cda_reference_extractor",
+    "copy_subtree", "document_order", "extract_fragment", "iter_matching",
+    "no_reference_extractor", "node_at", "parse_document", "path_to_root",
+    "prune_to_paths", "serialize", "subtree_size", "tree_depth",
+]

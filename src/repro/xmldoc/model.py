@@ -1,0 +1,310 @@
+"""Labeled-tree model for XML documents (paper Section III).
+
+The paper views an XML document as a labeled tree where each node has
+
+* a *textual description* -- the concatenation of its tag name, attribute
+  names and values, and text content, minus attributes an expert marked as
+  non-textual (code strings, OIDs, identifiers); and
+* an optional *ontological reference* -- a pair of integer codes
+  ``(system_code, concept_code)`` naming a concept in a domain ontology.
+
+Nodes carrying an ontological reference are called *code nodes*.
+
+This module is deliberately independent of any concrete XML syntax; the
+:mod:`repro.xmldoc.parser` module builds these trees from XML text and
+:mod:`repro.xmldoc.serializer` writes them back out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class OntologicalReference:
+    """A reference from an XML node to a concept in an ontology.
+
+    ``system_code`` identifies the ontological system (e.g. SNOMED CT is
+    identified in CDA documents by the OID ``2.16.840.1.113883.6.96``) and
+    ``concept_code`` identifies the concept within that system (e.g.
+    ``195967001`` for *Asthma*).
+    """
+
+    system_code: str
+    concept_code: str
+
+    def __str__(self) -> str:
+        return f"{self.system_code}:{self.concept_code}"
+
+
+class XMLNode:
+    """A node of the labeled XML tree.
+
+    Attributes
+    ----------
+    tag:
+        The element tag name.
+    attributes:
+        Attribute name/value mapping, in document order.
+    text:
+        Character data directly contained in this element (before any
+        child element).
+    tail:
+        Character data following this element inside its parent, matching
+        the convention of :mod:`xml.etree.ElementTree`.
+    children:
+        Child elements in document order.
+    parent:
+        The parent element, or ``None`` for the root.
+    reference:
+        Optional :class:`OntologicalReference` making this a *code node*.
+    """
+
+    __slots__ = ("tag", "attributes", "text", "tail", "children", "parent",
+                 "reference")
+
+    def __init__(self, tag: str, attributes: Mapping[str, str] | None = None,
+                 text: str = "", tail: str = "",
+                 reference: OntologicalReference | None = None) -> None:
+        if not tag:
+            raise ValueError("XMLNode requires a non-empty tag")
+        self.tag = tag
+        self.attributes: dict[str, str] = dict(attributes or {})
+        self.text = text
+        self.tail = tail
+        self.children: list[XMLNode] = []
+        self.parent: XMLNode | None = None
+        self.reference = reference
+
+    # ------------------------------------------------------------------
+    # Tree construction
+    # ------------------------------------------------------------------
+    def append(self, child: "XMLNode") -> "XMLNode":
+        """Attach ``child`` as the last child of this node and return it."""
+        if child.parent is not None:
+            raise ValueError(f"<{child.tag}> already has a parent")
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def add(self, tag: str, attributes: Mapping[str, str] | None = None,
+            text: str = "",
+            reference: OntologicalReference | None = None) -> "XMLNode":
+        """Create a child element and attach it; convenience for builders."""
+        return self.append(XMLNode(tag, attributes, text=text,
+                                   reference=reference))
+
+    def detach(self) -> "XMLNode":
+        """Remove this node from its parent and return it."""
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    def iter(self) -> Iterator["XMLNode"]:
+        """Yield this node and all descendants in document (pre-) order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def descendants(self) -> Iterator["XMLNode"]:
+        """Yield proper descendants in document order."""
+        nodes = self.iter()
+        next(nodes)  # skip self
+        yield from nodes
+
+    def ancestors(self) -> Iterator["XMLNode"]:
+        """Yield proper ancestors from parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self) -> "XMLNode":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def depth(self) -> int:
+        """Number of containment edges between this node and the root."""
+        return sum(1 for _ in self.ancestors())
+
+    def find(self, tag: str) -> "XMLNode | None":
+        """First descendant-or-self with the given tag, document order."""
+        for node in self.iter():
+            if node.tag == tag:
+                return node
+        return None
+
+    def findall(self, tag: str) -> list["XMLNode"]:
+        """All descendant-or-self nodes with the given tag."""
+        return [node for node in self.iter() if node.tag == tag]
+
+    def child_index(self) -> int:
+        """Position of this node among its siblings (0-based)."""
+        if self.parent is None:
+            return 0
+        return self.parent.children.index(self)
+
+    # ------------------------------------------------------------------
+    # Paper semantics
+    # ------------------------------------------------------------------
+    @property
+    def is_code_node(self) -> bool:
+        """Whether the node carries an ontological reference (Section III)."""
+        return self.reference is not None
+
+    def textual_description(self,
+                            policy: "TextPolicy | None" = None) -> str:
+        """The node's textual description per Section III.
+
+        Concatenates tag name, attribute names and values, and direct text
+        content. Attributes excluded by ``policy`` (code strings and the
+        like, which "are unlikely to be used in a query keyword") do not
+        contribute their values.
+        """
+        policy = policy or DEFAULT_TEXT_POLICY
+        parts = [self.tag]
+        for name, value in self.attributes.items():
+            parts.append(name)
+            if policy.includes(self.tag, name):
+                parts.append(value)
+        if self.text:
+            parts.append(self.text)
+        for child in self.children:
+            if child.tail:
+                parts.append(child.tail)
+        return " ".join(part for part in parts if part)
+
+    def subtree_text(self, policy: "TextPolicy | None" = None) -> str:
+        """Concatenated textual descriptions of the whole subtree."""
+        return " ".join(node.textual_description(policy)
+                        for node in self.iter())
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ref = f" ref={self.reference}" if self.reference else ""
+        return (f"<XMLNode {self.tag} attrs={len(self.attributes)} "
+                f"children={len(self.children)}{ref}>")
+
+
+class TextPolicy:
+    """Expert-specified exclusion of attributes from textual descriptions.
+
+    Section III: "some attribute values like code strings are not included
+    [...] since these are unlikely to be used in a query keyword. An expert
+    specifies the attributes that should not be included."
+
+    A policy is a set of attribute names excluded everywhere plus a set of
+    ``(tag, attribute)`` pairs excluded only on a given element, plus an
+    optional predicate hook for custom rules.
+    """
+
+    def __init__(self, excluded_attributes: Iterable[str] = (),
+                 excluded_pairs: Iterable[tuple[str, str]] = (),
+                 predicate: Callable[[str, str], bool] | None = None) -> None:
+        self._excluded = frozenset(excluded_attributes)
+        self._excluded_pairs = frozenset(excluded_pairs)
+        self._predicate = predicate
+
+    def includes(self, tag: str, attribute: str) -> bool:
+        """Whether the value of ``attribute`` on ``tag`` is indexable text."""
+        if attribute in self._excluded:
+            return False
+        if (tag, attribute) in self._excluded_pairs:
+            return False
+        if self._predicate is not None and not self._predicate(tag, attribute):
+            return False
+        return True
+
+
+#: The policy used throughout the paper's CDA experiments: numeric concept
+#: codes, code-system OIDs, instance identifiers and schema noise carry no
+#: query-relevant text. ``displayName`` *is* kept -- it is the main carrier
+#: of clinical terms in CDA entries.
+DEFAULT_TEXT_POLICY = TextPolicy(
+    excluded_attributes=(
+        "code", "codeSystem", "codeSystemName", "root", "extension",
+        "templateId", "typeCode", "classCode", "moodCode",
+        "xmlns", "xmlns:voc", "xmlns:xsi", "xsi:type", "xsi:schemaLocation",
+        "ID", "IDREF",
+    ),
+)
+
+
+@dataclass
+class XMLDocument:
+    """A parsed XML document: a root element plus corpus bookkeeping.
+
+    ``doc_id`` is the integer identifier used as the first component of
+    Dewey IDs (Section V: "the first component of each Dewey ID is the
+    document ID").
+    """
+
+    doc_id: int
+    root: XMLNode
+    source_name: str = ""
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def iter(self) -> Iterator[XMLNode]:
+        return self.root.iter()
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.iter())
+
+    def code_nodes(self) -> list[XMLNode]:
+        """All nodes carrying ontological references."""
+        return [node for node in self.iter() if node.is_code_node]
+
+    def referenced_systems(self) -> set[str]:
+        """The ontological systems collection contributed by this document."""
+        return {node.reference.system_code for node in self.code_nodes()
+                if node.reference is not None}
+
+
+class Corpus:
+    """A collection of XML documents with stable integer document IDs."""
+
+    def __init__(self, documents: Iterable[XMLDocument] = ()) -> None:
+        self._documents: dict[int, XMLDocument] = {}
+        for document in documents:
+            self.add(document)
+
+    def add(self, document: XMLDocument) -> XMLDocument:
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate document id {document.doc_id}")
+        self._documents[document.doc_id] = document
+        return document
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[XMLDocument]:
+        return iter(sorted(self._documents.values(),
+                           key=lambda document: document.doc_id))
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._documents
+
+    def get(self, doc_id: int) -> XMLDocument:
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise KeyError(f"no document with id {doc_id}") from None
+
+    def referenced_systems(self) -> set[str]:
+        """Union of ontological systems referenced across the corpus."""
+        systems: set[str] = set()
+        for document in self:
+            systems |= document.referenced_systems()
+        return systems
+
+    def total_nodes(self) -> int:
+        return sum(document.node_count() for document in self)

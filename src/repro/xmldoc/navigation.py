@@ -1,0 +1,97 @@
+"""Subtree extraction and structural queries over labeled trees.
+
+These helpers back the Database Access Module (Section V-A), which turns
+the Dewey IDs produced by the query phase into the XML fragments shown to
+the user (e.g. the answer fragment of Figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .dewey import DeweyID, node_at
+from .model import Corpus, XMLDocument, XMLNode
+
+
+def copy_subtree(node: XMLNode) -> XMLNode:
+    """Deep-copy a subtree, detached from its original parent."""
+    clone = XMLNode(node.tag, dict(node.attributes), text=node.text,
+                    tail="", reference=node.reference)
+    for child in node.children:
+        child_clone = copy_subtree(child)
+        child_clone.tail = child.tail
+        clone.append(child_clone)
+    return clone
+
+
+def extract_fragment(corpus: Corpus, dewey: DeweyID) -> XMLNode:
+    """Resolve a Dewey ID against a corpus and deep-copy its subtree."""
+    document = corpus.get(dewey.doc_id)
+    return copy_subtree(node_at(document, dewey))
+
+
+def path_to_root(document: XMLDocument, dewey: DeweyID) -> list[XMLNode]:
+    """Nodes on the root-to-target path, root first."""
+    node = node_at(document, dewey)
+    path = [node, *node.ancestors()]
+    path.reverse()
+    return path
+
+
+def iter_matching(document: XMLDocument,
+                  predicate: Callable[[XMLNode], bool]) -> Iterator[XMLNode]:
+    """Document-order iterator over nodes satisfying ``predicate``."""
+    for node in document.iter():
+        if predicate(node):
+            yield node
+
+
+def subtree_size(node: XMLNode) -> int:
+    """Number of elements in the subtree rooted at ``node``."""
+    return sum(1 for _ in node.iter())
+
+
+def tree_depth(node: XMLNode) -> int:
+    """Height of the subtree rooted at ``node`` (single node → 0)."""
+    best = 0
+    stack: list[tuple[XMLNode, int]] = [(node, 0)]
+    while stack:
+        current, depth = stack.pop()
+        best = max(best, depth)
+        for child in current.children:
+            stack.append((child, depth + 1))
+    return best
+
+
+def prune_to_paths(root: XMLNode, targets: list[XMLNode]) -> XMLNode:
+    """Copy of ``root``'s subtree keeping only paths to ``targets``.
+
+    Produces the minimal connecting fragment of the result subtree that
+    still contains every target node (useful for presenting compact result
+    snippets, in the spirit of Figure 4). Each target's full subtree is
+    preserved; unrelated siblings are dropped.
+    """
+    keep: set[int] = set()
+    target_set = {id(target) for target in targets}
+    for target in targets:
+        node: XMLNode | None = target
+        while node is not None:
+            keep.add(id(node))
+            if node is root:
+                break
+            node = node.parent
+    if id(root) not in keep:
+        raise ValueError("targets must lie inside the subtree of root")
+
+    def clone(node: XMLNode, inside_target: bool) -> XMLNode:
+        copy = XMLNode(node.tag, dict(node.attributes), text=node.text,
+                       reference=node.reference)
+        for child in node.children:
+            child_inside = inside_target or id(child) in target_set
+            if child_inside or id(child) in keep:
+                child_copy = clone(child, child_inside)
+                child_copy.tail = child.tail
+                copy.append(child_copy)
+        return copy
+
+    return clone(root, id(root) in target_set)

@@ -1,0 +1,127 @@
+"""XML parsing into the labeled-tree model.
+
+Built directly on :mod:`xml.parsers.expat` so that namespace prefixes and
+attribute order survive verbatim (HL7 CDA documents lean heavily on both,
+and :mod:`xml.etree.ElementTree` rewrites prefixed names into Clark
+notation, which would pollute textual descriptions).
+
+Ontological references (Section III) are recognized by a pluggable
+:class:`ReferenceExtractor`. The default extractor implements the CDA
+convention: any element carrying ``code`` and ``codeSystem`` attributes
+references concept ``code`` in system ``codeSystem``.
+"""
+
+from __future__ import annotations
+
+import xml.parsers.expat
+from typing import Callable, Mapping
+
+from .model import OntologicalReference, XMLDocument, XMLNode
+
+#: Signature of a reference extractor: given a tag and its attributes,
+#: return the ontological reference the element carries, if any.
+ReferenceExtractor = Callable[[str, Mapping[str, str]],
+                              OntologicalReference | None]
+
+
+def cda_reference_extractor(tag: str, attributes: Mapping[str, str],
+                            ) -> OntologicalReference | None:
+    """The HL7 CDA coding convention.
+
+    ``<code code="195967001" codeSystem="2.16.840.1.113883.6.96" .../>``
+    and ``<value xsi:type="CD" code=... codeSystem=.../>`` elements carry
+    ontological references; the pair of attributes is what matters, not
+    the tag.
+    """
+    code = attributes.get("code")
+    system = attributes.get("codeSystem")
+    if code and system:
+        return OntologicalReference(system_code=system, concept_code=code)
+    return None
+
+
+def no_reference_extractor(tag: str, attributes: Mapping[str, str],
+                           ) -> OntologicalReference | None:
+    """Extractor for plain XML corpora without ontological annotations."""
+    return None
+
+
+class XMLParseError(ValueError):
+    """Raised when a document is not well-formed XML."""
+
+
+class XMLParser:
+    """Parses XML text into :class:`XMLDocument` trees."""
+
+    def __init__(self, reference_extractor: ReferenceExtractor | None = None,
+                 keep_whitespace_text: bool = False) -> None:
+        self._extract_reference = reference_extractor or cda_reference_extractor
+        self._keep_whitespace_text = keep_whitespace_text
+
+    # ------------------------------------------------------------------
+    def parse(self, text: str, doc_id: int = 0,
+              source_name: str = "") -> XMLDocument:
+        """Parse a full XML document string."""
+        root = self._parse_tree(text)
+        return XMLDocument(doc_id=doc_id, root=root, source_name=source_name)
+
+    def parse_file(self, path: str, doc_id: int = 0) -> XMLDocument:
+        with open(path, "r", encoding="utf-8") as handle:
+            return self.parse(handle.read(), doc_id=doc_id, source_name=path)
+
+    def parse_fragment(self, text: str) -> XMLNode:
+        """Parse a rooted XML fragment and return the root node only."""
+        return self._parse_tree(text)
+
+    # ------------------------------------------------------------------
+    def _parse_tree(self, text: str) -> XMLNode:
+        parser = xml.parsers.expat.ParserCreate()
+        parser.buffer_text = True
+        parser.ordered_attributes = True
+
+        root: list[XMLNode] = []
+        stack: list[XMLNode] = []
+        keep_ws = self._keep_whitespace_text
+
+        def start_element(tag: str, attribute_list: list[str]) -> None:
+            attributes = {attribute_list[index]: attribute_list[index + 1]
+                          for index in range(0, len(attribute_list), 2)}
+            reference = self._extract_reference(tag, attributes)
+            node = XMLNode(tag, attributes, reference=reference)
+            if stack:
+                stack[-1].append(node)
+            else:
+                root.append(node)
+            stack.append(node)
+
+        def end_element(tag: str) -> None:
+            stack.pop()
+
+        def character_data(data: str) -> None:
+            if not stack:
+                return
+            if not keep_ws and not data.strip():
+                return
+            node = stack[-1]
+            if node.children:
+                node.children[-1].tail += data
+            else:
+                node.text += data
+
+        parser.StartElementHandler = start_element
+        parser.EndElementHandler = end_element
+        parser.CharacterDataHandler = character_data
+        try:
+            parser.Parse(text, True)
+        except xml.parsers.expat.ExpatError as error:
+            raise XMLParseError(f"malformed XML: {error}") from error
+        if not root:
+            raise XMLParseError("document has no root element")
+        return root[0]
+
+
+def parse_document(text: str, doc_id: int = 0,
+                   reference_extractor: ReferenceExtractor | None = None,
+                   ) -> XMLDocument:
+    """One-shot convenience wrapper around :class:`XMLParser`."""
+    return XMLParser(reference_extractor).parse(text, doc_id=doc_id)

@@ -1,0 +1,93 @@
+"""Serialization of labeled trees back to XML text.
+
+The writer is the inverse of :class:`repro.xmldoc.parser.XMLParser` up to
+insignificant whitespace: parse → serialize → parse is the identity on
+tags, attributes, references, text and tail content (a property test pins
+this down).
+"""
+
+from __future__ import annotations
+
+from .model import XMLDocument, XMLNode
+
+_ESCAPES_TEXT = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ESCAPES_ATTR = {**_ESCAPES_TEXT, '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for element content."""
+    for char, entity in _ESCAPES_TEXT.items():
+        value = value.replace(char, entity)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    for char, entity in _ESCAPES_ATTR.items():
+        value = value.replace(char, entity)
+    return value
+
+
+class XMLSerializer:
+    """Writes :class:`XMLNode` trees as XML text.
+
+    ``indent`` of ``None`` produces a compact single-line document whose
+    re-parse is exactly the original tree; a non-``None`` indent produces
+    pretty-printed output for human inspection (indentation whitespace is
+    only added around elements that contain no character data, so the
+    round-trip property still holds for stripped re-parses).
+    """
+
+    def __init__(self, indent: str | None = None,
+                 xml_declaration: bool = True) -> None:
+        self._indent = indent
+        self._xml_declaration = xml_declaration
+
+    def serialize(self, document: XMLDocument | XMLNode) -> str:
+        root = document.root if isinstance(document, XMLDocument) else document
+        pieces: list[str] = []
+        if self._xml_declaration:
+            pieces.append('<?xml version="1.0" encoding="UTF-8"?>')
+            if self._indent is not None:
+                pieces.append("\n")
+        self._write(root, pieces, level=0)
+        return "".join(pieces)
+
+    # ------------------------------------------------------------------
+    def _write(self, node: XMLNode, pieces: list[str], level: int) -> None:
+        indent = self._indent
+        if indent is not None and level > 0:
+            pieces.append("\n" + indent * level)
+        pieces.append(f"<{node.tag}")
+        for name, value in node.attributes.items():
+            pieces.append(f' {name}="{escape_attribute(value)}"')
+        if not node.children and not node.text:
+            pieces.append("/>")
+        else:
+            pieces.append(">")
+            has_character_data = bool(node.text) or any(
+                child.tail for child in node.children)
+            if node.text:
+                pieces.append(escape_text(node.text))
+            for child in node.children:
+                saved = self._indent
+                if has_character_data:
+                    # Mixed content: never inject whitespace.
+                    self._indent = None
+                self._write(child, pieces, level + 1)
+                self._indent = saved
+                if child.tail:
+                    pieces.append(escape_text(child.tail))
+            if (indent is not None and node.children
+                    and not has_character_data):
+                pieces.append("\n" + indent * level)
+            pieces.append(f"</{node.tag}>")
+        if node.tail and level == 0:
+            pieces.append(escape_text(node.tail))
+
+
+def serialize(document: XMLDocument | XMLNode, indent: str | None = None,
+              xml_declaration: bool = True) -> str:
+    """One-shot convenience wrapper around :class:`XMLSerializer`."""
+    serializer = XMLSerializer(indent=indent, xml_declaration=xml_declaration)
+    return serializer.serialize(document)

@@ -1,0 +1,98 @@
+"""Unit tests for the query-expansion baseline."""
+
+import pytest
+
+from repro import XRANK, RELATIONSHIPS, XOntoRankEngine
+from repro.baselines.query_expansion import (ExpandedXRankSearch,
+                                             QueryExpander)
+from repro.ir.tokenizer import Keyword, KeywordQuery
+from repro.ontology import snomed
+from repro.ontology.snomed import build_core_ontology
+from repro.cda import build_figure1_document
+from repro.xmldoc import Corpus
+
+
+@pytest.fixture(scope="module")
+def expander():
+    return QueryExpander(build_core_ontology(),
+                         max_expansions_per_keyword=3)
+
+
+class TestExpander:
+    def test_original_keyword_kept_first(self, expander):
+        alternatives = expander.expansions(Keyword.from_text("asthma"))
+        assert alternatives[0].text == "asthma"
+
+    def test_related_terms_added(self, expander):
+        alternatives = expander.expansions(Keyword.from_text("asthma"))
+        texts = {keyword.text for keyword in alternatives}
+        assert len(texts) > 1
+        # One-hop neighbors of Asthma include its superclass and its
+        # finding site.
+        assert texts & {"disorder of bronchus", "bronchial structure",
+                        "asthma attack"}
+
+    def test_unknown_term_unexpanded(self, expander):
+        alternatives = expander.expansions(Keyword.from_text("zebra"))
+        assert [keyword.text for keyword in alternatives] == ["zebra"]
+
+    def test_limit_respected(self):
+        expander = QueryExpander(build_core_ontology(),
+                                 max_expansions_per_keyword=1)
+        alternatives = expander.expansions(Keyword.from_text("asthma"))
+        assert len(alternatives) <= 2  # original + 1 expansion
+
+    def test_expand_query_is_cartesian(self, expander):
+        query = KeywordQuery.parse("asthma theophylline")
+        variants = expander.expand_query(query)
+        first = len(expander.expansions(Keyword.from_text("asthma")))
+        second = len(expander.expansions(
+            Keyword.from_text("theophylline")))
+        assert len(variants) == first * second
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryExpander(build_core_ontology(),
+                          max_expansions_per_keyword=-1)
+        with pytest.raises(ValueError):
+            QueryExpander(build_core_ontology(), hops=0)
+
+
+class TestExpandedSearch:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return Corpus([build_figure1_document()])
+
+    def test_requires_xrank_engine(self, corpus):
+        ontology = build_core_ontology()
+        engine = XOntoRankEngine(corpus, ontology,
+                                 strategy=RELATIONSHIPS)
+        with pytest.raises(ValueError):
+            ExpandedXRankSearch(engine, QueryExpander(ontology))
+
+    def test_recovers_ontology_only_match(self, corpus):
+        """Expansion substitutes 'bronchial structure' with related
+        concept terms, letting plain XRANK answer the intro query."""
+        ontology = build_core_ontology()
+        engine = XOntoRankEngine(corpus, None, strategy=XRANK)
+        search = ExpandedXRankSearch(
+            engine, QueryExpander(ontology,
+                                  max_expansions_per_keyword=6))
+        assert engine.search('"bronchial structure" theophylline') == []
+        expanded = search.search('"bronchial structure" theophylline',
+                                 k=5)
+        assert expanded
+        assert search.last_report.variants_executed > 1
+
+    def test_merging_deduplicates(self, corpus):
+        ontology = build_core_ontology()
+        engine = XOntoRankEngine(corpus, None, strategy=XRANK)
+        search = ExpandedXRankSearch(
+            engine, QueryExpander(ontology,
+                                  max_expansions_per_keyword=4))
+        results = search.search("asthma medications", k=20)
+        deweys = [result.dewey for result in results]
+        assert len(deweys) == len(set(deweys))
+        report = search.last_report
+        assert report.raw_results >= report.merged_results
+        assert report.redundancy >= 1.0

@@ -1,0 +1,85 @@
+"""Unit tests for the smallest-LCA baseline."""
+
+import pytest
+
+from repro.baselines.slca import SLCAEvaluator
+from repro.xmldoc.model import Corpus
+from repro.xmldoc.parser import parse_document
+
+
+def corpus_of(*xml_texts):
+    return Corpus([parse_document(text, doc_id=index)
+                   for index, text in enumerate(xml_texts)])
+
+
+class TestSLCASemantics:
+    def test_single_smallest_subtree(self):
+        corpus = corpus_of(
+            "<doc><s><a>asthma</a><b>theophylline</b></s><t/></doc>")
+        results = SLCAEvaluator(corpus).search("asthma theophylline")
+        assert [r.dewey.encode() for r in results] == ["0.0"]
+
+    def test_excludes_ancestors_of_covering_subtrees(self):
+        corpus = corpus_of(
+            "<doc><s><a>asthma</a><b>theophylline</b></s>"
+            "<u>asthma</u></doc>")
+        results = SLCAEvaluator(corpus).search("asthma theophylline")
+        encodings = {r.dewey.encode() for r in results}
+        # The root also covers both keywords (via <u> and <b>) but
+        # contains the <s> SLCA, so it is excluded.
+        assert encodings == {"0.0"}
+
+    def test_two_independent_slcas(self):
+        corpus = corpus_of(
+            "<doc><s1><a>asthma</a><b>theophylline</b></s1>"
+            "<s2><a>asthma</a><b>theophylline</b></s2></doc>")
+        results = SLCAEvaluator(corpus).search("asthma theophylline")
+        assert {r.dewey.encode() for r in results} == {"0.0", "0.1"}
+
+    def test_single_node_match(self):
+        corpus = corpus_of("<doc><a>asthma theophylline</a></doc>")
+        results = SLCAEvaluator(corpus).search("asthma theophylline")
+        assert [r.dewey.encode() for r in results] == ["0.0"]
+
+    def test_missing_keyword_no_results(self):
+        corpus = corpus_of("<doc><a>asthma</a></doc>")
+        assert SLCAEvaluator(corpus).search("asthma theophylline") == []
+
+    def test_phrase_matching(self):
+        corpus = corpus_of(
+            "<doc><a>cardiac arrest</a><b>arrest cardiac</b></doc>")
+        results = SLCAEvaluator(corpus).search('"cardiac arrest"')
+        assert [r.dewey.encode() for r in results] == ["0.0"]
+
+    def test_ranking_by_size(self):
+        corpus = corpus_of(
+            "<doc><big><x><a>asthma</a></x><y><b>theophylline</b></y>"
+            "</big><small>asthma theophylline</small></doc>")
+        results = SLCAEvaluator(corpus).search("asthma theophylline",
+                                               k=2)
+        assert results[0].size <= results[1].size
+        assert results[0].dewey.encode() == "0.1"
+
+    def test_results_across_documents(self):
+        corpus = corpus_of(
+            "<doc><a>asthma theophylline</a></doc>",
+            "<doc><b>asthma</b><c>theophylline</c></doc>")
+        results = SLCAEvaluator(corpus).search("asthma theophylline")
+        assert {r.dewey.doc_id for r in results} == {0, 1}
+
+    def test_blind_to_ontology_matches(self, figure1_corpus):
+        """The paper's point: exact-match semantics cannot answer the
+        intro query."""
+        evaluator = SLCAEvaluator(figure1_corpus)
+        assert evaluator.search(
+            '"bronchial structure" theophylline') == []
+        assert evaluator.search("asthma medications")  # textual pair
+
+
+class TestFragment:
+    def test_fragment_extraction(self):
+        corpus = corpus_of(
+            "<doc><s><a>asthma</a><b>theophylline</b></s></doc>")
+        result = SLCAEvaluator(corpus).search("asthma theophylline")[0]
+        fragment = result.fragment(corpus)
+        assert fragment.tag == "s"

@@ -1,0 +1,90 @@
+"""Unit tests for the XSEarch interconnection baseline."""
+
+import pytest
+
+from repro.baselines.xsearch import XSEarchEvaluator
+from repro.xmldoc.model import Corpus
+from repro.xmldoc.parser import parse_document
+
+
+def corpus_of(*xml_texts):
+    return Corpus([parse_document(text, doc_id=index)
+                   for index, text in enumerate(xml_texts)])
+
+
+class TestInterconnection:
+    def test_related_nodes_connect(self):
+        corpus = corpus_of(
+            "<patient><name>maria</name><drug>amiodarone</drug>"
+            "</patient>")
+        results = XSEarchEvaluator(corpus).search("maria amiodarone")
+        assert results
+
+    def test_repeated_tag_on_path_breaks_connection(self):
+        """Two <patient> siblings: a name from one and a drug from the
+        other must NOT form an answer (the classic XSEarch example)."""
+        corpus = corpus_of(
+            "<doc>"
+            "<patient><name>maria</name><drug>digoxin</drug></patient>"
+            "<patient><name>juan</name><drug>amiodarone</drug></patient>"
+            "</doc>")
+        results = XSEarchEvaluator(corpus).search("maria amiodarone")
+        assert results == []
+
+    def test_within_entity_pair_still_connects(self):
+        corpus = corpus_of(
+            "<doc>"
+            "<patient><name>maria</name><drug>digoxin</drug></patient>"
+            "<patient><name>juan</name><drug>amiodarone</drug></patient>"
+            "</doc>")
+        results = XSEarchEvaluator(corpus).search("juan amiodarone")
+        assert len(results) == 1
+        assert results[0].connector.encode() == "0.1"
+
+    def test_ancestor_descendant_always_connect(self):
+        corpus = corpus_of(
+            "<doc><entry>asthma<code>theophylline</code></entry></doc>")
+        results = XSEarchEvaluator(corpus).search("asthma theophylline")
+        assert results
+
+    def test_cda_nesting_defeats_interconnection(self, figure1_corpus):
+        """The paper's conclusion: CDA's repeated component/section/
+        entry chains make XSEarch's test reject related content."""
+        evaluator = XSEarchEvaluator(figure1_corpus)
+        # Theophylline (Medications entry) and temperature (Vital Signs
+        # narrative) live under distinct repeated 'component'/'section'
+        # chains, so no interconnected tuple exists.
+        assert evaluator.search("theophylline pulse") == []
+
+    def test_missing_keyword(self):
+        corpus = corpus_of("<doc><a>asthma</a></doc>")
+        assert XSEarchEvaluator(corpus).search("asthma zebra") == []
+
+
+class TestRankingAndFragments:
+    def test_smaller_spans_rank_first(self):
+        corpus = corpus_of(
+            "<doc><near>asthma theophylline</near>"
+            "<far><x><deep>asthma</deep></x><y>theophylline</y></far>"
+            "</doc>")
+        results = XSEarchEvaluator(corpus).search("asthma theophylline")
+        assert results[0].size <= results[-1].size
+
+    def test_fragment_connects_the_tuple(self):
+        corpus = corpus_of(
+            "<doc><s><a>asthma</a><noise/><b>theophylline</b></s></doc>")
+        evaluator = XSEarchEvaluator(corpus)
+        result = evaluator.search("asthma theophylline")[0]
+        fragment = evaluator.fragment(result)
+        text = fragment.subtree_text()
+        assert "asthma" in text and "theophylline" in text
+        assert fragment.find("noise") is None
+
+    def test_candidate_cap_respected(self):
+        many = "".join(f"<e>asthma theophylline {i}</e>"
+                       for i in range(40))
+        corpus = corpus_of(f"<doc>{many}</doc>")
+        evaluator = XSEarchEvaluator(corpus)
+        results = evaluator.search("asthma theophylline")
+        # Bounded candidate sets keep the combinatorics finite.
+        assert len(results) <= evaluator.MAX_CANDIDATES ** 2

@@ -1,0 +1,120 @@
+"""Unit tests for CDA construction and the Figure 1 sample document."""
+
+import pytest
+
+from repro.cda import codes
+from repro.cda.builder import CDABuilder
+from repro.cda.sample import build_figure1_document, find_asthma_value_node
+from repro.ontology import snomed
+from repro.xmldoc.parser import parse_document
+from repro.xmldoc.serializer import serialize
+
+
+class TestBuilder:
+    def test_header_shape(self):
+        builder = CDABuilder("c1")
+        builder.set_author("Juan", "Woodblack", provider_extension="KP1")
+        builder.set_patient("A", "B", "M", "19990101", "49912",
+                            organization_extension="M345")
+        root = builder.root
+        assert root.tag == "ClinicalDocument"
+        assert root.find("assignedPerson") is not None
+        assert root.find("patientRole") is not None
+        gender = root.find("administrativeGenderCode")
+        assert gender.attributes["code"] == "M"
+
+    def test_sections_nest(self):
+        builder = CDABuilder("c1")
+        exam = builder.add_section(codes.LOINC_PHYSICAL_EXAM)
+        vitals = builder.add_section(codes.LOINC_VITAL_SIGNS, parent=exam)
+        assert vitals.parent.parent is exam  # component wrapper between
+
+    def test_section_title_defaults(self):
+        builder = CDABuilder("c1")
+        section = builder.add_section(codes.LOINC_MEDICATIONS)
+        assert section.find("title").text == "Medications"
+
+    def test_observation_entry_is_code_node(self):
+        builder = CDABuilder("c1")
+        section = builder.add_section(codes.LOINC_PROBLEM_LIST)
+        observation = builder.add_observation_entry(
+            section, value_code=snomed.ASTHMA, value_display="Asthma")
+        value = observation.find("value")
+        assert value.is_code_node
+        assert value.reference.concept_code == snomed.ASTHMA
+        assert value.reference.system_code == codes.SNOMED_CT_OID
+
+    def test_substance_administration_narrative(self):
+        builder = CDABuilder("c1")
+        section = builder.add_section(codes.LOINC_MEDICATIONS)
+        administration = builder.add_substance_administration(
+            section, drug_code=snomed.THEOPHYLLINE,
+            drug_display="Theophylline", text=" 20 mg daily",
+            content_id="m1")
+        content = administration.find("content")
+        assert content.attributes["ID"] == "m1"
+        assert content.text == "Theophylline"
+        assert content.tail == " 20 mg daily"
+
+    def test_quantity_observation(self):
+        builder = CDABuilder("c1")
+        section = builder.add_section(codes.LOINC_VITAL_SIGNS)
+        observation = builder.add_quantity_observation(
+            section, code=snomed.BODY_HEIGHT, display="Body height",
+            value=1.77, unit="m")
+        value = observation.find("value")
+        assert value.attributes == {"xsi:type": "PQ", "value": "1.77",
+                                    "unit": "m"}
+
+    def test_vitals_table(self):
+        builder = CDABuilder("c1")
+        section = builder.add_section(codes.LOINC_VITAL_SIGNS)
+        builder.add_vitals_table(section, [("Temperature", "36.9 C"),
+                                           ("Pulse", "86 / minute")])
+        rows = section.findall("tr")
+        assert len(rows) == 2
+        assert rows[0].find("th").text == "Temperature"
+        assert rows[0].find("td").text == "36.9 C"
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return build_figure1_document()
+
+    def test_asthma_value_node_exists(self, document):
+        node = find_asthma_value_node(document)
+        assert node.attributes["displayName"] == "Asthma"
+        assert node.find("reference").attributes["value"] == "m1"
+
+    def test_bronchitis_nests_albuterol(self, document):
+        for node in document.iter():
+            if node.attributes.get("displayName") == "Bronchitis":
+                inner = node.children[0]
+                assert inner.tag == "value"
+                assert inner.attributes["displayName"] == "Albuterol"
+                break
+        else:
+            pytest.fail("no Bronchitis value node")
+
+    def test_theophylline_narrative(self, document):
+        text = document.root.subtree_text()
+        assert "20 mg every other day" in text
+        assert "Theophylline" in text
+
+    def test_code_systems_match_paper(self, document):
+        systems = document.referenced_systems()
+        assert codes.SNOMED_CT_OID in systems
+        assert codes.LOINC_OID in systems
+
+    def test_roundtrips_through_xml(self, document):
+        text = serialize(document)
+        reparsed = parse_document(text)
+        assert reparsed.node_count() == document.node_count()
+        assert len(reparsed.code_nodes()) == len(document.code_nodes())
+
+    def test_vital_signs_nested_in_exam(self, document):
+        titles = [node.text for node in document.iter()
+                  if node.tag == "title"]
+        assert "Physical Examination" in titles
+        assert "Vital Signs" in titles

@@ -1,0 +1,106 @@
+"""Unit tests for EMR-to-CDA conversion and reference annotation."""
+
+import pytest
+
+from repro.cda.annotator import ReferenceAnnotator
+from repro.cda.generator import CDAGenerator, build_cda_corpus
+from repro.emr import generate_cardiac_emr
+from repro.ontology import TerminologyService, snomed
+from repro.ontology.snomed import build_core_ontology
+from repro.xmldoc.model import XMLDocument, XMLNode
+
+
+@pytest.fixture(scope="module")
+def terminology():
+    return TerminologyService([build_core_ontology()])
+
+
+@pytest.fixture(scope="module")
+def database():
+    return generate_cardiac_emr(n_patients=6, seed=17)
+
+
+class TestGenerator:
+    def test_one_document_per_patient(self, database, terminology):
+        corpus, report = build_cda_corpus(database, terminology)
+        assert len(corpus) == database.stats()["patients"]
+        assert report.documents == len(corpus)
+
+    def test_documents_carry_patient_metadata(self, database, terminology):
+        corpus, _ = build_cda_corpus(database, terminology)
+        for document in corpus:
+            patient_id = document.metadata["patient_id"]
+            patient = database.patient(patient_id)
+            text = document.root.subtree_text()
+            assert patient.given_name in text
+
+    def test_structure_follows_cda(self, database, terminology):
+        corpus, _ = build_cda_corpus(database, terminology)
+        document = next(iter(corpus))
+        assert document.root.tag == "ClinicalDocument"
+        assert document.root.find("StructuredBody") is not None
+        assert document.root.findall("section")
+
+    def test_diagnoses_become_coded_observations(self, database,
+                                                 terminology):
+        corpus, _ = build_cda_corpus(database, terminology)
+        for document in corpus:
+            truth = database.ground_truth(document.metadata["patient_id"])
+            referenced = {node.reference.concept_code
+                          for node in document.code_nodes()}
+            missing = truth.condition_codes - referenced
+            assert not missing
+
+    def test_report_averages(self, database, terminology):
+        _, report = build_cda_corpus(database, terminology)
+        assert report.average_elements > 50
+        assert report.average_references > 10
+
+    def test_generation_without_terminology(self, database):
+        corpus, report = CDAGenerator(database).generate_corpus()
+        assert len(corpus) == database.stats()["patients"]
+        assert report.annotation.nodes_annotated == 0
+
+
+class TestAnnotator:
+    def test_annotates_matching_text(self, terminology):
+        root = XMLNode("doc")
+        root.add("paragraph", text="History of asthma since childhood")
+        document = XMLDocument(doc_id=0, root=root)
+        report = ReferenceAnnotator(terminology).annotate_document(document)
+        assert report.nodes_annotated == 1
+        paragraph = root.children[0]
+        assert paragraph.reference.concept_code == snomed.ASTHMA
+
+    def test_longest_match_wins(self, terminology):
+        root = XMLNode("doc")
+        root.add("p", text="asthma attack observed")
+        document = XMLDocument(doc_id=0, root=root)
+        ReferenceAnnotator(terminology).annotate_document(document)
+        assert root.children[0].reference.concept_code == \
+            snomed.ASTHMA_ATTACK
+
+    def test_existing_references_untouched(self, terminology):
+        from repro.xmldoc.model import OntologicalReference
+        root = XMLNode("doc")
+        coded = root.add("p", text="asthma",
+                         reference=OntologicalReference("x", "1"))
+        document = XMLDocument(doc_id=0, root=root)
+        report = ReferenceAnnotator(terminology).annotate_document(document)
+        assert coded.reference == OntologicalReference("x", "1")
+        assert report.nodes_annotated == 0
+
+    def test_non_matching_text_left_alone(self, terminology):
+        root = XMLNode("doc")
+        root.add("p", text="nothing clinical here at all")
+        document = XMLDocument(doc_id=0, root=root)
+        report = ReferenceAnnotator(terminology).annotate_document(document)
+        assert report.nodes_annotated == 0
+        assert root.children[0].reference is None
+
+    def test_corpus_annotation_adds_references(self, database, terminology):
+        bare_corpus, bare = CDAGenerator(
+            database, terminology, annotate_narrative=False).generate_corpus()
+        annotated_corpus, annotated = CDAGenerator(
+            database, terminology, annotate_narrative=True).generate_corpus()
+        assert annotated.total_references > bare.total_references

@@ -1,0 +1,99 @@
+"""Unit tests for unstructured CDA bodies and whole-document retrieval
+(the paper's Section II fallback scenario)."""
+
+import pytest
+
+from repro.cda.builder import CDABuilder
+from repro.cda.generator import CDAGenerator
+from repro.emr import generate_cardiac_emr
+from repro.ir.document_retrieval import DocumentSearcher
+
+
+class TestUnstructuredBody:
+    def test_non_xml_body_shape(self):
+        builder = CDABuilder("c1")
+        builder.set_unstructured_body("Patient with asthma on "
+                                      "theophylline.")
+        non_xml = builder.root.find("nonXMLBody")
+        assert non_xml is not None
+        text = non_xml.find("text")
+        assert text.attributes["mediaType"] == "text/plain"
+        assert "asthma" in text.text
+
+    def test_mutually_exclusive_with_sections(self):
+        builder = CDABuilder("c1")
+        builder.add_section("10160-0")
+        with pytest.raises(ValueError):
+            builder.set_unstructured_body("narrative")
+
+
+class TestUnstructuredGeneration:
+    @pytest.fixture(scope="class")
+    def corpora(self):
+        database = generate_cardiac_emr(n_patients=6, seed=31)
+        structured, _ = CDAGenerator(database,
+                                     structured=True).generate_corpus()
+        unstructured, _ = CDAGenerator(database,
+                                       structured=False).generate_corpus()
+        return structured, unstructured
+
+    def test_unstructured_documents_have_no_sections(self, corpora):
+        _, unstructured = corpora
+        for document in unstructured:
+            assert document.root.find("section") is None
+            assert document.root.find("nonXMLBody") is not None
+
+    def test_unstructured_keeps_the_content(self, corpora):
+        structured, unstructured = corpora
+        for left, right in zip(structured, unstructured):
+            narrative = right.root.subtree_text().lower()
+            # Every diagnosis display name survives into the narrative.
+            for node in left.iter():
+                display = node.attributes.get("displayName", "")
+                if display and node.tag == "value":
+                    assert display.lower() in narrative
+
+    def test_far_fewer_elements(self, corpora):
+        structured, unstructured = corpora
+        assert unstructured.total_nodes() < structured.total_nodes() / 2
+
+
+class TestDocumentSearcher:
+    @pytest.fixture(scope="class")
+    def searcher(self):
+        database = generate_cardiac_emr(n_patients=10, seed=31)
+        corpus, _ = CDAGenerator(database,
+                                 structured=False).generate_corpus()
+        return DocumentSearcher(corpus), corpus, database
+
+    def test_conjunctive_requires_all_keywords(self, searcher):
+        engine, corpus, database = searcher
+        hits = engine.search("asthma theophylline", k=10)
+        for hit in hits:
+            text = corpus.get(hit.doc_id).root.subtree_text().lower()
+            assert "asthma" in text and "theophylline" in text
+
+    def test_hits_match_ground_truth(self, searcher):
+        engine, corpus, database = searcher
+        hits = engine.search("amiodarone", k=20)
+        from repro.ontology.snomed import AMIODARONE
+        for hit in hits:
+            patient_id = corpus.get(hit.doc_id).metadata["patient_id"]
+            truth = database.ground_truth(patient_id)
+            assert AMIODARONE in truth.drug_codes
+
+    def test_disjunctive_mode(self):
+        database = generate_cardiac_emr(n_patients=6, seed=31)
+        corpus, _ = CDAGenerator(database,
+                                 structured=False).generate_corpus()
+        conjunctive = DocumentSearcher(corpus, conjunctive=True)
+        disjunctive = DocumentSearcher(corpus, conjunctive=False)
+        query = "asthma zebra"
+        assert conjunctive.search(query) == []
+        assert disjunctive.search(query)
+
+    def test_scores_ranked_descending(self, searcher):
+        engine, _, _ = searcher
+        hits = engine.search("fever", k=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,64 @@
+"""Shared fixtures: ontologies, corpora and engines built once per
+session (they are deterministic and read-only across tests)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_engines
+from repro.cda import build_cda_corpus, build_figure1_document
+from repro.emr import generate_cardiac_emr
+from repro.ontology import TerminologyService, build_core_ontology, \
+    build_synthetic_snomed
+from repro.xmldoc import Corpus
+
+
+@pytest.fixture(scope="session")
+def core_ontology():
+    """The curated clinical core (every concept the paper names)."""
+    return build_core_ontology()
+
+
+@pytest.fixture(scope="session")
+def synthetic_ontology():
+    """The full synthetic SNOMED at default scale."""
+    return build_synthetic_snomed()
+
+
+@pytest.fixture(scope="session")
+def terminology(synthetic_ontology):
+    return TerminologyService([synthetic_ontology])
+
+
+@pytest.fixture(scope="session")
+def figure1_document():
+    return build_figure1_document()
+
+
+@pytest.fixture(scope="session")
+def figure1_corpus(figure1_document):
+    return Corpus([figure1_document])
+
+
+@pytest.fixture(scope="session")
+def emr_database(synthetic_ontology):
+    return generate_cardiac_emr(n_patients=12, seed=11,
+                                ontology=synthetic_ontology)
+
+
+@pytest.fixture(scope="session")
+def cda_corpus(emr_database, terminology):
+    corpus, _ = build_cda_corpus(emr_database, terminology)
+    return corpus
+
+
+@pytest.fixture(scope="session")
+def engines(cda_corpus, synthetic_ontology):
+    """One engine per strategy over the shared test corpus."""
+    return build_engines(cda_corpus, synthetic_ontology)
+
+
+@pytest.fixture(scope="session")
+def figure1_engines(figure1_corpus, core_ontology):
+    """All four strategies over the paper's Figure 1 document."""
+    return build_engines(figure1_corpus, core_ontology)

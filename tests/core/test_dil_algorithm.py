@@ -1,0 +1,122 @@
+"""Unit tests for the DIL stack-merge query algorithm (Section V-A)."""
+
+import pytest
+
+from repro.core.index.dil import DeweyInvertedList, Posting
+from repro.core.query.dil_algorithm import DILQueryProcessor
+from repro.ir.tokenizer import Keyword
+from repro.xmldoc.dewey import DeweyID
+
+
+def dil(text, *entries):
+    return DeweyInvertedList(Keyword.from_text(text), [
+        Posting(DeweyID.parse(encoded), score)
+        for encoded, score in entries])
+
+
+@pytest.fixture
+def processor():
+    return DILQueryProcessor(decay=0.5)
+
+
+class TestSemantics:
+    def test_most_specific_common_subtree(self, processor):
+        results = processor.execute([
+            dil("a", ("0.1.0", 1.0)),
+            dil("b", ("0.1.1", 1.0)),
+        ])
+        assert len(results) == 1
+        assert results[0].dewey.encode() == "0.1"
+        assert results[0].score == pytest.approx(1.0)  # 0.5 + 0.5
+
+    def test_single_node_covering_both(self, processor):
+        results = processor.execute([
+            dil("a", ("0.2", 1.0)),
+            dil("b", ("0.2", 0.5)),
+        ])
+        assert [r.dewey.encode() for r in results] == ["0.2"]
+        assert results[0].score == pytest.approx(1.5)
+
+    def test_eq1_excludes_ancestors_of_results(self, processor):
+        # Both 0.1.0 (deep pair) and 0 (root) cover both keywords; only
+        # the deepest covering node is a result.
+        results = processor.execute([
+            dil("a", ("0.1.0.0", 1.0), ("0.2", 1.0)),
+            dil("b", ("0.1.0.1", 1.0), ("0.2", 1.0)),
+        ])
+        assert sorted(r.dewey.encode() for r in results) == ["0.1.0", "0.2"]
+
+    def test_missing_keyword_gives_no_results(self, processor):
+        results = processor.execute([
+            dil("a", ("0.1", 1.0)),
+            DeweyInvertedList(Keyword.from_text("b"), []),
+        ])
+        assert results == []
+
+    def test_results_across_documents(self, processor):
+        results = processor.execute([
+            dil("a", ("0.1", 1.0), ("3.2", 0.5)),
+            dil("b", ("0.2", 1.0), ("3.2.1", 0.5)),
+        ])
+        encodings = sorted(r.dewey.encode() for r in results)
+        assert encodings == ["0", "3.2"]
+
+    def test_no_cross_document_results(self, processor):
+        results = processor.execute([
+            dil("a", ("0.1", 1.0)),
+            dil("b", ("1.1", 1.0)),
+        ])
+        assert results == []
+
+    def test_requires_at_least_one_list(self, processor):
+        with pytest.raises(ValueError):
+            processor.execute([])
+
+    def test_single_keyword_query(self, processor):
+        results = processor.execute([dil("a", ("0.1.2", 1.0),
+                                         ("0.1.2.0", 0.5))])
+        # 0.1.2.0 covers the keyword, so its ancestor 0.1.2 is excluded.
+        assert [r.dewey.encode() for r in results] == ["0.1.2.0"]
+
+
+class TestScoring:
+    def test_decay_applied_per_level(self, processor):
+        results = processor.execute([
+            dil("a", ("0.0.0.0", 1.0)),
+            dil("b", ("0.1", 1.0)),
+        ])
+        assert len(results) == 1
+        result = results[0]
+        assert result.dewey.encode() == "0"
+        assert result.keyword_scores[0] == pytest.approx(0.125)
+        assert result.keyword_scores[1] == pytest.approx(0.5)
+        assert result.score == pytest.approx(0.625)
+
+    def test_max_over_multiple_occurrences(self, processor):
+        results = processor.execute([
+            dil("a", ("0.1.0", 0.4), ("0.1.1", 1.0)),
+            dil("b", ("0.1.2", 1.0)),
+        ])
+        assert results[0].keyword_scores[0] == pytest.approx(0.5)
+
+    def test_ranking_and_topk(self, processor):
+        results = processor.execute([
+            dil("a", ("0.1.0", 1.0), ("1.1.0", 0.4)),
+            dil("b", ("0.1.1", 1.0), ("1.1.1", 0.4)),
+        ], k=1)
+        assert len(results) == 1
+        assert results[0].dewey.doc_id == 0
+
+    def test_statistics_recorded(self, processor):
+        processor.execute([
+            dil("a", ("0.1.0", 1.0)),
+            dil("b", ("0.1.1", 1.0)),
+        ])
+        stats = processor.last_statistics
+        assert stats.postings_read == 2
+        assert stats.results_found == 1
+        assert stats.frames_pushed >= 3
+
+    def test_decay_validation(self):
+        with pytest.raises(ValueError):
+            DILQueryProcessor(decay=1.5)

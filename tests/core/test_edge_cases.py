@@ -1,0 +1,123 @@
+"""Edge-case tests across the engine surface."""
+
+import pytest
+
+from repro import (RELATIONSHIPS, XRANK, Keyword, KeywordQuery,
+                   XOntoRankEngine)
+from repro.ontology.snomed import build_core_ontology
+from repro.xmldoc.model import Corpus, XMLDocument, XMLNode
+from repro.xmldoc.parser import parse_document
+
+
+class TestDegenerateCorpora:
+    def test_empty_corpus(self):
+        engine = XOntoRankEngine(Corpus(), None, strategy=XRANK)
+        assert engine.search("anything") == []
+
+    def test_single_node_document(self):
+        corpus = Corpus([XMLDocument(doc_id=0,
+                                     root=XMLNode("note",
+                                                  text="asthma attack"))])
+        engine = XOntoRankEngine(corpus, None, strategy=XRANK)
+        results = engine.search("asthma attack")
+        assert len(results) == 1
+        assert results[0].dewey.encode() == "0"
+
+    def test_empty_corpus_with_ontology(self, core_ontology):
+        engine = XOntoRankEngine(Corpus(), core_ontology,
+                                 strategy=RELATIONSHIPS)
+        assert engine.search("asthma") == []
+
+    def test_unicode_text(self):
+        corpus = Corpus([parse_document(
+            "<doc><p>sténose aortique sévère</p>"
+            "<q>théophylline prescrite</q></doc>")])
+        engine = XOntoRankEngine(corpus, None, strategy=XRANK)
+        assert engine.search("sténose théophylline")
+
+
+class TestQueryShapes:
+    @pytest.fixture(scope="class")
+    def engine(self, figure1_corpus, core_ontology):
+        return XOntoRankEngine(figure1_corpus, core_ontology,
+                               strategy=RELATIONSHIPS)
+
+    def test_duplicate_keywords_allowed(self, engine):
+        query = KeywordQuery((Keyword.from_text("asthma"),
+                              Keyword.from_text("asthma")))
+        results = engine.search(query, k=5)
+        assert results
+        for result in results:
+            assert result.keyword_scores[0] == \
+                pytest.approx(result.keyword_scores[1])
+
+    def test_k_larger_than_result_count(self, engine):
+        results = engine.search("theophylline", k=10_000)
+        assert 0 < len(results) < 100
+
+    def test_single_keyword_query(self, engine):
+        results = engine.search("medications", k=5)
+        assert results
+
+    def test_five_keyword_query(self, engine):
+        results = engine.search(
+            "asthma medications theophylline temperature pulse", k=5)
+        # All five must be covered somewhere for any result to appear;
+        # either outcome is legal, but the call must not error.
+        assert isinstance(results, list)
+
+    def test_query_of_only_stopword_like_terms(self, engine):
+        # 'the' is a stopword for vocabulary building but still a legal
+        # query token; it appears in the dosing narrative? If not, no
+        # results -- must not crash.
+        results = engine.search("the", k=5)
+        assert isinstance(results, list)
+
+    def test_whitespace_query_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("   ")
+
+
+class TestCacheConsistency:
+    def test_repeated_searches_are_stable(self, figure1_corpus,
+                                          core_ontology):
+        engine = XOntoRankEngine(figure1_corpus, core_ontology,
+                                 strategy=RELATIONSHIPS)
+        first = engine.search("asthma medications", k=5)
+        second = engine.search("asthma medications", k=5)
+        assert [(r.dewey, r.score) for r in first] == \
+            [(r.dewey, r.score) for r in second]
+
+    def test_prebuilt_index_equals_lazy(self, core_ontology):
+        from repro.cda.sample import build_figure1_document
+        corpus = Corpus([build_figure1_document()])
+        lazy = XOntoRankEngine(corpus, core_ontology,
+                               strategy=RELATIONSHIPS)
+        prebuilt = XOntoRankEngine(corpus, core_ontology,
+                                   strategy=RELATIONSHIPS)
+        prebuilt.build_index(vocabulary={"asthma", "medications"})
+        query = "asthma medications"
+        assert [(r.dewey, r.score) for r in lazy.search(query, k=5)] == \
+            [(r.dewey, r.score) for r in prebuilt.search(query, k=5)]
+
+
+class TestDeepAndWideTrees:
+    def test_very_deep_document(self):
+        depth = 60
+        xml = "".join(f"<l{i}>" for i in range(depth)) + "asthma attack" \
+            + "".join(f"</l{i}>" for i in reversed(range(depth)))
+        corpus = Corpus([parse_document(f"<root>{xml}<z>inhaler</z></root>")])
+        engine = XOntoRankEngine(corpus, None, strategy=XRANK)
+        results = engine.search("asthma inhaler", k=3)
+        # Deep decay may push the connecting score near zero but the
+        # result must still surface (scores stay positive).
+        assert results
+        assert results[0].score > 0.0
+
+    def test_very_wide_document(self):
+        children = "".join(f"<e>word{i}</e>" for i in range(500))
+        corpus = Corpus([parse_document(
+            f"<root><a>asthma</a>{children}<b>inhaler</b></root>")])
+        engine = XOntoRankEngine(corpus, None, strategy=XRANK)
+        results = engine.search("asthma inhaler", k=3)
+        assert [r.dewey.encode() for r in results] == ["0"]

@@ -1,0 +1,117 @@
+"""Unit tests for ElemRank (XRANK's element-level PageRank)."""
+
+import pytest
+
+from repro import RELATIONSHIPS, XOntoRankConfig, XOntoRankEngine
+from repro.cda.sample import build_figure1_document
+from repro.core.elemrank import (ElemRankComputer, ElemRankParameters,
+                                 extract_link_edges)
+from repro.xmldoc.dewey import assign_dewey_ids
+from repro.xmldoc.model import Corpus
+from repro.xmldoc.parser import parse_document
+
+
+class TestParameters:
+    def test_damping_sum_bound(self):
+        with pytest.raises(ValueError):
+            ElemRankParameters(d1=0.5, d2=0.4, d3=0.2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ElemRankParameters(d1=-0.1)
+
+    def test_iterations_positive(self):
+        with pytest.raises(ValueError):
+            ElemRankParameters(max_iterations=0)
+
+
+class TestLinkExtraction:
+    def test_figure1_reference_link(self):
+        """Figure 1 links the Asthma observation's originalText to the
+        Theophylline narrative via <reference value="m1"/> / ID="m1"."""
+        document = build_figure1_document()
+        ids = assign_dewey_ids(document)
+        edges = extract_link_edges(document, ids)
+        assert len(edges) == 1
+        source, target = edges[0]
+        by_dewey = {dewey: node for node, dewey in ids.items()}
+        assert by_dewey[source].tag == "originalText"
+        assert by_dewey[target].attributes.get("ID") == "m1"
+
+    def test_dangling_reference_ignored(self):
+        document = parse_document(
+            '<a><reference value="nope"/><b ID="other"/></a>')
+        ids = assign_dewey_ids(document)
+        assert extract_link_edges(document, ids) == []
+
+
+class TestRanks:
+    def test_ranks_positive_and_finite(self):
+        corpus = Corpus([build_figure1_document()])
+        computer = ElemRankComputer(corpus)
+        ranks = computer.ranks()
+        assert ranks
+        assert all(value > 0.0 for value in ranks.values())
+
+    def test_total_mass_bounded(self):
+        """With d1+d2+d3 < 1 the iteration is a contraction; total mass
+        stays bounded (XRANK's formulation is not a stochastic matrix:
+        leaves leak forward-containment mass, so totals sit below 1)."""
+        corpus = Corpus([build_figure1_document()])
+        computer = ElemRankComputer(corpus)
+        total = sum(computer.ranks().values())
+        assert 0.1 < total < 3.0
+
+    def test_linked_element_gains_rank(self):
+        linked = parse_document(
+            '<doc><x><reference value="t"/></x><y ID="t"/><z/></doc>')
+        plain = parse_document('<doc><x/><y/><z/></doc>')
+        linked_ranks = ElemRankComputer(Corpus([linked])).ranks()
+        ids = assign_dewey_ids(linked)
+        target = next(dewey for node, dewey in ids.items()
+                      if node.attributes.get("ID") == "t")
+        sibling = next(dewey for node, dewey in ids.items()
+                       if node.tag == "z")
+        assert linked_ranks[target] > linked_ranks[sibling]
+
+    def test_symmetric_siblings_tie(self):
+        document = parse_document("<doc><a/><b/></doc>")
+        ranks = ElemRankComputer(Corpus([document])).ranks()
+        ids = assign_dewey_ids(document)
+        a = next(d for n, d in ids.items() if n.tag == "a")
+        b = next(d for n, d in ids.items() if n.tag == "b")
+        assert ranks[a] == pytest.approx(ranks[b])
+
+    def test_normalized_weights_max_one(self):
+        corpus = Corpus([build_figure1_document()])
+        weights = ElemRankComputer(corpus).normalized_weights()
+        assert max(weights.values()) == pytest.approx(1.0)
+        assert all(0.0 < value <= 1.0 for value in weights.values())
+
+
+class TestEngineIntegration:
+    def test_elemrank_engine_stays_consistent(self, core_ontology):
+        """DIL results must equal naive results with ElemRank on (the
+        weighting happens inside the shared NodeScorer)."""
+        corpus = Corpus([build_figure1_document()])
+        engine = XOntoRankEngine(
+            corpus, core_ontology, strategy=RELATIONSHIPS,
+            config=XOntoRankConfig(use_elemrank=True))
+        for query in ("asthma medications",
+                      '"bronchial structure" theophylline'):
+            dil = engine.search(query, k=10)
+            naive = engine.search_naive(query, k=10)
+            assert [(r.dewey, pytest.approx(r.score)) for r in dil] == \
+                [(r.dewey, r.score) for r in naive]
+
+    def test_elemrank_changes_scores(self, core_ontology):
+        corpus = Corpus([build_figure1_document()])
+        plain = XOntoRankEngine(corpus, core_ontology,
+                                strategy=RELATIONSHIPS)
+        weighted = XOntoRankEngine(
+            corpus, core_ontology, strategy=RELATIONSHIPS,
+            config=XOntoRankConfig(use_elemrank=True))
+        base = plain.search("asthma medications", k=1)
+        modulated = weighted.search("asthma medications", k=1)
+        assert base and modulated
+        assert modulated[0].score < base[0].score  # weights are <= 1

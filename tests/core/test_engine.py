@@ -1,0 +1,149 @@
+"""Unit tests for the XOntoRank engine facade, pinned to the paper's
+running examples on the Figure 1 document."""
+
+import pytest
+
+from repro import (GRAPH, RELATIONSHIPS, TAXONOMY, XRANK, XOntoRankConfig,
+                   XOntoRankEngine)
+from repro.cda.sample import build_figure1_document
+from repro.ontology.snomed import build_core_ontology
+from repro.storage.memory_store import MemoryStore
+from repro.storage.sqlite_store import SQLiteStore
+from repro.xmldoc.model import Corpus
+
+
+class TestConstruction:
+    def test_ontology_strategies_need_ontology(self, figure1_corpus):
+        with pytest.raises(ValueError):
+            XOntoRankEngine(figure1_corpus, None, strategy=RELATIONSHIPS)
+
+    def test_xrank_without_ontology(self, figure1_corpus):
+        engine = XOntoRankEngine(figure1_corpus, None, strategy=XRANK)
+        assert engine.search("asthma medications", k=5)
+
+    def test_unknown_strategy(self, figure1_corpus, core_ontology):
+        with pytest.raises(ValueError):
+            XOntoRankEngine(figure1_corpus, core_ontology,
+                            strategy="mystery")
+
+
+class TestPaperExamples:
+    def test_figure4_answer(self, figure1_engines):
+        """Query [asthma, medications] returns the Figure 4 Observation."""
+        engine = figure1_engines[RELATIONSHIPS]
+        results = engine.search("asthma medications", k=3)
+        assert results
+        fragment = engine.fragment(results[0])
+        assert fragment.tag == "Observation"
+        text = engine.fragment_text(results[0])
+        assert 'displayName="Asthma"' in text
+        assert 'displayName="Medications"' in text
+
+    def test_intro_query_needs_ontology(self, figure1_engines):
+        """'Bronchial Structure Theophylline': XRANK and Taxonomy find
+        nothing; Graph and Relationships connect Asthma to Bronchial
+        Structure (Section I)."""
+        query = '"bronchial structure" theophylline'
+        assert figure1_engines[XRANK].search(query) == []
+        assert figure1_engines[TAXONOMY].search(query) == []
+        assert figure1_engines[GRAPH].search(query)
+        assert figure1_engines[RELATIONSHIPS].search(query)
+
+    def test_intro_result_is_ontology_bridged(self, figure1_engines):
+        """The fragment answering the intro query carries no literal
+        'bronchial structure' text -- the keyword is satisfied purely
+        through the ontology, via a disorder whose finding site is the
+        bronchial structure (Eq. 1 picks the most specific such node)."""
+        engine = figure1_engines[RELATIONSHIPS]
+        results = engine.search('"bronchial structure" theophylline', k=10)
+        assert results
+        top = engine.fragment(results[0])
+        assert "bronchial structure" not in top.subtree_text().lower()
+        references = [node.reference.concept_code for node in top.iter()
+                      if node.reference is not None]
+        from repro.ontology.snomed import (BRONCHIAL_STRUCTURE,
+                                           FINDING_SITE_OF)
+        ontology = engine.ontology
+        assert any(
+            any(edge.destination == BRONCHIAL_STRUCTURE
+                for edge in ontology.outgoing(code, FINDING_SITE_OF))
+            for code in references if code in ontology)
+
+    def test_dil_equals_naive_on_paper_queries(self, figure1_engines):
+        for engine in figure1_engines.values():
+            for query in ("asthma medications",
+                          '"bronchial structure" theophylline',
+                          "theophylline temperature"):
+                dil = engine.search(query, k=10)
+                naive = engine.search_naive(query, k=10)
+                assert [(r.dewey, pytest.approx(r.score)) for r in dil] == \
+                    [(r.dewey, r.score) for r in naive]
+
+
+class TestIndexLifecycle:
+    def test_build_index_prewarms_cache(self, core_ontology):
+        corpus = Corpus([build_figure1_document()])
+        engine = XOntoRankEngine(corpus, core_ontology,
+                                 strategy=RELATIONSHIPS)
+        index = engine.build_index()
+        assert len(index) > 50
+        assert "asthma" in index.keywords()
+
+    def test_persist_and_reload(self, core_ontology):
+        corpus = Corpus([build_figure1_document()])
+        config = XOntoRankConfig()
+        store = MemoryStore()
+        engine = XOntoRankEngine(corpus, core_ontology,
+                                 strategy=RELATIONSHIPS, config=config)
+        engine.build_index(vocabulary={"asthma", "medications"},
+                           store=store)
+        assert store.get_metadata("strategy") == RELATIONSHIPS
+        assert list(store.document_ids()) == [0]
+
+        fresh = XOntoRankEngine(corpus, core_ontology,
+                                strategy=RELATIONSHIPS, config=config)
+        loaded = fresh.load_index(store)
+        assert loaded == 2
+        results = fresh.search("asthma medications", k=3)
+        original = engine.search("asthma medications", k=3)
+        assert [(r.dewey, r.score) for r in results] == \
+            [(r.dewey, r.score) for r in original]
+
+    def test_sqlite_store_end_to_end(self, core_ontology, tmp_path):
+        corpus = Corpus([build_figure1_document()])
+        path = str(tmp_path / "xonto.db")
+        engine = XOntoRankEngine(corpus, core_ontology,
+                                 strategy=RELATIONSHIPS)
+        with SQLiteStore(path) as store:
+            engine.build_index(vocabulary={"asthma", "medications"},
+                               store=store)
+        with SQLiteStore(path) as store:
+            fresh = XOntoRankEngine(corpus, core_ontology,
+                                    strategy=RELATIONSHIPS)
+            assert fresh.load_index(store) == 2
+            assert fresh.search("asthma medications", k=1)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            XOntoRankConfig(decay=0.0)
+        with pytest.raises(ValueError):
+            XOntoRankConfig(threshold=1.0)
+        with pytest.raises(ValueError):
+            XOntoRankConfig(t=-0.5)
+        with pytest.raises(ValueError):
+            XOntoRankConfig(top_k=0)
+
+    def test_threshold_changes_reach(self, figure1_corpus, core_ontology):
+        tight = XOntoRankEngine(
+            figure1_corpus, core_ontology, strategy=GRAPH,
+            config=XOntoRankConfig(threshold=0.6))
+        assert tight.search('"bronchial structure" theophylline') == []
+
+    def test_default_top_k_applies(self, figure1_corpus, core_ontology):
+        engine = XOntoRankEngine(
+            figure1_corpus, core_ontology, strategy=RELATIONSHIPS,
+            config=XOntoRankConfig(top_k=1))
+        results = engine.search("medications temperature")
+        assert len(results) <= 1

@@ -1,0 +1,105 @@
+"""Unit tests for the authority-flow expansion engines (Section VI)."""
+
+import pytest
+
+from repro.core.ontoscore.base import (NullOntoScore, best_first_expansion,
+                                       level_order_expansion)
+from repro.ir.tokenizer import Keyword
+
+
+def chain_neighbors(edges):
+    """Adjacency helper: edges maps node -> [(neighbor, factor), ...]."""
+    def neighbors(node):
+        return edges.get(node, [])
+    return neighbors
+
+
+class TestBestFirst:
+    def test_single_seed_decay(self):
+        edges = {"a": [("b", 0.5)], "b": [("c", 0.5)], "c": [("d", 0.5)]}
+        scores = best_first_expansion({"a": 1.0},
+                                      chain_neighbors(edges), 0.1)
+        assert scores == {"a": 1.0, "b": 0.5, "c": 0.25, "d": 0.125}
+
+    def test_threshold_prunes(self):
+        edges = {"a": [("b", 0.05)]}
+        scores = best_first_expansion({"a": 1.0},
+                                      chain_neighbors(edges), 0.1)
+        assert scores == {"a": 1.0}
+
+    def test_max_combination_over_paths(self):
+        # Two paths to c: direct weak (0.2) and indirect strong (0.81).
+        edges = {"a": [("c", 0.2), ("b", 0.9)], "b": [("c", 0.9)]}
+        scores = best_first_expansion({"a": 1.0},
+                                      chain_neighbors(edges), 0.1)
+        assert scores["c"] == pytest.approx(0.81)
+
+    def test_merged_seeds_take_max(self):
+        edges = {"a": [("x", 0.5)], "b": [("x", 0.5)]}
+        scores = best_first_expansion({"a": 1.0, "b": 0.4},
+                                      chain_neighbors(edges), 0.1)
+        assert scores["x"] == pytest.approx(0.5)
+
+    def test_cycles_terminate(self):
+        edges = {"a": [("b", 1.0)], "b": [("a", 1.0)]}
+        scores = best_first_expansion({"a": 0.8},
+                                      chain_neighbors(edges), 0.1)
+        assert scores == {"a": 0.8, "b": 0.8}
+
+    def test_weak_seed_can_be_overridden_by_flow(self):
+        edges = {"a": [("b", 0.9)]}
+        scores = best_first_expansion({"a": 1.0, "b": 0.2},
+                                      chain_neighbors(edges), 0.1)
+        assert scores["b"] == pytest.approx(0.9)
+
+    def test_seeds_below_threshold_dropped_from_result(self):
+        scores = best_first_expansion({"a": 0.05}, chain_neighbors({}), 0.1)
+        assert scores == {}
+
+    def test_invalid_factor_rejected(self):
+        edges = {"a": [("b", 1.5)]}
+        with pytest.raises(ValueError):
+            best_first_expansion({"a": 1.0}, chain_neighbors(edges), 0.1)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            best_first_expansion({}, chain_neighbors({}), 1.0)
+
+
+class TestLevelOrder:
+    def test_matches_best_first_on_uniform_factors(self):
+        edges = {"a": [("b", 0.5), ("c", 0.5)],
+                 "b": [("d", 0.5)], "c": [("d", 0.5)],
+                 "d": [("e", 0.5)]}
+        seeds = {"a": 1.0}
+        exact = best_first_expansion(seeds, chain_neighbors(edges), 0.01)
+        literal = level_order_expansion(seeds, chain_neighbors(edges), 0.01)
+        assert exact == literal
+
+    def test_can_underapproximate_on_nonuniform_factors(self):
+        # Level-order expands b at its first (weak) arrival; the strong
+        # path arrives after b already expanded, so c is under-scored.
+        edges = {"a": [("b", 0.2), ("m", 0.9)], "m": [("b", 0.9)],
+                 "b": [("c", 0.9)]}
+        seeds = {"a": 1.0}
+        exact = best_first_expansion(seeds, chain_neighbors(edges), 0.01)
+        literal = level_order_expansion(seeds, chain_neighbors(edges), 0.01)
+        assert exact["b"] == pytest.approx(0.81)
+        # The literal variant still records the best arrival score at b
+        # (Observation 1 merges with max) ...
+        assert literal["b"] == pytest.approx(0.81)
+        # ... but c was derived from the premature expansion of b.
+        assert literal["c"] < exact["c"]
+
+    def test_observation1_merges_with_max(self):
+        edges = {"a": [("x", 0.5)], "b": [("x", 0.9)]}
+        scores = level_order_expansion({"a": 1.0, "b": 1.0},
+                                       chain_neighbors(edges), 0.1)
+        assert scores["x"] == pytest.approx(0.9)
+
+
+class TestNullStrategy:
+    def test_always_empty(self):
+        null = NullOntoScore()
+        assert null.compute(Keyword.from_text("asthma")) == {}
+        assert null.score("anything", Keyword.from_text("asthma")) == 0.0

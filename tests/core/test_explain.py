@@ -1,0 +1,91 @@
+"""Unit tests for the result-explanation API."""
+
+import pytest
+
+from repro import RELATIONSHIPS, XRANK
+from repro.core.ontoscore.base import best_first_expansion_traced
+from repro.core.query.explain import ONTOLOGICAL, TEXTUAL
+from repro.ir.tokenizer import Keyword
+
+
+class TestTracedExpansion:
+    def test_predecessors_reach_seeds(self):
+        edges = {"a": [("b", 0.5)], "b": [("c", 0.9)]}
+        scores, predecessors = best_first_expansion_traced(
+            {"a": 1.0}, lambda node: edges.get(node, []), 0.1)
+        assert predecessors["a"] is None
+        assert predecessors["b"] == "a"
+        assert predecessors["c"] == "b"
+        assert scores["c"] == pytest.approx(0.45)
+
+    def test_predecessor_follows_best_path(self):
+        edges = {"a": [("c", 0.2), ("b", 0.9)], "b": [("c", 0.9)]}
+        _, predecessors = best_first_expansion_traced(
+            {"a": 1.0}, lambda node: edges.get(node, []), 0.1)
+        assert predecessors["c"] == "b"  # 0.81 beats 0.2
+
+    def test_seed_overridden_by_flow_tracks_flow(self):
+        edges = {"a": [("b", 0.9)]}
+        _, predecessors = best_first_expansion_traced(
+            {"a": 1.0, "b": 0.2}, lambda node: edges.get(node, []), 0.1)
+        assert predecessors["b"] == "a"
+
+
+class TestFlowPath:
+    def test_path_through_restriction(self, figure1_engines):
+        from repro.ontology.snomed import ASTHMA
+        engine = figure1_engines[RELATIONSHIPS]
+        keyword = Keyword.from_text("bronchial structure")
+        path = engine.ontoscore.flow_path(ASTHMA, keyword)
+        assert path is not None
+        assert path[-1] == ASTHMA
+        assert any(str(node).startswith("exists:") for node in path)
+
+    def test_unreachable_concept_has_no_path(self, figure1_engines):
+        from repro.ontology.snomed import BODY_HEIGHT
+        engine = figure1_engines[RELATIONSHIPS]
+        keyword = Keyword.from_text("bronchial structure")
+        assert engine.ontoscore.flow_path(BODY_HEIGHT, keyword) is None
+
+
+class TestExplainResult:
+    def test_textual_evidence(self, figure1_engines):
+        engine = figure1_engines[XRANK]
+        results = engine.search("asthma medications", k=1)
+        explanation = engine.explain(results[0], "asthma medications")
+        assert len(explanation.evidence) == 2
+        assert all(item.source == TEXTUAL
+                   for item in explanation.evidence)
+        for item in explanation.evidence:
+            assert results[0].dewey.contains(item.contributor)
+            assert item.propagated_score == pytest.approx(
+                item.node_score * 0.5 ** item.containment_distance)
+
+    def test_ontological_evidence_carries_path(self, figure1_engines):
+        engine = figure1_engines[RELATIONSHIPS]
+        query = '"bronchial structure" theophylline'
+        results = engine.search(query, k=1)
+        explanation = engine.explain(results[0], query)
+        bronchial = next(item for item in explanation.evidence
+                         if "bronchial" in item.keyword)
+        assert bronchial.source == ONTOLOGICAL
+        assert bronchial.concept_label
+        assert bronchial.ontology_path
+        assert bronchial.ontology_path[-1].node == bronchial.concept_code
+
+    def test_propagated_scores_match_result(self, figure1_engines):
+        engine = figure1_engines[RELATIONSHIPS]
+        query = "asthma medications"
+        results = engine.search(query, k=1)
+        explanation = engine.explain(results[0], query)
+        for item, score in zip(explanation.evidence,
+                               results[0].keyword_scores):
+            assert item.propagated_score == pytest.approx(score)
+
+    def test_describe_renders(self, figure1_engines):
+        engine = figure1_engines[RELATIONSHIPS]
+        query = '"bronchial structure" theophylline'
+        results = engine.search(query, k=1)
+        text = engine.explain(results[0], query).describe()
+        assert "result" in text
+        assert "via" in text

@@ -1,0 +1,182 @@
+"""Unit tests for the three OntoScore strategies, pinned to the paper's
+worked examples (Sections IV-A/B/C)."""
+
+import pytest
+
+from repro.core.ontoscore import (GraphOntoScore,
+                                  MaterializedRelationshipsOntoScore,
+                                  RelationshipsOntoScore,
+                                  concept_seed_scorer,
+                                  relationships_seed_scorer)
+from repro.core.ontoscore.taxonomy import TaxonomyOntoScore
+from repro.ir.tokenizer import Keyword
+from repro.ontology import DLView, snomed
+from repro.ontology.model import Ontology
+from repro.ontology.snomed import (ASTHMA, BRONCHIAL_STRUCTURE,
+                                   BRONCHITIS, DISORDER_OF_BRONCHUS,
+                                   build_core_ontology)
+
+
+@pytest.fixture(scope="module")
+def core():
+    return build_core_ontology()
+
+
+@pytest.fixture(scope="module")
+def concept_seeds(core):
+    return concept_seed_scorer(core)
+
+
+@pytest.fixture(scope="module")
+def relationship_seeds(core):
+    return relationships_seed_scorer(core)
+
+
+class TestGraphStrategy:
+    def test_intro_example(self, core, concept_seeds):
+        """Asthma gets decay^1 of Bronchial Structure's seed via the
+        finding-site-of edge (the paper's motivating query)."""
+        strategy = GraphOntoScore(core, concept_seeds, decay=0.5,
+                                  threshold=0.1)
+        scores = strategy.compute(Keyword.from_text("bronchial structure"))
+        assert scores[BRONCHIAL_STRUCTURE] == pytest.approx(1.0)
+        assert scores[ASTHMA] == pytest.approx(0.5)
+
+    def test_decay_per_hop(self, core, concept_seeds):
+        strategy = GraphOntoScore(core, concept_seeds, decay=0.5,
+                                  threshold=0.01)
+        scores = strategy.compute(Keyword.from_text("bronchial structure"))
+        # Asthma Attack: direct finding-site edge -> one hop.
+        assert scores[snomed.ASTHMA_ATTACK] == pytest.approx(0.5)
+
+    def test_threshold_bounds_radius(self, core, concept_seeds):
+        tight = GraphOntoScore(core, concept_seeds, decay=0.5,
+                               threshold=0.4)
+        loose = GraphOntoScore(core, concept_seeds, decay=0.5,
+                               threshold=0.05)
+        keyword = Keyword.from_text("bronchial structure")
+        assert len(tight.compute(keyword)) < len(loose.compute(keyword))
+
+    def test_edge_types_ignored(self, concept_seeds):
+        """Undirected and unlabeled: any edge type conducts equally."""
+        ontology = Ontology("s")
+        ontology.new_concept("a", "alpha")
+        ontology.new_concept("b", "beta")
+        ontology.add_relationship("a", "weird-link", "b")
+        seeds = concept_seed_scorer(ontology)
+        strategy = GraphOntoScore(ontology, seeds, decay=0.5,
+                                  threshold=0.1)
+        scores = strategy.compute(Keyword.from_text("alpha"))
+        assert scores["b"] == pytest.approx(0.5)
+
+    def test_invalid_decay(self, core, concept_seeds):
+        with pytest.raises(ValueError):
+            GraphOntoScore(core, concept_seeds, decay=0.0)
+
+
+class TestTaxonomyStrategy:
+    def test_downward_flow_is_undamped(self, core, concept_seeds):
+        """Paper example (i): OS for 'bronchus' flows from Disorder of
+        Bronchus to its subclass Asthma at full strength."""
+        strategy = TaxonomyOntoScore(core, concept_seeds, threshold=0.01)
+        scores = strategy.compute(Keyword.from_text("bronchus"))
+        # 'bronchus' is a synonym of Bronchial Structure and a word of
+        # DOB's name; Asthma is a subclass of DOB.
+        assert scores[ASTHMA] == pytest.approx(scores[DISORDER_OF_BRONCHUS])
+        assert scores[BRONCHITIS] == pytest.approx(
+            scores[DISORDER_OF_BRONCHUS])
+
+    def test_upward_flow_split_by_subclass_count(self, core,
+                                                 concept_seeds):
+        """Paper example (ii): flowing up to a superclass divides by its
+        number of direct subclasses (1/26 for Asthma's parent role in
+        the paper; here measured on our DAG)."""
+        strategy = TaxonomyOntoScore(core, concept_seeds, threshold=0.001)
+        scores = strategy.compute(Keyword.from_text("asthma"))
+        assert scores[ASTHMA] == pytest.approx(1.0)
+        expected = 1.0 / core.subclass_count(DISORDER_OF_BRONCHUS)
+        assert scores[DISORDER_OF_BRONCHUS] == pytest.approx(expected)
+
+    def test_no_flow_through_attribute_edges(self, core, concept_seeds):
+        strategy = TaxonomyOntoScore(core, concept_seeds, threshold=0.01)
+        scores = strategy.compute(Keyword.from_text("bronchial structure"))
+        # Bronchial Structure connects to Asthma only via finding-site;
+        # the taxonomy strategy must not cross it.
+        assert ASTHMA not in scores
+
+    def test_descendants_of_matches_all_reached(self, core, concept_seeds):
+        strategy = TaxonomyOntoScore(core, concept_seeds, threshold=0.01)
+        scores = strategy.compute(Keyword.from_text("asthma"))
+        for subclass in core.children(ASTHMA):
+            assert scores[subclass] == pytest.approx(1.0)
+
+
+class TestRelationshipsStrategy:
+    def test_intro_example_via_dotted_link(self, core, relationship_seeds):
+        """Bronchial Structure -> dotted (t) -> ∃fso.BS -> down (1) ->
+        Asthma: OS = t."""
+        strategy = RelationshipsOntoScore(core, relationship_seeds,
+                                          t=0.5, threshold=0.1)
+        scores = strategy.compute(Keyword.from_text("bronchial structure"))
+        assert scores[ASTHMA] == pytest.approx(0.5)
+
+    def test_forward_role_flow_divided_by_in_degree(self, core,
+                                                    relationship_seeds):
+        """A -> ∃r.B (1/N) -> B (t): Section VI-C's denominator."""
+        strategy = RelationshipsOntoScore(core, relationship_seeds,
+                                          t=0.5, threshold=0.0001)
+        scores = strategy.compute(Keyword.from_text("pericardial effusion"))
+        in_degree = core.role_in_degree(snomed.PERICARDIUM_STRUCTURE,
+                                        snomed.FINDING_SITE_OF)
+        expected = 0.5 / in_degree
+        assert scores[snomed.PERICARDIUM_STRUCTURE] == \
+            pytest.approx(expected)
+
+    def test_extends_taxonomy(self, core, concept_seeds,
+                              relationship_seeds):
+        """Every taxonomy-reachable concept is relationships-reachable
+        with at least the same score."""
+        taxonomy = TaxonomyOntoScore(core, concept_seeds, threshold=0.1)
+        relationships = RelationshipsOntoScore(core, relationship_seeds,
+                                               t=0.5, threshold=0.1)
+        keyword = Keyword.from_text("asthma")
+        tax_scores = taxonomy.compute(keyword)
+        rel_scores = relationships.compute(keyword)
+        for concept, score in tax_scores.items():
+            assert rel_scores.get(concept, 0.0) >= score - 1e-12
+
+    def test_no_existential_states_in_output(self, core,
+                                             relationship_seeds):
+        strategy = RelationshipsOntoScore(core, relationship_seeds,
+                                          t=0.5, threshold=0.01)
+        scores = strategy.compute(Keyword.from_text("asthma"))
+        assert not any(str(code).startswith("exists:") for code in scores)
+
+    def test_implicit_equals_materialized(self, core, relationship_seeds):
+        """Section VI-C's claim: the implicit algorithm assigns scores
+        'equal to the ones computed by building the ontological
+        graph'."""
+        implicit = RelationshipsOntoScore(core, relationship_seeds,
+                                          t=0.5, threshold=0.05)
+        materialized = MaterializedRelationshipsOntoScore(
+            DLView(core), relationship_seeds, t=0.5, threshold=0.05)
+        for text in ("asthma", "bronchial structure", "pericardium",
+                     "amiodarone", "pain", "theophylline"):
+            keyword = Keyword.from_text(text)
+            left = implicit.compute(keyword)
+            right = materialized.compute(keyword)
+            assert left.keys() == right.keys()
+            for concept in left:
+                assert left[concept] == pytest.approx(right[concept])
+
+    def test_pain_control_trap_path(self, core, relationship_seeds):
+        """Acetaminophen reaches aspirin through the shared pain-control
+        restriction -- the mapping the paper's expert rejected."""
+        strategy = RelationshipsOntoScore(core, relationship_seeds,
+                                          t=0.5, threshold=0.05)
+        scores = strategy.compute(Keyword.from_text("acetaminophen"))
+        assert snomed.ASPIRIN in scores
+
+    def test_invalid_t(self, core, relationship_seeds):
+        with pytest.raises(ValueError):
+            RelationshipsOntoScore(core, relationship_seeds, t=0.0)

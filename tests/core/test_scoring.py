@@ -1,0 +1,122 @@
+"""Unit tests for Eq. 5 NodeScores and Eq. 2-4 propagation."""
+
+import pytest
+
+from repro.core.ontoscore import (NullOntoScore, RelationshipsOntoScore,
+                                  relationships_seed_scorer)
+from repro.core.scoring import (ElementIndex, NodeScorer, propagate_scores,
+                                result_score)
+from repro.ir.tokenizer import Keyword
+from repro.ontology import TerminologyService
+from repro.ontology.snomed import ASTHMA, build_core_ontology
+from repro.xmldoc.dewey import DeweyID
+from repro.xmldoc.model import Corpus
+from repro.cda.sample import build_figure1_document
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ontology = build_core_ontology()
+    terminology = TerminologyService([ontology])
+    corpus = Corpus([build_figure1_document()])
+    element_index = ElementIndex(corpus,
+                                 concept_resolver=terminology.resolve)
+    return ontology, corpus, element_index
+
+
+class TestElementIndex:
+    def test_every_element_indexed(self, setup):
+        _, corpus, element_index = setup
+        assert element_index.element_count() == \
+            next(iter(corpus)).node_count()
+
+    def test_code_node_concepts_resolved(self, setup):
+        ontology, _, element_index = setup
+        concepts = element_index.code_node_concepts()
+        assert ASTHMA in concepts.values()
+        # LOINC section codes reference a system we did not register.
+        assert all(code in ontology for code in concepts.values())
+
+    def test_irs_normalized(self, setup):
+        _, _, element_index = setup
+        scores = element_index.irs(Keyword.from_text("theophylline"))
+        assert scores
+        assert max(scores.values()) == pytest.approx(1.0)
+
+    def test_concept_of(self, setup):
+        _, _, element_index = setup
+        concepts = element_index.code_node_concepts()
+        dewey = next(iter(concepts))
+        assert element_index.concept_of(dewey) == concepts[dewey]
+        assert element_index.concept_of(DeweyID(99)) is None
+
+
+class TestNodeScorer:
+    def test_xrank_node_scores_are_pure_irs(self, setup):
+        _, _, element_index = setup
+        scorer = NodeScorer(element_index, NullOntoScore())
+        keyword = Keyword.from_text("asthma")
+        assert scorer.node_scores(keyword) == element_index.irs(keyword)
+
+    def test_ontoscore_lifts_code_nodes(self, setup):
+        ontology, _, element_index = setup
+        seeds = relationships_seed_scorer(ontology)
+        strategy = RelationshipsOntoScore(ontology, seeds, t=0.5,
+                                          threshold=0.1)
+        scorer = NodeScorer(element_index, strategy)
+        keyword = Keyword.from_text("bronchial structure")
+        scores = scorer.node_scores(keyword)
+        # No textual match anywhere, yet the Asthma code node scores.
+        assert element_index.irs(keyword) == {}
+        asthma_nodes = [dewey for dewey, concept
+                        in element_index.code_node_concepts().items()
+                        if concept == ASTHMA]
+        assert asthma_nodes
+        for dewey in asthma_nodes:
+            assert scores[dewey] == pytest.approx(0.5)
+
+    def test_eq5_takes_max_of_irs_and_ontoscore(self, setup):
+        ontology, _, element_index = setup
+        seeds = relationships_seed_scorer(ontology)
+        strategy = RelationshipsOntoScore(ontology, seeds, t=0.5,
+                                          threshold=0.1)
+        scorer = NodeScorer(element_index, strategy)
+        keyword = Keyword.from_text("asthma")
+        scores = scorer.node_scores(keyword)
+        irs = element_index.irs(keyword)
+        for dewey, value in scores.items():
+            assert value >= irs.get(dewey, 0.0) - 1e-12
+
+
+class TestPropagation:
+    def test_eq2_decay_per_edge(self):
+        scores = {DeweyID(0, (1, 2, 3)): 1.0}
+        propagated = propagate_scores(scores, decay=0.5)
+        assert propagated[DeweyID(0, (1, 2, 3))] == 1.0
+        assert propagated[DeweyID(0, (1, 2))] == 0.5
+        assert propagated[DeweyID(0, (1,))] == 0.25
+        assert propagated[DeweyID(0)] == 0.125
+
+    def test_eq3_max_over_descendants(self):
+        scores = {DeweyID(0, (0, 0)): 1.0, DeweyID(0, (1,)): 0.9}
+        propagated = propagate_scores(scores, decay=0.5)
+        # Root sees 0.25 via the deep node and 0.45 via the shallow one.
+        assert propagated[DeweyID(0)] == pytest.approx(0.45)
+
+    def test_zero_scores_dropped(self):
+        propagated = propagate_scores({DeweyID(0, (1,)): 0.0}, decay=0.5)
+        assert propagated == {}
+
+    def test_decay_validation(self):
+        with pytest.raises(ValueError):
+            propagate_scores({}, decay=0.0)
+
+    def test_multiple_documents_independent(self):
+        scores = {DeweyID(0, (1,)): 1.0, DeweyID(7, (2,)): 1.0}
+        propagated = propagate_scores(scores, decay=0.5)
+        assert propagated[DeweyID(0)] == 0.5
+        assert propagated[DeweyID(7)] == 0.5
+
+    def test_result_score_is_sum(self):
+        assert result_score([0.5, 0.25, 1.0]) == pytest.approx(1.75)
+        assert result_score([]) == 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for compact result snippets."""
+
+import pytest
+
+from repro import RELATIONSHIPS
+from repro.xmldoc.navigation import subtree_size
+
+
+class TestSnippets:
+    def test_snippet_no_larger_than_fragment(self, figure1_engines):
+        engine = figure1_engines[RELATIONSHIPS]
+        query = "theophylline temperature"
+        results = engine.search(query, k=3)
+        assert results
+        for result in results:
+            fragment = engine.fragment(result)
+            snippet = engine.snippet(result, query)
+            assert subtree_size(snippet) <= subtree_size(fragment)
+            assert snippet.tag == fragment.tag
+
+    def test_snippet_keeps_contributors(self, figure1_engines):
+        engine = figure1_engines[RELATIONSHIPS]
+        query = "asthma medications"
+        result = engine.search(query, k=1)[0]
+        explanation = engine.explain(result, query)
+        snippet = engine.snippet(result, query)
+        text = snippet.subtree_text().lower()
+        # Both contributing elements survive the pruning.
+        assert "asthma" in text
+        assert "medications" in text
+        assert len(explanation.evidence) == 2
+
+    def test_snippet_prunes_unrelated_siblings(self):
+        # A document where the two keywords sit in different branches of
+        # a wide section: the snippet keeps the two spines only.
+        from repro import XRANK, XOntoRankEngine
+        from repro.xmldoc import Corpus
+        from repro.xmldoc.parser import parse_document
+        document = parse_document(
+            "<doc><s><a><p>asthma noted</p></a>"
+            "<noise><n1/><n2/><n3/></noise>"
+            "<b><q>theophylline given</q></b></s></doc>")
+        engine = XOntoRankEngine(Corpus([document]), None,
+                                 strategy=XRANK)
+        query = "asthma theophylline"
+        result = engine.search(query, k=1)[0]
+        fragment = engine.fragment(result)
+        snippet = engine.snippet(result, query)
+        assert subtree_size(snippet) < subtree_size(fragment)
+        assert snippet.find("noise") is None
+        assert "asthma" in snippet.subtree_text()
+        assert "theophylline" in snippet.subtree_text()
+
+    def test_snippet_text_renders(self, figure1_engines):
+        engine = figure1_engines[RELATIONSHIPS]
+        query = "asthma medications"
+        result = engine.search(query, k=1)[0]
+        assert engine.snippet_text(result, query).startswith("<")

@@ -1,0 +1,83 @@
+"""Unit tests for the relational EMR database."""
+
+import pytest
+
+from repro.emr.database import EMRDatabase, IntegrityError
+from repro.emr.schema import (ClinicalNote, Diagnosis, Encounter,
+                              MedicationOrder, Patient, ProcedureRecord,
+                              Provider, VitalSign)
+
+
+@pytest.fixture
+def database():
+    db = EMRDatabase()
+    db.insert_provider(Provider("P1", "Alice", "Chen"))
+    db.insert_patient(Patient("PT1", "Maria", "Garcia", "F", "2001-02-03"))
+    db.insert_encounter(Encounter("E1", "PT1", "P1", "2007-01-01",
+                                  "2007-01-02"))
+    return db
+
+
+class TestInserts:
+    def test_duplicate_primary_key(self, database):
+        with pytest.raises(IntegrityError):
+            database.insert_patient(
+                Patient("PT1", "X", "Y", "M", "2000-01-01"))
+
+    def test_encounter_requires_patient_and_provider(self, database):
+        with pytest.raises(IntegrityError):
+            database.insert_encounter(
+                Encounter("E2", "NOPE", "P1", "2007-01-01", "2007-01-02"))
+        with pytest.raises(IntegrityError):
+            database.insert_encounter(
+                Encounter("E2", "PT1", "NOPE", "2007-01-01", "2007-01-02"))
+
+    def test_child_rows_require_encounter(self, database):
+        with pytest.raises(IntegrityError):
+            database.insert_diagnosis(
+                Diagnosis("D1", "NOPE", "123", "Asthma"))
+        with pytest.raises(IntegrityError):
+            database.insert_note(ClinicalNote("N1", "NOPE", "plan", "txt"))
+
+
+class TestQueries:
+    def test_encounters_for(self, database):
+        assert [e.encounter_id
+                for e in database.encounters_for("PT1")] == ["E1"]
+
+    def test_rows_grouped_by_encounter(self, database):
+        database.insert_diagnosis(Diagnosis("D1", "E1", "1", "Asthma"))
+        database.insert_medication_order(
+            MedicationOrder("M1", "E1", "2", "Theophylline", "20 mg"))
+        database.insert_vital_sign(
+            VitalSign("V1", "E1", "3", "Heart rate", 88.0, "/min"))
+        database.insert_procedure(
+            ProcedureRecord("PR1", "E1", "4", "Pain control"))
+        database.insert_note(ClinicalNote("N1", "E1", "plan", "ok"))
+        assert len(database.diagnoses_for("E1")) == 1
+        assert len(database.orders_for("E1")) == 1
+        assert len(database.vitals_for("E1")) == 1
+        assert len(database.procedures_for("E1")) == 1
+        assert len(database.notes_for("E1")) == 1
+
+    def test_ground_truth_accumulates(self, database):
+        database.insert_diagnosis(Diagnosis("D1", "E1", "c-asthma",
+                                            "Asthma"))
+        database.insert_medication_order(
+            MedicationOrder("M1", "E1", "c-theo", "Theophylline"))
+        truth = database.ground_truth("PT1")
+        assert truth.condition_codes == {"c-asthma"}
+        assert truth.drug_codes == {"c-theo"}
+
+    def test_stats(self, database):
+        stats = database.stats()
+        assert stats["patients"] == 1
+        assert stats["encounters"] == 1
+
+    def test_unknown_lookups(self, database):
+        with pytest.raises(IntegrityError):
+            database.patient("NOPE")
+        with pytest.raises(IntegrityError):
+            database.diagnoses_for("NOPE")
+        with pytest.raises(IntegrityError):
+            database.ground_truth("NOPE")

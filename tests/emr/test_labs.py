@@ -1,0 +1,99 @@
+"""Unit tests for laboratory results in the EMR and the CDA Results
+section."""
+
+import pytest
+
+from repro.cda import build_cda_corpus, codes
+from repro.emr import generate_cardiac_emr
+from repro.emr.database import EMRDatabase, IntegrityError
+from repro.emr.schema import (Encounter, LabResult, Patient, Provider)
+
+
+class TestLabTable:
+    @pytest.fixture
+    def database(self):
+        db = EMRDatabase()
+        db.insert_provider(Provider("P1", "A", "B"))
+        db.insert_patient(Patient("PT1", "C", "D", "F", "2001-01-01"))
+        db.insert_encounter(Encounter("E1", "PT1", "P1", "2007-01-01",
+                                      "2007-01-02"))
+        return db
+
+    def test_insert_and_query(self, database):
+        database.insert_lab_result(LabResult(
+            "L1", "E1", "2823-3", "Potassium", 4.1, "mmol/L",
+            reference_range="3.4-4.7 mmol/L"))
+        labs = database.labs_for("E1")
+        assert len(labs) == 1
+        assert labs[0].display_name == "Potassium"
+        assert database.stats()["lab_results"] == 1
+
+    def test_requires_encounter(self, database):
+        with pytest.raises(IntegrityError):
+            database.insert_lab_result(LabResult(
+                "L1", "NOPE", "2823-3", "Potassium", 4.1, "mmol/L"))
+
+
+class TestGeneratedLabs:
+    @pytest.fixture(scope="class")
+    def database(self):
+        return generate_cardiac_emr(n_patients=8, seed=23)
+
+    def test_every_encounter_has_a_panel(self, database):
+        for patient in database.patients():
+            for encounter in database.encounters_for(patient.patient_id):
+                labs = database.labs_for(encounter.encounter_id)
+                assert len(labs) >= 2
+                for lab in labs:
+                    assert lab.unit
+                    assert lab.reference_range
+
+    def test_abnormal_flags_consistent(self, database):
+        for patient in database.patients():
+            for encounter in database.encounters_for(patient.patient_id):
+                for lab in database.labs_for(encounter.encounter_id):
+                    low, high = lab.reference_range.split(" ")[0].split("-")
+                    if lab.abnormal_flag == "H":
+                        assert lab.value > float(high)
+                    elif lab.abnormal_flag == "L":
+                        assert lab.value < float(low)
+                    else:
+                        assert float(low) <= lab.value <= float(high)
+
+    def test_abnormal_labs_reach_the_note(self, database):
+        found = 0
+        for patient in database.patients():
+            for encounter in database.encounters_for(patient.patient_id):
+                abnormal = [lab for lab
+                            in database.labs_for(encounter.encounter_id)
+                            if lab.abnormal_flag]
+                notes = " ".join(
+                    note.text for note
+                    in database.notes_for(encounter.encounter_id))
+                for lab in abnormal:
+                    if lab.display_name in notes:
+                        found += 1
+        assert found > 0
+
+
+class TestResultsSection:
+    def test_cda_results_section_emitted(self):
+        database = generate_cardiac_emr(n_patients=4, seed=23)
+        corpus, _ = build_cda_corpus(database)
+        document = next(iter(corpus))
+        titles = [node.text for node in document.iter()
+                  if node.tag == "title"]
+        assert "Results" in titles
+
+    def test_lab_observations_reference_loinc(self):
+        database = generate_cardiac_emr(n_patients=4, seed=23)
+        corpus, _ = build_cda_corpus(database)
+        loinc_codes = {code for code, *_ in (
+            ("718-7",), ("6690-2",), ("2823-3",), ("2951-2",),
+            ("2160-0",), ("30934-4",), ("2157-6",))}
+        found = set()
+        for document in corpus:
+            for node in document.code_nodes():
+                if node.reference.system_code == codes.LOINC_OID:
+                    found.add(node.reference.concept_code)
+        assert found & loinc_codes

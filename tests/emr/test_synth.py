@@ -1,0 +1,96 @@
+"""Unit tests for the synthetic pediatric-cardiology generator."""
+
+import pytest
+
+from repro.emr.synth import (CardiacEMRGenerator, DEFAULT_EXCLUSIVE_GROUPS,
+                             SynthConfig, generate_cardiac_emr)
+from repro.ontology import snomed
+from repro.ontology.snomed import build_synthetic_snomed
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        first = generate_cardiac_emr(n_patients=8, seed=42)
+        second = generate_cardiac_emr(n_patients=8, seed=42)
+        assert first.stats() == second.stats()
+        for patient in first.patients():
+            other = second.patient(patient.patient_id)
+            assert patient == other
+
+    def test_patient_count_respected(self):
+        database = generate_cardiac_emr(n_patients=5, seed=1)
+        assert database.stats()["patients"] == 5
+
+    def test_every_encounter_has_content(self):
+        database = generate_cardiac_emr(n_patients=6, seed=3)
+        for patient in database.patients():
+            encounters = database.encounters_for(patient.patient_id)
+            assert encounters
+            for encounter in encounters:
+                eid = encounter.encounter_id
+                assert database.diagnoses_for(eid)
+                assert database.vitals_for(eid)
+                assert database.notes_for(eid)
+
+    def test_orders_reference_indications(self):
+        database = generate_cardiac_emr(n_patients=6, seed=3)
+        for patient in database.patients():
+            for encounter in database.encounters_for(patient.patient_id):
+                diagnosis_codes = {d.concept_code for d in
+                                   database.diagnoses_for(
+                                       encounter.encounter_id)}
+                for order in database.orders_for(encounter.encounter_id):
+                    if order.indication_code:
+                        assert order.indication_code in diagnosis_codes
+
+    def test_notes_mention_drugs(self):
+        database = generate_cardiac_emr(n_patients=6, seed=3)
+        mentioned = 0
+        for patient in database.patients():
+            for encounter in database.encounters_for(patient.patient_id):
+                orders = database.orders_for(encounter.encounter_id)
+                notes = " ".join(n.text for n in database.notes_for(
+                    encounter.encounter_id))
+                for order in orders:
+                    if order.indication_code and \
+                            order.display_name in notes:
+                        mentioned += 1
+        assert mentioned > 0
+
+    def test_exclusive_groups_enforced(self):
+        """Arrhythmia patients never carry fever/pain diagnoses, the
+        corpus property behind Table I's all-zero row."""
+        database = generate_cardiac_emr(n_patients=60, seed=5)
+        group_a, group_b = DEFAULT_EXCLUSIVE_GROUPS[0]
+        for patient in database.patients():
+            codes = database.ground_truth(patient.patient_id).condition_codes
+            assert not (codes & group_a and codes & group_b)
+
+    def test_extra_concepts_from_ontology(self):
+        ontology = build_synthetic_snomed()
+        config = SynthConfig(n_patients=30, seed=9,
+                             extra_concept_fraction=1.0)
+        database = CardiacEMRGenerator(config, ontology).generate()
+        generated_codes = set()
+        for patient in database.patients():
+            truth = database.ground_truth(patient.patient_id)
+            generated_codes |= {code for code in truth.condition_codes
+                                if code.startswith("92")}
+        assert generated_codes
+
+    def test_without_ontology_no_extra_concepts(self):
+        database = generate_cardiac_emr(n_patients=10, seed=9)
+        for patient in database.patients():
+            truth = database.ground_truth(patient.patient_id)
+            assert not any(code.startswith("92")
+                           for code in truth.condition_codes)
+
+    def test_vitals_use_snomed_observables(self):
+        database = generate_cardiac_emr(n_patients=3, seed=2)
+        codes = set()
+        for patient in database.patients():
+            for encounter in database.encounters_for(patient.patient_id):
+                codes |= {v.concept_code for v in
+                          database.vitals_for(encounter.encounter_id)}
+        assert snomed.BODY_TEMPERATURE in codes
+        assert snomed.HEART_RATE in codes

@@ -1,0 +1,98 @@
+"""Unit tests for the top-k Kendall tau distance (Fagin et al.)."""
+
+import pytest
+
+from repro.evaluation.kendall import (average_matrices, distance_matrix,
+                                      kendall_tau_topk)
+
+
+class TestBasicCases:
+    def test_identical_lists(self):
+        assert kendall_tau_topk(["a", "b", "c"], ["a", "b", "c"]) == 0.0
+
+    def test_disjoint_lists_are_maximal(self):
+        assert kendall_tau_topk(["a", "b"], ["c", "d"], p=0.5) == \
+            pytest.approx(1.0)
+        assert kendall_tau_topk(["a", "b"], ["c", "d"], p=0.0) == \
+            pytest.approx(1.0)
+
+    def test_reversal(self):
+        # Full reversal of the same items: every pair disagrees.
+        distance = kendall_tau_topk(["a", "b", "c"], ["c", "b", "a"],
+                                    normalize=False)
+        assert distance == 3.0
+
+    def test_single_swap(self):
+        distance = kendall_tau_topk(["a", "b", "c"], ["a", "c", "b"],
+                                    normalize=False)
+        assert distance == 1.0
+
+    def test_empty_lists(self):
+        assert kendall_tau_topk([], []) == 0.0
+
+    def test_symmetry(self):
+        left = ["a", "b", "c", "d"]
+        right = ["b", "e", "a", "f"]
+        assert kendall_tau_topk(left, right, p=0.5) == \
+            pytest.approx(kendall_tau_topk(right, left, p=0.5))
+
+
+class TestCaseRules:
+    def test_case2_consistent_truncation_free(self):
+        # b missing from the second list; a ranked above b in the first:
+        # consistent, zero distance.
+        assert kendall_tau_topk(["a", "b"], ["a"]) == 0.0
+
+    def test_case2_inconsistent_truncation_penalized(self):
+        # b above a in the first list, yet only a survives in the second.
+        distance = kendall_tau_topk(["b", "a"], ["a"], normalize=False)
+        assert distance == 1.0
+
+    def test_case3_cross_exclusive_pairs(self):
+        distance = kendall_tau_topk(["a"], ["b"], normalize=False)
+        assert distance == 1.0
+
+    def test_case4_penalty_parameter(self):
+        # Pair (b, c) exists only in the first list.
+        base = kendall_tau_topk(["a", "b", "c"], ["a"], p=0.0,
+                                normalize=False)
+        penalized = kendall_tau_topk(["a", "b", "c"], ["a"], p=1.0,
+                                     normalize=False)
+        assert penalized == base + 1.0
+
+    def test_p_validation(self):
+        with pytest.raises(ValueError):
+            kendall_tau_topk(["a"], ["a"], p=2.0)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            kendall_tau_topk(["a", "a"], ["b"])
+
+    def test_normalized_in_unit_interval(self):
+        lists = (["a", "b", "c"], ["c", "d", "e"], ["x", "y", "z"],
+                 ["a", "z", "d"])
+        for left in lists:
+            for right in lists:
+                value = kendall_tau_topk(left, right, p=0.5)
+                assert 0.0 <= value <= 1.0 + 1e-12
+
+
+class TestMatrices:
+    def test_distance_matrix_shape(self):
+        matrix = distance_matrix({"x": ["a"], "y": ["a"], "z": ["b"]})
+        assert matrix[("x", "x")] == 0.0
+        assert matrix[("x", "y")] == 0.0
+        assert matrix[("x", "z")] == matrix[("z", "x")] == \
+            pytest.approx(1.0)
+
+    def test_average_matrices(self):
+        first = {("a", "b"): 0.2}
+        second = {("a", "b"): 0.6}
+        assert average_matrices([first, second]) == {("a", "b"): 0.4}
+
+    def test_average_requires_same_keys(self):
+        with pytest.raises(ValueError):
+            average_matrices([{("a", "b"): 0.1}, {("a", "c"): 0.1}])
+
+    def test_average_empty(self):
+        assert average_matrices([]) == {}

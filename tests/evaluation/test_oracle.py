@@ -1,0 +1,138 @@
+"""Unit tests for the simulated expert relevance oracle."""
+
+import pytest
+
+from repro.evaluation.oracle import RelevanceOracle, expert_selection
+from repro.ontology import TerminologyService, snomed
+from repro.ontology.snomed import build_core_ontology
+from repro.xmldoc.model import OntologicalReference, XMLNode
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    ontology = build_core_ontology()
+    return RelevanceOracle(ontology, TerminologyService([ontology]))
+
+
+def fragment_with_text(text):
+    root = XMLNode("section")
+    root.add("paragraph", text=text)
+    return root
+
+
+def fragment_with_code(code):
+    root = XMLNode("entry")
+    root.add("value", {"displayName": ""},
+             reference=OntologicalReference(snomed.SNOMED_SYSTEM_CODE,
+                                            code))
+    return root
+
+
+class TestTextualJudgment:
+    def test_exact_text_is_relevant(self, oracle):
+        fragment = fragment_with_text(
+            "cardiac arrest treated with amiodarone")
+        assert oracle.is_relevant('"cardiac arrest" amiodarone', fragment)
+
+    def test_phrase_requires_adjacency(self, oracle):
+        fragment = fragment_with_text("cardiac issues without arrest")
+        assert not oracle.is_relevant('"cardiac arrest"', fragment)
+
+    def test_missing_keyword_fails(self, oracle):
+        fragment = fragment_with_text("cardiac arrest only")
+        judgment = oracle.judge('"cardiac arrest" amiodarone', fragment)
+        assert not judgment.relevant
+        assert any("not satisfied" in reason
+                   for reason in judgment.reasons)
+
+
+class TestOntologicalJudgment:
+    def test_same_concept(self, oracle):
+        assert oracle.is_relevant("asthma",
+                                  fragment_with_code(snomed.ASTHMA))
+
+    def test_near_subclass_accepted(self, oracle):
+        # Atrial fibrillation is-a Supraventricular arrhythmia (1 level).
+        fragment = fragment_with_code(snomed.ATRIAL_FIBRILLATION)
+        assert oracle.is_relevant('"supraventricular arrhythmia"',
+                                  fragment)
+
+    def test_far_descendant_rejected(self, oracle):
+        # Atrial fibrillation is 4+ levels below Clinical finding; the
+        # expert rejects keyword matches to far ancestors.
+        fragment = fragment_with_code(snomed.ATRIAL_FIBRILLATION)
+        assert not oracle.is_relevant("finding", fragment)
+
+    def test_ancestor_concept_rejected(self, oracle):
+        # A fragment about the *general* disorder does not answer a
+        # query for the specific one.
+        fragment = fragment_with_code(snomed.CARDIAC_ARRHYTHMIA)
+        assert not oracle.is_relevant('"atrial fibrillation"', fragment)
+
+    def test_finding_site_accepted(self, oracle):
+        # The intro example: an Asthma fragment answers a query about
+        # the Bronchial Structure.
+        fragment = fragment_with_code(snomed.ASTHMA)
+        assert oracle.is_relevant('"bronchial structure"', fragment)
+
+    def test_inherited_finding_site_accepted(self, oracle):
+        # Asthma attack inherits the bronchial finding site through its
+        # ancestors too.
+        fragment = fragment_with_code(snomed.ASTHMA_ATTACK)
+        assert oracle.is_relevant('"bronchial structure"', fragment)
+
+    def test_drug_subclass_accepted(self, oracle):
+        # Imipenem is-a Carbapenem: a carbapenem query is satisfied.
+        fragment = fragment_with_code(snomed.IMIPENEM)
+        assert oracle.is_relevant("carbapenem", fragment)
+
+    def test_sibling_drug_rejected(self, oracle):
+        """The acetaminophen/aspirin trap: 'in this specific case...
+        these drugs are generally unrelated'."""
+        fragment = fragment_with_code(snomed.ASPIRIN)
+        assert not oracle.is_relevant("acetaminophen", fragment)
+
+    def test_therapy_context_rejected_for_drug_keyword(self, oracle):
+        fragment = fragment_with_code(snomed.PAIN_CONTROL)
+        assert not oracle.is_relevant("acetaminophen", fragment)
+
+    def test_directly_related_disorder_accepted(self, oracle):
+        # Cardiac arrest has a due-to edge to ventricular tachycardia.
+        fragment = fragment_with_code(snomed.VENTRICULAR_TACHYCARDIA)
+        assert oracle.is_relevant('"cardiac arrest"', fragment)
+
+    def test_unrelated_concept_rejected(self, oracle):
+        fragment = fragment_with_code(snomed.BODY_HEIGHT)
+        assert not oracle.is_relevant("asthma", fragment)
+
+    def test_unknown_keyword_fails_gracefully(self, oracle):
+        fragment = fragment_with_code(snomed.ASTHMA)
+        assert not oracle.is_relevant("xylophone", fragment)
+
+
+class TestExpertSelection:
+    def test_cap_respected(self, oracle):
+        fragments = [(f"r{i}", fragment_with_code(snomed.ASTHMA))
+                     for i in range(8)]
+        marked = expert_selection(oracle, "asthma", fragments, limit=5)
+        assert len(marked) == 5
+        assert marked == {"r0", "r1", "r2", "r3", "r4"}
+
+    def test_irrelevant_skipped(self, oracle):
+        fragments = [("bad", fragment_with_code(snomed.BODY_HEIGHT)),
+                     ("good", fragment_with_code(snomed.ASTHMA))]
+        marked = expert_selection(oracle, "asthma", fragments, limit=5)
+        assert marked == {"good"}
+
+    def test_depth_bound_configurable(self):
+        ontology = build_core_ontology()
+        strict = RelevanceOracle(ontology, max_subsumption_depth=1)
+        lenient = RelevanceOracle(ontology, max_subsumption_depth=4)
+        fragment = fragment_with_code(snomed.ATRIAL_FIBRILLATION)
+        # AFib is two is-a levels below Cardiac arrhythmia.
+        assert not strict.is_relevant('"cardiac arrhythmia"', fragment)
+        assert lenient.is_relevant('"cardiac arrhythmia"', fragment)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            RelevanceOracle(build_core_ontology(), max_subsumption_depth=0)

@@ -1,0 +1,88 @@
+"""Unit tests for the workload definition and the survey protocol."""
+
+import pytest
+
+from repro.core.query.results import QueryResult
+from repro.evaluation.metrics import (precision_at_k, recall_at_k,
+                                      run_survey)
+from repro.evaluation.oracle import RelevanceOracle
+from repro.evaluation.workload import (PUBLISHED, TABLE1_WORKLOAD,
+                                       WORKLOAD, table1_queries,
+                                       table2_queries)
+from repro.xmldoc.dewey import DeweyID
+
+
+class TestWorkload:
+    def test_twenty_queries(self):
+        assert len(table2_queries()) == 20
+        assert len(table1_queries()) == 10
+
+    def test_unique_ids(self):
+        ids = [query.query_id for query in WORKLOAD]
+        assert len(ids) == len(set(ids))
+
+    def test_all_queries_parse_to_two_keywords(self):
+        """The paper's workload is 'a series of two-keyword queries'."""
+        for workload_query in WORKLOAD:
+            parsed = workload_query.parse()
+            assert len(parsed) == 2, workload_query.text
+
+    def test_acetaminophen_trap_query_published(self):
+        trap = next(query for query in TABLE1_WORKLOAD
+                    if "acetaminophen" in query.text)
+        assert trap.provenance == PUBLISHED
+        assert "supraventricular arrhythmia" in trap.text
+
+    def test_provenance_recorded(self):
+        assert all(query.provenance in ("published", "reconstructed",
+                                        "synthesized")
+                   for query in WORKLOAD)
+
+
+def make_result(encoded, score):
+    return QueryResult(dewey=DeweyID.parse(encoded), score=score,
+                       keyword_scores=(score,))
+
+
+class TestPrecisionRecall:
+    def test_precision_at_k(self):
+        results = [make_result("0.1", 1.0), make_result("0.2", 0.5),
+                   make_result("1.1", 0.2)]
+        relevant = {"0.1", "1.1"}
+        assert precision_at_k(results, relevant, k=2) == 0.5
+        assert precision_at_k(results, relevant, k=3) == \
+            pytest.approx(2 / 3)
+
+    def test_recall_at_k(self):
+        results = [make_result("0.1", 1.0), make_result("0.2", 0.5)]
+        relevant = {"0.1", "9.9"}
+        assert recall_at_k(results, relevant, k=2) == 0.5
+        assert recall_at_k(results, set(), k=2) == 0.0
+
+    def test_empty_results(self):
+        assert precision_at_k([], {"x"}, k=5) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k([], set(), k=0)
+        with pytest.raises(ValueError):
+            recall_at_k([], set(), k=0)
+
+
+class TestSurvey:
+    def test_survey_row_shape(self, engines, synthetic_ontology,
+                              terminology):
+        oracle = RelevanceOracle(synthetic_ontology, terminology)
+        row = run_survey(engines, oracle, "asthma theophylline", "Q9")
+        assert set(row.counts) == set(engines)
+        assert all(0 <= count <= 5 for count in row.counts.values())
+        assert len(row.marked) <= 5
+
+    def test_counts_bounded_by_marks(self, engines, synthetic_ontology,
+                                     terminology):
+        oracle = RelevanceOracle(synthetic_ontology, terminology)
+        row = run_survey(engines, oracle, "fever acetaminophen", "Q18")
+        for name, engine in engines.items():
+            top = engine.search(row.query_text, k=5)
+            keys = {result.dewey.encode() for result in top}
+            assert row.counts[name] == len(keys & row.marked)

@@ -1,0 +1,117 @@
+"""Integration tests: the full pipeline of Figure 8, end to end.
+
+EMR database → CDA corpus with ontological references → index creation
+(all four strategies) → DIL query phase → Database Access Module →
+relevance judgment.
+"""
+
+import pytest
+
+from repro import GRAPH, RELATIONSHIPS, TAXONOMY, XRANK
+from repro.evaluation import (RelevanceOracle, distance_matrix, run_survey,
+                              table1_queries)
+from repro.storage.sqlite_store import SQLiteStore
+
+
+class TestCorpusConstruction:
+    def test_corpus_matches_database(self, cda_corpus, emr_database):
+        assert len(cda_corpus) == emr_database.stats()["patients"]
+
+    def test_every_document_is_annotated(self, cda_corpus):
+        for document in cda_corpus:
+            assert document.code_nodes()
+
+
+class TestCrossStrategyInvariants:
+    QUERIES = ("asthma theophylline", '"cardiac arrest" amiodarone',
+               "fever acetaminophen", '"pericardial effusion" furosemide')
+
+    def test_ontology_strategies_subsume_xrank_results(self, engines):
+        """Every subtree XRANK finds is also covered under an
+        ontology-aware strategy (NodeScores only grow; Eq. 1 may then
+        pick a more specific descendant, so coverage -- not identity --
+        is the invariant)."""
+        for query in self.QUERIES:
+            xrank_results = engines[XRANK].search(query, k=50)
+            for strategy in (GRAPH, TAXONOMY, RELATIONSHIPS):
+                other = engines[strategy].search(query, k=10_000)
+                for base_result in xrank_results:
+                    assert any(base_result.dewey.contains(result.dewey)
+                               or result.dewey.contains(base_result.dewey)
+                               for result in other), (query, strategy)
+
+    def test_dil_equals_naive_everywhere(self, engines):
+        for name, engine in engines.items():
+            for query in self.QUERIES:
+                dil = engine.search(query, k=20)
+                naive = engine.search_naive(query, k=20)
+                assert [(r.dewey, pytest.approx(r.score)) for r in dil] \
+                    == [(r.dewey, r.score) for r in naive], (name, query)
+
+    def test_results_have_extractable_fragments(self, engines):
+        for engine in engines.values():
+            for result in engine.search("asthma theophylline", k=5):
+                fragment = engine.fragment(result)
+                assert fragment.tag
+                assert engine.fragment_text(result)
+
+
+class TestSurveyIntegration:
+    def test_acetaminophen_trap_row_is_zero(self, engines,
+                                            synthetic_ontology,
+                                            terminology):
+        """The paper's flagship negative result (Table I, last row)."""
+        oracle = RelevanceOracle(synthetic_ontology, terminology)
+        row = run_survey(engines, oracle,
+                         '"supraventricular arrhythmia" acetaminophen')
+        assert all(count == 0 for count in row.counts.values())
+
+    def test_workload_runs_clean(self, engines, synthetic_ontology,
+                                 terminology):
+        oracle = RelevanceOracle(synthetic_ontology, terminology)
+        for workload_query in table1_queries():
+            row = run_survey(engines, oracle, workload_query.text,
+                             workload_query.query_id)
+            assert set(row.counts) == {XRANK, GRAPH, TAXONOMY,
+                                       RELATIONSHIPS}
+
+
+class TestKendallIntegration:
+    def test_taxonomy_closest_to_relationships(self, engines):
+        """Table II's qualitative claim on the shared test corpus."""
+        queries = ("asthma theophylline", '"cardiac arrest" amiodarone',
+                   '"atrial fibrillation" digoxin',
+                   "bronchitis albuterol", "fever acetaminophen")
+        totals = {}
+        for query in queries:
+            lists = {name: [r.dewey.encode()
+                            for r in engine.search(query, k=10)]
+                     for name, engine in engines.items()}
+            for key, value in distance_matrix(lists, p=0.5).items():
+                totals[key] = totals.get(key, 0.0) + value
+        assert totals[(TAXONOMY, RELATIONSHIPS)] <= \
+            totals[(GRAPH, XRANK)]
+
+
+class TestPersistenceIntegration:
+    def test_full_corpus_roundtrip_through_sqlite(self, cda_corpus,
+                                                  synthetic_ontology,
+                                                  tmp_path):
+        from repro import XOntoRankEngine
+        path = str(tmp_path / "hospital.db")
+        engine = XOntoRankEngine(cda_corpus, synthetic_ontology,
+                                 strategy=RELATIONSHIPS)
+        vocabulary = {"asthma", "theophylline", "amiodarone", "fever"}
+        with SQLiteStore(path) as store:
+            engine.build_index(vocabulary=vocabulary, store=store)
+            stored_docs = list(store.document_ids())
+        assert len(stored_docs) == len(cda_corpus)
+
+        fresh = XOntoRankEngine(cda_corpus, synthetic_ontology,
+                                strategy=RELATIONSHIPS)
+        with SQLiteStore(path) as store:
+            assert fresh.load_index(store) == len(vocabulary)
+        left = engine.search("asthma theophylline", k=5)
+        right = fresh.search("asthma theophylline", k=5)
+        assert [(r.dewey, r.score) for r in left] == \
+            [(r.dewey, r.score) for r in right]

@@ -1,0 +1,128 @@
+"""Unit tests for the positional index, BM25 and TF-IDF."""
+
+import pytest
+
+from repro.ir.bm25 import BM25Scorer
+from repro.ir.inverted_index import PositionalIndex
+from repro.ir.tfidf import TfIdfScorer
+from repro.ir.tokenizer import Keyword
+
+
+@pytest.fixture
+def index():
+    idx = PositionalIndex()
+    idx.add("d1", "cardiac arrest after cardiac surgery")
+    idx.add("d2", "asthma with wheeze")
+    idx.add("d3", "cardiac catheterization procedure done arrest")
+    return idx
+
+
+class TestPositionalIndex:
+    def test_statistics(self, index):
+        assert index.document_count == 3
+        assert index.length("d1") == 5
+        assert index.length("unknown") == 0
+        assert index.average_length == pytest.approx((5 + 3 + 5) / 3)
+
+    def test_duplicate_unit_rejected(self, index):
+        with pytest.raises(ValueError):
+            index.add("d1", "again")
+
+    def test_token_postings(self, index):
+        postings = index.token_postings("cardiac")
+        assert postings == {"d1": [0, 3], "d3": [0]}
+
+    def test_document_frequency(self, index):
+        assert index.document_frequency("cardiac") == 2
+        assert index.document_frequency("nope") == 0
+
+    def test_term_frequency(self, index):
+        assert index.term_frequency("d1", "cardiac") == 2
+        assert index.term_frequency("d2", "cardiac") == 0
+
+    def test_keyword_frequencies_single(self, index):
+        keyword = Keyword.from_text("cardiac")
+        assert index.keyword_frequencies(keyword) == {"d1": 2, "d3": 1}
+
+    def test_phrase_requires_adjacency(self, index):
+        phrase = Keyword.from_text("cardiac arrest")
+        assert index.keyword_frequencies(phrase) == {"d1": 1}
+        assert index.keyword_document_frequency(phrase) == 1
+
+    def test_phrase_multiple_occurrences(self):
+        idx = PositionalIndex()
+        idx.add("d", "cardiac arrest then cardiac arrest again")
+        phrase = Keyword.from_text("cardiac arrest")
+        assert idx.keyword_frequencies(phrase) == {"d": 2}
+
+    def test_phrase_cache_invalidated_on_add(self, index):
+        phrase = Keyword.from_text("cardiac arrest")
+        assert index.keyword_frequencies(phrase) == {"d1": 1}
+        index.add("d4", "another cardiac arrest")
+        assert index.keyword_frequencies(phrase) == {"d1": 1, "d4": 1}
+
+    def test_vocabulary_and_units(self, index):
+        assert "asthma" in index.vocabulary()
+        assert set(index.units()) == {"d1", "d2", "d3"}
+        assert "d1" in index
+
+
+class TestBM25:
+    def test_zero_for_missing_term(self, index):
+        scorer = BM25Scorer(index)
+        assert scorer.score("d1", Keyword.from_text("zebra")) == 0.0
+        assert scorer.scores(Keyword.from_text("zebra")) == {}
+
+    def test_idf_nonnegative_even_for_common_terms(self):
+        idx = PositionalIndex()
+        for unit in range(5):
+            idx.add(unit, "common word")
+        scorer = BM25Scorer(idx)
+        assert scorer.idf(Keyword.from_text("common")) > 0.0
+
+    def test_tf_saturation(self, index):
+        scorer = BM25Scorer(index)
+        single = scorer.score("d3", Keyword.from_text("cardiac"))
+        double = scorer.score("d1", Keyword.from_text("cardiac"))
+        assert double > single
+        assert double < 2 * single  # saturating, not linear
+
+    def test_rarer_term_scores_higher(self, index):
+        scorer = BM25Scorer(index)
+        rare = scorer.score("d2", Keyword.from_text("asthma"))
+        common = scorer.score("d3", Keyword.from_text("cardiac"))
+        assert rare > common
+
+    def test_normalized_max_is_one(self, index):
+        scorer = BM25Scorer(index)
+        scores = scorer.normalized_scores(Keyword.from_text("cardiac"))
+        assert max(scores.values()) == pytest.approx(1.0)
+        assert all(0.0 < value <= 1.0 for value in scores.values())
+
+    def test_parameter_validation(self, index):
+        with pytest.raises(ValueError):
+            BM25Scorer(index, k1=-1)
+        with pytest.raises(ValueError):
+            BM25Scorer(index, b=1.5)
+
+    def test_empty_index(self):
+        scorer = BM25Scorer(PositionalIndex())
+        assert scorer.scores(Keyword.from_text("x")) == {}
+
+
+class TestTfIdf:
+    def test_same_interface_as_bm25(self, index):
+        scorer = TfIdfScorer(index)
+        scores = scorer.normalized_scores(Keyword.from_text("cardiac"))
+        assert max(scores.values()) == pytest.approx(1.0)
+        assert scorer.score("d2", Keyword.from_text("cardiac")) == 0.0
+
+    def test_idf_monotone_in_rarity(self, index):
+        scorer = TfIdfScorer(index)
+        assert scorer.idf(Keyword.from_text("asthma")) > \
+            scorer.idf(Keyword.from_text("cardiac"))
+
+    def test_phrase_scoring(self, index):
+        scorer = TfIdfScorer(index)
+        scores = scorer.scores(Keyword.from_text("cardiac arrest"))
+        assert set(scores) == {"d1"}

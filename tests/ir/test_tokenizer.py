@@ -1,0 +1,105 @@
+"""Unit tests for tokenization and keyword-query parsing."""
+
+import pytest
+
+from repro.ir.tokenizer import (DEFAULT_STOPWORDS, Keyword, KeywordQuery,
+                                contains_phrase, tokenize,
+                                tokenize_without_stopwords)
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Cardiac Arrest, 2mg!") == ["cardiac", "arrest",
+                                                    "2mg"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+        assert tokenize("...!!!") == []
+
+    def test_apostrophes_kept_inside_words(self):
+        assert tokenize("patient's") == ["patient's"]
+
+    def test_underscore_names_are_single_tokens(self):
+        """DL-view syntactic names must not match ordinary keywords."""
+        tokens = tokenize("Exists_finding_site_of_Bronchial_structure")
+        assert tokens == ["exists_finding_site_of_bronchial_structure"]
+
+    def test_stopword_removal(self):
+        tokens = tokenize_without_stopwords("the disorder of the bronchus")
+        assert tokens == ["disorder", "bronchus"]
+        assert "the" in DEFAULT_STOPWORDS
+
+
+class TestKeyword:
+    def test_from_single_word(self):
+        keyword = Keyword.from_text("Asthma")
+        assert keyword.tokens == ("asthma",)
+        assert not keyword.is_phrase
+
+    def test_from_multiword_is_phrase(self):
+        keyword = Keyword.from_text("cardiac arrest")
+        assert keyword.tokens == ("cardiac", "arrest")
+        assert keyword.is_phrase
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Keyword.from_text("!!!")
+        with pytest.raises(ValueError):
+            Keyword(())
+
+    def test_text_and_str(self):
+        keyword = Keyword.from_text("cardiac arrest")
+        assert keyword.text == "cardiac arrest"
+        assert str(keyword) == '"cardiac arrest"'
+        assert str(Keyword.from_text("asthma")) == "asthma"
+
+    def test_hashable(self):
+        assert len({Keyword.from_text("a"), Keyword.from_text("a")}) == 1
+
+
+class TestKeywordQuery:
+    def test_parse_mixed(self):
+        query = KeywordQuery.parse('"cardiac arrest" amiodarone')
+        assert len(query) == 2
+        first, second = query
+        assert first.is_phrase and first.tokens == ("cardiac", "arrest")
+        assert not second.is_phrase and second.tokens == ("amiodarone",)
+
+    def test_parse_unquoted_words_are_separate(self):
+        query = KeywordQuery.parse("asthma medications")
+        assert len(query) == 2
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ValueError):
+            KeywordQuery.parse("   ")
+
+    def test_parse_skips_empty_quotes(self):
+        query = KeywordQuery.parse('"" asthma')
+        assert len(query) == 1
+
+    def test_of_constructor(self):
+        query = KeywordQuery.of("cardiac arrest", "amiodarone")
+        assert [k.is_phrase for k in query] == [True, False]
+
+    def test_str_roundtrip(self):
+        text = '"cardiac arrest" amiodarone'
+        assert str(KeywordQuery.parse(text)) == text
+
+
+class TestContainsPhrase:
+    def test_positive(self):
+        tokens = ["acute", "cardiac", "arrest", "noted"]
+        assert contains_phrase(tokens, ("cardiac", "arrest"))
+
+    def test_order_matters(self):
+        assert not contains_phrase(["arrest", "cardiac"],
+                                   ("cardiac", "arrest"))
+
+    def test_adjacency_matters(self):
+        assert not contains_phrase(["cardiac", "then", "arrest"],
+                                   ("cardiac", "arrest"))
+
+    def test_degenerate(self):
+        assert not contains_phrase([], ("a",))
+        assert not contains_phrase(["a"], ())
+        assert contains_phrase(["a"], ("a",))

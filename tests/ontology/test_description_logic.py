@@ -1,0 +1,142 @@
+"""Unit tests for the EL description-logic view (Section IV-C)."""
+
+import pytest
+
+from repro.ontology.description_logic import (AtomicConcept, Conjunction,
+                                              DLView,
+                                              ExistentialRestriction,
+                                              Subsumption, TopConcept,
+                                              apply_axiom, conjunction_of,
+                                              existential_code,
+                                              existential_name,
+                                              ontology_axioms)
+from repro.ontology.model import Ontology, OntologyError
+from repro.ontology.snomed import (ASTHMA, ASTHMA_ATTACK,
+                                   BRONCHIAL_STRUCTURE, FINDING_SITE_OF,
+                                   build_core_ontology)
+
+
+class TestExpressions:
+    def test_conjunction_requires_two(self):
+        with pytest.raises(ValueError):
+            Conjunction((AtomicConcept("a"),))
+
+    def test_conjunction_of_degenerate_cases(self):
+        assert isinstance(conjunction_of(()), TopConcept)
+        single = conjunction_of((AtomicConcept("a"),))
+        assert single == AtomicConcept("a")
+        full = conjunction_of((AtomicConcept("a"), AtomicConcept("b")))
+        assert isinstance(full, Conjunction)
+
+    def test_str_forms(self):
+        restriction = ExistentialRestriction("r", AtomicConcept("C"))
+        assert "exists r" in str(restriction)
+        axiom = Subsumption(AtomicConcept("A"), AtomicConcept("B"))
+        assert "subClassOf" in str(axiom)
+
+
+class TestAxiomBridge:
+    def test_paper_example_axiom(self):
+        """Asthma Attack ⊑ Asthma ⊓ ∃finding-site-of.Bronchial Structure"""
+        ontology = build_core_ontology()
+        axioms = {str(a.subclass): a for a in ontology_axioms(ontology)}
+        axiom = axioms[ASTHMA_ATTACK]
+        operands = axiom.superclass.operands
+        assert AtomicConcept(ASTHMA) in operands
+        assert ExistentialRestriction(
+            FINDING_SITE_OF, AtomicConcept(BRONCHIAL_STRUCTURE)) in operands
+
+    def test_apply_axiom_roundtrip(self):
+        source = Ontology("s")
+        for code in "abc":
+            source.new_concept(code, code.upper())
+        source.add_is_a("a", "b")
+        source.add_relationship("a", "part-of", "c")
+
+        target = Ontology("s")
+        for code in "abc":
+            target.new_concept(code, code.upper())
+        for axiom in ontology_axioms(source):
+            apply_axiom(target, axiom)
+        assert target.parents("a") == ["b"]
+        assert [e.destination for e in target.outgoing("a")] == ["c"]
+
+    def test_apply_axiom_rejects_complex_lhs(self):
+        ontology = Ontology("s")
+        ontology.new_concept("a", "A")
+        axiom = Subsumption(TopConcept(), AtomicConcept("a"))
+        with pytest.raises(OntologyError):
+            apply_axiom(ontology, axiom)
+
+    def test_apply_axiom_rejects_nested_filler(self):
+        ontology = Ontology("s")
+        ontology.new_concept("a", "A")
+        nested = ExistentialRestriction(
+            "r", ExistentialRestriction("q", AtomicConcept("a")))
+        with pytest.raises(OntologyError):
+            apply_axiom(ontology, Subsumption(AtomicConcept("a"), nested))
+
+    def test_apply_axiom_top_is_noop(self):
+        ontology = Ontology("s")
+        ontology.new_concept("a", "A")
+        apply_axiom(ontology, Subsumption(AtomicConcept("a"), TopConcept()))
+        assert ontology.parents("a") == []
+
+
+class TestNames:
+    def test_existential_code_format(self):
+        assert existential_code("finding-site-of", "955009") == \
+            "exists:finding-site-of:955009"
+
+    def test_existential_name_single_token(self):
+        name = existential_name("finding-site-of", "Bronchial structure")
+        assert name == "Exists_finding_site_of_Bronchial_structure"
+        assert " " not in name
+
+
+class TestDLView:
+    @pytest.fixture(scope="class")
+    def view(self):
+        return DLView(build_core_ontology())
+
+    def test_concepts_carried_over(self, view):
+        assert ASTHMA in view
+        assert not view.node(ASTHMA).is_existential
+
+    def test_existential_nodes_created(self, view):
+        code = existential_code(FINDING_SITE_OF, BRONCHIAL_STRUCTURE)
+        assert code in view
+        node = view.node(code)
+        assert node.is_existential
+        assert node.role == FINDING_SITE_OF
+        assert node.filler == BRONCHIAL_STRUCTURE
+
+    def test_subclass_edge_into_restriction(self, view):
+        code = existential_code(FINDING_SITE_OF, BRONCHIAL_STRUCTURE)
+        assert code in view.parents(ASTHMA)
+        assert ASTHMA in view.children(code)
+
+    def test_dotted_link_symmetric(self, view):
+        code = existential_code(FINDING_SITE_OF, BRONCHIAL_STRUCTURE)
+        assert BRONCHIAL_STRUCTURE in view.dotted(code)
+        assert code in view.dotted(BRONCHIAL_STRUCTURE)
+
+    def test_restriction_in_degree(self, view):
+        code = existential_code(FINDING_SITE_OF, BRONCHIAL_STRUCTURE)
+        ontology = build_core_ontology()
+        assert view.subclass_count(code) == \
+            ontology.role_in_degree(BRONCHIAL_STRUCTURE, FINDING_SITE_OF)
+
+    def test_one_node_per_distinct_restriction(self, view):
+        codes = [node.code for node in view.existential_nodes()]
+        assert len(codes) == len(set(codes))
+
+    def test_stats_consistent(self, view):
+        stats = view.stats()
+        assert stats["nodes"] == stats["concept_nodes"] + \
+            stats["existential_nodes"]
+        assert stats["existential_nodes"] == stats["dotted_links"]
+
+    def test_unknown_node(self, view):
+        with pytest.raises(OntologyError):
+            view.node("nope")

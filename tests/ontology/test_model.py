@@ -1,0 +1,128 @@
+"""Unit tests for the concept-graph ontology model."""
+
+import pytest
+
+from repro.ontology.model import (Concept, IS_A, Ontology, OntologyError,
+                                  Relationship)
+
+
+@pytest.fixture
+def ontology():
+    onto = Ontology("sys", "Test Ontology")
+    for code, term in (("1", "Disorder"), ("2", "Heart disorder"),
+                       ("3", "Arrhythmia"), ("4", "Fibrillation"),
+                       ("5", "Heart"), ("6", "Amiodarone")):
+        onto.new_concept(code, term)
+    onto.add_is_a("2", "1")
+    onto.add_is_a("3", "2")
+    onto.add_is_a("4", "3")
+    onto.add_relationship("2", "finding-site-of", "5")
+    onto.add_relationship("6", "may-treat", "3")
+    return onto
+
+
+class TestConcept:
+    def test_terms_order(self):
+        concept = Concept("1", "Asthma", ("bronchial asthma",), "disorder")
+        assert concept.terms == ("Asthma", "bronchial asthma")
+
+    def test_description_text(self):
+        concept = Concept("1", "Asthma", ("wheeze",), "disorder")
+        assert concept.description_text() == "Asthma wheeze disorder"
+
+
+class TestConstruction:
+    def test_duplicate_concept(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.new_concept("1", "Again")
+
+    def test_unknown_endpoint(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.add_is_a("1", "99")
+
+    def test_self_loop(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.add_relationship("1", "related", "1")
+
+    def test_duplicate_edge(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.add_is_a("2", "1")
+
+    def test_cycle_prevention(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.add_is_a("1", "4")
+
+    def test_has_relationship(self, ontology):
+        assert ontology.has_relationship("6", "may-treat", "3")
+        assert not ontology.has_relationship("6", "may-treat", "4")
+
+
+class TestTaxonomy:
+    def test_parents_children(self, ontology):
+        assert ontology.parents("3") == ["2"]
+        assert ontology.children("2") == ["3"]
+
+    def test_subclass_count(self, ontology):
+        assert ontology.subclass_count("1") == 1
+        assert ontology.subclass_count("4") == 0
+
+    def test_ancestors_descendants(self, ontology):
+        assert ontology.ancestors("4") == {"3", "2", "1"}
+        assert ontology.descendants("1") == {"2", "3", "4"}
+        assert ontology.descendants("4") == set()
+
+    def test_is_subsumed_by(self, ontology):
+        assert ontology.is_subsumed_by("4", "1")
+        assert ontology.is_subsumed_by("4", "4")  # reflexive
+        assert not ontology.is_subsumed_by("1", "4")
+
+    def test_roots(self, ontology):
+        assert set(ontology.roots()) == {"1", "5", "6"}
+
+    def test_unknown_concept_raises(self, ontology):
+        with pytest.raises(OntologyError):
+            ontology.parents("99")
+
+
+class TestAttributes:
+    def test_outgoing_filtered(self, ontology):
+        assert [e.destination for e in ontology.outgoing("2")] == ["5"]
+        assert ontology.outgoing("2", "may-treat") == []
+
+    def test_incoming(self, ontology):
+        assert [e.source for e in ontology.incoming("5")] == ["2"]
+
+    def test_role_in_degree(self, ontology):
+        assert ontology.role_in_degree("5", "finding-site-of") == 1
+        assert ontology.role_in_degree("5", "may-treat") == 0
+
+    def test_relationship_types(self, ontology):
+        assert ontology.relationship_types() == \
+            {IS_A, "finding-site-of", "may-treat"}
+
+
+class TestUndirectedView:
+    def test_neighbors_cover_all_edge_kinds(self, ontology):
+        assert set(ontology.neighbors("2")) == {"1", "3", "5"}
+        assert set(ontology.neighbors("3")) == {"2", "4", "6"}
+        assert set(ontology.neighbors("5")) == {"2"}
+
+    def test_neighbors_deduplicated(self, ontology):
+        ontology.add_relationship("3", "associated-with", "2")
+        assert ontology.neighbors("3").count("2") == 1
+
+
+class TestIntegrity:
+    def test_validate_passes(self, ontology):
+        ontology.validate()
+
+    def test_stats(self, ontology):
+        stats = ontology.stats()
+        assert stats["concepts"] == 6
+        assert stats["is_a_edges"] == 3
+        assert stats["attribute_edges"] == 2
+        assert stats["roots"] == 3
+
+    def test_relationship_value_object(self):
+        assert Relationship("a", "r", "b") == Relationship("a", "r", "b")
+        assert Relationship("a", "r", "b") != Relationship("a", "r", "c")

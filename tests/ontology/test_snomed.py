@@ -1,0 +1,128 @@
+"""Unit tests for the synthetic SNOMED substrate."""
+
+import pytest
+
+from repro.ontology import snomed
+from repro.ontology.snomed import (build_core_ontology,
+                                   build_synthetic_snomed)
+
+
+class TestCore:
+    @pytest.fixture(scope="class")
+    def core(self):
+        return build_core_ontology()
+
+    def test_paper_concepts_present(self, core):
+        for code in (snomed.ASTHMA, snomed.ASTHMA_ATTACK,
+                     snomed.BRONCHIAL_STRUCTURE,
+                     snomed.DISORDER_OF_BRONCHUS, snomed.THEOPHYLLINE,
+                     snomed.ALBUTEROL, snomed.BRONCHITIS,
+                     snomed.ACETAMINOPHEN, snomed.ASPIRIN,
+                     snomed.SUPRAVENTRICULAR_ARRHYTHMIA):
+            assert code in core
+
+    def test_asthma_has_26_direct_subclasses(self, core):
+        """Section IV-B's worked example: 'the concept Asthma has 26
+        direct subclasses. Hence... *(1/26)'."""
+        assert core.subclass_count(snomed.ASTHMA) == 26
+
+    def test_figure2_finding_site(self, core):
+        """'SNOMED defines a finding-site-of relationship between Asthma
+        and Bronchial Structure.'"""
+        assert core.has_relationship(snomed.ASTHMA, snomed.FINDING_SITE_OF,
+                                     snomed.BRONCHIAL_STRUCTURE)
+
+    def test_figure2_taxonomy(self, core):
+        assert core.is_subsumed_by(snomed.ASTHMA,
+                                   snomed.DISORDER_OF_BRONCHUS)
+        assert core.is_subsumed_by(snomed.ASTHMA_ATTACK, snomed.ASTHMA)
+        assert core.is_subsumed_by(snomed.DISORDER_OF_BRONCHUS,
+                                   snomed.DISORDER_OF_THORAX)
+
+    def test_pain_control_context_shared(self, core):
+        """Acetaminophen and aspirin associate with the same context but
+        have no direct edge (the paper's error-analysis scenario)."""
+        assert core.has_relationship(snomed.ACETAMINOPHEN,
+                                     snomed.ASSOCIATED_WITH,
+                                     snomed.PAIN_CONTROL)
+        assert core.has_relationship(snomed.ASPIRIN,
+                                     snomed.ASSOCIATED_WITH,
+                                     snomed.PAIN_CONTROL)
+        assert not core.has_relationship(snomed.ACETAMINOPHEN,
+                                         snomed.ASSOCIATED_WITH,
+                                         snomed.ASPIRIN)
+
+    def test_no_drug_disorder_treatment_links(self, core):
+        """SNOMED CT proper has no drug->disorder treatment relations."""
+        assert snomed.MAY_TREAT not in core.relationship_types()
+
+    def test_synonyms_searchable(self, core):
+        regurgitation = core.concept(snomed.VALVULAR_REGURGITATION)
+        assert "regurgitant flow" in regurgitation.synonyms
+
+    def test_validates(self, core):
+        core.validate()
+
+
+class TestSyntheticExpansion:
+    def test_deterministic(self):
+        first = build_synthetic_snomed(scale=0.5, seed=99)
+        second = build_synthetic_snomed(scale=0.5, seed=99)
+        assert first.stats() == second.stats()
+        assert sorted(first.concept_codes()) == \
+            sorted(second.concept_codes())
+
+    def test_seed_changes_output(self):
+        first = build_synthetic_snomed(scale=0.5, seed=1)
+        second = build_synthetic_snomed(scale=0.5, seed=2)
+        terms_a = {c.preferred_term for c in first.concepts()}
+        terms_b = {c.preferred_term for c in second.concepts()}
+        assert terms_a != terms_b
+
+    def test_scale_grows_ontology(self):
+        small = build_synthetic_snomed(scale=0.5)
+        large = build_synthetic_snomed(scale=2.0)
+        assert len(large) > len(small)
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            build_synthetic_snomed(scale=0)
+
+    def test_core_preserved_in_expansion(self):
+        ontology = build_synthetic_snomed()
+        assert ontology.subclass_count(snomed.ASTHMA) == 26
+        assert snomed.THEOPHYLLINE in ontology
+
+    def test_expansion_validates(self):
+        build_synthetic_snomed(scale=1.5).validate()
+
+    def test_generated_disorders_have_sites(self):
+        ontology = build_synthetic_snomed()
+        generated = [c for c in ontology.concepts()
+                     if c.code.startswith("92")
+                     and c.semantic_tag == "disorder"
+                     # top-axis groupers carry no finding sites
+                     and snomed.CLINICAL_FINDING
+                     not in ontology.parents(c.code)]
+        assert generated
+        with_site = sum(
+            1 for c in generated
+            if ontology.outgoing(c.code, snomed.FINDING_SITE_OF))
+        assert with_site == len(generated)
+
+    def test_top_axes_have_wide_fanout(self):
+        """SNOMED-like top-level fan-out keeps the 1/N upward split
+        effective (prevents whole-axis authority spills)."""
+        ontology = build_synthetic_snomed()
+        assert ontology.subclass_count(snomed.CLINICAL_FINDING) >= 20
+        assert ontology.subclass_count(snomed.BODY_STRUCTURE) >= 10
+        assert ontology.subclass_count(
+            snomed.PHARMACEUTICAL_PRODUCT) >= 10
+
+    def test_intermediate_fanouts_are_wide(self):
+        """The upward 1/N split needs SNOMED-like fan-outs (DESIGN.md)."""
+        ontology = build_synthetic_snomed()
+        assert ontology.subclass_count(
+            snomed.CARDIAC_FUNCTION_DISORDER) >= 5
+        assert ontology.subclass_count(
+            snomed.STRUCTURAL_HEART_DISORDER) >= 5

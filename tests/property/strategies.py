@@ -1,0 +1,124 @@
+"""Hypothesis strategies shared by the property tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.ontology.model import Ontology
+from repro.xmldoc.dewey import DeweyID
+from repro.xmldoc.model import OntologicalReference, XMLDocument, XMLNode
+
+# ----------------------------------------------------------------------
+# Dewey IDs
+# ----------------------------------------------------------------------
+dewey_ids = st.builds(
+    DeweyID,
+    st.integers(min_value=0, max_value=50),
+    st.lists(st.integers(min_value=0, max_value=9), max_size=6))
+
+# ----------------------------------------------------------------------
+# Words / identifiers
+# ----------------------------------------------------------------------
+words = st.sampled_from((
+    "asthma", "cardiac", "arrest", "bronchial", "effusion", "fever",
+    "amiodarone", "theophylline", "pain", "valve", "aorta", "pulse",
+    "temperature", "arrhythmia", "stenosis", "chronic", "acute",
+))
+
+tags = st.sampled_from(("section", "entry", "observation", "value",
+                        "paragraph", "title", "component", "text"))
+
+
+# ----------------------------------------------------------------------
+# XML trees
+# ----------------------------------------------------------------------
+@st.composite
+def xml_trees(draw, max_depth: int = 4, concept_codes=()):
+    """A random labeled tree, optionally sprinkling code nodes."""
+    def build(depth: int) -> XMLNode:
+        tag = draw(tags)
+        attributes = {}
+        if draw(st.booleans()):
+            attributes["displayName"] = draw(words)
+        reference = None
+        if concept_codes and draw(st.integers(0, 4)) == 0:
+            code = draw(st.sampled_from(tuple(concept_codes)))
+            reference = OntologicalReference(
+                "2.16.840.1.113883.6.96", code)
+            # Keep the tree serializable: the CDA convention stores the
+            # reference in the code/codeSystem attribute pair.
+            attributes["code"] = code
+            attributes["codeSystem"] = reference.system_code
+        text = " ".join(draw(st.lists(words, max_size=4)))
+        node = XMLNode(tag, attributes, text=text, reference=reference)
+        if depth < max_depth:
+            for _ in range(draw(st.integers(0, 3))):
+                node.append(build(depth + 1))
+        return node
+
+    return build(0)
+
+
+@st.composite
+def xml_documents(draw, doc_id: int = 0, concept_codes=()):
+    root = draw(xml_trees(concept_codes=concept_codes))
+    return XMLDocument(doc_id=doc_id, root=root)
+
+
+# ----------------------------------------------------------------------
+# Ontologies
+# ----------------------------------------------------------------------
+@st.composite
+def small_ontologies(draw):
+    """A random valid ontology: is-a DAG plus typed attribute edges."""
+    size = draw(st.integers(min_value=2, max_value=14))
+    ontology = Ontology("sys")
+    pool = ["asthma", "bronchus", "heart", "valve", "pain", "fever",
+            "aorta", "lung", "drug", "agent", "defect", "site",
+            "finding", "structure"]
+    for index in range(size):
+        term = f"{pool[index % len(pool)]} {index}"
+        ontology.new_concept(str(index), term,
+                             synonyms=(pool[(index + 3) % len(pool)],))
+    # is-a edges only from higher to lower indexes: guaranteed DAG.
+    for child in range(1, size):
+        parent_count = draw(st.integers(0, min(2, child)))
+        parents = draw(st.lists(st.integers(0, child - 1),
+                                min_size=parent_count,
+                                max_size=parent_count, unique=True))
+        for parent in parents:
+            ontology.add_is_a(str(child), str(parent))
+    # attribute edges between arbitrary distinct concepts.
+    edge_count = draw(st.integers(0, size))
+    types = ("finding-site-of", "associated-with", "due-to", "part-of")
+    for _ in range(edge_count):
+        source = draw(st.integers(0, size - 1))
+        destination = draw(st.integers(0, size - 1))
+        type = draw(st.sampled_from(types))
+        if source != destination and not ontology.has_relationship(
+                str(source), type, str(destination)):
+            ontology.add_relationship(str(source), type, str(destination))
+    return ontology
+
+
+#: Random authority-flow graphs: node -> list of (neighbor, factor).
+@st.composite
+def flow_graphs(draw):
+    size = draw(st.integers(min_value=1, max_value=10))
+    edges = {}
+    for node in range(size):
+        neighbor_count = draw(st.integers(0, 3))
+        entries = []
+        for _ in range(neighbor_count):
+            neighbor = draw(st.integers(0, size - 1))
+            factor = draw(st.floats(min_value=0.05, max_value=1.0,
+                                    allow_nan=False))
+            entries.append((neighbor, factor))
+        edges[node] = entries
+    seed_count = draw(st.integers(1, size))
+    seeds = {}
+    for _ in range(seed_count):
+        node = draw(st.integers(0, size - 1))
+        seeds[node] = draw(st.floats(min_value=0.05, max_value=1.0,
+                                     allow_nan=False))
+    return edges, seeds

@@ -1,0 +1,71 @@
+"""Property tests: invariants of the related-work baselines."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.slca import SLCAEvaluator
+from repro.baselines.xsearch import XSEarchEvaluator
+from repro.ir.tokenizer import KeywordQuery
+from repro.xmldoc.dewey import assign_dewey_ids, node_at
+from repro.xmldoc.model import Corpus
+
+from .strategies import words, xml_documents
+
+
+@st.composite
+def corpus_and_terms(draw):
+    corpus = Corpus([draw(xml_documents(doc_id=0))])
+    terms = draw(st.lists(words, min_size=1, max_size=2, unique=True))
+    return corpus, KeywordQuery.of(*terms)
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpus_and_terms())
+def test_slca_results_are_antichain(data):
+    corpus, query = data
+    results = SLCAEvaluator(corpus).search(query)
+    deweys = [result.dewey for result in results]
+    for index, first in enumerate(deweys):
+        for second in deweys[index + 1:]:
+            assert not first.is_ancestor_of(second)
+            assert not second.is_ancestor_of(first)
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpus_and_terms())
+def test_slca_results_cover_all_keywords(data):
+    corpus, query = data
+    from repro.ir.tokenizer import tokenize
+    for result in SLCAEvaluator(corpus).search(query):
+        document = corpus.get(result.dewey.doc_id)
+        subtree_tokens = set(tokenize(
+            node_at(document, result.dewey).subtree_text()))
+        for keyword in query:
+            assert set(keyword.tokens) <= subtree_tokens
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpus_and_terms())
+def test_xsearch_interconnection_is_symmetric(data):
+    corpus, _ = data
+    document = corpus.get(0)
+    evaluator = XSEarchEvaluator(corpus)
+    ids = list(assign_dewey_ids(document).values())
+    sample = ids[:6]
+    for first in sample:
+        for second in sample:
+            assert evaluator.interconnected(document, first, second) == \
+                evaluator.interconnected(document, second, first)
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpus_and_terms())
+def test_xsearch_tuples_within_slca_documents(data):
+    """XSEarch answers only exist where exact matches exist, i.e. in
+    documents SLCA also finds answers in (the converse fails: the
+    interconnection test prunes)."""
+    corpus, query = data
+    slca_docs = {result.dewey.doc_id
+                 for result in SLCAEvaluator(corpus).search(query)}
+    xsearch_docs = {result.connector.doc_id
+                    for result in XSEarchEvaluator(corpus).search(query)}
+    assert xsearch_docs <= slca_docs

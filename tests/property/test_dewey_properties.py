@@ -1,0 +1,63 @@
+"""Property tests: Dewey ID algebra."""
+
+from hypothesis import given
+
+from repro.xmldoc.dewey import DeweyID
+
+from .strategies import dewey_ids
+
+
+@given(dewey_ids)
+def test_encode_parse_roundtrip(dewey):
+    assert DeweyID.parse(dewey.encode()) == dewey
+
+
+@given(dewey_ids, dewey_ids)
+def test_ordering_matches_key_tuples(left, right):
+    assert (left < right) == \
+        ((left.doc_id, left.path) < (right.doc_id, right.path))
+
+
+@given(dewey_ids, dewey_ids)
+def test_ancestor_implies_order_and_strict_prefix(left, right):
+    if left.is_ancestor_of(right):
+        assert left < right
+        assert left.depth < right.depth
+        assert not right.is_ancestor_of(left)
+
+
+@given(dewey_ids)
+def test_children_are_descendants(dewey):
+    child = dewey.child(3)
+    assert dewey.is_ancestor_of(child)
+    assert child.parent() == dewey
+    assert dewey.distance_to_descendant(child) == 1
+
+
+@given(dewey_ids, dewey_ids)
+def test_common_ancestor_contains_both(left, right):
+    ancestor = left.common_ancestor(right)
+    if ancestor is None:
+        assert left.doc_id != right.doc_id
+    else:
+        assert ancestor.contains(left)
+        assert ancestor.contains(right)
+        # Lowest: no deeper common container exists.
+        if ancestor != left and ancestor != right:
+            deeper_left = DeweyID(left.doc_id,
+                                  left.path[:ancestor.depth + 1])
+            assert not (deeper_left.contains(left)
+                        and deeper_left.contains(right))
+
+
+@given(dewey_ids, dewey_ids, dewey_ids)
+def test_contains_is_transitive(first, second, third):
+    if first.contains(second) and second.contains(third):
+        assert first.contains(third)
+
+
+@given(dewey_ids)
+def test_hash_equal_objects(dewey):
+    clone = DeweyID(dewey.doc_id, dewey.path)
+    assert hash(clone) == hash(dewey)
+    assert clone == dewey

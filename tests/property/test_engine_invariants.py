@@ -1,0 +1,88 @@
+"""Property tests: engine-level invariants on random corpora.
+
+* Monotonicity: ontology-aware NodeScores dominate XRANK's, so every
+  subtree XRANK covers is covered (possibly more specifically) by the
+  ontology-aware strategies.
+* Propagation: the bottom-up propagation helper agrees with a direct
+  per-pair recomputation.
+* Eq. 1: no result is an ancestor of another result.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import RELATIONSHIPS
+from repro.core.query.engine import XOntoRankEngine
+from repro.core.scoring import propagate_scores
+from repro.ir.tokenizer import KeywordQuery
+from repro.ontology.snomed import (ASTHMA, CARDIAC_ARREST,
+                                   build_core_ontology)
+from repro.xmldoc.dewey import DeweyID
+from repro.xmldoc.model import Corpus
+
+from .strategies import dewey_ids, words, xml_documents
+
+_ONTOLOGY = build_core_ontology()
+CODES = (ASTHMA, CARDIAC_ARREST)
+
+
+@st.composite
+def corpora(draw):
+    count = draw(st.integers(min_value=1, max_value=2))
+    return Corpus([draw(xml_documents(doc_id=doc_id,
+                                      concept_codes=CODES))
+                   for doc_id in range(count)])
+
+
+@settings(max_examples=25, deadline=None)
+@given(corpora(), st.lists(words, min_size=1, max_size=2, unique=True))
+def test_ontology_strategy_covers_xrank_results(corpus, terms):
+    query = KeywordQuery.of(*terms)
+    xrank = XOntoRankEngine(corpus, None, strategy="xrank")
+    onto = XOntoRankEngine(corpus, _ONTOLOGY, strategy=RELATIONSHIPS)
+    xrank_results = xrank.search(query, k=1000)
+    onto_results = onto.search(query, k=1000)
+    for base in xrank_results:
+        assert any(base.dewey.contains(other.dewey)
+                   or other.dewey.contains(base.dewey)
+                   for other in onto_results)
+
+
+@settings(max_examples=25, deadline=None)
+@given(corpora(), st.lists(words, min_size=1, max_size=2, unique=True))
+def test_results_are_antichain(corpus, terms):
+    """Eq. 1: results never nest."""
+    query = KeywordQuery.of(*terms)
+    engine = XOntoRankEngine(corpus, _ONTOLOGY, strategy=RELATIONSHIPS)
+    results = engine.search(query, k=1000)
+    deweys = [result.dewey for result in results]
+    for index, first in enumerate(deweys):
+        for second in deweys[index + 1:]:
+            assert not first.is_ancestor_of(second)
+            assert not second.is_ancestor_of(first)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(dewey_ids,
+                       st.floats(min_value=0.01, max_value=1.0,
+                                 allow_nan=False),
+                       min_size=1, max_size=12),
+       st.floats(min_value=0.1, max_value=1.0, allow_nan=False))
+def test_propagation_matches_bruteforce(node_scores, decay):
+    propagated = propagate_scores(node_scores, decay)
+    # Brute force: for every node that appears as an ancestor-or-self
+    # of some scored node, max over descendants.
+    candidates = set()
+    for dewey in node_scores:
+        current = dewey
+        while True:
+            candidates.add(current)
+            if not current.path:
+                break
+            current = current.parent()
+    for candidate in candidates:
+        expected = max(
+            (score * decay ** candidate.distance_to_descendant(dewey)
+             for dewey, score in node_scores.items()
+             if candidate.contains(dewey)), default=0.0)
+        assert propagated.get(candidate, 0.0) == pytest.approx(expected)

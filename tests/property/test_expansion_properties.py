@@ -1,0 +1,85 @@
+"""Property tests: invariants of the authority-flow expansions."""
+
+from hypothesis import given, settings
+
+from repro.core.ontoscore.base import (best_first_expansion,
+                                       level_order_expansion)
+
+from .strategies import flow_graphs
+
+THRESHOLD = 0.1
+
+
+def neighbors_of(edges):
+    def neighbors(node):
+        return edges.get(node, [])
+    return neighbors
+
+
+@settings(max_examples=120, deadline=None)
+@given(flow_graphs())
+def test_scores_bounded_by_best_seed(graph):
+    edges, seeds = graph
+    scores = best_first_expansion(seeds, neighbors_of(edges), THRESHOLD)
+    best_seed = max(seeds.values())
+    assert all(score <= best_seed + 1e-12 for score in scores.values())
+
+
+@settings(max_examples=120, deadline=None)
+@given(flow_graphs())
+def test_all_results_exceed_threshold(graph):
+    edges, seeds = graph
+    scores = best_first_expansion(seeds, neighbors_of(edges), THRESHOLD)
+    assert all(score > THRESHOLD for score in scores.values())
+
+
+@settings(max_examples=120, deadline=None)
+@given(flow_graphs())
+def test_seeds_never_lose_score(graph):
+    edges, seeds = graph
+    scores = best_first_expansion(seeds, neighbors_of(edges), THRESHOLD)
+    for node, seed_score in seeds.items():
+        if seed_score > THRESHOLD:
+            assert scores[node] >= seed_score - 1e-12
+
+
+@settings(max_examples=120, deadline=None)
+@given(flow_graphs())
+def test_best_first_dominates_level_order(graph):
+    """The exact fixpoint is an upper bound of the paper's literal BFS."""
+    edges, seeds = graph
+    exact = best_first_expansion(seeds, neighbors_of(edges), THRESHOLD)
+    literal = level_order_expansion(seeds, neighbors_of(edges), THRESHOLD)
+    for node, score in literal.items():
+        assert exact.get(node, 0.0) >= score - 1e-9
+    # And the literal run never reaches nodes the exact run misses.
+    assert set(literal) <= set(exact)
+
+
+@settings(max_examples=120, deadline=None)
+@given(flow_graphs())
+def test_local_fixpoint_property(graph):
+    """Every finalized score satisfies the max-product equations:
+    score(n) = max(seed(n), max over incoming (score(m) * factor))
+    restricted to nodes above threshold."""
+    edges, seeds = graph
+    scores = best_first_expansion(seeds, neighbors_of(edges), THRESHOLD)
+    for node, score in scores.items():
+        incoming = [scores[source] * factor
+                    for source, entries in edges.items()
+                    if source in scores and scores[source] > THRESHOLD
+                    for target, factor in entries if target == node]
+        expected = max([seeds.get(node, 0.0)] + incoming)
+        assert abs(score - expected) < 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(flow_graphs())
+def test_threshold_monotonicity(graph):
+    """Raising the threshold can only shrink the result."""
+    edges, seeds = graph
+    loose = best_first_expansion(seeds, neighbors_of(edges), 0.05)
+    tight = best_first_expansion(seeds, neighbors_of(edges), 0.3)
+    assert set(tight) <= set(loose)
+    for node, score in tight.items():
+        assert abs(loose[node] - score) < 1e-9

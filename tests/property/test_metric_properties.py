@@ -1,0 +1,72 @@
+"""Property tests: Kendall tau and BM25 invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.kendall import kendall_tau_topk
+from repro.ir.bm25 import BM25Scorer
+from repro.ir.inverted_index import PositionalIndex
+from repro.ir.tokenizer import Keyword
+
+from .strategies import words
+
+ranked_lists = st.lists(st.sampled_from("abcdefghij"), max_size=6,
+                        unique=True)
+penalties = st.sampled_from((0.0, 0.25, 0.5, 1.0))
+
+
+class TestKendall:
+    @settings(max_examples=150, deadline=None)
+    @given(ranked_lists, ranked_lists, penalties)
+    def test_range_and_symmetry(self, left, right, p):
+        forward = kendall_tau_topk(left, right, p=p)
+        backward = kendall_tau_topk(right, left, p=p)
+        assert 0.0 <= forward <= 1.0 + 1e-12
+        assert abs(forward - backward) < 1e-12
+
+    @settings(max_examples=150, deadline=None)
+    @given(ranked_lists, penalties)
+    def test_identity(self, ranking, p):
+        assert kendall_tau_topk(ranking, ranking, p=p) == 0.0
+
+    @settings(max_examples=150, deadline=None)
+    @given(ranked_lists, ranked_lists)
+    def test_monotone_in_penalty(self, left, right):
+        low = kendall_tau_topk(left, right, p=0.0, normalize=False)
+        high = kendall_tau_topk(left, right, p=1.0, normalize=False)
+        assert high >= low - 1e-12
+
+
+document_texts = st.lists(
+    st.lists(words, min_size=1, max_size=8).map(" ".join),
+    min_size=1, max_size=8)
+
+
+class TestBM25:
+    @settings(max_examples=80, deadline=None)
+    @given(document_texts, words)
+    def test_scores_nonnegative_and_normalized(self, texts, term):
+        index = PositionalIndex()
+        for unit, text in enumerate(texts):
+            index.add(unit, text)
+        scorer = BM25Scorer(index)
+        keyword = Keyword.from_text(term)
+        raw = scorer.scores(keyword)
+        assert all(value > 0.0 for value in raw.values())
+        normalized = scorer.normalized_scores(keyword)
+        if normalized:
+            assert max(normalized.values()) == 1.0
+        # Only units actually containing the term are scored.
+        for unit in raw:
+            assert index.term_frequency(unit, term) > 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(document_texts, words)
+    def test_score_zero_iff_absent(self, texts, term):
+        index = PositionalIndex()
+        for unit, text in enumerate(texts):
+            index.add(unit, text)
+        scorer = BM25Scorer(index)
+        keyword = Keyword.from_text(term)
+        for unit, text in enumerate(texts):
+            present = term in text.split()
+            assert (scorer.score(unit, keyword) > 0.0) == present

@@ -1,0 +1,81 @@
+"""Property tests: ontology invariants, DL-view equivalence, flat-file
+round-trips, over randomly generated ontologies."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.ontoscore.relationships import (
+    MaterializedRelationshipsOntoScore, RelationshipsOntoScore,
+    relationships_seed_scorer)
+from repro.ir.tokenizer import Keyword
+from repro.ontology.description_logic import DLView
+from repro.ontology.io import load_ontology, save_ontology
+
+from .strategies import small_ontologies
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_ontologies())
+def test_generated_ontologies_validate(ontology):
+    ontology.validate()
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_ontologies())
+def test_ancestors_descendants_are_inverse(ontology):
+    for code in ontology.concept_codes():
+        for ancestor in ontology.ancestors(code):
+            assert code in ontology.descendants(ancestor)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_ontologies())
+def test_neighbors_symmetric(ontology):
+    for code in ontology.concept_codes():
+        for neighbor in ontology.neighbors(code):
+            assert code in ontology.neighbors(neighbor)
+
+
+@settings(max_examples=50, deadline=None)
+@given(small_ontologies())
+def test_dl_view_edge_accounting(ontology):
+    view = DLView(ontology)
+    stats = view.stats()
+    base = ontology.stats()
+    assert stats["concept_nodes"] == base["concepts"]
+    # One solid edge per is-a edge plus one per attribute triple.
+    assert stats["is_a_edges"] == base["relationships"]
+    assert stats["dotted_links"] == stats["existential_nodes"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_ontologies())
+def test_implicit_equals_materialized_on_random_ontologies(ontology):
+    """Section VI-C's equality claim, checked structurally."""
+    seeds = relationships_seed_scorer(ontology)
+    implicit = RelationshipsOntoScore(ontology, seeds, t=0.5,
+                                      threshold=0.05)
+    materialized = MaterializedRelationshipsOntoScore(
+        DLView(ontology), seeds, t=0.5, threshold=0.05)
+    for text in ("asthma", "valve", "pain", "site"):
+        keyword = Keyword.from_text(text)
+        left = implicit.compute(keyword)
+        right = materialized.compute(keyword)
+        assert left.keys() == right.keys()
+        for concept in left:
+            assert left[concept] == pytest.approx(right[concept])
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_ontologies())
+def test_flat_file_roundtrip(tmp_path_factory, ontology):
+    directory = tmp_path_factory.mktemp("onto")
+    save_ontology(ontology, str(directory))
+    loaded = load_ontology(str(directory))
+    assert loaded.stats() == ontology.stats()
+    assert sorted(loaded.concept_codes()) == \
+        sorted(ontology.concept_codes())
+    for code in ontology.concept_codes():
+        assert loaded.concept(code) == ontology.concept(code)
+        assert sorted(loaded.parents(code)) == \
+            sorted(ontology.parents(code))

@@ -1,0 +1,58 @@
+"""Property test: the SLCA evaluator against a brute-force oracle.
+
+The brute-force oracle enumerates every node, checks directly whether
+its subtree contains all keywords, and keeps the most specific such
+nodes -- the literal definition of smallest LCAs. The optimized
+evaluator (anchor chains over Dewey IDs) must agree exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.slca import SLCAEvaluator
+from repro.ir.tokenizer import KeywordQuery, tokenize
+from repro.xmldoc.dewey import assign_dewey_ids
+from repro.xmldoc.model import Corpus
+
+from .strategies import words, xml_documents
+
+
+def brute_force_slca(corpus, query):
+    answers = []
+    for document in corpus:
+        ids = assign_dewey_ids(document)
+        covering = []
+        for node in document.iter():
+            subtree_tokens = set(tokenize(node.subtree_text()))
+            if all(set(keyword.tokens) <= subtree_tokens
+                   and _phrase_ok(keyword, node)
+                   for keyword in query):
+                covering.append(ids[node])
+        ordered = sorted(covering)
+        for index, candidate in enumerate(ordered):
+            has_descendant = any(candidate.is_ancestor_of(other)
+                                 for other in ordered[index + 1:])
+            if not has_descendant:
+                answers.append(candidate)
+    return set(answers)
+
+
+def _phrase_ok(keyword, node):
+    if not keyword.is_phrase:
+        return True
+    from repro.ir.tokenizer import contains_phrase
+    return any(contains_phrase(
+        tokenize(descendant.textual_description()), keyword.tokens)
+        for descendant in node.iter())
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(xml_documents(), min_size=1, max_size=2),
+       st.lists(words, min_size=1, max_size=2, unique=True))
+def test_slca_matches_brute_force(documents, terms):
+    for doc_id, document in enumerate(documents):
+        document.doc_id = doc_id
+    corpus = Corpus(documents)
+    query = KeywordQuery.of(*terms)
+    fast = {result.dewey for result in SLCAEvaluator(corpus).search(query)}
+    slow = brute_force_slca(corpus, query)
+    assert fast == slow

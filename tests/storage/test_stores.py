@@ -1,0 +1,104 @@
+"""Unit tests for the index stores (memory and SQLite)."""
+
+import os
+
+import pytest
+
+from repro.storage.interface import StorageError
+from repro.storage.memory_store import MemoryStore
+from repro.storage.sqlite_store import SQLiteStore
+
+POSTINGS = [("0.1.2", 0.5), ("0.3", 1.0), ("2.0.1.4", 0.25)]
+
+
+@pytest.fixture(params=["memory", "sqlite", "sqlite-file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryStore()
+    elif request.param == "sqlite":
+        with SQLiteStore() as sqlite_store:
+            yield sqlite_store
+    else:
+        path = str(tmp_path / "index.db")
+        with SQLiteStore(path) as sqlite_store:
+            yield sqlite_store
+
+
+class TestPostings:
+    def test_roundtrip(self, store):
+        store.put_postings("graph", "asthma", POSTINGS)
+        assert store.get_postings("graph", "asthma") == POSTINGS
+
+    def test_missing_keyword_is_empty(self, store):
+        assert store.get_postings("graph", "nope") == []
+
+    def test_replace_semantics(self, store):
+        store.put_postings("graph", "asthma", POSTINGS)
+        store.put_postings("graph", "asthma", POSTINGS[:1])
+        assert store.get_postings("graph", "asthma") == POSTINGS[:1]
+
+    def test_strategies_namespaced(self, store):
+        store.put_postings("graph", "asthma", POSTINGS)
+        store.put_postings("taxonomy", "asthma", POSTINGS[:1])
+        assert len(store.get_postings("graph", "asthma")) == 3
+        assert len(store.get_postings("taxonomy", "asthma")) == 1
+
+    def test_keywords_listing(self, store):
+        store.put_postings("graph", "a", POSTINGS)
+        store.put_postings("graph", "b", POSTINGS)
+        store.put_postings("taxonomy", "c", POSTINGS)
+        assert sorted(store.keywords("graph")) == ["a", "b"]
+
+    def test_posting_count(self, store):
+        store.put_postings("graph", "asthma", POSTINGS)
+        assert store.posting_count("graph", "asthma") == 3
+        assert store.posting_count("graph", "nope") == 0
+
+    def test_order_preserved(self, store):
+        reversed_postings = list(reversed(POSTINGS))
+        store.put_postings("graph", "asthma", reversed_postings)
+        assert store.get_postings("graph", "asthma") == reversed_postings
+
+
+class TestDocuments:
+    def test_roundtrip(self, store):
+        store.put_document(3, "<doc/>")
+        assert store.get_document(3) == "<doc/>"
+
+    def test_missing_raises(self, store):
+        with pytest.raises(StorageError):
+            store.get_document(99)
+
+    def test_ids_sorted(self, store):
+        store.put_document(5, "<a/>")
+        store.put_document(1, "<b/>")
+        assert list(store.document_ids()) == [1, 5]
+
+    def test_overwrite(self, store):
+        store.put_document(1, "<a/>")
+        store.put_document(1, "<b/>")
+        assert store.get_document(1) == "<b/>"
+
+
+class TestMetadata:
+    def test_roundtrip(self, store):
+        store.put_metadata("decay", "0.5")
+        assert store.get_metadata("decay") == "0.5"
+
+    def test_default(self, store):
+        assert store.get_metadata("missing") is None
+        assert store.get_metadata("missing", "x") == "x"
+
+
+class TestSQLitePersistence:
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "persist.db")
+        with SQLiteStore(path) as store:
+            store.put_postings("graph", "asthma", POSTINGS)
+            store.put_document(0, "<doc/>")
+            store.put_metadata("strategy", "graph")
+        assert os.path.exists(path)
+        with SQLiteStore(path) as reopened:
+            assert reopened.get_postings("graph", "asthma") == POSTINGS
+            assert reopened.get_document(0) == "<doc/>"
+            assert reopened.get_metadata("strategy") == "graph"

@@ -1,0 +1,112 @@
+"""End-to-end tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("clidata"))
+    code = main(["generate", "--out", directory, "--patients", "4",
+                 "--seed", "3"])
+    assert code == 0
+    return directory
+
+
+class TestGenerate:
+    def test_layout(self, data_dir):
+        assert os.path.isdir(os.path.join(data_dir, "ontology"))
+        corpus_dir = os.path.join(data_dir, "corpus")
+        documents = [name for name in os.listdir(corpus_dir)
+                     if name.endswith(".xml")]
+        assert len(documents) == 4
+
+    def test_output_summary(self, data_dir, capsys):
+        main(["generate", "--out", data_dir, "--patients", "4",
+              "--seed", "3"])
+        captured = capsys.readouterr()
+        assert "ontology:" in captured.out
+        assert "corpus: 4 documents" in captured.out
+
+
+class TestIndexAndSearch:
+    def test_index_then_search(self, data_dir, tmp_path, capsys):
+        store = str(tmp_path / "index.db")
+        assert main(["index", "--data", data_dir, "--store", store]) == 0
+        captured = capsys.readouterr()
+        assert "XOnto-DILs" in captured.out
+        assert os.path.exists(store)
+
+        code = main(["search", "--data", data_dir, "--store", store,
+                     "asthma theophylline", "-k", "3"])
+        captured = capsys.readouterr()
+        assert "loaded" in captured.out
+        # Either results or a clean no-results exit, depending on the
+        # tiny corpus; both paths must not crash.
+        assert code in (0, 1)
+
+    def test_search_without_store(self, data_dir, capsys):
+        code = main(["search", "--data", data_dir, "fever", "-k", "2"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert captured.out.strip()
+
+    def test_search_explain_flag(self, data_dir, capsys):
+        code = main(["search", "--data", data_dir,
+                     "fever acetaminophen", "-k", "1", "--explain"])
+        captured = capsys.readouterr()
+        if code == 0:
+            assert "via" in captured.out
+
+    def test_xrank_strategy(self, data_dir, capsys):
+        code = main(["search", "--data", data_dir, "--strategy", "xrank",
+                     "fever", "-k", "2"])
+        assert code in (0, 1)
+        capsys.readouterr()
+
+
+class TestEvaluate:
+    def test_survey_table(self, data_dir, capsys):
+        assert main(["evaluate", "--data", data_dir, "--k", "3"]) == 0
+        captured = capsys.readouterr()
+        assert "AVERAGE" in captured.out
+        assert "xrank" in captured.out
+        assert "relationships" in captured.out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_strategy_rejected(self, data_dir):
+        with pytest.raises(SystemExit):
+            main(["search", "--data", data_dir, "--strategy", "bogus",
+                  "q"])
+
+    def test_missing_corpus_errors(self, tmp_path):
+        empty = str(tmp_path / "empty")
+        os.makedirs(os.path.join(empty, "corpus"))
+        with pytest.raises(FileNotFoundError):
+            main(["search", "--data", empty, "q"])
+
+
+class TestStatsAndParameters:
+    def test_stats_subcommand(self, data_dir, capsys):
+        assert main(["stats", "--data", data_dir]) == 0
+        captured = capsys.readouterr()
+        assert "ontology:" in captured.out
+        assert "vocabulary (document words):" in captured.out
+
+    def test_parameter_flags_accepted(self, data_dir, capsys):
+        code = main(["search", "--data", data_dir, "--threshold", "0.3",
+                     "--decay", "0.4", "--t", "0.25", "fever", "-k", "1"])
+        assert code in (0, 1)
+        capsys.readouterr()
+
+    def test_invalid_parameters_rejected(self, data_dir):
+        with pytest.raises(ValueError):
+            main(["search", "--data", data_dir, "--decay", "0", "fever"])

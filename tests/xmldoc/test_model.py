@@ -1,0 +1,167 @@
+"""Unit tests for the labeled-tree XML model (Section III semantics)."""
+
+import pytest
+
+from repro.xmldoc.model import (Corpus, DEFAULT_TEXT_POLICY,
+                                OntologicalReference, TextPolicy,
+                                XMLDocument, XMLNode)
+
+
+def build_tree():
+    root = XMLNode("root")
+    section = root.add("section", {"id": "s1"})
+    section.add("title", text="Medications")
+    entry = section.add("entry")
+    entry.add("value", {"displayName": "Asthma"},
+              reference=OntologicalReference("sys", "195967001"))
+    return root
+
+
+class TestXMLNode:
+    def test_requires_tag(self):
+        with pytest.raises(ValueError):
+            XMLNode("")
+
+    def test_append_sets_parent(self):
+        root = XMLNode("a")
+        child = root.add("b")
+        assert child.parent is root
+        assert root.children == [child]
+
+    def test_append_rejects_attached_node(self):
+        root = XMLNode("a")
+        child = root.add("b")
+        other = XMLNode("c")
+        with pytest.raises(ValueError):
+            other.append(child)
+
+    def test_detach(self):
+        root = XMLNode("a")
+        child = root.add("b")
+        child.detach()
+        assert child.parent is None
+        assert root.children == []
+
+    def test_iter_is_document_order(self):
+        root = build_tree()
+        tags = [node.tag for node in root.iter()]
+        assert tags == ["root", "section", "title", "entry", "value"]
+
+    def test_descendants_excludes_self(self):
+        root = build_tree()
+        assert all(node is not root for node in root.descendants())
+        assert sum(1 for _ in root.descendants()) == 4
+
+    def test_ancestors(self):
+        root = build_tree()
+        value = root.find("value")
+        assert [node.tag for node in value.ancestors()] == \
+            ["entry", "section", "root"]
+
+    def test_root_and_depth(self):
+        root = build_tree()
+        value = root.find("value")
+        assert value.root() is root
+        assert value.depth() == 3
+        assert root.depth() == 0
+
+    def test_find_returns_first_match(self):
+        root = build_tree()
+        assert root.find("section").attributes["id"] == "s1"
+        assert root.find("missing") is None
+
+    def test_findall(self):
+        root = build_tree()
+        assert len(root.findall("entry")) == 1
+
+    def test_child_index(self):
+        root = build_tree()
+        section = root.find("section")
+        assert section.child_index() == 0
+        assert section.children[1].child_index() == 1
+
+    def test_is_code_node(self):
+        root = build_tree()
+        assert not root.is_code_node
+        assert root.find("value").is_code_node
+
+
+class TestTextualDescription:
+    def test_includes_tag_attributes_and_text(self):
+        node = XMLNode("title", {"lang": "en"}, text="Medications")
+        assert node.textual_description() == "title lang en Medications"
+
+    def test_excluded_attribute_keeps_name_drops_value(self):
+        node = XMLNode("code", {"code": "1234", "displayName": "Asthma"})
+        description = node.textual_description()
+        assert "1234" not in description
+        assert "Asthma" in description
+        assert "code" in description  # attribute names stay
+
+    def test_custom_policy(self):
+        policy = TextPolicy(excluded_attributes=("displayName",))
+        node = XMLNode("code", {"displayName": "Asthma"})
+        assert "Asthma" not in node.textual_description(policy)
+
+    def test_policy_pairs(self):
+        policy = TextPolicy(excluded_pairs=(("code", "value"),))
+        assert not policy.includes("code", "value")
+        assert policy.includes("other", "value")
+
+    def test_policy_predicate(self):
+        policy = TextPolicy(predicate=lambda tag, attr: attr != "x")
+        assert not policy.includes("t", "x")
+        assert policy.includes("t", "y")
+
+    def test_tail_text_contributes_to_parent(self):
+        root = XMLNode("text")
+        child = root.add("content", text="Theophylline")
+        child.tail = "20 mg every other day"
+        assert "20 mg every other day" in root.textual_description()
+        assert "Theophylline" not in root.textual_description()
+
+    def test_subtree_text(self):
+        root = build_tree()
+        text = root.subtree_text()
+        assert "Medications" in text
+        assert "Asthma" in text
+
+
+class TestDocumentAndCorpus:
+    def test_node_count(self):
+        document = XMLDocument(doc_id=0, root=build_tree())
+        assert document.node_count() == 5
+
+    def test_code_nodes(self):
+        document = XMLDocument(doc_id=0, root=build_tree())
+        assert [node.tag for node in document.code_nodes()] == ["value"]
+
+    def test_referenced_systems(self):
+        document = XMLDocument(doc_id=0, root=build_tree())
+        assert document.referenced_systems() == {"sys"}
+
+    def test_corpus_rejects_duplicate_ids(self):
+        corpus = Corpus([XMLDocument(doc_id=1, root=build_tree())])
+        with pytest.raises(ValueError):
+            corpus.add(XMLDocument(doc_id=1, root=build_tree()))
+
+    def test_corpus_iterates_in_id_order(self):
+        corpus = Corpus([XMLDocument(doc_id=5, root=build_tree()),
+                         XMLDocument(doc_id=2, root=build_tree())])
+        assert [document.doc_id for document in corpus] == [2, 5]
+
+    def test_corpus_get_unknown(self):
+        with pytest.raises(KeyError):
+            Corpus().get(42)
+
+    def test_corpus_contains_and_len(self):
+        corpus = Corpus([XMLDocument(doc_id=3, root=build_tree())])
+        assert 3 in corpus
+        assert 4 not in corpus
+        assert len(corpus) == 1
+        assert corpus.total_nodes() == 5
+
+    def test_default_policy_excludes_cda_noise(self):
+        for attribute in ("code", "codeSystem", "root", "extension"):
+            assert not DEFAULT_TEXT_POLICY.includes("any", attribute)
+        assert DEFAULT_TEXT_POLICY.includes("any", "displayName")

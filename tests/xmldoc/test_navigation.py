@@ -1,0 +1,91 @@
+"""Unit tests for subtree extraction / structural queries."""
+
+import pytest
+
+from repro.xmldoc.dewey import DeweyID
+from repro.xmldoc.model import Corpus, XMLDocument, XMLNode
+from repro.xmldoc.navigation import (copy_subtree, extract_fragment,
+                                     iter_matching, path_to_root,
+                                     prune_to_paths, subtree_size,
+                                     tree_depth)
+from repro.xmldoc.parser import parse_document
+
+
+@pytest.fixture
+def document():
+    return parse_document(
+        "<root><s1><a>one</a><b>two</b></s1><s2><c>three</c></s2></root>",
+        doc_id=4)
+
+
+class TestCopy:
+    def test_copy_is_deep_and_detached(self, document):
+        s1 = document.root.children[0]
+        clone = copy_subtree(s1)
+        assert clone.parent is None
+        assert clone.children[0] is not s1.children[0]
+        assert clone.children[0].text == "one"
+
+    def test_copy_preserves_reference(self):
+        from repro.xmldoc.model import OntologicalReference
+        node = XMLNode("v", reference=OntologicalReference("s", "1"))
+        assert copy_subtree(node).reference == node.reference
+
+    def test_mutating_copy_leaves_original(self, document):
+        clone = copy_subtree(document.root)
+        clone.children[0].detach()
+        assert len(document.root.children) == 2
+
+
+class TestExtraction:
+    def test_extract_fragment(self, document):
+        corpus = Corpus([document])
+        fragment = extract_fragment(corpus, DeweyID(4, (0,)))
+        assert fragment.tag == "s1"
+        assert subtree_size(fragment) == 3
+
+    def test_path_to_root(self, document):
+        path = path_to_root(document, DeweyID(4, (1, 0)))
+        assert [node.tag for node in path] == ["root", "s2", "c"]
+
+    def test_iter_matching(self, document):
+        leaves = list(iter_matching(document,
+                                    lambda node: not node.children))
+        assert [node.tag for node in leaves] == ["a", "b", "c"]
+
+
+class TestMetrics:
+    def test_subtree_size(self, document):
+        assert subtree_size(document.root) == 6
+
+    def test_tree_depth(self, document):
+        assert tree_depth(document.root) == 2
+        assert tree_depth(document.root.children[0].children[0]) == 0
+
+
+class TestPrune:
+    def test_prune_keeps_only_target_paths(self, document):
+        root = document.root
+        target = root.children[0].children[1]  # <b>
+        pruned = prune_to_paths(root, [target])
+        assert pruned.tag == "root"
+        assert [child.tag for child in pruned.children] == ["s1"]
+        assert [child.tag for child in pruned.children[0].children] == ["b"]
+
+    def test_prune_multiple_targets(self, document):
+        root = document.root
+        targets = [root.children[0].children[0], root.children[1]]
+        pruned = prune_to_paths(root, targets)
+        tags = [node.tag for node in pruned.iter()]
+        assert tags == ["root", "s1", "a", "s2", "c"]
+
+    def test_prune_preserves_target_subtrees(self, document):
+        root = document.root
+        pruned = prune_to_paths(root, [root.children[1]])
+        s2 = pruned.children[0]
+        assert [node.tag for node in s2.iter()] == ["s2", "c"]
+
+    def test_prune_rejects_outside_targets(self, document):
+        other = XMLNode("stranger")
+        with pytest.raises(ValueError):
+            prune_to_paths(document.root, [other])

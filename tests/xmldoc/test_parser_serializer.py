@@ -1,0 +1,121 @@
+"""Unit tests for XML parsing and serialization."""
+
+import pytest
+
+from repro.xmldoc.model import OntologicalReference
+from repro.xmldoc.parser import (XMLParseError, XMLParser,
+                                 cda_reference_extractor,
+                                 no_reference_extractor, parse_document)
+from repro.xmldoc.serializer import (XMLSerializer, escape_attribute,
+                                     escape_text, serialize)
+
+SAMPLE = (
+    '<?xml version="1.0"?>'
+    '<doc a="1"><x code="195967001" codeSystem="2.16.840.1.113883.6.96" '
+    'displayName="Asthma"/><y>hello <b>bold</b> tail</y></doc>'
+)
+
+
+class TestParser:
+    def test_parses_structure(self):
+        document = parse_document(SAMPLE)
+        assert document.root.tag == "doc"
+        assert [child.tag for child in document.root.children] == ["x", "y"]
+
+    def test_attribute_order_preserved(self):
+        document = parse_document(SAMPLE)
+        x = document.root.children[0]
+        assert list(x.attributes) == ["code", "codeSystem", "displayName"]
+
+    def test_cda_reference_extraction(self):
+        document = parse_document(SAMPLE)
+        x = document.root.children[0]
+        assert x.reference == OntologicalReference(
+            "2.16.840.1.113883.6.96", "195967001")
+
+    def test_no_reference_extractor(self):
+        document = parse_document(SAMPLE,
+                                  reference_extractor=no_reference_extractor)
+        assert document.code_nodes() == []
+
+    def test_text_and_tail(self):
+        document = parse_document(SAMPLE)
+        y = document.root.children[1]
+        assert y.text == "hello "
+        assert y.children[0].text == "bold"
+        assert y.children[0].tail == " tail"
+
+    def test_whitespace_only_text_dropped_by_default(self):
+        document = parse_document("<a>\n  <b/>\n</a>")
+        assert document.root.text == ""
+
+    def test_keep_whitespace_option(self):
+        parser = XMLParser(keep_whitespace_text=True)
+        document = parser.parse("<a>\n  <b/>\n</a>")
+        assert document.root.text == "\n  "
+
+    def test_malformed_raises(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a><b></a>")
+        with pytest.raises(XMLParseError):
+            parse_document("not xml at all")
+
+    def test_entities_decoded(self):
+        document = parse_document("<a>&amp;&lt;&gt;</a>")
+        assert document.root.text == "&<>"
+
+    def test_parse_fragment(self):
+        node = XMLParser().parse_fragment("<frag><inner/></frag>")
+        assert node.tag == "frag"
+        assert node.children[0].tag == "inner"
+
+    def test_extractor_requires_both_attributes(self):
+        assert cda_reference_extractor("x", {"code": "1"}) is None
+        assert cda_reference_extractor("x", {"codeSystem": "1"}) is None
+        assert cda_reference_extractor(
+            "x", {"code": "1", "codeSystem": "2"}) is not None
+
+
+class TestSerializer:
+    def test_roundtrip_compact(self):
+        document = parse_document(SAMPLE)
+        text = serialize(document)
+        reparsed = parse_document(text)
+        assert self.shape(reparsed.root) == self.shape(document.root)
+
+    def test_roundtrip_pretty(self):
+        document = parse_document(SAMPLE)
+        text = serialize(document, indent="  ")
+        reparsed = parse_document(text)
+        assert self.shape(reparsed.root) == self.shape(document.root)
+
+    def shape(self, node):
+        return (node.tag, tuple(node.attributes.items()), node.text,
+                node.tail, tuple(self.shape(child)
+                                 for child in node.children))
+
+    def test_escaping(self):
+        assert escape_text('a<b>&c') == "a&lt;b&gt;&amp;c"
+        assert escape_attribute('say "hi" & <go>') == \
+            "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+    def test_escaped_content_roundtrip(self):
+        document = parse_document("<a t='&quot;x&amp;y&quot;'>1 &lt; 2</a>")
+        text = serialize(document)
+        reparsed = parse_document(text)
+        assert reparsed.root.text == "1 < 2"
+        assert reparsed.root.attributes["t"] == '"x&y"'
+
+    def test_self_closing_empty_elements(self):
+        assert serialize(parse_document("<a><b/></a>"),
+                         xml_declaration=False) == "<a><b/></a>"
+
+    def test_declaration_toggle(self):
+        text = serialize(parse_document("<a/>"), xml_declaration=False)
+        assert not text.startswith("<?xml")
+
+    def test_mixed_content_not_indented(self):
+        document = parse_document("<a>x<b/>y</a>")
+        text = XMLSerializer(indent="  ",
+                             xml_declaration=False).serialize(document)
+        assert text == "<a>x<b/>y</a>"
