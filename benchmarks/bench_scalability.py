@@ -2,15 +2,21 @@
 
 The paper's future work calls out "scaling to larger ontologies and
 datasets"; this benchmark sweeps the corpus size and reports index-
-build time for a fixed keyword set plus average query latency, so the
-growth trend (expected: roughly linear in corpus size for both) is
-visible and regressions are catchable.
+build time for a fixed keyword set (serial and on the parallel worker
+pool) plus average query latency, so the growth trend (expected:
+roughly linear in corpus size for both) is visible and regressions are
+catchable. The parallel build must produce the identical index at
+every tier -- the differential suite's contract, re-checked here at
+benchmark scale -- and on multi-core hosts the largest tier must show
+at least a 1.5x build speedup.
 """
 
+import os
 import time
 
 from repro import RELATIONSHIPS, XOntoRankEngine
 from repro.cda import build_cda_corpus
+from repro.core.index.parallel import ParallelIndexBuilder
 from repro.emr import generate_cardiac_emr
 
 from conftest import record_result
@@ -19,6 +25,10 @@ SIZES = (10, 20, 40)
 KEYWORDS = ("asthma", "arrest", "amiodarone", "effusion", "fever")
 QUERIES = ("asthma theophylline", '"cardiac arrest" amiodarone',
            "fever acetaminophen")
+PARALLEL_WORKERS = 4
+#: Vocabulary slice for the serial-vs-parallel comparison: big enough
+#: to amortize pool startup, the same slice at every tier.
+VOCAB_SLICE = 200
 
 
 def sweep(ontology, terminology):
@@ -32,6 +42,24 @@ def sweep(ontology, terminology):
         started = time.perf_counter()
         index = engine.builder.build(KEYWORDS)
         build_seconds = time.perf_counter() - started
+        # Serial vs parallel over a vocabulary slice large enough to
+        # amortize pool startup (the 5-keyword build above is kept for
+        # continuity with recorded results).
+        from repro.core.index.vocabulary import corpus_vocabulary
+        vocabulary = sorted(corpus_vocabulary(corpus))[:VOCAB_SLICE]
+        started = time.perf_counter()
+        serial_index = engine.builder.build(vocabulary)
+        serial_seconds = time.perf_counter() - started
+        parallel_builder = ParallelIndexBuilder(
+            engine.builder, workers=PARALLEL_WORKERS, mode="process")
+        started = time.perf_counter()
+        parallel_index = parallel_builder.build(vocabulary)
+        parallel_seconds = time.perf_counter() - started
+        # Determinism contract at every tier.
+        assert serial_index.keywords() == parallel_index.keywords()
+        for key in serial_index.keywords():
+            assert serial_index.lists[key].encoded() == \
+                parallel_index.lists[key].encoded()
         for query in QUERIES:  # warm DIL cache for the query phase
             engine.search(query, k=10)
         started = time.perf_counter()
@@ -42,16 +70,23 @@ def sweep(ontology, terminology):
         query_ms = ((time.perf_counter() - started)
                     / (repetitions * len(QUERIES)) * 1000.0)
         rows.append((size, corpus.total_nodes(), build_seconds * 1000.0,
+                     serial_seconds * 1000.0, parallel_seconds * 1000.0,
                      index.total_postings(), query_ms))
     return rows
 
 
 def render(rows):
-    lines = ["SCALABILITY -- corpus size vs cost (Relationships)",
+    lines = ["SCALABILITY -- corpus size vs cost (Relationships, "
+             f"{PARALLEL_WORKERS} workers, {os.cpu_count() or 1} cores, "
+             f"{VOCAB_SLICE}-word parallel slice)",
              f"{'patients':>9}{'elements':>10}{'build (ms)':>12}"
+             f"{'serial (ms)':>13}{'par (ms)':>10}{'speedup':>9}"
              f"{'postings':>10}{'query (ms)':>12}"]
-    for size, elements, build_ms, postings, query_ms in rows:
+    for (size, elements, build_ms, serial_ms, par_ms, postings,
+         query_ms) in rows:
+        speedup = serial_ms / par_ms if par_ms else float("inf")
         lines.append(f"{size:>9}{elements:>10}{build_ms:>12.1f}"
+                     f"{serial_ms:>13.1f}{par_ms:>10.1f}{speedup:>9.2f}"
                      f"{postings:>10}{query_ms:>12.2f}")
     return "\n".join(lines) + "\n"
 
@@ -62,8 +97,15 @@ def test_scalability_sweep(benchmark, bench_ontology, bench_terminology):
                               rounds=1, iterations=1)
     record_result("scalability", render(rows))
     # Postings grow with the corpus.
-    postings = [row[3] for row in rows]
+    postings = [row[5] for row in rows]
     assert postings == sorted(postings)
     # Element counts grow with patients.
     elements = [row[1] for row in rows]
     assert elements == sorted(elements)
+    # On multi-core hosts the largest tier must benefit from the pool
+    # (>= 4 cores: with fewer, pool startup eats the theoretical 2x).
+    if (os.cpu_count() or 1) >= 4:
+        _, _, _, serial_ms, par_ms, _, _ = rows[-1]
+        assert serial_ms / par_ms >= 1.5, (
+            f"largest-tier parallel speedup {serial_ms / par_ms:.2f}x "
+            f"below 1.5x")

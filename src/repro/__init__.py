@@ -27,15 +27,15 @@ Quickstart::
 
 from .core import (ALL_STRATEGIES, DEFAULT_CONFIG, GRAPH,
                    ONTOLOGY_STRATEGIES, RELATIONSHIPS, TAXONOMY, XRANK,
-                   QueryResult, XOntoRankConfig, XOntoRankEngine,
-                   build_engines)
+                   DILCache, ParallelIndexBuilder, QueryResult,
+                   XOntoRankConfig, XOntoRankEngine, build_engines)
 from .ir import Keyword, KeywordQuery
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "ALL_STRATEGIES", "DEFAULT_CONFIG", "GRAPH", "Keyword", "KeywordQuery",
-    "ONTOLOGY_STRATEGIES", "QueryResult", "RELATIONSHIPS", "TAXONOMY",
-    "XOntoRankConfig", "XOntoRankEngine", "XRANK", "build_engines",
-    "__version__",
+    "ALL_STRATEGIES", "DEFAULT_CONFIG", "DILCache", "GRAPH", "Keyword",
+    "KeywordQuery", "ONTOLOGY_STRATEGIES", "ParallelIndexBuilder",
+    "QueryResult", "RELATIONSHIPS", "TAXONOMY", "XOntoRankConfig",
+    "XOntoRankEngine", "XRANK", "build_engines", "__version__",
 ]

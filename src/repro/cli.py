@@ -7,14 +7,20 @@ Four subcommands mirror the system's phases::
         (one XML file per patient) under DIR.
 
     python -m repro index --data DIR --store FILE.db
-        [--strategy relationships] [--radius 2]
+        [--strategy relationships] [--radius 2] [--workers N]
         Pre-processing phase: build XOnto-DILs for the experiment
         vocabulary and persist them (plus the documents) to SQLite.
+        ``--workers N`` (N > 1) builds on a worker pool; the persisted
+        index is identical to the serial build. ``build-index`` is an
+        alias for this subcommand.
 
     python -m repro search --data DIR "QUERY" [--store FILE.db]
-        [--strategy relationships] [-k 10] [--explain]
+        [--strategy relationships] [-k 10] [--explain] [--cache-size N]
         Query phase: run a keyword query, print ranked fragments; with
-        --store, posting lists are loaded instead of rebuilt.
+        --store, posting lists are loaded instead of rebuilt. Prints
+        DIL-cache hit/miss/eviction counters after the query;
+        --cache-size bounds the cache (LRU) instead of keeping every
+        list.
 
     python -m repro evaluate --data DIR [--k 5]
         Run the Table-I survey over the published workload with the
@@ -75,7 +81,9 @@ def _load_data_directory(data_dir: str):
 
 def _config_from(args: argparse.Namespace) -> XOntoRankConfig:
     return XOntoRankConfig(decay=args.decay, threshold=args.threshold,
-                           t=args.t)
+                           t=args.t,
+                           dil_cache_capacity=getattr(args, "cache_size",
+                                                      None))
 
 
 def _add_parameter_flags(parser: argparse.ArgumentParser) -> None:
@@ -118,10 +126,16 @@ def command_index(args: argparse.Namespace) -> int:
     engine = XOntoRankEngine(corpus, ontology, strategy=args.strategy,
                              config=_config_from(args))
     with SQLiteStore(args.store) as store:
-        index = engine.build_index(radius=args.radius, store=store)
+        index = engine.build_index(radius=args.radius, store=store,
+                                   workers=args.workers)
+        workers = store.get_metadata("build_workers")
+        mode = store.get_metadata("build_mode")
+        chunks = store.get_metadata("build_chunks")
     print(f"built {len(index)} XOnto-DILs "
           f"({index.total_postings()} postings, "
           f"{index.total_size_bytes() / 1024:.1f} KB) -> {args.store}")
+    print(f"build: workers={workers} mode={mode} chunks={chunks}")
+    print(f"dil-cache: {engine.cache_stats().render()}")
     return 0
 
 
@@ -137,6 +151,7 @@ def command_search(args: argparse.Namespace) -> int:
     results = engine.search(args.query, k=args.k)
     if not results:
         print("no results")
+        print(f"dil-cache: {engine.cache_stats().render()}")
         return 1
     for rank, result in enumerate(results, start=1):
         print(f"#{rank}  score={result.score:.3f}  "
@@ -148,6 +163,7 @@ def command_search(args: argparse.Namespace) -> int:
         fragment = engine.fragment_text(result)
         for line in fragment.splitlines()[:args.fragment_lines]:
             print(f"    {line}")
+    print(f"dil-cache: {engine.cache_stats().render()}")
     return 0
 
 
@@ -217,7 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(handler=command_generate)
 
     index = subparsers.add_parser(
-        "index", help="pre-processing phase: build and persist XOnto-DILs")
+        "index", aliases=["build-index"],
+        help="pre-processing phase: build and persist XOnto-DILs")
     index.add_argument("--data", required=True)
     index.add_argument("--store", required=True,
                        help="SQLite database path")
@@ -225,6 +242,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=RELATIONSHIPS)
     index.add_argument("--radius", type=int, default=2,
                        help="ontology vocabulary radius (Section VII-B)")
+    index.add_argument("--workers", type=int, default=1,
+                       help="worker-pool size for the build "
+                            "(1 = serial; result is identical)")
     index.set_defaults(handler=command_index)
 
     search = subparsers.add_parser("search",
@@ -239,6 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--explain", action="store_true",
                         help="print per-keyword evidence")
     search.add_argument("--fragment-lines", type=int, default=6)
+    search.add_argument("--cache-size", type=int, default=None,
+                        help="bound the DIL cache to N lists (LRU); "
+                             "default keeps every list")
     search.set_defaults(handler=command_search)
 
     evaluate = subparsers.add_parser(

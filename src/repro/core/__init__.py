@@ -5,12 +5,15 @@ Result semantics and ranking (Eq. 1-5), the three OntoScore strategies
 (Section V-A).
 """
 
+from .cache import DILCache
 from .config import (ALL_STRATEGIES, DEFAULT_CONFIG, GRAPH,
                      ONTOLOGY_STRATEGIES, RELATIONSHIPS, TAXONOMY, XRANK,
                      XOntoRankConfig)
 from .elemrank import ElemRankComputer, ElemRankParameters
 from .index import (DeweyInvertedList, IndexBuilder, KeywordBuildStats,
-                    Posting, XOntoDILIndex)
+                    ParallelIndexBuilder, Posting, XOntoDILIndex,
+                    index_key, keyword_from_key)
+from .stats import CacheStats, StatsRegistry
 from .ontoscore import (GraphOntoScore, MaterializedRelationshipsOntoScore,
                         NullOntoScore, OntoScoreComputer,
                         RelationshipsOntoScore, SeedScorer,
@@ -25,17 +28,19 @@ from .scoring import (ElementIndex, NodeScorer, propagate_scores,
                       result_score)
 
 __all__ = [
-    "ALL_STRATEGIES", "DEFAULT_CONFIG", "DILQueryProcessor",
-    "DILQueryStatistics", "DeweyInvertedList", "ElemRankComputer",
-    "ElemRankParameters", "ElementIndex", "GRAPH", "KeywordEvidence",
-    "OntologyHop", "ResultExplanation", "explain_result",
-    "GraphOntoScore", "IndexBuilder", "KeywordBuildStats",
-    "MaterializedRelationshipsOntoScore", "NaiveEvaluator", "NodeScorer",
-    "NullOntoScore", "ONTOLOGY_STRATEGIES", "OntoScoreComputer", "Posting",
-    "QueryResult", "RELATIONSHIPS", "RelationshipsOntoScore", "SeedScorer",
-    "TAXONOMY", "TaxonomyOntoScore", "XOntoDILIndex", "XOntoRankConfig",
-    "XOntoRankEngine", "XRANK", "best_first_expansion",
-    "build_engines", "concept_seed_scorer", "level_order_expansion",
+    "ALL_STRATEGIES", "CacheStats", "DEFAULT_CONFIG", "DILCache",
+    "DILQueryProcessor", "DILQueryStatistics", "DeweyInvertedList",
+    "ElemRankComputer", "ElemRankParameters", "ElementIndex", "GRAPH",
+    "KeywordEvidence", "OntologyHop", "ResultExplanation",
+    "explain_result", "GraphOntoScore", "IndexBuilder",
+    "KeywordBuildStats", "MaterializedRelationshipsOntoScore",
+    "NaiveEvaluator", "NodeScorer", "NullOntoScore",
+    "ONTOLOGY_STRATEGIES", "OntoScoreComputer", "ParallelIndexBuilder",
+    "Posting", "QueryResult", "RELATIONSHIPS", "RelationshipsOntoScore",
+    "SeedScorer", "StatsRegistry", "TAXONOMY", "TaxonomyOntoScore",
+    "XOntoDILIndex", "XOntoRankConfig", "XOntoRankEngine", "XRANK",
+    "best_first_expansion", "build_engines", "concept_seed_scorer",
+    "index_key", "keyword_from_key", "level_order_expansion",
     "propagate_scores", "rank_results", "relationships_seed_scorer",
     "result_score",
 ]

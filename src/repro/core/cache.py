@@ -1,0 +1,141 @@
+"""Bounded LRU cache for query-time XOnto-DILs.
+
+The engine originally kept every DIL it ever built in a plain dict --
+fine for the paper's 60-patient corpus, unbounded growth under the
+heavy-traffic north star (one DIL per distinct query keyword, forever).
+:class:`DILCache` replaces it with a thread-safe least-recently-used
+cache whose capacity modes are:
+
+* ``capacity=None`` -- unbounded (the historical behavior, and the
+  right mode when :meth:`~repro.core.query.engine.XOntoRankEngine.build_index`
+  pre-warms a whole vocabulary);
+* ``capacity=N`` -- at most ``N`` entries; inserting the ``N+1``-th
+  evicts the least recently *used* entry (a hit refreshes recency);
+* ``capacity=0`` -- caching disabled: every lookup misses and nothing
+  is ever stored (useful to measure the uncached path).
+
+Hit/miss/eviction counters feed a :class:`~repro.core.stats.StatsRegistry`
+so the CLI and benchmarks can report cache effectiveness.
+
+The cache is value-agnostic (keys are any hashable, values any object);
+the engine keys it by ``(keyword.text, keyword.is_phrase)`` so a quoted
+single-word phrase and the bare term no longer collide.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable, Iterator, TypeVar
+
+from .stats import CacheStats, StatsRegistry
+
+Value = TypeVar("Value")
+
+
+class DILCache:
+    """A thread-safe LRU cache with hit/miss/eviction accounting."""
+
+    def __init__(self, capacity: int | None = None,
+                 stats: StatsRegistry | None = None,
+                 namespace: str = "dil_cache") -> None:
+        if capacity is not None and capacity < 0:
+            raise ValueError("capacity must be None or >= 0")
+        self._capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._stats = stats if stats is not None else StatsRegistry()
+        self._namespace = namespace
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    @property
+    def registry(self) -> StatsRegistry:
+        """The registry receiving this cache's counters."""
+        return self._stats
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def keys(self) -> Iterator[Hashable]:
+        """Keys from least to most recently used (a snapshot)."""
+        with self._lock:
+            return iter(list(self._entries))
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable):
+        """The cached value, refreshing recency; ``None`` on a miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._count("hits")
+                return self._entries[key]
+            self._count("misses")
+            return None
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert/replace a value, evicting the LRU entry when full."""
+        if self._capacity == 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            if (self._capacity is not None
+                    and len(self._entries) > self._capacity):
+                self._entries.popitem(last=False)
+                self._count("evictions")
+
+    def get_or_build(self, key: Hashable,
+                     factory: Callable[[], Value]) -> Value:
+        """The cached value, building (and caching) it on a miss.
+
+        The factory runs *outside* the lock so a slow DIL build never
+        blocks concurrent lookups of other keywords; two threads racing
+        on the same cold keyword may both build, but both record a miss
+        and the first inserted value wins, so every caller shares one
+        object afterwards.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._count("hits")
+                return self._entries[key]  # type: ignore[return-value]
+            self._count("misses")
+        value = factory()
+        with self._lock:
+            if key in self._entries:  # lost the race: share the winner
+                self._entries.move_to_end(key)
+                return self._entries[key]  # type: ignore[return-value]
+        self.put(key, value)
+        return value
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Point-in-time counters plus current size/capacity."""
+        with self._lock:
+            size = len(self._entries)
+        return CacheStats(
+            hits=self._stats.value(f"{self._namespace}.hits"),
+            misses=self._stats.value(f"{self._namespace}.misses"),
+            evictions=self._stats.value(f"{self._namespace}.evictions"),
+            size=size, capacity=self._capacity)
+
+    # ------------------------------------------------------------------
+    def _count(self, event: str) -> None:
+        self._stats.increment(f"{self._namespace}.{event}")

@@ -54,6 +54,13 @@ class XOntoRankConfig:
     #: Number of results the engine returns by default.
     top_k: int = 10
 
+    #: Capacity of the engine's query-time DIL cache: ``None`` keeps
+    #: every DIL ever built (the right mode after a vocabulary-wide
+    #: :meth:`~repro.core.query.engine.XOntoRankEngine.build_index`),
+    #: ``N`` bounds it to the N most recently used lists, ``0``
+    #: disables caching entirely.
+    dil_cache_capacity: int | None = None
+
     #: Expansion order: ``True`` uses the exact best-first (max-heap)
     #: formulation; ``False`` uses the paper's literal level-order merged
     #: BFS (Algorithm 1 + Observation 1), which can under-approximate
@@ -76,6 +83,9 @@ class XOntoRankConfig:
             raise ValueError("t must lie in (0, 1]")
         if self.top_k < 1:
             raise ValueError("top_k must be positive")
+        if (self.dil_cache_capacity is not None
+                and self.dil_cache_capacity < 0):
+            raise ValueError("dil_cache_capacity must be None or >= 0")
         if self.ir_function not in ("bm25", "tfidf"):
             raise ValueError("ir_function must be 'bm25' or 'tfidf'")
 

@@ -3,14 +3,16 @@ builder (paper Section V-B)."""
 
 from .builder import IndexBuilder
 from .dil import (DeweyInvertedList, KeywordBuildStats, Posting,
-                  XOntoDILIndex)
+                  XOntoDILIndex, index_key, keyword_from_key)
+from .parallel import PROCESS_MODE_THRESHOLD, ParallelIndexBuilder
 from .vocabulary import (concept_vocabulary, concepts_within_radius,
                          corpus_vocabulary, experiment_vocabulary,
                          full_vocabulary, referenced_concepts)
 
 __all__ = [
-    "DeweyInvertedList", "IndexBuilder", "KeywordBuildStats", "Posting",
+    "DeweyInvertedList", "IndexBuilder", "KeywordBuildStats",
+    "PROCESS_MODE_THRESHOLD", "ParallelIndexBuilder", "Posting",
     "XOntoDILIndex", "concept_vocabulary", "concepts_within_radius",
     "corpus_vocabulary", "experiment_vocabulary", "full_vocabulary",
-    "referenced_concepts",
+    "index_key", "keyword_from_key", "referenced_concepts",
 ]

@@ -18,6 +18,28 @@ from ...storage.interface import EncodedPosting, IndexStore
 from ...xmldoc.dewey import DeweyID
 
 
+def index_key(keyword: Keyword) -> str:
+    """Canonical index/cache key of a keyword.
+
+    Phrases are stored quoted so a quoted single-word phrase
+    (``"asthma"``) and the bare term (``asthma``) get distinct posting
+    lists -- they have identical matching semantics today, but sharing a
+    key would silently merge their statistics and make the collision
+    load-bearing. Bare multi-word keys remain parseable for backward
+    compatibility with pre-quoting stores.
+    """
+    return f'"{keyword.text}"' if keyword.is_phrase else keyword.text
+
+
+def keyword_from_key(key: str) -> Keyword:
+    """Inverse of :func:`index_key` (tolerates legacy unquoted keys)."""
+    is_phrase = len(key) >= 2 and key[0] == '"' and key[-1] == '"'
+    text = key[1:-1] if is_phrase else key
+    tokens = tuple(text.split(" "))
+    return Keyword(tokens=tokens,
+                   is_phrase=is_phrase or len(tokens) > 1)
+
+
 @dataclass(frozen=True, order=True)
 class Posting:
     """One entry of an XOnto-DIL: a node and its NodeScore."""
@@ -101,16 +123,16 @@ class XOntoDILIndex:
     # ------------------------------------------------------------------
     def add(self, dil: DeweyInvertedList,
             stats: KeywordBuildStats | None = None) -> None:
-        key = dil.keyword.text
+        key = index_key(dil.keyword)
         self.lists[key] = dil
         if stats is not None:
             self.stats[key] = stats
 
     def get(self, keyword: Keyword) -> DeweyInvertedList | None:
-        return self.lists.get(keyword.text)
+        return self.lists.get(index_key(keyword))
 
     def __contains__(self, keyword: Keyword) -> bool:
-        return keyword.text in self.lists
+        return index_key(keyword) in self.lists
 
     def __len__(self) -> int:
         return len(self.lists)
@@ -144,16 +166,19 @@ class XOntoDILIndex:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, store: IndexStore) -> None:
-        """Write every posting list into an :class:`IndexStore`."""
+        """Write every non-empty posting list into an
+        :class:`IndexStore` (stores treat an empty list as absent, and
+        a missing keyword loads back as an empty list)."""
         for key, dil in self.lists.items():
-            store.put_postings(self.strategy, key, dil.encoded())
+            if dil:
+                store.put_postings(self.strategy, key, dil.encoded())
 
     @classmethod
     def load(cls, store: IndexStore, strategy: str) -> "XOntoDILIndex":
         """Read all posting lists of a strategy back from a store."""
         index = cls(strategy=strategy)
         for key in store.keywords(strategy):
-            keyword = Keyword.from_text(key)
+            keyword = keyword_from_key(key)
             encoded = store.get_postings(strategy, key)
             index.add(DeweyInvertedList.from_encoded(keyword, encoded))
         return index

@@ -12,9 +12,14 @@ Typical use::
     results = engine.search('"bronchial structure" theophylline', k=5)
     fragment = engine.fragment(results[0])
 
-DILs for query keywords are built on first use and cached; call
-:meth:`build_index` to pre-build a whole vocabulary (and optionally
-persist it through an :class:`~repro.storage.interface.IndexStore`).
+DILs for query keywords are built on first use and held in a bounded
+:class:`~repro.core.cache.DILCache` (keyed by ``(text, is_phrase)`` so
+quoted single-word phrases and bare terms stay distinct); call
+:meth:`build_index` to pre-build a whole vocabulary -- serially or, with
+``workers > 1``, through the
+:class:`~repro.core.index.parallel.ParallelIndexBuilder` -- and
+optionally persist it through an
+:class:`~repro.storage.interface.IndexStore`.
 """
 
 from __future__ import annotations
@@ -25,11 +30,15 @@ from ...ontology.model import Ontology
 from ...storage.interface import IndexStore
 from ...xmldoc.model import Corpus, XMLNode
 from ...xmldoc.serializer import serialize
+from ..cache import DILCache
 from ..config import (DEFAULT_CONFIG, GRAPH, ONTOLOGY_STRATEGIES,
                       RELATIONSHIPS, TAXONOMY, XRANK, XOntoRankConfig)
 from ..index.builder import IndexBuilder
-from ..index.dil import DeweyInvertedList, XOntoDILIndex
+from ..index.dil import (DeweyInvertedList, XOntoDILIndex,
+                         keyword_from_key)
+from ..index.parallel import ParallelIndexBuilder
 from ..index.vocabulary import corpus_vocabulary, experiment_vocabulary
+from ..stats import CacheStats, StatsRegistry
 from ..ontoscore.base import (NullOntoScore, OntoScoreComputer, SeedScorer)
 from ..ontoscore.graph import GraphOntoScore, concept_seed_scorer
 from ..ontoscore.relationships import (RelationshipsOntoScore,
@@ -73,7 +82,9 @@ class XOntoRankEngine:
         self.builder = IndexBuilder(self.element_index, self.ontoscore,
                                     node_weights=node_weights)
         self.processor = DILQueryProcessor(decay=config.decay)
-        self._dil_cache: dict[str, DeweyInvertedList] = {}
+        self.stats = StatsRegistry()
+        self.dil_cache = DILCache(capacity=config.dil_cache_capacity,
+                                  stats=self.stats)
 
     # ------------------------------------------------------------------
     def _make_ontoscore(self, seed_scorer: SeedScorer | None,
@@ -127,12 +138,18 @@ class XOntoRankEngine:
         return evaluator.execute(parsed, k=k or self.config.top_k)
 
     def dil_for(self, keyword: Keyword) -> DeweyInvertedList:
-        """The keyword's XOnto-DIL, built on first use."""
-        cached = self._dil_cache.get(keyword.text)
-        if cached is None:
-            cached, _ = self.builder.build_keyword(keyword)
-            self._dil_cache[keyword.text] = cached
-        return cached
+        """The keyword's XOnto-DIL, built on first use.
+
+        Cached under ``(text, is_phrase)``: a phrase keyword and a term
+        keyword with identical text are distinct cache entries.
+        """
+        return self.dil_cache.get_or_build(
+            (keyword.text, keyword.is_phrase),
+            lambda: self.builder.build_keyword(keyword)[0])
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the DIL cache."""
+        return self.dil_cache.stats()
 
     def explain(self, result: QueryResult, query: str | KeywordQuery):
         """Per-keyword evidence for a result (see
@@ -183,13 +200,21 @@ class XOntoRankEngine:
     # ------------------------------------------------------------------
     def build_index(self, vocabulary: set[str] | None = None,
                     radius: int = 2,
-                    store: IndexStore | None = None) -> XOntoDILIndex:
+                    store: IndexStore | None = None,
+                    workers: int | None = None,
+                    parallel_mode: str = "auto") -> XOntoDILIndex:
         """Pre-build DILs for a whole vocabulary (Section V-B).
 
         Without an explicit vocabulary, ontology-aware strategies use
         the paper's experimental rule (document words plus concepts
         within ``radius`` relationships of referenced concepts); the
         XRANK baseline indexes the document words.
+
+        With ``workers > 1`` the vocabulary is built on a worker pool
+        (see :class:`~repro.core.index.parallel.ParallelIndexBuilder`);
+        the result is guaranteed identical to the serial build, and
+        with a ``store`` the shards are streamed into it as they
+        complete.
         """
         if vocabulary is None:
             if self.strategy == XRANK or self.ontology is None:
@@ -199,17 +224,38 @@ class XOntoRankEngine:
                 vocabulary = experiment_vocabulary(
                     self.corpus, self.ontology, radius=radius,
                     text_policy=self.config.text_policy)
-        index = self.builder.build(vocabulary, strategy_name=self.strategy)
+        build_stats = StatsRegistry()
+        if workers is not None and workers > 1:
+            parallel = ParallelIndexBuilder(
+                self.builder, workers=workers, mode=parallel_mode,
+                stats=build_stats)
+            index = parallel.build(vocabulary,
+                                   strategy_name=self.strategy,
+                                   store=store)
+        else:
+            index = self.builder.build(vocabulary,
+                                       strategy_name=self.strategy)
+            if store is not None:
+                index.save(store)
         for key, dil in index.lists.items():
-            self._dil_cache[key] = dil
+            keyword = keyword_from_key(key)
+            self.dil_cache.put((keyword.text, keyword.is_phrase), dil)
         if store is not None:
-            index.save(store)
             for document in self.corpus:
                 store.put_document(document.doc_id, serialize(document))
             store.put_metadata("strategy", self.strategy)
             store.put_metadata("decay", str(self.config.decay))
             store.put_metadata("threshold", str(self.config.threshold))
             store.put_metadata("t", str(self.config.t))
+            chunks = build_stats.value("parallel_build.chunks")
+            mode = next(
+                (name.rsplit(".", 1)[1]
+                 for name in build_stats.snapshot()
+                 if name.startswith("parallel_build.mode.")), "serial")
+            store.put_metadata("build_workers",
+                               str(workers if workers else 1))
+            store.put_metadata("build_chunks", str(chunks or 1))
+            store.put_metadata("build_mode", mode)
         return index
 
     def load_index(self, store: IndexStore) -> int:
@@ -217,7 +263,8 @@ class XOntoRankEngine:
         count."""
         index = XOntoDILIndex.load(store, self.strategy)
         for key, dil in index.lists.items():
-            self._dil_cache[key] = dil
+            keyword = keyword_from_key(key)
+            self.dil_cache.put((keyword.text, keyword.is_phrase), dil)
         return len(index.lists)
 
 

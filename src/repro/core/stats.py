@@ -1,0 +1,87 @@
+"""Lightweight runtime instrumentation (counters for hot paths).
+
+The production north star needs the hot paths to be *observable*: the
+bounded DIL cache (:mod:`repro.core.cache`) and the parallel index
+builder (:mod:`repro.core.index.parallel`) report what they did through
+a :class:`StatsRegistry` -- a thread-safe named-counter map -- so the
+CLI and the benchmarks can print hit rates and shard counts without
+reaching into private state.
+
+Deliberately tiny: integer counters only, no sampling, no timers. A
+counter increment is one lock acquisition; the registry is safe to
+share across the worker threads of a parallel build or the request
+threads of a server front-end.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+class StatsRegistry:
+    """A thread-safe map of named monotonic counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to counter ``name``; returns the new value."""
+        with self._lock:
+            value = self._counters.get(name, 0) + amount
+            self._counters[name] = value
+            return value
+
+    def value(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never touched)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._counters)
+
+    def reset(self) -> None:
+        """Zero every counter (between benchmark rounds)."""
+        with self._lock:
+            self._counters.clear()
+
+    # ------------------------------------------------------------------
+    def render(self, prefix: str | None = None) -> str:
+        """One ``name=value`` line, sorted by name, for CLI output."""
+        counters = self.snapshot()
+        if prefix is not None:
+            counters = {name: value for name, value in counters.items()
+                        if name.startswith(prefix)}
+        return " ".join(f"{name}={value}"
+                        for name, value in sorted(counters.items()))
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time view of one cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    capacity: int | None
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def render(self) -> str:
+        capacity = "unbounded" if self.capacity is None else self.capacity
+        return (f"hits={self.hits} misses={self.misses} "
+                f"evictions={self.evictions} size={self.size} "
+                f"capacity={capacity} hit_rate={self.hit_rate:.2f}")

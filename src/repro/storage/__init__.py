@@ -1,8 +1,10 @@
 """Storage substrate: persistent XOnto-DIL stores (SQL Server stand-in)."""
 
-from .interface import EncodedPosting, IndexStore, StorageError
+from .interface import (PROVENANCE_METADATA_KEYS, EncodedPosting,
+                        IndexStore, StorageError, canonical_dump)
 from .memory_store import MemoryStore
 from .sqlite_store import SQLiteStore
 
-__all__ = ["EncodedPosting", "IndexStore", "MemoryStore", "SQLiteStore",
-           "StorageError"]
+__all__ = ["EncodedPosting", "IndexStore", "MemoryStore",
+           "PROVENANCE_METADATA_KEYS", "SQLiteStore", "StorageError",
+           "canonical_dump"]

@@ -14,11 +14,19 @@ index structures.
 
 from __future__ import annotations
 
+import json
 from abc import ABC, abstractmethod
 from typing import Iterator, Sequence
 
 #: Encoded posting: (dotted-decimal Dewey ID, node score).
 EncodedPosting = tuple[str, float]
+
+#: Metadata keys recording *how* an index was built (worker count,
+#: shard count, pool mode). Excluded from :func:`canonical_dump` --
+#: they legitimately differ between a serial and a parallel build of
+#: the same index, while everything else must be identical.
+PROVENANCE_METADATA_KEYS = frozenset(
+    {"build_workers", "build_chunks", "build_mode"})
 
 
 class StorageError(RuntimeError):
@@ -81,6 +89,10 @@ class IndexStore(ABC):
                      ) -> str | None:
         """Read one metadata entry."""
 
+    @abstractmethod
+    def metadata_keys(self) -> Iterator[str]:
+        """All stored metadata keys (any order)."""
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Release resources; default is a no-op."""
@@ -90,3 +102,32 @@ class IndexStore(ABC):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def canonical_dump(store: IndexStore, strategies: Sequence[str],
+                   include_provenance: bool = False) -> bytes:
+    """A deterministic byte serialization of a store's contents.
+
+    Two stores hold the same index if and only if their dumps are
+    byte-identical, regardless of backend (memory vs SQLite), page
+    layout or insertion order -- the comparison form of the
+    parallel-vs-serial determinism contract. Build-provenance metadata
+    (:data:`PROVENANCE_METADATA_KEYS`) is excluded unless requested,
+    since worker counts may differ between equivalent builds.
+    """
+    postings = {
+        strategy: {keyword: store.get_postings(strategy, keyword)
+                   for keyword in store.keywords(strategy)}
+        for strategy in sorted(set(strategies))}
+    documents = {str(doc_id): store.get_document(doc_id)
+                 for doc_id in store.document_ids()}
+    metadata: dict[str, str] = {}
+    for key in sorted(store.metadata_keys()):
+        if include_provenance or key not in PROVENANCE_METADATA_KEYS:
+            value = store.get_metadata(key)
+            if value is not None:
+                metadata[key] = value
+    payload = {"postings": postings, "documents": documents,
+               "metadata": metadata}
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")

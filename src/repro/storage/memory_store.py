@@ -18,6 +18,11 @@ class MemoryStore(IndexStore):
     # ------------------------------------------------------------------
     def put_postings(self, strategy: str, keyword: str,
                      postings: Sequence[EncodedPosting]) -> None:
+        # An empty list means "absent", matching the SQLite backend
+        # (whose DELETE + zero INSERTs leaves no rows for the keyword).
+        if not postings:
+            self._postings.pop((strategy, keyword), None)
+            return
         self._postings[(strategy, keyword)] = [
             (dewey, float(score)) for dewey, score in postings]
 
@@ -53,3 +58,6 @@ class MemoryStore(IndexStore):
     def get_metadata(self, key: str, default: str | None = None,
                      ) -> str | None:
         return self._metadata.get(key, default)
+
+    def metadata_keys(self) -> Iterator[str]:
+        return iter(sorted(self._metadata))

@@ -112,6 +112,12 @@ class SQLiteStore(IndexStore):
             "SELECT value FROM metadata WHERE key = ?", (key,)).fetchone()
         return default if row is None else row[0]
 
+    def metadata_keys(self) -> Iterator[str]:
+        rows = self._connection.execute(
+            "SELECT key FROM metadata ORDER BY key")
+        for (key,) in rows:
+            yield key
+
     # ------------------------------------------------------------------
     def close(self) -> None:
         self._connection.close()

@@ -124,6 +124,46 @@ class TestIndexLifecycle:
             assert fresh.search("asthma medications", k=1)
 
 
+class TestDILCacheKeying:
+    def test_phrase_and_term_with_same_text_do_not_collide(
+            self, figure1_corpus, core_ontology):
+        """Regression: the cache used to key on ``keyword.text`` alone,
+        so a quoted single-word phrase ('"asthma"') and the bare term
+        (asthma) shared one entry -- whichever was built first answered
+        for both."""
+        from repro.ir.tokenizer import Keyword
+        engine = XOntoRankEngine(figure1_corpus, core_ontology,
+                                 strategy=RELATIONSHIPS)
+        term = Keyword(tokens=("asthma",), is_phrase=False)
+        phrase = Keyword(tokens=("asthma",), is_phrase=True)
+        term_dil = engine.dil_for(term)
+        phrase_dil = engine.dil_for(phrase)
+        assert ("asthma", False) in engine.dil_cache
+        assert ("asthma", True) in engine.dil_cache
+        assert engine.dil_cache.get(("asthma", False)) is term_dil
+        assert engine.dil_cache.get(("asthma", True)) is phrase_dil
+        assert term_dil is not phrase_dil
+        # Both entries stay live: looking one up never serves the other.
+        assert engine.dil_for(term) is term_dil
+        assert engine.dil_for(phrase) is phrase_dil
+
+    def test_persisted_index_keys_distinguish_phrases(self):
+        """The persisted key is quoted for phrases, so a store can hold
+        both lists side by side and reload them with the right flag."""
+        from repro.core.index.dil import index_key, keyword_from_key
+        from repro.ir.tokenizer import Keyword
+        term = Keyword(tokens=("asthma",), is_phrase=False)
+        phrase = Keyword(tokens=("asthma",), is_phrase=True)
+        assert index_key(term) == "asthma"
+        assert index_key(phrase) == '"asthma"'
+        assert keyword_from_key(index_key(phrase)) == phrase
+        assert keyword_from_key(index_key(term)) == term
+        # Legacy unquoted multi-word keys load as phrases (the old
+        # on-disk format never stored a phrase marker).
+        legacy = keyword_from_key("cardiac arrest")
+        assert legacy.is_phrase and legacy.tokens == ("cardiac", "arrest")
+
+
 class TestConfig:
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -134,6 +174,8 @@ class TestConfig:
             XOntoRankConfig(t=-0.5)
         with pytest.raises(ValueError):
             XOntoRankConfig(top_k=0)
+        with pytest.raises(ValueError):
+            XOntoRankConfig(dil_cache_capacity=-1)
 
     def test_threshold_changes_reach(self, figure1_corpus, core_ontology):
         tight = XOntoRankEngine(

@@ -1,0 +1,211 @@
+"""Differential tests: parallel index build ≡ serial index build.
+
+The determinism contract of
+:class:`~repro.core.index.parallel.ParallelIndexBuilder` is that a
+parallel build is *indistinguishable* from ``IndexBuilder.build``:
+
+* same DIL entries (keys, postings, scores, byte-for-byte encoded);
+* same persisted store contents (compared through the backend-agnostic
+  :func:`~repro.storage.interface.canonical_dump`);
+* same top-k search results afterwards.
+
+Checked here over hypothesis-generated corpora and ontologies for all
+four strategies (thread pools, which exercise the chunking/merge logic
+every run), and over the paper's Figure 1 document with a real
+fork-based process pool (the production configuration). Seeded via
+hypothesis' deterministic derandomization in CI; failures shrink to
+minimal corpora.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, seed, settings, strategies as st
+
+from repro.core.config import ALL_STRATEGIES, XRANK
+from repro.core.index.parallel import ParallelIndexBuilder
+from repro.core.query.engine import XOntoRankEngine
+from repro.storage.interface import canonical_dump
+from repro.storage.memory_store import MemoryStore
+from repro.xmldoc.model import Corpus
+
+from .strategies import small_ontologies, xml_documents
+
+WORKERS = 4
+
+
+@st.composite
+def corpora_with_ontology(draw):
+    ontology = draw(small_ontologies())
+    codes = tuple(ontology.concept_codes())
+    count = draw(st.integers(min_value=1, max_value=2))
+    corpus = Corpus([draw(xml_documents(doc_id=doc_id,
+                                        concept_codes=codes))
+                     for doc_id in range(count)])
+    return corpus, ontology
+
+
+def _engine(corpus, ontology, strategy):
+    return XOntoRankEngine(
+        corpus, ontology if strategy != XRANK else None,
+        strategy=strategy)
+
+
+def _assert_same_index(serial, parallel):
+    assert serial.strategy == parallel.strategy
+    assert serial.keywords() == parallel.keywords()
+    for key in serial.keywords():
+        assert serial.lists[key].encoded() == \
+            parallel.lists[key].encoded(), key
+    # Build stats cover the same keywords with the same measurements
+    # (timings excepted -- they are the one sanctioned difference).
+    assert set(serial.stats) == set(parallel.stats)
+    for key, stat in serial.stats.items():
+        other = parallel.stats[key]
+        assert stat.posting_count == other.posting_count
+        assert stat.size_bytes == other.size_bytes
+        assert stat.ontology_entries == other.ontology_entries
+
+
+def _assert_same_search(serial_engine, parallel_engine, vocabulary):
+    for word in sorted(vocabulary)[:5]:
+        serial_results = serial_engine.search(word, k=10)
+        parallel_results = parallel_engine.search(word, k=10)
+        assert [(r.dewey, r.score) for r in serial_results] == \
+            [(r.dewey, r.score) for r in parallel_results]
+
+
+class TestRandomizedCorpora:
+    @seed(20090331)
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(corpora_with_ontology())
+    def test_all_strategies_build_identically(self, drawn):
+        corpus, ontology = drawn
+        for strategy in ALL_STRATEGIES:
+            serial_engine = _engine(corpus, ontology, strategy)
+            parallel_engine = _engine(corpus, ontology, strategy)
+            serial_store, parallel_store = MemoryStore(), MemoryStore()
+            serial = serial_engine.build_index(store=serial_store)
+            parallel = parallel_engine.build_index(
+                store=parallel_store, workers=WORKERS,
+                parallel_mode="thread")
+            _assert_same_index(serial, parallel)
+            assert canonical_dump(serial_store, [strategy]) == \
+                canonical_dump(parallel_store, [strategy])
+            _assert_same_search(serial_engine, parallel_engine,
+                                serial.keywords())
+
+    @seed(20090331)
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(corpora_with_ontology(),
+           st.integers(min_value=1, max_value=3))
+    def test_chunking_is_invisible(self, drawn, chunk_size):
+        """Any chunk size yields the identical index -- the merge is
+        order-insensitive because flushing is forced into chunk order."""
+        corpus, ontology = drawn
+        engine = _engine(corpus, ontology, "relationships")
+        from repro.core.index.vocabulary import corpus_vocabulary
+        vocabulary = sorted(corpus_vocabulary(corpus))[:9]
+        if not vocabulary:
+            return
+        reference = engine.builder.build(vocabulary,
+                                         strategy_name="relationships")
+        chunked = ParallelIndexBuilder(
+            engine.builder, workers=WORKERS, mode="thread",
+            chunk_size=chunk_size).build(
+                vocabulary, strategy_name="relationships")
+        _assert_same_index(reference, chunked)
+
+
+class TestProcessPool:
+    """The production configuration: a fork-based process pool."""
+
+    @pytest.fixture(scope="class")
+    def figure1(self):
+        from repro.cda.sample import build_figure1_document
+        from repro.ontology.snomed import build_core_ontology
+        return Corpus([build_figure1_document()]), build_core_ontology()
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_process_pool_build_identical(self, figure1, strategy):
+        corpus, ontology = figure1
+        serial_engine = _engine(corpus, ontology, strategy)
+        parallel_engine = _engine(corpus, ontology, strategy)
+        serial_store, parallel_store = MemoryStore(), MemoryStore()
+        serial = serial_engine.build_index(store=serial_store)
+        parallel = parallel_engine.build_index(
+            store=parallel_store, workers=2, parallel_mode="process")
+        _assert_same_index(serial, parallel)
+        assert canonical_dump(serial_store, [strategy]) == \
+            canonical_dump(parallel_store, [strategy])
+        _assert_same_search(serial_engine, parallel_engine,
+                            serial.keywords())
+
+    def test_provenance_metadata_differs_only_in_build_keys(self,
+                                                            figure1):
+        corpus, ontology = figure1
+        serial_store, parallel_store = MemoryStore(), MemoryStore()
+        _engine(corpus, ontology, "graph").build_index(
+            store=serial_store)
+        _engine(corpus, ontology, "graph").build_index(
+            store=parallel_store, workers=2, parallel_mode="process")
+        assert serial_store.get_metadata("build_workers") == "1"
+        assert parallel_store.get_metadata("build_workers") == "2"
+        assert parallel_store.get_metadata("build_mode") == "process"
+        assert int(parallel_store.get_metadata("build_chunks")) >= 2
+        # Provenance aside, the persisted contents are byte-identical.
+        assert canonical_dump(serial_store, ["graph"]) == \
+            canonical_dump(parallel_store, ["graph"])
+        assert canonical_dump(
+            serial_store, ["graph"], include_provenance=True) != \
+            canonical_dump(
+                parallel_store, ["graph"], include_provenance=True)
+
+
+class TestStreaming:
+    def test_keep_lists_false_streams_without_retaining(self):
+        from repro.cda.sample import build_figure1_document
+        from repro.ontology.snomed import build_core_ontology
+        corpus = Corpus([build_figure1_document()])
+        ontology = build_core_ontology()
+        engine = _engine(corpus, ontology, "relationships")
+        vocabulary = ("asthma", "medications", "temperature")
+        store = MemoryStore()
+        index = ParallelIndexBuilder(
+            engine.builder, workers=2, mode="thread").build(
+                vocabulary, strategy_name="relationships", store=store,
+                keep_lists=False)
+        assert index.lists == {}  # nothing retained in memory
+        assert set(index.stats) == set(vocabulary)  # stats kept
+        reference = engine.builder.build(
+            vocabulary, strategy_name="relationships")
+        for key in reference.keywords():  # store got the real lists
+            assert store.get_postings("relationships", key) == \
+                reference.lists[key].encoded()
+
+    def test_keep_lists_false_requires_store(self):
+        from repro.cda.sample import build_figure1_document
+        from repro.ontology.snomed import build_core_ontology
+        corpus = Corpus([build_figure1_document()])
+        engine = _engine(corpus, build_core_ontology(), "relationships")
+        builder = ParallelIndexBuilder(engine.builder, workers=2)
+        with pytest.raises(ValueError):
+            builder.build(("asthma",), keep_lists=False)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self, figure1_corpus, core_ontology):
+        engine = _engine(figure1_corpus, core_ontology, "graph")
+        with pytest.raises(ValueError):
+            ParallelIndexBuilder(engine.builder, workers=0)
+        with pytest.raises(ValueError):
+            ParallelIndexBuilder(engine.builder, mode="fiber")
+        with pytest.raises(ValueError):
+            ParallelIndexBuilder(engine.builder, chunk_size=0)
+
+    def test_empty_vocabulary(self, figure1_corpus, core_ontology):
+        engine = _engine(figure1_corpus, core_ontology, "graph")
+        index = ParallelIndexBuilder(engine.builder, workers=2).build(())
+        assert len(index) == 0

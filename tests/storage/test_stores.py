@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.storage.interface import StorageError
+from repro.storage.interface import StorageError, canonical_dump
 from repro.storage.memory_store import MemoryStore
 from repro.storage.sqlite_store import SQLiteStore
 
@@ -88,6 +88,130 @@ class TestMetadata:
     def test_default(self, store):
         assert store.get_metadata("missing") is None
         assert store.get_metadata("missing", "x") == "x"
+
+    def test_keys_listing(self, store):
+        store.put_metadata("decay", "0.5")
+        store.put_metadata("strategy", "graph")
+        assert sorted(store.metadata_keys()) == ["decay", "strategy"]
+
+
+class TestCanonicalDump:
+    def test_backend_independent(self):
+        memory, sqlite = MemoryStore(), SQLiteStore()
+        for target in (memory, sqlite):
+            target.put_postings("graph", "asthma", POSTINGS)
+            target.put_document(0, "<doc/>")
+            target.put_metadata("strategy", "graph")
+        assert canonical_dump(memory, ["graph"]) == \
+            canonical_dump(sqlite, ["graph"])
+        sqlite.close()
+
+    def test_insertion_order_independent(self):
+        first, second = MemoryStore(), MemoryStore()
+        first.put_postings("graph", "a", POSTINGS)
+        first.put_postings("graph", "b", POSTINGS[:1])
+        second.put_postings("graph", "b", POSTINGS[:1])
+        second.put_postings("graph", "a", POSTINGS)
+        assert canonical_dump(first, ["graph"]) == \
+            canonical_dump(second, ["graph"])
+
+    def test_detects_differences(self):
+        first, second = MemoryStore(), MemoryStore()
+        first.put_postings("graph", "a", POSTINGS)
+        second.put_postings("graph", "a", POSTINGS[:1])
+        assert canonical_dump(first, ["graph"]) != \
+            canonical_dump(second, ["graph"])
+
+    def test_provenance_keys_excluded_by_default(self):
+        first, second = MemoryStore(), MemoryStore()
+        first.put_metadata("build_workers", "1")
+        second.put_metadata("build_workers", "8")
+        assert canonical_dump(first, []) == canonical_dump(second, [])
+        assert canonical_dump(first, [], include_provenance=True) != \
+            canonical_dump(second, [], include_provenance=True)
+
+
+class TestEngineRoundTrip:
+    """build_index(store=...) → fresh engine → load_index → search must
+    yield identical results on every backend, for serial and sharded
+    (parallel) builds alike, with the build metadata intact."""
+
+    QUERIES = ("asthma medications", '"bronchial structure" theophylline',
+               "theophylline temperature")
+
+    @pytest.fixture(scope="class")
+    def corpus_and_ontology(self):
+        from repro.cda.sample import build_figure1_document
+        from repro.ontology.snomed import build_core_ontology
+        from repro.xmldoc.model import Corpus
+        return (Corpus([build_figure1_document()]), build_core_ontology())
+
+    def _engine(self, corpus_and_ontology):
+        from repro import RELATIONSHIPS, XOntoRankEngine
+        corpus, ontology = corpus_and_ontology
+        return XOntoRankEngine(corpus, ontology, strategy=RELATIONSHIPS)
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_roundtrip_search_identical(self, corpus_and_ontology,
+                                        backend, workers, tmp_path):
+        if backend == "memory":
+            store = MemoryStore()
+        else:
+            store = SQLiteStore(str(tmp_path / f"rt-{workers}.db"))
+        builder_engine = self._engine(corpus_and_ontology)
+        index = builder_engine.build_index(store=store, workers=workers,
+                                           parallel_mode="thread")
+        assert len(index) > 0
+        persisted = sum(1 for dil in index.lists.values() if dil)
+
+        fresh = self._engine(corpus_and_ontology)
+        assert fresh.load_index(store) == persisted
+        # Vocabulary words are answered from the warmed cache: no
+        # rebuild on the loaded path.
+        loaded = fresh.search("asthma medications", k=10)
+        built = builder_engine.search("asthma medications", k=10)
+        assert fresh.cache_stats().misses == 0
+        assert [(r.dewey, pytest.approx(r.score)) for r in built] == \
+            [(r.dewey, r.score) for r in loaded]
+        # Phrase queries (not in the vocabulary) rebuild identically.
+        for query in self.QUERIES[1:]:
+            built = builder_engine.search(query, k=10)
+            loaded = fresh.search(query, k=10)
+            assert [(r.dewey, pytest.approx(r.score)) for r in built] == \
+                [(r.dewey, r.score) for r in loaded]
+        store.close()
+
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_sharded_build_metadata_roundtrips(self, corpus_and_ontology,
+                                               backend, tmp_path):
+        if backend == "memory":
+            store = MemoryStore()
+        else:
+            store = SQLiteStore(str(tmp_path / "meta.db"))
+        engine = self._engine(corpus_and_ontology)
+        engine.build_index(vocabulary={"asthma", "medications"},
+                           store=store, workers=3,
+                           parallel_mode="thread")
+        assert store.get_metadata("strategy") == "relationships"
+        assert store.get_metadata("build_workers") == "3"
+        assert store.get_metadata("build_mode") == "thread"
+        assert int(store.get_metadata("build_chunks")) >= 1
+        assert {"build_chunks", "build_mode", "build_workers"} <= \
+            set(store.metadata_keys())
+        store.close()
+
+    def test_serial_and_parallel_stores_byte_identical(
+            self, corpus_and_ontology, tmp_path):
+        serial_store = SQLiteStore(str(tmp_path / "serial.db"))
+        parallel_store = SQLiteStore(str(tmp_path / "parallel.db"))
+        self._engine(corpus_and_ontology).build_index(store=serial_store)
+        self._engine(corpus_and_ontology).build_index(
+            store=parallel_store, workers=4, parallel_mode="thread")
+        assert canonical_dump(serial_store, ["relationships"]) == \
+            canonical_dump(parallel_store, ["relationships"])
+        serial_store.close()
+        parallel_store.close()
 
 
 class TestSQLitePersistence:
