@@ -16,11 +16,22 @@ Four subcommands mirror the system's phases::
 
     python -m repro search --data DIR "QUERY" [--store FILE.db]
         [--strategy relationships] [-k 10] [--explain] [--cache-size N]
+        [--retries N] [--strict | --no-fallback] [--verbose]
         Query phase: run a keyword query, print ranked fragments; with
-        --store, posting lists are loaded instead of rebuilt. Prints
-        DIL-cache hit/miss/eviction counters after the query;
-        --cache-size bounds the cache (LRU) instead of keeping every
-        list.
+        --store, posting lists are loaded instead of rebuilt. The store
+        must exist, is opened read-only, its manifest is validated
+        (strategy/decay/threshold/t/corpus fingerprint), and transient
+        faults are retried. By default the engine *degrades* on storage
+        failure -- a bad posting list (or a whole invalid store) is
+        rebuilt from the corpus with a warning; --strict/--no-fallback
+        fail fast instead. Prints DIL-cache counters after the query;
+        --verbose adds retry/fallback/integrity counters.
+
+    python -m repro verify-index --store FILE.db
+        Check a persisted index's integrity manifest end to end:
+        build-completion marker, per-strategy posting-list checksums,
+        corpus fingerprint over the stored documents. Exit 0 when
+        intact, 1 when damaged, 2 when the file is missing.
 
     python -m repro evaluate --data DIR [--k 5]
         Run the Table-I survey over the published workload with the
@@ -30,7 +41,9 @@ Four subcommands mirror the system's phases::
         Print ontology/corpus/vocabulary statistics.
 
 ``index`` and ``search`` also accept --decay/--threshold/--t to move
-the paper's parameters off their published defaults.
+the paper's parameters off their published defaults. ``index`` writes
+the database to a temporary sibling path and atomically renames it into
+place, so a killed build never publishes a partial store.
 """
 
 from __future__ import annotations
@@ -51,6 +64,10 @@ from .evaluation.workload import table1_queries
 from .ontology.api import TerminologyService
 from .ontology.io import load_ontology, save_ontology
 from .ontology.snomed import build_synthetic_snomed
+from .storage.errors import StorageError
+from .storage.manifest import (CHECKSUM_KEY_PREFIX, atomic_sqlite_build,
+                               verify_manifest)
+from .storage.retrying import RetryingStore
 from .storage.sqlite_store import SQLiteStore
 from .xmldoc.model import Corpus
 from .xmldoc.parser import XMLParser
@@ -125,18 +142,69 @@ def command_index(args: argparse.Namespace) -> int:
     ontology, corpus = _load_data_directory(args.data)
     engine = XOntoRankEngine(corpus, ontology, strategy=args.strategy,
                              config=_config_from(args))
-    with SQLiteStore(args.store) as store:
+    # Crash safety: the database is written to a ".building" sibling
+    # and atomically renamed over args.store only after the manifest's
+    # completion marker has landed.
+    with atomic_sqlite_build(args.store) as store:
         index = engine.build_index(radius=args.radius, store=store,
                                    workers=args.workers)
         workers = store.get_metadata("build_workers")
         mode = store.get_metadata("build_mode")
         chunks = store.get_metadata("build_chunks")
+        checksum = store.get_metadata(CHECKSUM_KEY_PREFIX
+                                      + args.strategy) or ""
     print(f"built {len(index)} XOnto-DILs "
           f"({index.total_postings()} postings, "
           f"{index.total_size_bytes() / 1024:.1f} KB) -> {args.store}")
     print(f"build: workers={workers} mode={mode} chunks={chunks}")
+    print(f"manifest: complete checksum={checksum[:12]} "
+          f"(audit with `python -m repro verify-index "
+          f"--store {args.store}`)")
     print(f"dil-cache: {engine.cache_stats().render()}")
     return 0
+
+
+def _load_store_or_degrade(engine: XOntoRankEngine,
+                           args: argparse.Namespace) -> int:
+    """Load the persisted index into the engine per the chosen policy.
+
+    Returns an exit code: 0 on success (including degraded operation),
+    2 on a fail-fast error. Fail-fast is chosen by --strict or
+    --no-fallback; the default degrades -- a store that is missing a
+    posting list falls back per keyword, a store that fails validation
+    outright is discarded with a warning and the engine serves from
+    the corpus.
+    """
+    fail_fast = args.strict or args.no_fallback
+    if not os.path.exists(args.store):
+        print(f"error: no index store at {args.store} -- build one "
+              f"with `python -m repro index --data {args.data} "
+              f"--store {args.store}`", file=sys.stderr)
+        return 2
+    store = None
+    try:
+        store = SQLiteStore(args.store, read_only=True)
+        reader: "SQLiteStore | RetryingStore" = store
+        if args.retries > 0:
+            reader = RetryingStore(store, max_attempts=args.retries + 1,
+                                   stats=engine.stats)
+        loaded = engine.load_index(reader, fallback=not fail_fast)
+        print(f"loaded {loaded} posting lists from {args.store}")
+        return 0
+    except StorageError as exc:
+        from .core.stats import FALLBACK_STORE_DISCARDS
+        if fail_fast:
+            print(f"error: cannot use index store {args.store}: {exc}",
+                  file=sys.stderr)
+            return 2
+        engine.stats.increment(FALLBACK_STORE_DISCARDS)
+        print(f"warning: ignoring index store {args.store} ({exc}); "
+              f"building posting lists from the corpus",
+              file=sys.stderr)
+        return 0
+    finally:
+        if store is not None:
+            store.close()
 
 
 def command_search(args: argparse.Namespace) -> int:
@@ -145,14 +213,14 @@ def command_search(args: argparse.Namespace) -> int:
         corpus, ontology if args.strategy != "xrank" else None,
         strategy=args.strategy, config=_config_from(args))
     if args.store:
-        with SQLiteStore(args.store) as store:
-            loaded = engine.load_index(store)
-        print(f"loaded {loaded} posting lists from {args.store}")
+        code = _load_store_or_degrade(engine, args)
+        if code != 0:
+            return code
     results = engine.search(args.query, k=args.k)
+    exit_code = 0
     if not results:
         print("no results")
-        print(f"dil-cache: {engine.cache_stats().render()}")
-        return 1
+        exit_code = 1
     for rank, result in enumerate(results, start=1):
         print(f"#{rank}  score={result.score:.3f}  "
               f"{result.dewey.encode()}")
@@ -164,7 +232,26 @@ def command_search(args: argparse.Namespace) -> int:
         for line in fragment.splitlines()[:args.fragment_lines]:
             print(f"    {line}")
     print(f"dil-cache: {engine.cache_stats().render()}")
-    return 0
+    if args.verbose:
+        rendered = engine.stats.render()
+        print(f"stats: {rendered}" if rendered else "stats: (none)")
+    return exit_code
+
+
+def command_verify_index(args: argparse.Namespace) -> int:
+    if not os.path.exists(args.store):
+        print(f"error: no index store at {args.store}", file=sys.stderr)
+        return 2
+    try:
+        with SQLiteStore(args.store, read_only=True) as store:
+            report = verify_manifest(store)
+    except StorageError as exc:
+        print(f"verify-index: FAIL {args.store}: {exc}")
+        return 1
+    print(f"verify-index: {args.store}")
+    for line in report.describe():
+        print(f"  {line}")
+    return 0 if report.ok else 1
 
 
 def command_evaluate(args: argparse.Namespace) -> int:
@@ -262,7 +349,25 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--cache-size", type=int, default=None,
                         help="bound the DIL cache to N lists (LRU); "
                              "default keeps every list")
+    search.add_argument("--retries", type=int, default=2,
+                        help="retry budget for transient store faults "
+                             "(0 disables retrying)")
+    search.add_argument("--strict", action="store_true",
+                        help="fail fast on any storage problem instead "
+                             "of degrading to corpus-built lists")
+    search.add_argument("--no-fallback", action="store_true",
+                        help="disable the degraded path (rebuild-from-"
+                             "corpus) when the store misbehaves")
+    search.add_argument("--verbose", action="store_true",
+                        help="print retry/fallback/integrity counters")
     search.set_defaults(handler=command_search)
+
+    verify_index = subparsers.add_parser(
+        "verify-index",
+        help="check a persisted index's integrity manifest")
+    verify_index.add_argument("--store", required=True,
+                              help="SQLite database path to verify")
+    verify_index.set_defaults(handler=command_verify_index)
 
     evaluate = subparsers.add_parser(
         "evaluate", help="run the Table-I survey over the workload")

@@ -27,6 +27,9 @@ from __future__ import annotations
 from ...ir.tokenizer import Keyword, KeywordQuery
 from ...ontology.api import TerminologyService
 from ...ontology.model import Ontology
+from ...storage import manifest as store_manifest
+from ...storage.errors import (CorruptIndexError, IncompatibleIndexError,
+                               StorageError)
 from ...storage.interface import IndexStore
 from ...xmldoc.model import Corpus, XMLNode
 from ...xmldoc.serializer import serialize
@@ -38,7 +41,8 @@ from ..index.dil import (DeweyInvertedList, XOntoDILIndex,
                          keyword_from_key)
 from ..index.parallel import ParallelIndexBuilder
 from ..index.vocabulary import corpus_vocabulary, experiment_vocabulary
-from ..stats import CacheStats, StatsRegistry
+from ..stats import (FALLBACK_REBUILDS, INTEGRITY_FAILURES,
+                     INTEGRITY_VALIDATIONS, CacheStats, StatsRegistry)
 from ..ontoscore.base import (NullOntoScore, OntoScoreComputer, SeedScorer)
 from ..ontoscore.graph import GraphOntoScore, concept_seed_scorer
 from ..ontoscore.relationships import (RelationshipsOntoScore,
@@ -224,6 +228,13 @@ class XOntoRankEngine:
                 vocabulary = experiment_vocabulary(
                     self.corpus, self.ontology, radius=radius,
                     text_policy=self.config.text_policy)
+        if store is not None:
+            # Crash-safety protocol: flip the store to *incomplete*
+            # before the first posting lands, so a build killed at any
+            # later point leaves a store that load_index rejects; the
+            # completion marker is re-set only by finalize_manifest
+            # after everything else has been written.
+            store_manifest.mark_build_started(store)
         build_stats = StatsRegistry()
         if workers is not None and workers > 1:
             parallel = ParallelIndexBuilder(
@@ -241,8 +252,11 @@ class XOntoRankEngine:
             keyword = keyword_from_key(key)
             self.dil_cache.put((keyword.text, keyword.is_phrase), dil)
         if store is not None:
+            document_texts = []
             for document in self.corpus:
-                store.put_document(document.doc_id, serialize(document))
+                text = serialize(document)
+                store.put_document(document.doc_id, text)
+                document_texts.append((document.doc_id, text))
             store.put_metadata("strategy", self.strategy)
             store.put_metadata("decay", str(self.config.decay))
             store.put_metadata("threshold", str(self.config.threshold))
@@ -256,16 +270,91 @@ class XOntoRankEngine:
                                str(workers if workers else 1))
             store.put_metadata("build_chunks", str(chunks or 1))
             store.put_metadata("build_mode", mode)
+            store_manifest.finalize_manifest(
+                store, self.strategy,
+                store_manifest.corpus_fingerprint(document_texts))
         return index
 
-    def load_index(self, store: IndexStore) -> int:
+    def load_index(self, store: IndexStore, *, validate: bool = True,
+                   fallback: bool = True) -> int:
         """Warm the DIL cache from a persisted index; returns list
-        count."""
-        index = XOntoDILIndex.load(store, self.strategy)
-        for key, dil in index.lists.items():
+        count.
+
+        With ``validate=True`` (the default) the store's manifest is
+        checked first: an interrupted build raises
+        :class:`CorruptIndexError`, and a store built with a different
+        strategy, decay/threshold/``t``, or corpus raises
+        :class:`IncompatibleIndexError` -- silently loading such an
+        index would corrupt every ranking.
+
+        With ``fallback=True`` (the default) a posting list that fails
+        to load -- a transient fault the caller's retries did not clear,
+        or a corrupt/undecodable list -- is rebuilt from the corpus
+        instead of failing the load (counted under
+        ``engine.fallback.rebuilds``); ``fallback=False`` re-raises,
+        for fail-fast operation.
+        """
+        if validate:
+            self._validate_store(store)
+        loaded = 0
+        for key in sorted(store.keywords(self.strategy)):
             keyword = keyword_from_key(key)
+            failure: StorageError | None = None
+            dil = None
+            try:
+                encoded = store.get_postings(self.strategy, key)
+                dil = DeweyInvertedList.from_encoded(keyword, encoded)
+            except ValueError as exc:
+                failure = CorruptIndexError(
+                    f"stored posting list for {key!r} is corrupt: {exc}")
+                failure.__cause__ = exc
+            except StorageError as exc:
+                failure = exc
+            if failure is not None:
+                if not fallback:
+                    raise failure
+                self.stats.increment(FALLBACK_REBUILDS)
+                dil = self.builder.build_keyword(keyword)[0]
             self.dil_cache.put((keyword.text, keyword.is_phrase), dil)
-        return len(index.lists)
+            loaded += 1
+        return loaded
+
+    def _validate_store(self, store: IndexStore) -> None:
+        """Reject interrupted builds and parameter/corpus mismatches."""
+        try:
+            store_manifest.require_complete(store)
+            stored_strategy = store.get_metadata("strategy")
+            if stored_strategy != self.strategy:
+                raise IncompatibleIndexError(
+                    f"index store was built for strategy "
+                    f"{stored_strategy!r}, engine runs "
+                    f"{self.strategy!r}")
+            parameters = (("decay", self.config.decay),
+                          ("threshold", self.config.threshold),
+                          ("t", self.config.t))
+            for name, expected in parameters:
+                raw = store.get_metadata(name)
+                try:
+                    stored = None if raw is None else float(raw)
+                except ValueError:
+                    stored = None
+                if stored != expected:
+                    raise IncompatibleIndexError(
+                        f"index store was built with {name}={raw}, "
+                        f"engine is configured with {name}={expected}")
+            stored_fingerprint = store.get_metadata(
+                store_manifest.CORPUS_FINGERPRINT_KEY)
+            actual_fingerprint = store_manifest.corpus_fingerprint(
+                (document.doc_id, serialize(document))
+                for document in self.corpus)
+            if stored_fingerprint != actual_fingerprint:
+                raise IncompatibleIndexError(
+                    "index store was built from a different corpus "
+                    "(corpus fingerprint mismatch)")
+        except StorageError:
+            self.stats.increment(INTEGRITY_FAILURES)
+            raise
+        self.stats.increment(INTEGRITY_VALIDATIONS)
 
 
 def build_engines(corpus: Corpus, ontology: Ontology,

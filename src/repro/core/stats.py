@@ -18,6 +18,33 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+# ----------------------------------------------------------------------
+# Canonical counter names of the resilience layer. One shared registry
+# (usually the engine's) collects all of them, so a single
+# ``render()`` line shows retries, degraded loads and injected faults
+# side by side in ``--verbose`` CLI output.
+# ----------------------------------------------------------------------
+#: Transient storage faults observed (one per failed attempt).
+RETRY_ATTEMPTS = "storage.retry.attempts"
+#: Operations that succeeded after at least one retry.
+RETRY_RECOVERIES = "storage.retry.recoveries"
+#: Operations that exhausted their retry budget and re-raised.
+RETRY_GIVEUPS = "storage.retry.giveups"
+#: Posting lists rebuilt from the corpus after a load failure.
+FALLBACK_REBUILDS = "engine.fallback.rebuilds"
+#: Whole stores discarded (and served from the corpus) after failing
+#: validation in degrade mode.
+FALLBACK_STORE_DISCARDS = "engine.fallback.store_discards"
+#: Successful store-metadata validations on load.
+INTEGRITY_VALIDATIONS = "engine.integrity.validations"
+#: Store-metadata validations that raised.
+INTEGRITY_FAILURES = "engine.integrity.failures"
+#: Faults injected by :class:`~repro.storage.faults.FaultInjectingStore`.
+FAULTS_TRANSIENT = "faults.injected.transient"
+FAULTS_CORRUPTION = "faults.injected.corruption"
+FAULTS_LATENCY = "faults.injected.latency"
+FAULTS_CRASHES = "faults.injected.crashes"
+
 
 class StatsRegistry:
     """A thread-safe map of named monotonic counters."""

@@ -1,10 +1,30 @@
-"""Storage substrate: persistent XOnto-DIL stores (SQL Server stand-in)."""
+"""Storage substrate: persistent XOnto-DIL stores (SQL Server stand-in)
+plus the resilience layer (error taxonomy, integrity manifests, retry
+and fault-injection decorators)."""
 
+from .errors import (CorruptIndexError, IncompatibleIndexError,
+                     StorageError, TransientStorageError)
+from .faults import FaultInjectingStore
 from .interface import (PROVENANCE_METADATA_KEYS, EncodedPosting,
-                        IndexStore, StorageError, canonical_dump)
+                        IndexStore, canonical_dump)
+from .manifest import (BUILD_COMPLETE_KEY, CHECKSUM_KEY_PREFIX,
+                       CORPUS_FINGERPRINT_KEY, ManifestReport,
+                       atomic_sqlite_build, corpus_fingerprint,
+                       finalize_manifest, manifest_strategies,
+                       mark_build_started, postings_checksum,
+                       require_complete, store_checksum, verify_manifest)
 from .memory_store import MemoryStore
+from .retrying import RetryingStore
 from .sqlite_store import SQLiteStore
 
-__all__ = ["EncodedPosting", "IndexStore", "MemoryStore",
-           "PROVENANCE_METADATA_KEYS", "SQLiteStore", "StorageError",
-           "canonical_dump"]
+__all__ = [
+    "BUILD_COMPLETE_KEY", "CHECKSUM_KEY_PREFIX",
+    "CORPUS_FINGERPRINT_KEY", "CorruptIndexError", "EncodedPosting",
+    "FaultInjectingStore", "IncompatibleIndexError", "IndexStore",
+    "ManifestReport", "MemoryStore", "PROVENANCE_METADATA_KEYS",
+    "RetryingStore", "SQLiteStore", "StorageError",
+    "TransientStorageError", "atomic_sqlite_build",
+    "canonical_dump", "corpus_fingerprint", "finalize_manifest",
+    "manifest_strategies", "mark_build_started", "postings_checksum",
+    "require_complete", "store_checksum", "verify_manifest",
+]

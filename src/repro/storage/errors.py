@@ -1,0 +1,48 @@
+"""Error taxonomy of the storage layer (the index's failure model).
+
+The paper assumed a reliable SQL Server behind the XOnto-DIL index; the
+production north star treats the store as a failure domain of its own.
+Every storage fault surfaces as a :class:`StorageError` subclass so
+callers can choose a policy per *kind* of failure instead of per
+backend exception type:
+
+* :class:`TransientStorageError` -- likely to succeed on retry (a
+  locked/busy database, an injected chaos fault). The
+  :class:`~repro.storage.retrying.RetryingStore` retries exactly these.
+* :class:`CorruptIndexError` -- the store's bytes or contents are
+  damaged or incomplete (truncated file, garbage posting list, a build
+  that never set its completion marker). Retrying cannot help; the
+  index must be rebuilt or restored.
+* :class:`IncompatibleIndexError` -- the store is internally consistent
+  but was built with different parameters (strategy, decay, threshold,
+  ``t``) or from a different corpus than the engine loading it. Loading
+  it would *silently* return wrong rankings, which is worse than
+  failing.
+
+Backends translate their native exceptions (e.g. ``sqlite3.*``) into
+this taxonomy at the API boundary; no raw driver exception escapes an
+:class:`~repro.storage.interface.IndexStore`.
+"""
+
+from __future__ import annotations
+
+
+class StorageError(RuntimeError):
+    """Base class: malformed or inconsistent store contents, or a
+    failed storage operation of any kind."""
+
+
+class TransientStorageError(StorageError):
+    """A fault that is expected to clear on retry (locks, busy
+    handles, transient I/O); see
+    :class:`~repro.storage.retrying.RetryingStore`."""
+
+
+class CorruptIndexError(StorageError):
+    """The store's contents are damaged, truncated, or were written by
+    a build that never completed."""
+
+
+class IncompatibleIndexError(StorageError):
+    """A valid store built with different parameters or a different
+    corpus than the engine trying to load it."""

@@ -18,6 +18,13 @@ import json
 from abc import ABC, abstractmethod
 from typing import Iterator, Sequence
 
+from .errors import (CorruptIndexError, IncompatibleIndexError,
+                     StorageError, TransientStorageError)
+
+__all__ = ["CorruptIndexError", "EncodedPosting", "IncompatibleIndexError",
+           "IndexStore", "PROVENANCE_METADATA_KEYS", "StorageError",
+           "TransientStorageError", "canonical_dump"]
+
 #: Encoded posting: (dotted-decimal Dewey ID, node score).
 EncodedPosting = tuple[str, float]
 
@@ -27,10 +34,6 @@ EncodedPosting = tuple[str, float]
 #: the same index, while everything else must be identical.
 PROVENANCE_METADATA_KEYS = frozenset(
     {"build_workers", "build_chunks", "build_mode"})
-
-
-class StorageError(RuntimeError):
-    """Raised on malformed or inconsistent store contents."""
 
 
 class IndexStore(ABC):

@@ -1,0 +1,240 @@
+"""Integrity manifests and crash-safe index builds.
+
+A persisted XOnto-DIL index is only trustworthy if we can tell, after
+the fact, that (a) the build that wrote it ran to completion and (b)
+nothing has silently changed since. The manifest is a small set of
+metadata entries written by the build and checked by
+:func:`verify_manifest` / ``python -m repro verify-index``:
+
+``manifest.version``
+    Format version of the manifest itself.
+``manifest.build_complete``
+    ``"0"`` while a build is writing, ``"1"`` only after everything
+    else (postings, documents, parameters, checksums) has landed.
+    Written *last*, so a build killed at any point leaves a store that
+    loaders reject.
+``manifest.checksum.<strategy>``
+    SHA-256 over the canonical JSON form of every posting list of the
+    strategy, recomputed from the store after the build -- truncation
+    or tampering of any list changes it.
+``manifest.corpus_fingerprint``
+    SHA-256 over the serialized documents the index was built from.
+    Lets the engine refuse an index built from a different corpus, and
+    lets ``verify-index`` detect damaged documents without the corpus.
+
+Crash safety of ``python -m repro index`` is completed by
+:func:`atomic_sqlite_build`: the database is written to a temporary
+sibling path and atomically renamed over the target only on success,
+so an interrupted build never leaves a partial file at the published
+path at all.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .errors import CorruptIndexError
+from .interface import EncodedPosting, IndexStore
+from .sqlite_store import SQLiteStore
+
+MANIFEST_VERSION_KEY = "manifest.version"
+MANIFEST_VERSION = "1"
+BUILD_COMPLETE_KEY = "manifest.build_complete"
+BUILD_COMPLETE = "1"
+BUILD_IN_PROGRESS = "0"
+CORPUS_FINGERPRINT_KEY = "manifest.corpus_fingerprint"
+CHECKSUM_KEY_PREFIX = "manifest.checksum."
+
+
+# ----------------------------------------------------------------------
+# Checksums
+# ----------------------------------------------------------------------
+def postings_checksum(
+        lists: Mapping[str, Sequence[EncodedPosting]]) -> str:
+    """SHA-256 over the canonical JSON form of keyword → posting list.
+
+    Keys are sorted and floats use Python's shortest round-trip repr,
+    so two stores hold checksum-equal postings iff the lists are
+    value-identical (same contract as
+    :func:`~repro.storage.interface.canonical_dump`).
+    """
+    payload = {keyword: [[dewey, float(score)] for dewey, score in entry]
+               for keyword, entry in lists.items()}
+    encoded = json.dumps(payload, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+def store_checksum(store: IndexStore, strategy: str) -> str:
+    """Checksum of one strategy's posting lists as the store holds them."""
+    return postings_checksum(
+        {keyword: store.get_postings(strategy, keyword)
+         for keyword in store.keywords(strategy)})
+
+
+def corpus_fingerprint(documents: Iterable[tuple[int, str]]) -> str:
+    """SHA-256 over ``(doc_id, serialized XML)`` pairs, order-free."""
+    payload = [[doc_id, text] for doc_id, text in sorted(documents)]
+    encoded = json.dumps(payload, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Build protocol
+# ----------------------------------------------------------------------
+def mark_build_started(store: IndexStore) -> None:
+    """First write of a build: flip the store to *incomplete* so a
+    crash anywhere after this point leaves a rejectable store."""
+    store.put_metadata(BUILD_COMPLETE_KEY, BUILD_IN_PROGRESS)
+
+
+def finalize_manifest(store: IndexStore, strategy: str,
+                      fingerprint: str) -> None:
+    """Last writes of a build, completion marker strictly last."""
+    store.put_metadata(MANIFEST_VERSION_KEY, MANIFEST_VERSION)
+    store.put_metadata(CHECKSUM_KEY_PREFIX + strategy,
+                       store_checksum(store, strategy))
+    store.put_metadata(CORPUS_FINGERPRINT_KEY, fingerprint)
+    store.put_metadata(BUILD_COMPLETE_KEY, BUILD_COMPLETE)
+
+
+def manifest_strategies(store: IndexStore) -> list[str]:
+    """Strategies with a recorded posting-list checksum."""
+    return sorted(key[len(CHECKSUM_KEY_PREFIX):]
+                  for key in store.metadata_keys()
+                  if key.startswith(CHECKSUM_KEY_PREFIX))
+
+
+def is_complete(store: IndexStore) -> bool:
+    return store.get_metadata(BUILD_COMPLETE_KEY) == BUILD_COMPLETE
+
+
+def require_complete(store: IndexStore) -> None:
+    """Raise :class:`CorruptIndexError` unless the completion marker is
+    set -- the load-time gate against interrupted builds."""
+    marker = store.get_metadata(BUILD_COMPLETE_KEY)
+    if marker == BUILD_COMPLETE:
+        return
+    if marker == BUILD_IN_PROGRESS:
+        raise CorruptIndexError(
+            "index store was written by a build that never completed "
+            "(manifest.build_complete=0); rebuild it with "
+            "`python -m repro index`")
+    raise CorruptIndexError(
+        "index store has no build-completion marker (interrupted or "
+        "pre-manifest build); rebuild it with `python -m repro index`")
+
+
+# ----------------------------------------------------------------------
+# Verification
+# ----------------------------------------------------------------------
+@dataclass
+class ManifestReport:
+    """Outcome of an end-to-end manifest check."""
+
+    problems: list[str] = field(default_factory=list)
+    #: strategy → number of posting lists whose checksum was verified.
+    strategies: dict[str, int] = field(default_factory=dict)
+    documents: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def describe(self) -> list[str]:
+        lines = []
+        for strategy in sorted(self.strategies):
+            lines.append(f"strategy {strategy}: "
+                         f"{self.strategies[strategy]} posting lists "
+                         f"checksum-verified")
+        lines.append(f"documents: {self.documents} fingerprint-checked")
+        if self.ok:
+            lines.append("manifest: OK")
+        else:
+            for problem in self.problems:
+                lines.append(f"manifest: FAIL - {problem}")
+        return lines
+
+
+def verify_manifest(store: IndexStore,
+                    strategies: Sequence[str] | None = None,
+                    ) -> ManifestReport:
+    """Check a store's manifest end to end.
+
+    Verifies the completion marker, recomputes every per-strategy
+    posting-list checksum and the corpus fingerprint from the stored
+    documents, and reports every divergence (it does not stop at the
+    first problem -- operators want the full damage picture).
+    """
+    report = ManifestReport()
+    marker = store.get_metadata(BUILD_COMPLETE_KEY)
+    if marker != BUILD_COMPLETE:
+        report.problems.append(
+            "build-completion marker missing or unset "
+            f"(found {marker!r}); the build was interrupted or predates "
+            "manifests")
+    if store.get_metadata(MANIFEST_VERSION_KEY) != MANIFEST_VERSION:
+        report.problems.append("manifest version missing or unsupported")
+    names = list(strategies) if strategies else manifest_strategies(store)
+    if not names:
+        report.problems.append("no per-strategy checksums recorded")
+    for strategy in names:
+        expected = store.get_metadata(CHECKSUM_KEY_PREFIX + strategy)
+        if expected is None:
+            report.problems.append(
+                f"no checksum recorded for strategy {strategy!r}")
+            continue
+        lists = {keyword: store.get_postings(strategy, keyword)
+                 for keyword in store.keywords(strategy)}
+        if postings_checksum(lists) != expected:
+            report.problems.append(
+                f"posting-list checksum mismatch for strategy "
+                f"{strategy!r} ({len(lists)} lists)")
+        report.strategies[strategy] = len(lists)
+    expected_fingerprint = store.get_metadata(CORPUS_FINGERPRINT_KEY)
+    documents = [(doc_id, store.get_document(doc_id))
+                 for doc_id in store.document_ids()]
+    report.documents = len(documents)
+    if expected_fingerprint is None:
+        report.problems.append("no corpus fingerprint recorded")
+    elif corpus_fingerprint(documents) != expected_fingerprint:
+        report.problems.append(
+            "corpus fingerprint mismatch: stored documents differ from "
+            "the corpus the index was built from")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Crash-safe file builds
+# ----------------------------------------------------------------------
+@contextmanager
+def atomic_sqlite_build(path: str) -> Iterator[SQLiteStore]:
+    """Build a SQLite index at ``path`` via temp-file + atomic rename.
+
+    The store handed to the ``with`` body lives at ``path + ".building"``
+    (same directory, so the final ``os.replace`` is atomic on POSIX).
+    On success the temp file replaces ``path``; on any error -- or a
+    process kill, which simply never reaches the rename -- the
+    published path is untouched and the temp file is removed (or left
+    behind by a kill, where the next build discards it).
+    """
+    temp_path = path + ".building"
+    if os.path.exists(temp_path):
+        os.remove(temp_path)
+    store = SQLiteStore(temp_path)
+    try:
+        yield store
+    except BaseException:
+        store.close()
+        with contextlib.suppress(OSError):
+            os.remove(temp_path)
+        raise
+    store.close()
+    os.replace(temp_path, path)

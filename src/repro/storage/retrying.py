@@ -1,0 +1,131 @@
+"""Retry decorator for transient storage faults.
+
+:class:`RetryingStore` wraps any :class:`~repro.storage.interface.IndexStore`
+and retries operations that raise
+:class:`~repro.storage.errors.TransientStorageError` -- the taxonomy's
+"try again" class, e.g. SQLite's ``database is locked`` under a
+concurrent writer -- with bounded exponential backoff and
+*deterministic* jitter (a seeded PRNG, so a test run with the same
+fault pattern sleeps the same schedule every time). Anything outside
+the transient class (corruption, incompatibility, plain errors)
+propagates immediately: retrying a corrupt file only wastes the
+caller's latency budget.
+
+Counters land in a :class:`~repro.core.stats.StatsRegistry` under the
+``storage.retry.*`` names so the CLI's ``--verbose`` output shows how
+hard the store had to work.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Iterator, Sequence, TypeVar
+
+from ..core.stats import (RETRY_ATTEMPTS, RETRY_GIVEUPS,
+                          RETRY_RECOVERIES, StatsRegistry)
+from .errors import TransientStorageError
+from .interface import EncodedPosting, IndexStore
+
+Result = TypeVar("Result")
+
+
+class RetryingStore(IndexStore):
+    """Bounded-backoff retry wrapper around any :class:`IndexStore`."""
+
+    def __init__(self, inner: IndexStore, max_attempts: int = 4,
+                 base_delay: float = 0.05, max_delay: float = 2.0,
+                 jitter: float = 0.25, seed: int = 0,
+                 stats: StatsRegistry | None = None,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self._inner = inner
+        self._max_attempts = max_attempts
+        self._base_delay = base_delay
+        self._max_delay = max_delay
+        self._jitter = jitter
+        self._random = random.Random(seed)
+        self._stats = stats if stats is not None else StatsRegistry()
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> IndexStore:
+        return self._inner
+
+    @property
+    def registry(self) -> StatsRegistry:
+        return self._stats
+
+    def _retry(self, call: Callable[[], Result]) -> Result:
+        delay = self._base_delay
+        for attempt in range(1, self._max_attempts + 1):
+            try:
+                result = call()
+            except TransientStorageError:
+                self._stats.increment(RETRY_ATTEMPTS)
+                if attempt == self._max_attempts:
+                    self._stats.increment(RETRY_GIVEUPS)
+                    raise
+                pause = min(delay, self._max_delay)
+                pause *= 1.0 + self._jitter * self._random.random()
+                self._sleep(pause)
+                delay *= 2.0
+            else:
+                if attempt > 1:
+                    self._stats.increment(RETRY_RECOVERIES)
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def put_postings(self, strategy: str, keyword: str,
+                     postings: Sequence[EncodedPosting]) -> None:
+        self._retry(lambda: self._inner.put_postings(strategy, keyword,
+                                                     postings))
+
+    def get_postings(self, strategy: str, keyword: str,
+                     ) -> list[EncodedPosting]:
+        return self._retry(
+            lambda: self._inner.get_postings(strategy, keyword))
+
+    def keywords(self, strategy: str) -> Iterator[str]:
+        # Materialized under retry: a generator could fault mid-stream,
+        # after items were already consumed.
+        return iter(self._retry(
+            lambda: list(self._inner.keywords(strategy))))
+
+    def posting_count(self, strategy: str, keyword: str) -> int:
+        return self._retry(
+            lambda: self._inner.posting_count(strategy, keyword))
+
+    # ------------------------------------------------------------------
+    def put_document(self, doc_id: int, xml_text: str) -> None:
+        self._retry(lambda: self._inner.put_document(doc_id, xml_text))
+
+    def get_document(self, doc_id: int) -> str:
+        return self._retry(lambda: self._inner.get_document(doc_id))
+
+    def document_ids(self) -> Iterator[int]:
+        return iter(self._retry(
+            lambda: list(self._inner.document_ids())))
+
+    # ------------------------------------------------------------------
+    def put_metadata(self, key: str, value: str) -> None:
+        self._retry(lambda: self._inner.put_metadata(key, value))
+
+    def get_metadata(self, key: str, default: str | None = None,
+                     ) -> str | None:
+        return self._retry(lambda: self._inner.get_metadata(key, default))
+
+    def metadata_keys(self) -> Iterator[str]:
+        return iter(self._retry(
+            lambda: list(self._inner.metadata_keys())))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._inner.close()

@@ -5,14 +5,36 @@ and the stand-in for the paper's SQL Server deployment. Posting lists are
 stored row-per-posting with a composite primary key so partial scans and
 counts stay in the database; writes are batched per keyword inside a
 transaction.
+
+Resilience contract (see :mod:`repro.storage.errors`):
+
+* no raw ``sqlite3`` exception escapes -- every driver error is
+  translated at the API boundary (locked/busy handles become
+  :class:`TransientStorageError`, damaged files become
+  :class:`CorruptIndexError`, the rest :class:`StorageError`);
+* the file is probed at *open* time, so pointing the store at garbage
+  fails immediately with the path in the message instead of at the
+  first query;
+* ``read_only=True`` opens the database through a ``mode=ro`` URI and
+  requires the file (and the index schema) to already exist -- the
+  query path can never silently create an empty index;
+* one connection is shared across threads (``check_same_thread=False``)
+  behind an internal lock, so concurrent readers -- e.g. the request
+  threads of a server front-end -- are safe.
 """
 
 from __future__ import annotations
 
+import os
 import sqlite3
+import threading
+from contextlib import contextmanager
+from pathlib import Path
 from typing import Iterator, Sequence
 
-from .interface import EncodedPosting, IndexStore, StorageError
+from .errors import (CorruptIndexError, StorageError,
+                     TransientStorageError)
+from .interface import EncodedPosting, IndexStore
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS postings (
@@ -33,19 +55,106 @@ CREATE TABLE IF NOT EXISTS metadata (
 );
 """
 
+_TABLES = frozenset({"postings", "documents", "metadata"})
+
+#: ``sqlite3.OperationalError`` messages that mark a retryable fault.
+_TRANSIENT_MARKERS = ("locked", "busy")
+
+#: Messages that mark a damaged database regardless of exception class.
+_CORRUPT_MARKERS = ("malformed", "not a database", "corrupt")
+
+
+def translate_sqlite_error(exc: sqlite3.Error, path: str) -> StorageError:
+    """Map a raw ``sqlite3`` exception onto the storage taxonomy."""
+    message = str(exc) or exc.__class__.__name__
+    lowered = message.lower()
+    if any(marker in lowered for marker in _CORRUPT_MARKERS):
+        return CorruptIndexError(f"{path}: {message}")
+    if isinstance(exc, sqlite3.OperationalError):
+        if any(marker in lowered for marker in _TRANSIENT_MARKERS):
+            return TransientStorageError(f"{path}: {message}")
+        return StorageError(f"{path}: {message}")
+    if isinstance(exc, sqlite3.DatabaseError):
+        # DatabaseError outside the Operational subtree means the file
+        # itself is unreadable as a database.
+        return CorruptIndexError(f"{path}: {message}")
+    return StorageError(f"{path}: {message}")
+
 
 class SQLiteStore(IndexStore):
     """Stores indexes in a SQLite database file (or ``":memory:"``)."""
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path)
-        self._connection.executescript(_SCHEMA)
-        self._connection.commit()
+    def __init__(self, path: str = ":memory:",
+                 read_only: bool = False) -> None:
+        self._path = path
+        self._lock = threading.RLock()
+        if read_only:
+            if path == ":memory:":
+                raise StorageError(
+                    "read-only mode needs an existing database file")
+            if not os.path.exists(path):
+                raise StorageError(f"no index store at {path}")
+            uri = f"{Path(path).resolve().as_uri()}?mode=ro"
+            connect_args: tuple = (uri,)
+            connect_kwargs = {"uri": True, "check_same_thread": False}
+        else:
+            connect_args = (path,)
+            connect_kwargs = {"check_same_thread": False}
+        try:
+            self._connection = sqlite3.connect(*connect_args,
+                                               **connect_kwargs)
+        except sqlite3.Error as exc:
+            raise translate_sqlite_error(exc, path) from exc
+        self._probe(read_only)
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def _probe(self, read_only: bool) -> None:
+        """Validate the file at open time; create the schema if allowed.
+
+        A truncated or garbage file passes ``sqlite3.connect`` (the
+        driver opens lazily) but fails the first real read, so we force
+        one here -- a corrupt store raises :class:`CorruptIndexError`
+        with the path immediately instead of at an arbitrary later
+        query.
+        """
+        try:
+            self._connection.execute("PRAGMA schema_version").fetchone()
+            if read_only:
+                rows = self._connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'")
+                missing = _TABLES - {name for (name,) in rows}
+                if missing:
+                    raise CorruptIndexError(
+                        f"{self._path}: not an index store "
+                        f"(missing tables: {', '.join(sorted(missing))})")
+            else:
+                self._connection.executescript(_SCHEMA)
+                self._connection.commit()
+        except sqlite3.Error as exc:
+            self._connection.close()
+            raise translate_sqlite_error(exc, self._path) from exc
+        except StorageError:
+            self._connection.close()
+            raise
+
+    @contextmanager
+    def _guarded(self):
+        """Serialize access to the shared connection and translate any
+        driver exception into the storage taxonomy."""
+        with self._lock:
+            try:
+                yield
+            except sqlite3.Error as exc:
+                raise translate_sqlite_error(exc, self._path) from exc
 
     # ------------------------------------------------------------------
     def put_postings(self, strategy: str, keyword: str,
                      postings: Sequence[EncodedPosting]) -> None:
-        with self._connection:
+        with self._guarded(), self._connection:
             self._connection.execute(
                 "DELETE FROM postings WHERE strategy = ? AND keyword = ?",
                 (strategy, keyword))
@@ -58,66 +167,75 @@ class SQLiteStore(IndexStore):
 
     def get_postings(self, strategy: str, keyword: str,
                      ) -> list[EncodedPosting]:
-        rows = self._connection.execute(
-            "SELECT dewey, score FROM postings "
-            "WHERE strategy = ? AND keyword = ? ORDER BY position",
-            (strategy, keyword))
+        with self._guarded():
+            rows = self._connection.execute(
+                "SELECT dewey, score FROM postings "
+                "WHERE strategy = ? AND keyword = ? ORDER BY position",
+                (strategy, keyword)).fetchall()
         return [(dewey, score) for dewey, score in rows]
 
     def keywords(self, strategy: str) -> Iterator[str]:
-        rows = self._connection.execute(
-            "SELECT DISTINCT keyword FROM postings WHERE strategy = ?",
-            (strategy,))
+        with self._guarded():
+            rows = self._connection.execute(
+                "SELECT DISTINCT keyword FROM postings WHERE strategy = ?",
+                (strategy,)).fetchall()
         for (keyword,) in rows:
             yield keyword
 
     def posting_count(self, strategy: str, keyword: str) -> int:
-        row = self._connection.execute(
-            "SELECT COUNT(*) FROM postings "
-            "WHERE strategy = ? AND keyword = ?",
-            (strategy, keyword)).fetchone()
+        with self._guarded():
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM postings "
+                "WHERE strategy = ? AND keyword = ?",
+                (strategy, keyword)).fetchone()
         return int(row[0])
 
     # ------------------------------------------------------------------
     def put_document(self, doc_id: int, xml_text: str) -> None:
-        with self._connection:
+        with self._guarded(), self._connection:
             self._connection.execute(
                 "INSERT OR REPLACE INTO documents (doc_id, xml_text) "
                 "VALUES (?, ?)", (doc_id, xml_text))
 
     def get_document(self, doc_id: int) -> str:
-        row = self._connection.execute(
-            "SELECT xml_text FROM documents WHERE doc_id = ?",
-            (doc_id,)).fetchone()
+        with self._guarded():
+            row = self._connection.execute(
+                "SELECT xml_text FROM documents WHERE doc_id = ?",
+                (doc_id,)).fetchone()
         if row is None:
             raise StorageError(f"no stored document {doc_id}")
         return row[0]
 
     def document_ids(self) -> Iterator[int]:
-        rows = self._connection.execute(
-            "SELECT doc_id FROM documents ORDER BY doc_id")
+        with self._guarded():
+            rows = self._connection.execute(
+                "SELECT doc_id FROM documents ORDER BY doc_id").fetchall()
         for (doc_id,) in rows:
             yield int(doc_id)
 
     # ------------------------------------------------------------------
     def put_metadata(self, key: str, value: str) -> None:
-        with self._connection:
+        with self._guarded(), self._connection:
             self._connection.execute(
                 "INSERT OR REPLACE INTO metadata (key, value) "
                 "VALUES (?, ?)", (key, value))
 
     def get_metadata(self, key: str, default: str | None = None,
                      ) -> str | None:
-        row = self._connection.execute(
-            "SELECT value FROM metadata WHERE key = ?", (key,)).fetchone()
+        with self._guarded():
+            row = self._connection.execute(
+                "SELECT value FROM metadata WHERE key = ?",
+                (key,)).fetchone()
         return default if row is None else row[0]
 
     def metadata_keys(self) -> Iterator[str]:
-        rows = self._connection.execute(
-            "SELECT key FROM metadata ORDER BY key")
+        with self._guarded():
+            rows = self._connection.execute(
+                "SELECT key FROM metadata ORDER BY key").fetchall()
         for (key,) in rows:
             yield key
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        self._connection.close()
+        with self._lock:
+            self._connection.close()

@@ -1,0 +1,70 @@
+"""Crash-safety integration: a SIGKILLed ``python -m repro index``
+must never publish a store that loaders accept.
+
+The atomic-build protocol gives a binary outcome: either the build
+reached the final rename (store exists, manifest verifies end to end)
+or it did not (no file at the published path; at most a ``.building``
+temp file, which the next build discards). There is no third state.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__)))), "src")
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("crashdata"))
+    assert main(["generate", "--out", directory, "--patients", "2",
+                 "--seed", "11"]) == 0
+    return directory
+
+
+def spawn_index_build(data_dir: str, store: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC_DIR] + [p for p in env.get("PYTHONPATH", "").split(
+            os.pathsep) if p])
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "index", "--data", data_dir,
+         "--store", store],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+class TestSigkilledBuild:
+    @pytest.mark.parametrize("kill_after", [0.1, 0.5, 1.5])
+    def test_killed_build_never_publishes_bad_store(self, data_dir,
+                                                    tmp_path,
+                                                    kill_after):
+        store = str(tmp_path / f"killed-{kill_after}.db")
+        process = spawn_index_build(data_dir, store)
+        time.sleep(kill_after)
+        process.send_signal(signal.SIGKILL)
+        process.wait(timeout=30)
+        if os.path.exists(store):
+            # The build won the race: the published store must be
+            # complete and verify end to end.
+            assert main(["verify-index", "--store", store]) == 0
+        else:
+            # The kill won: nothing was published, and search refuses
+            # the path outright.
+            code = main(["search", "--data", data_dir, "--store",
+                         store, "asthma", "--strict"])
+            assert code == 2
+
+    def test_completed_build_verifies(self, data_dir, tmp_path):
+        store = str(tmp_path / "complete.db")
+        assert main(["index", "--data", data_dir, "--store",
+                     store]) == 0
+        assert os.path.exists(store)
+        assert not os.path.exists(store + ".building")
+        assert main(["verify-index", "--store", store]) == 0

@@ -1,0 +1,182 @@
+"""Error taxonomy, open-time probing, read-only mode and thread
+safety of the SQLite store."""
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.storage.errors import (CorruptIndexError,
+                                  IncompatibleIndexError, StorageError,
+                                  TransientStorageError)
+from repro.storage.sqlite_store import SQLiteStore, translate_sqlite_error
+
+POSTINGS = [("0.1.2", 0.5), ("0.3", 1.0), ("2.0.1.4", 0.25)]
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        for subclass in (TransientStorageError, CorruptIndexError,
+                         IncompatibleIndexError):
+            assert issubclass(subclass, StorageError)
+        assert issubclass(StorageError, RuntimeError)
+
+    def test_interface_reexports_taxonomy(self):
+        # StorageError historically lived in repro.storage.interface.
+        from repro.storage import interface
+        assert interface.StorageError is StorageError
+        assert interface.CorruptIndexError is CorruptIndexError
+
+
+class TestErrorTranslation:
+    def test_locked_is_transient(self):
+        exc = sqlite3.OperationalError("database is locked")
+        assert isinstance(translate_sqlite_error(exc, "x.db"),
+                          TransientStorageError)
+
+    def test_busy_is_transient(self):
+        exc = sqlite3.OperationalError("database is busy")
+        assert isinstance(translate_sqlite_error(exc, "x.db"),
+                          TransientStorageError)
+
+    def test_malformed_is_corrupt(self):
+        exc = sqlite3.DatabaseError("database disk image is malformed")
+        assert isinstance(translate_sqlite_error(exc, "x.db"),
+                          CorruptIndexError)
+
+    def test_not_a_database_is_corrupt(self):
+        exc = sqlite3.DatabaseError("file is not a database")
+        assert isinstance(translate_sqlite_error(exc, "x.db"),
+                          CorruptIndexError)
+
+    def test_other_operational_is_plain_storage_error(self):
+        exc = sqlite3.OperationalError("no such table: postings")
+        translated = translate_sqlite_error(exc, "x.db")
+        assert isinstance(translated, StorageError)
+        assert not isinstance(translated, (TransientStorageError,
+                                           CorruptIndexError))
+
+    def test_path_lands_in_message(self):
+        exc = sqlite3.OperationalError("database is locked")
+        assert "some/index.db" in str(
+            translate_sqlite_error(exc, "some/index.db"))
+
+
+class TestOpenTimeProbe:
+    def test_garbage_file_raises_corrupt_at_open(self, tmp_path):
+        path = tmp_path / "garbage.db"
+        path.write_bytes(b"this is definitely not sqlite" * 64)
+        with pytest.raises(CorruptIndexError) as excinfo:
+            SQLiteStore(str(path))
+        assert "garbage.db" in str(excinfo.value)
+
+    def test_truncated_store_raises_at_open(self, tmp_path):
+        path = tmp_path / "trunc.db"
+        with SQLiteStore(str(path)) as store:
+            store.put_postings("graph", "asthma", POSTINGS)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 3] + b"\0" * 16)
+        with pytest.raises(CorruptIndexError):
+            SQLiteStore(str(path))
+
+    def test_fresh_file_still_works(self, tmp_path):
+        with SQLiteStore(str(tmp_path / "new.db")) as store:
+            store.put_postings("graph", "a", POSTINGS)
+            assert store.get_postings("graph", "a") == POSTINGS
+
+
+class TestReadOnlyMode:
+    def test_missing_file_rejected(self, tmp_path):
+        missing = str(tmp_path / "missing.db")
+        with pytest.raises(StorageError) as excinfo:
+            SQLiteStore(missing, read_only=True)
+        assert "missing.db" in str(excinfo.value)
+        # Crucially, the open attempt must not create the file.
+        import os
+        assert not os.path.exists(missing)
+
+    def test_memory_rejected(self):
+        with pytest.raises(StorageError):
+            SQLiteStore(":memory:", read_only=True)
+
+    def test_reads_work_writes_fail(self, tmp_path):
+        path = str(tmp_path / "ro.db")
+        with SQLiteStore(path) as writer:
+            writer.put_postings("graph", "asthma", POSTINGS)
+            writer.put_metadata("strategy", "graph")
+        with SQLiteStore(path, read_only=True) as reader:
+            assert reader.get_postings("graph", "asthma") == POSTINGS
+            assert reader.get_metadata("strategy") == "graph"
+            with pytest.raises(StorageError):
+                reader.put_metadata("strategy", "taxonomy")
+
+    def test_foreign_sqlite_file_rejected(self, tmp_path):
+        path = str(tmp_path / "foreign.db")
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE unrelated (x INTEGER)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(CorruptIndexError) as excinfo:
+            SQLiteStore(path, read_only=True)
+        assert "missing tables" in str(excinfo.value)
+
+
+class TestThreadSafety:
+    def test_concurrent_readers_share_one_store(self, tmp_path):
+        path = str(tmp_path / "threads.db")
+        with SQLiteStore(path) as writer:
+            for i in range(20):
+                writer.put_postings("graph", f"kw{i:02d}",
+                                    [(f"0.{i}", float(i + 1))])
+        store = SQLiteStore(path, read_only=True)
+        errors: list[BaseException] = []
+
+        def read_loop() -> None:
+            try:
+                for _ in range(30):
+                    for i in range(20):
+                        keyword = f"kw{i:02d}"
+                        postings = store.get_postings("graph", keyword)
+                        assert postings == [(f"0.{i}", float(i + 1))]
+                        assert store.posting_count("graph", keyword) == 1
+                    assert len(list(store.keywords("graph"))) == 20
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=read_loop) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        store.close()
+        assert errors == []
+
+    def test_concurrent_readers_and_writer(self, tmp_path):
+        path = str(tmp_path / "rw.db")
+        store = SQLiteStore(path)
+        store.put_postings("graph", "stable", POSTINGS)
+        errors: list[BaseException] = []
+
+        def reader() -> None:
+            try:
+                for _ in range(50):
+                    assert store.get_postings("graph",
+                                              "stable") == POSTINGS
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        def writer() -> None:
+            try:
+                for i in range(50):
+                    store.put_metadata("tick", str(i))
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        store.close()
+        assert errors == []

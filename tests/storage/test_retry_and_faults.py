@@ -1,0 +1,211 @@
+"""RetryingStore backoff behavior and the FaultInjectingStore chaos
+decorator it is tested against."""
+
+import pytest
+
+from repro.core.stats import (FAULTS_CRASHES, FAULTS_LATENCY,
+                              FAULTS_TRANSIENT, RETRY_ATTEMPTS,
+                              RETRY_GIVEUPS, RETRY_RECOVERIES,
+                              StatsRegistry)
+from repro.storage.errors import (CorruptIndexError, StorageError,
+                                  TransientStorageError)
+from repro.storage.faults import CORRUPT_DEWEY, FaultInjectingStore
+from repro.storage.memory_store import MemoryStore
+from repro.storage.retrying import RetryingStore
+
+POSTINGS = [("0.1.2", 0.5), ("0.3", 1.0)]
+
+
+class FlakyStore(MemoryStore):
+    """Fails the first ``failures`` guarded calls, then behaves."""
+
+    def __init__(self, failures: int) -> None:
+        super().__init__()
+        self.remaining = failures
+        self.calls = 0
+
+    def get_postings(self, strategy, keyword):
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise TransientStorageError("flaky")
+        return super().get_postings(strategy, keyword)
+
+
+def seeded_inner(**kwargs) -> FaultInjectingStore:
+    inner = MemoryStore()
+    inner.put_postings("graph", "asthma", POSTINGS)
+    inner.put_document(0, "<doc/>")
+    inner.put_metadata("strategy", "graph")
+    return FaultInjectingStore(inner, **kwargs)
+
+
+class TestRetryingStore:
+    def test_recovers_from_transient_faults(self):
+        stats = StatsRegistry()
+        flaky = FlakyStore(failures=2)
+        flaky.put_postings("graph", "asthma", POSTINGS)
+        sleeps: list[float] = []
+        store = RetryingStore(flaky, max_attempts=4, stats=stats,
+                              sleep=sleeps.append)
+        assert store.get_postings("graph", "asthma") == POSTINGS
+        assert flaky.calls == 3
+        assert stats.value(RETRY_ATTEMPTS) == 2
+        assert stats.value(RETRY_RECOVERIES) == 1
+        assert stats.value(RETRY_GIVEUPS) == 0
+        assert len(sleeps) == 2
+
+    def test_gives_up_after_budget(self):
+        stats = StatsRegistry()
+        flaky = FlakyStore(failures=100)
+        store = RetryingStore(flaky, max_attempts=3, stats=stats,
+                              sleep=lambda _: None)
+        with pytest.raises(TransientStorageError):
+            store.get_postings("graph", "asthma")
+        assert flaky.calls == 3
+        assert stats.value(RETRY_ATTEMPTS) == 3
+        assert stats.value(RETRY_GIVEUPS) == 1
+
+    def test_backoff_grows_and_is_bounded(self):
+        flaky = FlakyStore(failures=5)
+        flaky.put_postings("graph", "asthma", POSTINGS)
+        sleeps: list[float] = []
+        store = RetryingStore(flaky, max_attempts=6, base_delay=0.1,
+                              max_delay=0.35, jitter=0.0,
+                              sleep=sleeps.append)
+        store.get_postings("graph", "asthma")
+        assert sleeps == pytest.approx([0.1, 0.2, 0.35, 0.35, 0.35])
+
+    def test_jitter_is_deterministic_per_seed(self):
+        def schedule(seed: int) -> list[float]:
+            flaky = FlakyStore(failures=4)
+            flaky.put_postings("graph", "asthma", POSTINGS)
+            sleeps: list[float] = []
+            RetryingStore(flaky, max_attempts=6, seed=seed,
+                          sleep=sleeps.append).get_postings("graph",
+                                                            "asthma")
+            return sleeps
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_non_transient_errors_not_retried(self):
+        class BrokenStore(MemoryStore):
+            def get_postings(self, strategy, keyword):
+                raise CorruptIndexError("damaged")
+
+        stats = StatsRegistry()
+        store = RetryingStore(BrokenStore(), stats=stats,
+                              sleep=lambda _: None)
+        with pytest.raises(CorruptIndexError):
+            store.get_postings("graph", "asthma")
+        assert stats.value(RETRY_ATTEMPTS) == 0
+
+    def test_iterator_methods_materialize(self):
+        inner = MemoryStore()
+        inner.put_postings("graph", "a", POSTINGS)
+        inner.put_document(1, "<a/>")
+        inner.put_metadata("k", "v")
+        store = RetryingStore(inner, sleep=lambda _: None)
+        assert list(store.keywords("graph")) == ["a"]
+        assert list(store.document_ids()) == [1]
+        assert list(store.metadata_keys()) == ["k"]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryingStore(MemoryStore(), max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryingStore(MemoryStore(), jitter=-0.1)
+
+
+class TestFaultInjectingStore:
+    def test_transient_faults_follow_seed(self):
+        def fault_pattern(seed: int) -> list[bool]:
+            store = seeded_inner(seed=seed, transient_rate=0.5)
+            pattern = []
+            for _ in range(30):
+                try:
+                    store.get_postings("graph", "asthma")
+                    pattern.append(False)
+                except TransientStorageError:
+                    pattern.append(True)
+            return pattern
+
+        assert fault_pattern(3) == fault_pattern(3)
+        assert any(fault_pattern(3))
+        assert not all(fault_pattern(3))
+
+    def test_transient_counter(self):
+        stats = StatsRegistry()
+        store = seeded_inner(seed=1, transient_rate=0.5, stats=stats)
+        observed = 0
+        for _ in range(40):
+            try:
+                store.get_postings("graph", "asthma")
+            except TransientStorageError:
+                observed += 1
+        assert stats.value(FAULTS_TRANSIENT) == observed > 0
+
+    def test_corrupt_keywords_mangle_postings(self):
+        store = seeded_inner(corrupt_keywords={"asthma"})
+        postings = store.get_postings("graph", "asthma")
+        assert all(dewey == CORRUPT_DEWEY for dewey, _ in postings)
+        # The mangled Dewey must be undecodable downstream.
+        from repro.xmldoc.dewey import DeweyID
+        with pytest.raises(ValueError):
+            DeweyID.parse(postings[0][0])
+
+    def test_latency_injection_counts_sleeps(self):
+        sleeps: list[float] = []
+        stats = StatsRegistry()
+        store = seeded_inner(latency=0.01, stats=stats,
+                             sleep=sleeps.append)
+        store.get_postings("graph", "asthma")
+        store.get_metadata("strategy")
+        assert sleeps == pytest.approx([0.01, 0.01])
+        assert stats.value(FAULTS_LATENCY) == 2
+
+    def test_fail_after_writes_simulates_crash(self):
+        stats = StatsRegistry()
+        store = FaultInjectingStore(MemoryStore(), fail_after_writes=2,
+                                    stats=stats)
+        store.put_metadata("a", "1")
+        store.put_document(0, "<doc/>")
+        with pytest.raises(StorageError):
+            store.put_postings("graph", "kw", POSTINGS)
+        # Permanent: every later write keeps failing, like a dead disk.
+        with pytest.raises(StorageError):
+            store.put_metadata("b", "2")
+        assert store.writes == 2
+        assert stats.value(FAULTS_CRASHES) == 2
+
+    def test_operations_filter_limits_blast_radius(self):
+        store = seeded_inner(seed=0, transient_rate=0.99,
+                             operations={"get_document"})
+        # get_postings is outside the filter: never faulted.
+        for _ in range(20):
+            assert store.get_postings("graph", "asthma") == POSTINGS
+        with pytest.raises(TransientStorageError):
+            for _ in range(20):
+                store.get_document(0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            FaultInjectingStore(MemoryStore(), transient_rate=1.0)
+        with pytest.raises(ValueError):
+            FaultInjectingStore(MemoryStore(), fail_after_writes=-1)
+
+
+class TestRetryOverFaults:
+    """The two decorators compose: retries absorb injected faults."""
+
+    def test_composed_reads_always_succeed(self):
+        stats = StatsRegistry()
+        store = RetryingStore(
+            seeded_inner(seed=11, transient_rate=0.3, stats=stats),
+            max_attempts=8, stats=stats, sleep=lambda _: None)
+        for _ in range(50):
+            assert store.get_postings("graph", "asthma") == POSTINGS
+        assert stats.value(FAULTS_TRANSIENT) > 0
+        assert stats.value(RETRY_RECOVERIES) > 0
+        assert stats.value(RETRY_GIVEUPS) == 0

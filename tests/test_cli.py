@@ -94,6 +94,117 @@ class TestParser:
             main(["search", "--data", empty, "q"])
 
 
+class TestRobustness:
+    @pytest.fixture(scope="class")
+    def built_store(self, data_dir, tmp_path_factory):
+        store = str(tmp_path_factory.mktemp("robust") / "index.db")
+        assert main(["index", "--data", data_dir, "--store", store]) == 0
+        return store
+
+    def test_missing_store_is_an_error_and_not_created(self, data_dir,
+                                                       tmp_path,
+                                                       capsys):
+        missing = str(tmp_path / "missing.db")
+        code = main(["search", "--data", data_dir, "--store", missing,
+                     "asthma"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no index store" in captured.err
+        # The old behavior silently created an empty database here.
+        assert not os.path.exists(missing)
+
+    def test_index_reports_manifest(self, built_store, capsys):
+        capsys.readouterr()
+        assert main(["verify-index", "--store", built_store]) == 0
+        captured = capsys.readouterr()
+        assert "manifest: OK" in captured.out
+        assert "checksum-verified" in captured.out
+
+    def test_verify_index_missing_store(self, tmp_path, capsys):
+        code = main(["verify-index", "--store",
+                     str(tmp_path / "nope.db")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no index store" in captured.err
+
+    def test_verify_index_detects_tampering(self, built_store,
+                                            tmp_path, capsys):
+        import shutil
+        from repro.storage.sqlite_store import SQLiteStore
+        tampered = str(tmp_path / "tampered.db")
+        shutil.copyfile(built_store, tampered)
+        with SQLiteStore(tampered) as store:
+            keyword = next(iter(store.keywords("relationships")))
+            store.put_postings("relationships", keyword,
+                               [("0.9.9", 9.9)])
+        code = main(["verify-index", "--store", tampered])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "checksum mismatch" in captured.out
+
+    def test_garbage_store_degrades_by_default(self, data_dir,
+                                               tmp_path, capsys):
+        garbage = str(tmp_path / "garbage.db")
+        with open(garbage, "wb") as handle:
+            handle.write(b"not a database" * 256)
+        code = main(["search", "--data", data_dir, "--store", garbage,
+                     "fever", "-k", "2"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "warning: ignoring index store" in captured.err
+
+    def test_garbage_store_fatal_under_strict(self, data_dir,
+                                              tmp_path, capsys):
+        garbage = str(tmp_path / "garbage-strict.db")
+        with open(garbage, "wb") as handle:
+            handle.write(b"not a database" * 256)
+        for flag in ("--strict", "--no-fallback"):
+            code = main(["search", "--data", data_dir, "--store",
+                         garbage, "fever", flag])
+            captured = capsys.readouterr()
+            assert code == 2
+            assert "cannot use index store" in captured.err
+
+    def test_incompatible_parameters_degrade_or_fail(self, data_dir,
+                                                     built_store,
+                                                     capsys):
+        # The store was built with decay=0.5; searching with 0.4 must
+        # not silently load it.
+        code = main(["search", "--data", data_dir, "--store",
+                     built_store, "fever", "--decay", "0.4"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "warning: ignoring index store" in captured.err
+        code = main(["search", "--data", data_dir, "--store",
+                     built_store, "fever", "--decay", "0.4",
+                     "--strict"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "decay" in captured.err
+
+    def test_verbose_prints_resilience_counters(self, data_dir,
+                                                built_store, capsys):
+        code = main(["search", "--data", data_dir, "--store",
+                     built_store, "fever", "-k", "2", "--verbose"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "loaded" in captured.out
+        assert "stats:" in captured.out
+        assert "engine.integrity.validations=1" in captured.out
+
+    def test_no_partial_file_after_failed_build(self, tmp_path,
+                                                capsys):
+        # An index build against a broken data directory must not
+        # leave anything at the published path.
+        empty = str(tmp_path / "empty-data")
+        os.makedirs(os.path.join(empty, "corpus"))
+        store = str(tmp_path / "never.db")
+        with pytest.raises(FileNotFoundError):
+            main(["index", "--data", empty, "--store", store])
+        assert not os.path.exists(store)
+        assert not os.path.exists(store + ".building")
+
+
 class TestStatsAndParameters:
     def test_stats_subcommand(self, data_dir, capsys):
         assert main(["stats", "--data", data_dir]) == 0
