@@ -15,8 +15,10 @@ Qualitative targets from the paper's prose:
 import random
 import time
 
-from repro.core.config import ALL_STRATEGIES
+from repro.core.config import ALL_STRATEGIES, RELATIONSHIPS
 from repro.core.index.vocabulary import corpus_vocabulary
+from repro.core.obs import Tracer, render_profile
+from repro.core.query.engine import XOntoRankEngine
 
 from conftest import record_result
 
@@ -89,3 +91,37 @@ def test_fig11_query_time(benchmark, bench_engines, bench_corpus):
     # Paper claim: Relationships is the slowest strategy overall.
     totals = {name: sum(series[name].values()) for name in series}
     assert totals["relationships"] >= totals["xrank"]
+
+
+def test_fig11_phase_breakdown(bench_corpus, bench_ontology):
+    """Where does Figure 11's query time go, phase by phase?
+
+    Runs the same query workload through a traced Relationships engine
+    (the costliest strategy) and records the per-phase profile, so the
+    Figure 11 totals can be decomposed into parse / OntoScore / DIL
+    merge / storage -- the breakdown docs/OBSERVABILITY.md describes.
+    """
+    tracer = Tracer(capacity=65536)
+    engine = XOntoRankEngine(bench_corpus, bench_ontology,
+                             strategy=RELATIONSHIPS, tracer=tracer)
+    queries = build_query_set(bench_corpus)
+    warm_caches({RELATIONSHIPS: engine}, queries)
+    engine.stats.reset()
+    tracer.clear()
+    for query_list in queries.values():
+        for query in query_list:
+            engine.search(query, k=TOP_K)
+    profile = render_profile(engine.stats, tracer)
+    record_result("fig11_phase_breakdown", profile + "\n")
+
+    # The profile must attribute time to the query phases the paper's
+    # Figure 11 aggregates: parsing, DIL merging and the search total.
+    timers = engine.stats.timers()
+    n_queries = sum(len(qs) for qs in queries.values())
+    assert timers["query.search"].count == n_queries
+    assert timers["query.parse"].count == n_queries
+    assert timers["query.dil_merge"].count == n_queries
+    # Phases nest inside the search span, so no phase can exceed it.
+    assert timers["query.dil_merge"].total <= timers["query.search"].total
+    for phase in ("parse", "ontoscore", "dil_merge", "storage"):
+        assert phase in profile

@@ -1,0 +1,79 @@
+"""Observability overhead -- does instrumentation stay out of the way?
+
+The query-path spans and timers (docs/OBSERVABILITY.md) are meant to be
+cheap enough to leave compiled in: with tracing *disabled* every
+instrumentation site hits the shared no-op span, and with tracing
+*enabled* the per-span cost is two clock reads plus a list append.
+
+This benchmark pins both claims on a Figure-11-style workload:
+
+* an engine with a live :class:`~repro.core.obs.Tracer` returns
+  byte-identical results to an untraced engine (observation never
+  changes ranking);
+* the enabled/disabled wall-time ratio stays under 1.05 (the <5%%
+  overhead budget), measured min-over-rounds so scheduler noise on a
+  shared runner cannot fail the build spuriously.
+"""
+
+import time
+
+from repro.core.config import RELATIONSHIPS
+from repro.core.obs import Tracer
+from repro.core.query.engine import XOntoRankEngine
+
+from bench_fig11_query_time import TOP_K, build_query_set, warm_caches
+from conftest import record_result
+
+ROUNDS = 7
+REPETITIONS = 3
+OVERHEAD_BUDGET = 1.05
+
+
+def run_workload(engine, queries):
+    for query_list in queries.values():
+        for query in query_list:
+            engine.search(query, k=TOP_K)
+
+
+def best_of(engine, queries):
+    """Min wall time over ROUNDS: the least-noise estimate of cost."""
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        for _ in range(REPETITIONS):
+            run_workload(engine, queries)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_obs_overhead(bench_corpus, bench_ontology):
+    queries = build_query_set(bench_corpus)
+    plain = XOntoRankEngine(bench_corpus, bench_ontology,
+                            strategy=RELATIONSHIPS)
+    traced = XOntoRankEngine(bench_corpus, bench_ontology,
+                             strategy=RELATIONSHIPS,
+                             tracer=Tracer(capacity=65536))
+    warm_caches({"plain": plain, "traced": traced}, queries)
+
+    # Observation must never change what the user sees: identical
+    # result lists, scores included, traced vs untraced.
+    for query_list in queries.values():
+        for query in query_list:
+            assert plain.search(query, k=TOP_K) == \
+                traced.search(query, k=TOP_K)
+
+    plain_s = best_of(plain, queries)
+    traced_s = best_of(traced, queries)
+    ratio = traced_s / plain_s if plain_s else float("inf")
+
+    record_result("obs_overhead", (
+        f"OBSERVABILITY OVERHEAD -- fig11 workload, relationships, "
+        f"best of {ROUNDS} rounds x {REPETITIONS} reps\n"
+        f"{'variant':>10}{'seconds':>12}\n"
+        f"{'disabled':>10}{plain_s:>12.4f}\n"
+        f"{'enabled':>10}{traced_s:>12.4f}\n"
+        f"{'ratio':>10}{ratio:>12.3f}\n"))
+
+    assert ratio <= OVERHEAD_BUDGET, (
+        f"tracing overhead {ratio:.3f}x exceeds "
+        f"{OVERHEAD_BUDGET:.2f}x budget")

@@ -21,6 +21,8 @@ import time
 from repro.core.config import ALL_STRATEGIES, RELATIONSHIPS
 from repro.core.index.parallel import ParallelIndexBuilder
 from repro.core.index.vocabulary import experiment_vocabulary
+from repro.core.obs import Tracer, render_profile
+from repro.core.query.engine import XOntoRankEngine
 
 from conftest import record_result
 
@@ -141,3 +143,38 @@ def test_table3_parallel_build(benchmark, bench_engines, bench_corpus,
         assert serial_s / parallel_s >= 1.5, (
             f"largest-tier parallel speedup {serial_s / parallel_s:.2f}x "
             f"below 1.5x on {cores} cores")
+
+
+def test_table3_build_phase_breakdown(bench_corpus, bench_ontology):
+    """Per-phase profile of a parallel Relationships build.
+
+    Decomposes Table III's creation-time column: worker-side shard
+    build wall time (``parallel_build.shard_build``) versus the
+    parent's merge cost (``index.merge_shard`` spans), recorded the
+    same way ``build-index --profile`` reports it.
+    """
+    tracer = Tracer(capacity=65536)
+    engine = XOntoRankEngine(bench_corpus, bench_ontology,
+                             strategy=RELATIONSHIPS, tracer=tracer)
+    keywords = keyword_sample(bench_corpus, bench_ontology)
+    parallel_builder = ParallelIndexBuilder(
+        engine.builder, workers=PARALLEL_WORKERS, mode="process",
+        stats=engine.stats, tracer=tracer)
+    index = parallel_builder.build(keywords,
+                                   strategy_name=RELATIONSHIPS)
+    assert index.keywords()
+    profile = render_profile(engine.stats, tracer)
+    record_result("table3_build_phase_breakdown", profile + "\n")
+
+    timers = engine.stats.timers()
+    shards = engine.stats.snapshot()["parallel_build.shards_merged"]
+    assert shards > 0
+    # Every shard contributes a worker-side build timing and a
+    # parent-side merge span.
+    assert timers["parallel_build.shard_build"].count == shards
+    assert timers["index.merge_shard"].count == shards
+    assert timers["index.parallel_build"].count == 1
+    # Worker build time dominates the merge (merging is a decode+dict
+    # insert; building runs OntoScore expansion per keyword).
+    assert timers["parallel_build.shard_build"].total > \
+        timers["index.merge_shard"].total

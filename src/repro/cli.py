@@ -8,6 +8,7 @@ Four subcommands mirror the system's phases::
 
     python -m repro index --data DIR --store FILE.db
         [--strategy relationships] [--radius 2] [--workers N]
+        [--profile] [--metrics-out F.jsonl] [--trace-out F.json]
         Pre-processing phase: build XOnto-DILs for the experiment
         vocabulary and persist them (plus the documents) to SQLite.
         ``--workers N`` (N > 1) builds on a worker pool; the persisted
@@ -17,6 +18,7 @@ Four subcommands mirror the system's phases::
     python -m repro search --data DIR "QUERY" [--store FILE.db]
         [--strategy relationships] [-k 10] [--explain] [--cache-size N]
         [--retries N] [--strict | --no-fallback] [--verbose]
+        [--profile] [--metrics-out F.jsonl] [--trace-out F.json]
         Query phase: run a keyword query, print ranked fragments; with
         --store, posting lists are loaded instead of rebuilt. The store
         must exist, is opened read-only, its manifest is validated
@@ -44,6 +46,14 @@ Four subcommands mirror the system's phases::
 the paper's parameters off their published defaults. ``index`` writes
 the database to a temporary sibling path and atomically renames it into
 place, so a killed build never publishes a partial store.
+
+Observability (see docs/OBSERVABILITY.md for the instrument catalog):
+--profile traces the hot paths through :mod:`repro.core.obs` and prints
+a per-phase timing table (parse / OntoScore / DIL merge / storage);
+--metrics-out dumps every counter and timer as JSON lines; --trace-out
+writes the span buffer in Chrome-trace format for chrome://tracing or
+https://ui.perfetto.dev. Either output flag implies tracing; without
+any of the three, the engine runs on the no-op tracer and pays nothing.
 """
 
 from __future__ import annotations
@@ -56,6 +66,8 @@ from typing import Sequence
 from .cda.generator import build_cda_corpus
 from .core.config import (ALL_STRATEGIES, RELATIONSHIPS,
                           XOntoRankConfig)
+from .core.obs import (Tracer, render_profile, write_chrome_trace,
+                       write_metrics_jsonl)
 from .core.query.engine import XOntoRankEngine, build_engines
 from .emr.synth import generate_cardiac_emr
 from .evaluation.metrics import run_survey
@@ -112,6 +124,42 @@ def _add_parameter_flags(parser: argparse.ArgumentParser) -> None:
                         help="dotted-link decay (paper: 0.5)")
 
 
+def _add_profiling_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", action="store_true",
+                        help="trace the hot paths and print a "
+                             "per-phase timing table")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="write counters and timers as JSON lines "
+                             "(implies --profile)")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write spans as a Chrome-trace JSON file "
+                             "for chrome://tracing / Perfetto "
+                             "(implies --profile)")
+
+
+def _tracer_from(args: argparse.Namespace) -> Tracer | None:
+    """A live tracer when any profiling flag was given, else ``None``
+    (the engine then runs on the zero-cost null tracer)."""
+    if args.profile or args.metrics_out or args.trace_out:
+        return Tracer()
+    return None
+
+
+def _emit_profile(args: argparse.Namespace, engine: XOntoRankEngine,
+                  tracer: Tracer | None) -> None:
+    if tracer is None:
+        return
+    if args.profile:
+        print(render_profile(engine.stats, tracer))
+    if args.metrics_out:
+        count = write_metrics_jsonl(engine.stats, args.metrics_out)
+        print(f"metrics: {count} instruments -> {args.metrics_out}")
+    if args.trace_out:
+        count = write_chrome_trace(tracer, args.trace_out)
+        print(f"trace: {count} spans -> {args.trace_out} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -140,8 +188,9 @@ def command_generate(args: argparse.Namespace) -> int:
 
 def command_index(args: argparse.Namespace) -> int:
     ontology, corpus = _load_data_directory(args.data)
+    tracer = _tracer_from(args)
     engine = XOntoRankEngine(corpus, ontology, strategy=args.strategy,
-                             config=_config_from(args))
+                             config=_config_from(args), tracer=tracer)
     # Crash safety: the database is written to a ".building" sibling
     # and atomically renamed over args.store only after the manifest's
     # completion marker has landed.
@@ -161,6 +210,7 @@ def command_index(args: argparse.Namespace) -> int:
           f"(audit with `python -m repro verify-index "
           f"--store {args.store}`)")
     print(f"dil-cache: {engine.cache_stats().render()}")
+    _emit_profile(args, engine, tracer)
     return 0
 
 
@@ -183,11 +233,13 @@ def _load_store_or_degrade(engine: XOntoRankEngine,
         return 2
     store = None
     try:
-        store = SQLiteStore(args.store, read_only=True)
+        store = SQLiteStore(args.store, read_only=True,
+                            tracer=engine.tracer)
         reader: "SQLiteStore | RetryingStore" = store
         if args.retries > 0:
             reader = RetryingStore(store, max_attempts=args.retries + 1,
-                                   stats=engine.stats)
+                                   stats=engine.stats,
+                                   tracer=engine.tracer)
         loaded = engine.load_index(reader, fallback=not fail_fast)
         print(f"loaded {loaded} posting lists from {args.store}")
         return 0
@@ -209,9 +261,11 @@ def _load_store_or_degrade(engine: XOntoRankEngine,
 
 def command_search(args: argparse.Namespace) -> int:
     ontology, corpus = _load_data_directory(args.data)
+    tracer = _tracer_from(args)
     engine = XOntoRankEngine(
         corpus, ontology if args.strategy != "xrank" else None,
-        strategy=args.strategy, config=_config_from(args))
+        strategy=args.strategy, config=_config_from(args),
+        tracer=tracer)
     if args.store:
         code = _load_store_or_degrade(engine, args)
         if code != 0:
@@ -235,6 +289,12 @@ def command_search(args: argparse.Namespace) -> int:
     if args.verbose:
         rendered = engine.stats.render()
         print(f"stats: {rendered}" if rendered else "stats: (none)")
+        timers = engine.stats.render_timers()
+        if timers:
+            print("timers:")
+            for line in timers.splitlines():
+                print(f"  {line}")
+    _emit_profile(args, engine, tracer)
     return exit_code
 
 
@@ -382,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     for subparser in (index, search):
         _add_parameter_flags(subparser)
+        _add_profiling_flags(subparser)
     return parser
 
 

@@ -104,7 +104,9 @@ class DILCache:
         blocks concurrent lookups of other keywords; two threads racing
         on the same cold keyword may both build, but both record a miss
         and the first inserted value wins, so every caller shares one
-        object afterwards.
+        object afterwards. Miss builds are timed into the registry's
+        ``<namespace>.build`` timer (the cost the cache exists to
+        avoid).
         """
         with self._lock:
             if key in self._entries:
@@ -112,7 +114,10 @@ class DILCache:
                 self._count("hits")
                 return self._entries[key]  # type: ignore[return-value]
             self._count("misses")
+        started = self._stats.clock()
         value = factory()
+        self._stats.observe(f"{self._namespace}.build",
+                            self._stats.clock() - started)
         with self._lock:
             if key in self._entries:  # lost the race: share the winner
                 self._entries.move_to_end(key)

@@ -23,6 +23,7 @@ import time
 from typing import Iterable
 
 from ...ir.tokenizer import Keyword
+from ..obs.tracer import NULL_TRACER
 from ..ontoscore.base import OntoScoreComputer
 from ..scoring import ElementIndex, NodeScorer
 from .dil import (DeweyInvertedList, KeywordBuildStats, Posting,
@@ -34,27 +35,36 @@ class IndexBuilder:
 
     def __init__(self, element_index: ElementIndex,
                  ontoscore: OntoScoreComputer,
-                 node_weights: dict | None = None) -> None:
+                 node_weights: dict | None = None, tracer=None) -> None:
         self._elements = element_index
         self._ontoscore = ontoscore
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None:
+            ontoscore.tracer = tracer
         self._node_scorer = NodeScorer(element_index, ontoscore,
-                                       node_weights=node_weights)
+                                       node_weights=node_weights,
+                                       tracer=self._tracer)
 
     # ------------------------------------------------------------------
     def build_keyword(self, keyword: Keyword,
                       ) -> tuple[DeweyInvertedList, KeywordBuildStats]:
         """Stages 2+3 for a single keyword, with measurements."""
-        started = time.perf_counter()
-        onto_entries = len(self._ontoscore.compute(keyword))
-        node_scores = self._node_scorer.node_scores(keyword)
-        postings = [Posting(dewey, score)
-                    for dewey, score in node_scores.items() if score > 0.0]
-        dil = DeweyInvertedList(keyword, postings)
-        elapsed_ms = (time.perf_counter() - started) * 1000.0
-        stats = KeywordBuildStats(
-            keyword=keyword.text, creation_time_ms=elapsed_ms,
-            posting_count=len(dil), size_bytes=dil.size_bytes(),
-            ontology_entries=onto_entries)
+        with self._tracer.span("index.build_keyword",
+                               keyword=keyword.text) as span:
+            started = time.perf_counter()
+            onto_entries = len(self._ontoscore.compute(keyword))
+            node_scores = self._node_scorer.node_scores(keyword)
+            postings = [Posting(dewey, score)
+                        for dewey, score in node_scores.items()
+                        if score > 0.0]
+            dil = DeweyInvertedList(keyword, postings)
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            stats = KeywordBuildStats(
+                keyword=keyword.text, creation_time_ms=elapsed_ms,
+                posting_count=len(dil), size_bytes=dil.size_bytes(),
+                ontology_entries=onto_entries)
+            span.annotate(postings=len(dil),
+                          ontology_entries=onto_entries)
         return dil, stats
 
     def build(self, vocabulary: Iterable[str],

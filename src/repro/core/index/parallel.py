@@ -45,10 +45,12 @@ from __future__ import annotations
 import concurrent.futures
 import multiprocessing
 import os
+import time
 from typing import Iterable, Sequence
 
 from ...ir.tokenizer import Keyword
 from ...storage.interface import EncodedPosting, IndexStore
+from ..obs.tracer import NULL_TRACER
 from ..stats import StatsRegistry
 from .builder import IndexBuilder
 from .dil import (DeweyInvertedList, KeywordBuildStats, XOntoDILIndex,
@@ -59,9 +61,10 @@ from .dil import (DeweyInvertedList, KeywordBuildStats, XOntoDILIndex,
 #: any parallel gain on the paper-scale corpora.
 PROCESS_MODE_THRESHOLD = 512
 
-#: One shard as shipped back from a worker: per-keyword
-#: ``(tokens, is_phrase, encoded postings, stats tuple)`` rows. Encoded
-#: (not object) form keeps the pickle payload flat and cheap.
+#: One row of a shard as shipped back from a worker:
+#: ``(tokens, is_phrase, encoded postings, stats tuple)``. Encoded
+#: (not object) form keeps the pickle payload flat and cheap; the
+#: shard itself is ``(worker wall seconds, rows)``.
 _EncodedEntry = tuple[tuple[str, ...], bool, list[EncodedPosting],
                       tuple[str, float, int, int, int]]
 
@@ -70,9 +73,15 @@ _EncodedEntry = tuple[tuple[str, ...], bool, list[EncodedPosting],
 _FORK_BUILDER: IndexBuilder | None = None
 
 
-def _build_chunk(builder: IndexBuilder,
-                 words: Sequence[str]) -> list[_EncodedEntry]:
-    """Stages 2+3 for one vocabulary chunk, in encoded form."""
+def _build_chunk(builder: IndexBuilder, words: Sequence[str],
+                 ) -> tuple[float, list[_EncodedEntry]]:
+    """Stages 2+3 for one vocabulary chunk, in encoded form.
+
+    Returns ``(elapsed seconds, entries)`` -- the wall time is measured
+    inside the worker (span tracers don't cross the fork boundary) and
+    shipped back so the parent can feed its per-shard timer.
+    """
+    started = time.perf_counter()
     entries: list[_EncodedEntry] = []
     for word in words:
         keyword = Keyword.from_text(word)
@@ -81,10 +90,11 @@ def _build_chunk(builder: IndexBuilder,
             keyword.tokens, keyword.is_phrase, dil.encoded(),
             (stats.keyword, stats.creation_time_ms, stats.posting_count,
              stats.size_bytes, stats.ontology_entries)))
-    return entries
+    return time.perf_counter() - started, entries
 
 
-def _build_chunk_in_fork(words: Sequence[str]) -> list[_EncodedEntry]:
+def _build_chunk_in_fork(words: Sequence[str],
+                         ) -> tuple[float, list[_EncodedEntry]]:
     assert _FORK_BUILDER is not None, "worker forked before builder set"
     return _build_chunk(_FORK_BUILDER, words)
 
@@ -107,7 +117,8 @@ class ParallelIndexBuilder:
 
     def __init__(self, builder: IndexBuilder, workers: int | None = None,
                  mode: str = "auto", chunk_size: int | None = None,
-                 stats: StatsRegistry | None = None) -> None:
+                 stats: StatsRegistry | None = None,
+                 tracer=None) -> None:
         if mode not in ("auto", "thread", "process"):
             raise ValueError(f"unknown pool mode {mode!r}")
         if workers is not None and workers < 1:
@@ -119,6 +130,7 @@ class ParallelIndexBuilder:
         self._mode = mode
         self._chunk_size = chunk_size
         self._stats = stats if stats is not None else StatsRegistry()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     @property
@@ -152,18 +164,26 @@ class ParallelIndexBuilder:
             return index
         chunks = self._partition(words)
         mode = self._resolved_mode(len(words))
-        self._stats.increment("parallel_build.builds")
-        self._stats.increment("parallel_build.keywords", len(words))
-        self._stats.increment("parallel_build.chunks", len(chunks))
-        self._stats.increment(f"parallel_build.mode.{mode}")
-        if mode == "serial":
-            shards = (_build_chunk(self._builder, chunk)
-                      for chunk in chunks)
-            for shard in shards:
-                self._merge_shard(index, shard, store, keep_lists)
-            return index
-        for shard in self._run_pool(chunks, mode):
-            self._merge_shard(index, shard, store, keep_lists)
+        # One lock acquisition for the whole build header.
+        self._stats.increment_many({
+            "parallel_build.builds": 1,
+            "parallel_build.keywords": len(words),
+            "parallel_build.chunks": len(chunks),
+            f"parallel_build.mode.{mode}": 1,
+        })
+        with self._tracer.span("index.parallel_build", mode=mode,
+                               keywords=len(words), chunks=len(chunks)):
+            if mode == "serial":
+                shards = (_build_chunk(self._builder, chunk)
+                          for chunk in chunks)
+                for chunk_id, shard in enumerate(shards):
+                    self._merge_shard(index, shard, store, keep_lists,
+                                      chunk_id)
+            else:
+                for chunk_id, shard in enumerate(
+                        self._run_pool(chunks, mode)):
+                    self._merge_shard(index, shard, store, keep_lists,
+                                      chunk_id)
         return index
 
     # ------------------------------------------------------------------
@@ -223,7 +243,7 @@ class ParallelIndexBuilder:
                         future = pool.submit(_build_chunk, self._builder,
                                              chunk)
                     futures[future] = chunk_id
-                ready: dict[int, list[_EncodedEntry]] = {}
+                ready: dict[int, tuple[float, list[_EncodedEntry]]] = {}
                 next_chunk = 0
                 for future in concurrent.futures.as_completed(futures):
                     ready[futures[future]] = future.result()
@@ -235,14 +255,36 @@ class ParallelIndexBuilder:
                 _FORK_BUILDER = None
 
     def _merge_shard(self, index: XOntoDILIndex,
-                     shard: list[_EncodedEntry],
-                     store: IndexStore | None, keep_lists: bool) -> None:
-        for entry in shard:
-            dil, stats = _decode_entry(entry)
-            index.add(dil, stats)
-            if store is not None:
-                key = index_key(dil.keyword)
-                if dil:  # stores treat empty lists as absent
-                    store.put_postings(index.strategy, key, dil.encoded())
-                if not keep_lists:
-                    del index.lists[key]
+                     shard: tuple[float, list[_EncodedEntry]],
+                     store: IndexStore | None, keep_lists: bool,
+                     chunk_id: int) -> None:
+        build_seconds, entries = shard
+        # The worker-side wall time rides along with the shard (a
+        # tracer cannot observe across the fork); the merge itself is
+        # spanned here in the parent.
+        self._stats.observe("parallel_build.shard_build", build_seconds)
+        if self._tracer.registry is not self._stats:
+            self._tracer.observe("parallel_build.shard_build",
+                                 build_seconds)
+        postings_flushed = 0
+        with self._tracer.span("index.merge_shard", chunk=chunk_id,
+                               keywords=len(entries)) as span:
+            for entry in entries:
+                dil, stats = _decode_entry(entry)
+                index.add(dil, stats)
+                if store is not None:
+                    key = index_key(dil.keyword)
+                    if dil:  # stores treat empty lists as absent
+                        store.put_postings(index.strategy, key,
+                                           dil.encoded())
+                        postings_flushed += len(dil)
+                    if not keep_lists:
+                        del index.lists[key]
+            span.annotate(postings_flushed=postings_flushed)
+        # Per-shard counters land as one batch, not one lock
+        # acquisition per keyword/posting.
+        self._stats.increment_many({
+            "parallel_build.shards_merged": 1,
+            "parallel_build.keywords_merged": len(entries),
+            "parallel_build.postings_flushed": postings_flushed,
+        })

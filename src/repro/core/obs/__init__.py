@@ -1,0 +1,33 @@
+"""Observability: timer/histogram instruments, span tracing, exporters.
+
+The counters of :mod:`repro.core.stats` say *how often*; this package
+says *how long* and *in what order*:
+
+* :mod:`~repro.core.obs.instruments` -- deterministic log-bucket
+  histograms behind ``StatsRegistry.observe``/``time``, plus the
+  injectable clocks that keep timer tests exact;
+* :mod:`~repro.core.obs.tracer` -- nested spans with attributes and a
+  bounded buffer (:class:`Tracer`), and the zero-cost disabled
+  singleton :data:`NULL_TRACER`;
+* :mod:`~repro.core.obs.export` -- the ``--profile`` table, JSON-lines
+  metrics, and Chrome-trace output.
+
+Every public instrument and span name is cataloged in
+``docs/OBSERVABILITY.md``.
+"""
+
+from .instruments import (EMPTY_TIMER, Clock, LogBucketHistogram,
+                          ManualClock, TimerStats, default_clock)
+from .tracer import (DEFAULT_SPAN_CAPACITY, NULL_TRACER, NullTracer,
+                     Span, Tracer)
+from .export import (PHASES, chrome_trace, metrics_lines, phase_of,
+                     render_profile, write_chrome_trace,
+                     write_metrics_jsonl)
+
+__all__ = [
+    "Clock", "DEFAULT_SPAN_CAPACITY", "EMPTY_TIMER",
+    "LogBucketHistogram", "ManualClock", "NULL_TRACER", "NullTracer",
+    "PHASES", "Span", "TimerStats", "Tracer", "chrome_trace",
+    "default_clock", "metrics_lines", "phase_of", "render_profile",
+    "write_chrome_trace", "write_metrics_jsonl",
+]

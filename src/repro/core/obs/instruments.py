@@ -1,0 +1,167 @@
+"""Timer/histogram instruments (the sampling half of the stats layer).
+
+:class:`~repro.core.stats.StatsRegistry` keeps its original monotonic
+counters for event *counts*; this module supplies the *duration*
+instruments the query-path profiling needs: a deterministic, bounded
+log-bucket histogram plus the frozen summary (:class:`TimerStats`) it
+exports.
+
+Design constraints, in order:
+
+* **Deterministic.** No random reservoir sampling: a sample stream
+  always produces the same summary. Tests drive the clock explicitly
+  (see :class:`ManualClock`), so timer values themselves are exact.
+* **Bounded.** A histogram holds one integer per occupied log bucket
+  (base ``2**(1/8)``, ~9% relative width), never the samples
+  themselves; a million observations cost the same memory as a dozen.
+* **Cheap.** ``record`` is one ``log`` call and two dict updates; the
+  caller (the registry) provides the locking.
+
+Percentiles are read off the bucket boundaries and clamped into the
+observed ``[min, max]`` range, so the degenerate cases are exact: a
+single sample *is* its own p50/p95/p99, and an all-equal stream reports
+that value at every quantile.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+#: Seconds-returning monotonic clock, injectable for deterministic tests.
+Clock = Callable[[], float]
+
+#: Log-bucket growth factor: 8 buckets per octave, <9% relative error.
+_BUCKET_BASE = 2.0 ** 0.125
+_LOG_BASE = math.log(_BUCKET_BASE)
+
+
+class ManualClock:
+    """A hand-cranked :data:`Clock` for deterministic timer tests.
+
+    ``clock()`` returns the current reading; :meth:`advance` moves it
+    forward. Inject into :class:`~repro.core.stats.StatsRegistry` or
+    :class:`~repro.core.obs.tracer.Tracer` so every measured duration
+    is exactly the scripted one.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time cannot move backwards")
+        self.now += seconds
+        return self.now
+
+
+@dataclass(frozen=True)
+class TimerStats:
+    """A point-in-time summary of one timer/histogram instrument."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def render(self, scale: float = 1e3, unit: str = "ms") -> str:
+        """One human line (default in milliseconds), for CLI output."""
+        return (f"count={self.count} total={self.total * scale:.3f}{unit} "
+                f"mean={self.mean * scale:.3f}{unit} "
+                f"p50={self.p50 * scale:.3f}{unit} "
+                f"p95={self.p95 * scale:.3f}{unit} "
+                f"p99={self.p99 * scale:.3f}{unit} "
+                f"max={self.maximum * scale:.3f}{unit}")
+
+
+#: The summary of an instrument nobody ever recorded into.
+EMPTY_TIMER = TimerStats(count=0, total=0.0, minimum=0.0, maximum=0.0,
+                         p50=0.0, p95=0.0, p99=0.0)
+
+
+class LogBucketHistogram:
+    """Deterministic bounded histogram over non-negative samples.
+
+    Not thread-safe by itself: the owning
+    :class:`~repro.core.stats.StatsRegistry` serializes access under
+    its registry lock, keeping the per-record cost to one acquisition
+    exactly like the counters.
+    """
+
+    __slots__ = ("_buckets", "_zeros", "count", "total", "minimum",
+                 "maximum")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, int] = {}
+        self._zeros = 0
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = 0.0
+
+    # ------------------------------------------------------------------
+    def record(self, value: float) -> None:
+        """Add one sample (clamped at zero; durations are >= 0)."""
+        if value < 0.0:
+            value = 0.0
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if value == 0.0:
+            self._zeros += 1
+            return
+        index = math.ceil(math.log(value) / _LOG_BASE)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    # ------------------------------------------------------------------
+    def percentile(self, quantile: float) -> float:
+        """The sample value at ``quantile`` (0 < q <= 1), bucket-exact.
+
+        Returns the upper bound of the bucket holding the rank-``q``
+        sample, clamped into the observed range -- so the answer is
+        within one bucket width (<9%) of the true order statistic, and
+        exact for empty/single/all-equal streams.
+        """
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must lie in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(quantile * self.count))
+        if rank <= self._zeros:
+            return 0.0
+        cumulative = self._zeros
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                bound = _BUCKET_BASE ** index
+                return min(max(bound, self.minimum), self.maximum)
+        return self.maximum  # pragma: no cover - defensive
+
+    def snapshot(self) -> TimerStats:
+        if self.count == 0:
+            return EMPTY_TIMER
+        return TimerStats(count=self.count, total=self.total,
+                          minimum=self.minimum, maximum=self.maximum,
+                          p50=self.percentile(0.50),
+                          p95=self.percentile(0.95),
+                          p99=self.percentile(0.99))
+
+
+def default_clock() -> Clock:
+    """The production clock (monotonic, sub-microsecond)."""
+    return time.perf_counter

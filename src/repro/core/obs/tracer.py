@@ -1,0 +1,212 @@
+"""A lightweight span tracer for the query and index hot paths.
+
+Usage at an instrumentation site::
+
+    with tracer.span("query.dil_merge") as span:
+        ...
+        span.annotate(postings_read=n)
+
+Spans nest per thread (a thread-local stack tracks the active parent),
+carry arbitrary key/value attributes, and land in a bounded in-memory
+buffer when they finish; the exporters in :mod:`repro.core.obs.export`
+turn the buffer into a human table, JSON lines, or a Chrome-trace file.
+
+Two tracer flavors share the interface:
+
+* :class:`Tracer` -- the real thing. Each finished span's duration is
+  also recorded into the attached registry's timer instrument of the
+  same name, so one ``with tracer.span(...)`` site feeds both the trace
+  view (individual spans) and the histogram view (p50/p95/p99).
+* :data:`NULL_TRACER` -- the disabled singleton. ``span()`` returns one
+  shared, attribute-ignoring context manager, so an instrumented hot
+  path costs a method call and no allocation when profiling is off;
+  sites guard genuinely expensive attribute computation behind
+  ``tracer.enabled``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .instruments import Clock, default_clock
+
+#: Default bound on the finished-span buffer; older spans are dropped
+#: first (the tail of a run is usually the interesting part).
+DEFAULT_SPAN_CAPACITY = 4096
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) traced operation."""
+
+    name: str
+    start: float
+    end: float | None = None
+    depth: int = 0
+    thread_id: int = 0
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed seconds (0.0 while the span is still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+class _ActiveSpan:
+    """Context manager recording one span into its tracer."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.span = Span(name=name, start=0.0, attributes=attributes)
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach/overwrite attributes while the span is open."""
+        self.span.attributes.update(attributes)
+
+    def __enter__(self) -> "_ActiveSpan":
+        self._tracer._open(self.span)
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._tracer._close(self.span)
+        return False
+
+
+class Tracer:
+    """Collects nested spans into a bounded in-memory buffer."""
+
+    enabled = True
+
+    def __init__(self, clock: Clock | None = None,
+                 capacity: int = DEFAULT_SPAN_CAPACITY,
+                 registry: "Any | None" = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._clock = clock if clock is not None else default_clock()
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._finished: list[Span] = []
+        self._dropped = 0
+        self._local = threading.local()
+        #: Any object with ``observe(name, seconds)``; usually the
+        #: engine's :class:`~repro.core.stats.StatsRegistry`. Settable
+        #: after construction (the engine attaches its own registry).
+        self.registry = registry
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """A context manager tracing one named operation."""
+        return _ActiveSpan(self, name, attributes)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record a duration measured out-of-band (e.g. shipped back
+        from a worker process) into the attached registry's timer."""
+        if self.registry is not None:
+            self.registry.observe(name, seconds)
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, span: Span) -> None:
+        stack = self._stack()
+        span.depth = len(stack)
+        span.start = self._clock()
+        stack.append(span)
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        span.thread_id = threading.get_ident()
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._finished.append(span)
+            if len(self._finished) > self._capacity:
+                del self._finished[0]
+                self._dropped += 1
+        if self.registry is not None:
+            self.registry.observe(span.name, span.duration)
+
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """Finished spans evicted from the buffer (oldest first)."""
+        with self._lock:
+            return self._dropped
+
+    def finished(self) -> list[Span]:
+        """Finished spans, oldest first (a snapshot)."""
+        with self._lock:
+            return list(self._finished)
+
+    def active_depth(self) -> int:
+        """Nesting depth of the calling thread's open spans."""
+        return len(self._stack())
+
+    def clear(self) -> None:
+        """Drop every buffered span and reset the drop counter."""
+        with self._lock:
+            self._finished.clear()
+            self._dropped = 0
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.finished())
+
+
+class _NullSpan:
+    """The shared do-nothing span of the disabled tracer."""
+
+    __slots__ = ()
+
+    def annotate(self, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+class NullTracer:
+    """Disabled tracer: every ``span()`` is the same no-op object."""
+
+    enabled = False
+    registry = None
+    _SPAN = _NullSpan()
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return self._SPAN
+
+    def observe(self, name: str, seconds: float) -> None:
+        pass
+
+    @property
+    def dropped(self) -> int:
+        return 0
+
+    def finished(self) -> list[Span]:
+        return []
+
+    def active_depth(self) -> int:
+        return 0
+
+    def clear(self) -> None:
+        pass
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(())
+
+
+#: The process-wide disabled tracer; instrumented components default to
+#: it so uninstrumented use pays (almost) nothing.
+NULL_TRACER = NullTracer()

@@ -33,6 +33,7 @@ from ...ir.bm25 import BM25Scorer
 from ...ir.inverted_index import PositionalIndex
 from ...ir.tfidf import TfIdfScorer
 from ...ir.tokenizer import Keyword
+from ..obs.tracer import NULL_TRACER
 
 NodeId = Hashable
 
@@ -196,6 +197,11 @@ class OntoScoreComputer(ABC):
     #: Name used to namespace index storage ("graph", "taxonomy", ...).
     name: str = ""
 
+    #: Span tracer for the expansion hot path; the engine re-points
+    #: this at its own tracer when profiling is on (the class default
+    #: is the zero-cost disabled singleton).
+    tracer = NULL_TRACER
+
     def __init__(self, seed_scorer: SeedScorer, threshold: float = 0.1,
                  exact: bool = True) -> None:
         self._seed_scorer = seed_scorer
@@ -226,11 +232,20 @@ class OntoScoreComputer(ABC):
         """OntoScores of all concepts for ``keyword`` (above threshold)."""
         cached = self._cache.get(keyword)
         if cached is None:
-            seeds = self._seed_scorer.seeds(keyword)
-            expand = (best_first_expansion if self._exact
-                      else level_order_expansion)
-            scores = expand(seeds, self.neighbors, self._threshold)
-            cached = self.postprocess(scores)
+            with self.tracer.span("ontoscore.expand",
+                                  keyword=keyword.text,
+                                  strategy=self.name or "null") as span:
+                with self.tracer.span("ontoscore.seeds",
+                                      keyword=keyword.text):
+                    seeds = self._seed_scorer.seeds(keyword)
+                expand = (best_first_expansion if self._exact
+                          else level_order_expansion)
+                scores = expand(seeds, self.neighbors, self._threshold)
+                cached = self.postprocess(scores)
+                span.annotate(
+                    algorithm=("best_first" if self._exact
+                               else "level_order"),
+                    seeds=len(seeds), concepts=len(cached))
             self._cache[keyword] = cached
         return dict(cached)
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from ...xmldoc.dewey import DeweyID
 from ..index.dil import DeweyInvertedList
+from ..obs.tracer import NULL_TRACER
 from .results import QueryResult, rank_results
 
 
@@ -48,10 +49,11 @@ class DILQueryStatistics:
 class DILQueryProcessor:
     """Executes one keyword query against per-keyword Dewey lists."""
 
-    def __init__(self, decay: float = 0.5) -> None:
+    def __init__(self, decay: float = 0.5, tracer=None) -> None:
         if not 0.0 < decay <= 1.0:
             raise ValueError("decay must lie in (0, 1]")
         self._decay = decay
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self.last_statistics = DILQueryStatistics()
 
     # ------------------------------------------------------------------
@@ -60,6 +62,17 @@ class DILQueryProcessor:
         """All Eq. 1 results of the query, ranked; top-k when given."""
         if not dils:
             raise ValueError("a query needs at least one keyword list")
+        with self._tracer.span("query.dil_merge",
+                               keywords=len(dils)) as span:
+            results = self._execute(dils, k)
+            span.annotate(
+                postings_read=self.last_statistics.postings_read,
+                frames_pushed=self.last_statistics.frames_pushed,
+                results=self.last_statistics.results_found)
+            return results
+
+    def _execute(self, dils: list[DeweyInvertedList],
+                 k: int | None) -> list[QueryResult]:
         statistics = DILQueryStatistics()
         self.last_statistics = statistics
         keyword_count = len(dils)

@@ -41,6 +41,7 @@ from ..index.dil import (DeweyInvertedList, XOntoDILIndex,
                          keyword_from_key)
 from ..index.parallel import ParallelIndexBuilder
 from ..index.vocabulary import corpus_vocabulary, experiment_vocabulary
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats import (FALLBACK_REBUILDS, INTEGRITY_FAILURES,
                      INTEGRITY_VALIDATIONS, CacheStats, StatsRegistry)
 from ..ontoscore.base import (NullOntoScore, OntoScoreComputer, SeedScorer)
@@ -61,7 +62,8 @@ class XOntoRankEngine:
                  strategy: str = RELATIONSHIPS,
                  config: XOntoRankConfig = DEFAULT_CONFIG,
                  element_index: ElementIndex | None = None,
-                 seed_scorer: SeedScorer | None = None) -> None:
+                 seed_scorer: SeedScorer | None = None,
+                 tracer: Tracer | None = None) -> None:
         if strategy != XRANK and ontology is None:
             raise ValueError(
                 f"strategy {strategy!r} needs an ontology; "
@@ -83,10 +85,19 @@ class XOntoRankEngine:
         if config.use_elemrank:
             from ..elemrank import ElemRankComputer
             node_weights = ElemRankComputer(corpus).normalized_weights()
-        self.builder = IndexBuilder(self.element_index, self.ontoscore,
-                                    node_weights=node_weights)
-        self.processor = DILQueryProcessor(decay=config.decay)
         self.stats = StatsRegistry()
+        # One tracer threads every hot path; a tracer without its own
+        # registry adopts the engine's, so each span also feeds the
+        # timer histogram of the same name.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None and tracer.registry is None:
+            tracer.registry = self.stats
+        self.ontoscore.tracer = self.tracer
+        self.builder = IndexBuilder(self.element_index, self.ontoscore,
+                                    node_weights=node_weights,
+                                    tracer=self.tracer)
+        self.processor = DILQueryProcessor(decay=config.decay,
+                                           tracer=self.tracer)
         self.dil_cache = DILCache(capacity=config.dil_cache_capacity,
                                   stats=self.stats)
 
@@ -127,10 +138,16 @@ class XOntoRankEngine:
     def search(self, query: str | KeywordQuery,
                k: int | None = None) -> list[QueryResult]:
         """Top-k ontology-aware keyword search."""
-        parsed = (KeywordQuery.parse(query) if isinstance(query, str)
-                  else query)
-        dils = [self.dil_for(keyword) for keyword in parsed]
-        return self.processor.execute(dils, k=k or self.config.top_k)
+        with self.tracer.span("query.search",
+                              strategy=self.strategy) as span:
+            with self.tracer.span("query.parse"):
+                parsed = (KeywordQuery.parse(query)
+                          if isinstance(query, str) else query)
+            dils = [self.dil_for(keyword) for keyword in parsed]
+            results = self.processor.execute(dils,
+                                             k=k or self.config.top_k)
+            span.annotate(keywords=len(dils), results=len(results))
+            return results
 
     def search_naive(self, query: str | KeywordQuery,
                      k: int | None = None) -> list[QueryResult]:
@@ -147,9 +164,13 @@ class XOntoRankEngine:
         Cached under ``(text, is_phrase)``: a phrase keyword and a term
         keyword with identical text are distinct cache entries.
         """
-        return self.dil_cache.get_or_build(
-            (keyword.text, keyword.is_phrase),
-            lambda: self.builder.build_keyword(keyword)[0])
+        with self.tracer.span("query.dil_fetch",
+                              keyword=keyword.text) as span:
+            dil = self.dil_cache.get_or_build(
+                (keyword.text, keyword.is_phrase),
+                lambda: self.builder.build_keyword(keyword)[0])
+            span.annotate(postings=len(dil))
+            return dil
 
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction counters of the DIL cache."""
@@ -239,15 +260,18 @@ class XOntoRankEngine:
         if workers is not None and workers > 1:
             parallel = ParallelIndexBuilder(
                 self.builder, workers=workers, mode=parallel_mode,
-                stats=build_stats)
+                stats=build_stats, tracer=self.tracer)
             index = parallel.build(vocabulary,
                                    strategy_name=self.strategy,
                                    store=store)
         else:
-            index = self.builder.build(vocabulary,
-                                       strategy_name=self.strategy)
+            with self.tracer.span("index.serial_build",
+                                  keywords=len(vocabulary)):
+                index = self.builder.build(vocabulary,
+                                           strategy_name=self.strategy)
             if store is not None:
-                index.save(store)
+                with self.tracer.span("storage.save_index"):
+                    index.save(store)
         for key, dil in index.lists.items():
             keyword = keyword_from_key(key)
             self.dil_cache.put((keyword.text, keyword.is_phrase), dil)
@@ -296,6 +320,13 @@ class XOntoRankEngine:
         """
         if validate:
             self._validate_store(store)
+        with self.tracer.span("storage.load_index",
+                              strategy=self.strategy) as span:
+            loaded = self._load_lists(store, fallback)
+            span.annotate(lists=loaded)
+        return loaded
+
+    def _load_lists(self, store: IndexStore, fallback: bool) -> int:
         loaded = 0
         for key in sorted(store.keywords(self.strategy)):
             keyword = keyword_from_key(key)

@@ -14,6 +14,7 @@
 from __future__ import annotations
 
 from ..ir.inverted_index import PositionalIndex
+from .obs.tracer import NULL_TRACER
 from .ontoscore.base import make_scorer
 from ..ir.tokenizer import Keyword
 from ..xmldoc.dewey import DeweyID, assign_dewey_ids
@@ -84,17 +85,22 @@ class NodeScorer:
 
     def __init__(self, element_index: ElementIndex,
                  ontoscore: OntoScoreComputer,
-                 node_weights: dict[DeweyID, float] | None = None) -> None:
+                 node_weights: dict[DeweyID, float] | None = None,
+                 tracer=None) -> None:
         self._elements = element_index
         self._ontoscore = ontoscore
         self._node_weights = node_weights
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._cache: dict[Keyword, dict[DeweyID, float]] = {}
 
     def node_scores(self, keyword: Keyword) -> dict[DeweyID, float]:
         """All nonzero ``NS(v, w)`` values for one keyword."""
         cached = self._cache.get(keyword)
         if cached is None:
-            cached = self._compute(keyword)
+            with self._tracer.span("index.node_scores",
+                                   keyword=keyword.text) as span:
+                cached = self._compute(keyword)
+                span.annotate(scored_nodes=len(cached))
             self._cache[keyword] = cached
         return dict(cached)
 

@@ -1,22 +1,38 @@
-"""Lightweight runtime instrumentation (counters for hot paths).
+"""Lightweight runtime instrumentation (counters + timers for hot paths).
 
 The production north star needs the hot paths to be *observable*: the
 bounded DIL cache (:mod:`repro.core.cache`) and the parallel index
 builder (:mod:`repro.core.index.parallel`) report what they did through
-a :class:`StatsRegistry` -- a thread-safe named-counter map -- so the
+a :class:`StatsRegistry` -- a thread-safe named-instrument map -- so the
 CLI and the benchmarks can print hit rates and shard counts without
 reaching into private state.
 
-Deliberately tiny: integer counters only, no sampling, no timers. A
-counter increment is one lock acquisition; the registry is safe to
-share across the worker threads of a parallel build or the request
-threads of a server front-end.
+Two instrument kinds, both one lock acquisition per update, both safe
+to share across the worker threads of a parallel build or the request
+threads of a server front-end:
+
+* **counters** -- named monotonic integers (:meth:`increment`, plus
+  :meth:`increment_many` to land a whole batch under one acquisition);
+* **timers** -- deterministic log-bucket histograms of durations
+  (:meth:`observe` for a raw sample, :meth:`time` as a context
+  manager), summarized as count/total/min/max/p50/p95/p99 by
+  :meth:`timer`. The clock is injectable
+  (:class:`~repro.core.obs.instruments.ManualClock`), so timer tests
+  never touch wall-clock.
+
+Span-level tracing lives one layer up in :mod:`repro.core.obs.tracer`;
+a :class:`~repro.core.obs.tracer.Tracer` attached to a registry records
+every finished span's duration here, unifying the two views.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import Mapping
+
+from .obs.instruments import (Clock, EMPTY_TIMER, LogBucketHistogram,
+                              TimerStats, default_clock)
 
 # ----------------------------------------------------------------------
 # Canonical counter names of the resilience layer. One shared registry
@@ -46,20 +62,59 @@ FAULTS_LATENCY = "faults.injected.latency"
 FAULTS_CRASHES = "faults.injected.crashes"
 
 
-class StatsRegistry:
-    """A thread-safe map of named monotonic counters."""
+class _TimeContext:
+    """Context manager recording one elapsed duration into a timer."""
 
-    def __init__(self) -> None:
+    __slots__ = ("_registry", "_name", "_started")
+
+    def __init__(self, registry: "StatsRegistry", name: str) -> None:
+        self._registry = registry
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_TimeContext":
+        self._started = self._registry.clock()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._registry.observe(self._name,
+                               self._registry.clock() - self._started)
+        return False
+
+
+class StatsRegistry:
+    """A thread-safe map of named counters and timer histograms."""
+
+    def __init__(self, clock: Clock | None = None) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
+        self._timers: dict[str, LogBucketHistogram] = {}
+        #: The duration source for :meth:`time`; inject a
+        #: :class:`~repro.core.obs.instruments.ManualClock` in tests.
+        self.clock = clock if clock is not None else default_clock()
 
     # ------------------------------------------------------------------
     def increment(self, name: str, amount: int = 1) -> int:
-        """Add ``amount`` to counter ``name``; returns the new value."""
+        """Add ``amount`` to counter ``name``; returns the new value.
+
+        One lock acquisition per call -- in a tight loop that bumps
+        several counters, prefer :meth:`increment_many`.
+        """
         with self._lock:
             value = self._counters.get(name, 0) + amount
             self._counters[name] = value
             return value
+
+    def increment_many(self, amounts: Mapping[str, int]) -> None:
+        """Add every ``name -> amount`` under one lock acquisition.
+
+        The batch API for hot loops (e.g. a parallel-build shard flush)
+        where per-counter locking would otherwise dominate: N counters
+        cost one acquisition instead of N.
+        """
+        with self._lock:
+            for name, amount in amounts.items():
+                self._counters[name] = self._counters.get(name, 0) + amount
 
     def value(self, name: str) -> int:
         """Current value of counter ``name`` (0 when never touched)."""
@@ -71,10 +126,42 @@ class StatsRegistry:
         with self._lock:
             return dict(self._counters)
 
+    # ------------------------------------------------------------------
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration sample into timer ``name``."""
+        with self._lock:
+            histogram = self._timers.get(name)
+            if histogram is None:
+                histogram = self._timers[name] = LogBucketHistogram()
+            histogram.record(seconds)
+
+    def time(self, name: str) -> _TimeContext:
+        """Context manager timing its body into timer ``name``::
+
+            with registry.time("query.dil_merge"):
+                ...
+        """
+        return _TimeContext(self, name)
+
+    def timer(self, name: str) -> TimerStats:
+        """Summary of timer ``name`` (the empty summary when untouched)."""
+        with self._lock:
+            histogram = self._timers.get(name)
+            if histogram is None:
+                return EMPTY_TIMER
+            return histogram.snapshot()
+
+    def timers(self) -> dict[str, TimerStats]:
+        """Point-in-time summaries of every timer."""
+        with self._lock:
+            return {name: histogram.snapshot()
+                    for name, histogram in self._timers.items()}
+
     def reset(self) -> None:
-        """Zero every counter (between benchmark rounds)."""
+        """Zero every counter and timer (between benchmark rounds)."""
         with self._lock:
             self._counters.clear()
+            self._timers.clear()
 
     # ------------------------------------------------------------------
     def render(self, prefix: str | None = None) -> str:
@@ -85,6 +172,15 @@ class StatsRegistry:
                         if name.startswith(prefix)}
         return " ".join(f"{name}={value}"
                         for name, value in sorted(counters.items()))
+
+    def render_timers(self, prefix: str | None = None) -> str:
+        """One line per timer (sorted), empty string when none match."""
+        timers = self.timers()
+        if prefix is not None:
+            timers = {name: stats for name, stats in timers.items()
+                      if name.startswith(prefix)}
+        return "\n".join(f"{name}: {timers[name].render()}"
+                         for name in sorted(timers))
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ import random
 import time
 from typing import Callable, Iterator, Sequence, TypeVar
 
+from ..core.obs.tracer import NULL_TRACER
 from ..core.stats import (RETRY_ATTEMPTS, RETRY_GIVEUPS,
                           RETRY_RECOVERIES, StatsRegistry)
 from .errors import TransientStorageError
@@ -37,7 +38,8 @@ class RetryingStore(IndexStore):
                  base_delay: float = 0.05, max_delay: float = 2.0,
                  jitter: float = 0.25, seed: int = 0,
                  stats: StatsRegistry | None = None,
-                 sleep: Callable[[float], None] = time.sleep) -> None:
+                 sleep: Callable[[float], None] = time.sleep,
+                 tracer=None) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if base_delay < 0 or max_delay < 0:
@@ -52,6 +54,7 @@ class RetryingStore(IndexStore):
         self._random = random.Random(seed)
         self._stats = stats if stats is not None else StatsRegistry()
         self._sleep = sleep
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     @property
@@ -90,8 +93,11 @@ class RetryingStore(IndexStore):
 
     def get_postings(self, strategy: str, keyword: str,
                      ) -> list[EncodedPosting]:
-        return self._retry(
-            lambda: self._inner.get_postings(strategy, keyword))
+        # The span covers every attempt and each backoff sleep, so the
+        # profile shows what a flaky backend really costs the caller.
+        with self.tracer.span("storage.read", keyword=keyword):
+            return self._retry(
+                lambda: self._inner.get_postings(strategy, keyword))
 
     def keywords(self, strategy: str) -> Iterator[str]:
         # Materialized under retry: a generator could fault mid-stream,

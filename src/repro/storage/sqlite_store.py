@@ -82,10 +82,19 @@ def translate_sqlite_error(exc: sqlite3.Error, path: str) -> StorageError:
 
 
 class SQLiteStore(IndexStore):
-    """Stores indexes in a SQLite database file (or ``":memory:"``)."""
+    """Stores indexes in a SQLite database file (or ``":memory:"``).
+
+    ``tracer`` (any :class:`~repro.core.obs.tracer.Tracer`-shaped
+    object) wraps each posting-list read in a ``storage.sqlite.read``
+    span so ``--profile`` attributes query latency to the backend.
+    """
 
     def __init__(self, path: str = ":memory:",
-                 read_only: bool = False) -> None:
+                 read_only: bool = False, tracer=None) -> None:
+        if tracer is None:
+            from ..core.obs.tracer import NULL_TRACER
+            tracer = NULL_TRACER
+        self.tracer = tracer
         self._path = path
         self._lock = threading.RLock()
         if read_only:
@@ -167,11 +176,14 @@ class SQLiteStore(IndexStore):
 
     def get_postings(self, strategy: str, keyword: str,
                      ) -> list[EncodedPosting]:
-        with self._guarded():
-            rows = self._connection.execute(
-                "SELECT dewey, score FROM postings "
-                "WHERE strategy = ? AND keyword = ? ORDER BY position",
-                (strategy, keyword)).fetchall()
+        with self.tracer.span("storage.sqlite.read",
+                              keyword=keyword) as span:
+            with self._guarded():
+                rows = self._connection.execute(
+                    "SELECT dewey, score FROM postings "
+                    "WHERE strategy = ? AND keyword = ? ORDER BY position",
+                    (strategy, keyword)).fetchall()
+            span.annotate(rows=len(rows))
         return [(dewey, score) for dewey, score in rows]
 
     def keywords(self, strategy: str) -> Iterator[str]:

@@ -1,0 +1,193 @@
+"""Timer/histogram instruments and their StatsRegistry integration."""
+
+import math
+
+import pytest
+
+from repro.core.obs.instruments import (EMPTY_TIMER, LogBucketHistogram,
+                                        ManualClock, TimerStats)
+from repro.core.stats import StatsRegistry
+
+
+class TestManualClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        assert clock() == 1.5
+        clock.advance(0.25)
+        assert clock() == 1.75
+
+    def test_custom_start(self):
+        assert ManualClock(start=100.0)() == 100.0
+
+    def test_rejects_backwards_time(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestHistogramEdgeCases:
+    def test_empty_stream_is_all_zero(self):
+        histogram = LogBucketHistogram()
+        assert histogram.percentile(0.50) == 0.0
+        assert histogram.snapshot() == EMPTY_TIMER
+        assert histogram.snapshot().mean == 0.0
+
+    def test_single_sample_is_exact_at_every_quantile(self):
+        histogram = LogBucketHistogram()
+        histogram.record(0.037)
+        stats = histogram.snapshot()
+        assert stats.count == 1
+        assert stats.total == pytest.approx(0.037)
+        assert stats.minimum == stats.maximum == 0.037
+        # Clamping into [min, max] makes one sample its own p50/p95/p99.
+        assert stats.p50 == stats.p95 == stats.p99 == 0.037
+
+    def test_all_equal_stream_is_exact(self):
+        histogram = LogBucketHistogram()
+        for _ in range(1000):
+            histogram.record(0.125)
+        stats = histogram.snapshot()
+        assert stats.count == 1000
+        assert stats.p50 == stats.p95 == stats.p99 == 0.125
+        assert stats.mean == pytest.approx(0.125)
+
+    def test_zero_samples_land_in_the_zero_bucket(self):
+        histogram = LogBucketHistogram()
+        for _ in range(99):
+            histogram.record(0.0)
+        histogram.record(1.0)
+        assert histogram.percentile(0.50) == 0.0
+        assert histogram.percentile(0.99) == 0.0
+        assert histogram.percentile(1.0) == 1.0
+
+    def test_negative_samples_clamp_to_zero(self):
+        histogram = LogBucketHistogram()
+        histogram.record(-5.0)
+        stats = histogram.snapshot()
+        assert stats.minimum == 0.0
+        assert stats.total == 0.0
+        assert stats.p99 == 0.0
+
+    def test_quantile_domain(self):
+        histogram = LogBucketHistogram()
+        histogram.record(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(0.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(1.1)
+
+
+class TestHistogramAccuracy:
+    def test_percentile_within_one_bucket_of_truth(self):
+        # A geometric spread of samples; bucket width is 2**(1/8), so
+        # the reported percentile must be within ~9% of the exact
+        # order statistic.
+        samples = [1.001 ** i for i in range(1, 1001)]
+        histogram = LogBucketHistogram()
+        for sample in samples:
+            histogram.record(sample)
+        for quantile in (0.50, 0.95, 0.99):
+            exact = samples[max(0, math.ceil(quantile * 1000) - 1)]
+            reported = histogram.percentile(quantile)
+            assert reported == pytest.approx(exact, rel=0.095)
+
+    def test_percentiles_are_monotone_and_within_range(self):
+        histogram = LogBucketHistogram()
+        for value in (0.001, 0.01, 0.1, 1.0, 10.0):
+            histogram.record(value)
+        p50 = histogram.percentile(0.50)
+        p95 = histogram.percentile(0.95)
+        p99 = histogram.percentile(0.99)
+        assert 0.001 <= p50 <= p95 <= p99 <= 10.0
+
+    def test_deterministic_across_instances(self):
+        values = [0.003 * (i % 17 + 1) for i in range(500)]
+        first, second = LogBucketHistogram(), LogBucketHistogram()
+        for value in values:
+            first.record(value)
+        for value in values:
+            second.record(value)
+        assert first.snapshot() == second.snapshot()
+
+
+class TestTimerStats:
+    def test_mean(self):
+        stats = TimerStats(count=4, total=2.0, minimum=0.1, maximum=1.0,
+                           p50=0.5, p95=0.9, p99=1.0)
+        assert stats.mean == 0.5
+
+    def test_render_is_milliseconds_by_default(self):
+        stats = TimerStats(count=2, total=0.250, minimum=0.1,
+                           maximum=0.15, p50=0.1, p95=0.15, p99=0.15)
+        text = stats.render()
+        assert "count=2" in text
+        assert "total=250.000ms" in text
+        assert "mean=125.000ms" in text
+
+
+class TestRegistryTimers:
+    def test_observe_and_timer(self):
+        registry = StatsRegistry()
+        registry.observe("query.parse", 0.5)
+        registry.observe("query.parse", 0.5)
+        stats = registry.timer("query.parse")
+        assert stats.count == 2
+        assert stats.total == pytest.approx(1.0)
+        assert stats.p50 == 0.5
+
+    def test_unknown_timer_is_empty(self):
+        assert StatsRegistry().timer("nope") == EMPTY_TIMER
+
+    def test_time_context_uses_injected_clock(self):
+        clock = ManualClock()
+        registry = StatsRegistry(clock=clock)
+        with registry.time("stage"):
+            clock.advance(2.5)
+        stats = registry.timer("stage")
+        assert stats.count == 1
+        assert stats.total == 2.5
+        assert stats.p99 == 2.5
+
+    def test_timers_snapshot_and_reset(self):
+        clock = ManualClock()
+        registry = StatsRegistry(clock=clock)
+        registry.observe("a", 1.0)
+        registry.observe("b", 2.0)
+        assert set(registry.timers()) == {"a", "b"}
+        registry.reset()
+        assert registry.timers() == {}
+        assert registry.timer("a") == EMPTY_TIMER
+
+    def test_render_timers(self):
+        registry = StatsRegistry()
+        registry.observe("query.parse", 0.001)
+        registry.observe("storage.read", 0.002)
+        text = registry.render_timers()
+        assert "query.parse" in text
+        assert "storage.read" in text
+        only_storage = registry.render_timers(prefix="storage.")
+        assert "storage.read" in only_storage
+        assert "query.parse" not in only_storage
+
+
+class TestIncrementMany:
+    def test_batch_matches_individual_increments(self):
+        batched, individual = StatsRegistry(), StatsRegistry()
+        amounts = {"a": 3, "b": 1, "c": 7}
+        batched.increment_many(amounts)
+        for name, amount in amounts.items():
+            individual.increment(name, amount)
+        assert batched.snapshot() == individual.snapshot()
+
+    def test_accumulates_over_calls(self):
+        registry = StatsRegistry()
+        registry.increment_many({"a": 1})
+        registry.increment_many({"a": 2, "b": 5})
+        assert registry.value("a") == 3
+        assert registry.value("b") == 5
+
+    def test_empty_batch_is_a_no_op(self):
+        registry = StatsRegistry()
+        registry.increment_many({})
+        assert registry.snapshot() == {}

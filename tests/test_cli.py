@@ -221,3 +221,80 @@ class TestStatsAndParameters:
     def test_invalid_parameters_rejected(self, data_dir):
         with pytest.raises(ValueError):
             main(["search", "--data", data_dir, "--decay", "0", "fever"])
+
+
+class TestProfiling:
+    def test_search_profile_prints_phase_table(self, data_dir, capsys):
+        code = main(["search", "--data", data_dir,
+                     "asthma theophylline", "-k", "3", "--profile"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "PROFILE -- per-phase timings (milliseconds)" in \
+            captured.out
+        # The canonical query phases print even when zero, so the
+        # output shape is stable for scripts.
+        for phase in ("parse", "ontoscore", "dil_merge", "storage"):
+            assert f"\n{phase}" in captured.out
+        assert "instruments:" in captured.out
+        assert "query.search:" in captured.out
+        assert "spans:" in captured.out
+
+    def test_search_metrics_out_writes_json_lines(self, data_dir,
+                                                  tmp_path, capsys):
+        import json
+        metrics = str(tmp_path / "metrics.jsonl")
+        code = main(["search", "--data", data_dir, "asthma", "-k", "2",
+                     "--metrics-out", metrics])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert f"-> {metrics}" in captured.out
+        with open(metrics, encoding="utf-8") as handle:
+            rows = [json.loads(line) for line in handle]
+        assert rows, "metrics file must not be empty"
+        assert {row["type"] for row in rows} <= {"counter", "timer"}
+        names = [row["name"] for row in rows if row["type"] == "timer"]
+        assert "query.search" in names
+
+    def test_search_trace_out_writes_chrome_trace(self, data_dir,
+                                                  tmp_path, capsys):
+        import json
+        trace_path = str(tmp_path / "trace.json")
+        code = main(["search", "--data", data_dir, "asthma", "-k", "2",
+                     "--trace-out", trace_path])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "perfetto" in captured.out
+        with open(trace_path, encoding="utf-8") as handle:
+            trace = json.load(handle)
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events
+        assert {event["ph"] for event in events} == {"X"}
+        assert "query.search" in {event["name"] for event in events}
+
+    def test_index_profile_reports_build_phases(self, data_dir,
+                                                tmp_path, capsys):
+        store = str(tmp_path / "index.db")
+        code = main(["index", "--data", data_dir, "--store", store,
+                     "--workers", "2", "--profile"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "PROFILE -- per-phase timings (milliseconds)" in \
+            captured.out
+        assert "index_build" in captured.out
+        assert "parallel_build.shard_build:" in captured.out
+
+    def test_verbose_prints_timer_histograms(self, data_dir, capsys):
+        code = main(["search", "--data", data_dir, "asthma", "-k", "2",
+                     "--profile", "--verbose"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "timers:" in captured.out
+        assert "p95=" in captured.out
+
+    def test_no_profiling_flags_no_profile_output(self, data_dir,
+                                                  capsys):
+        code = main(["search", "--data", data_dir, "asthma", "-k", "2"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert "PROFILE" not in captured.out

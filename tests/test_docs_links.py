@@ -1,0 +1,101 @@
+"""Docs lint: every intra-repo link in the documentation must resolve.
+
+Scans ``README.md`` and ``docs/**/*.md`` for markdown links and inline
+file references, and fails on any relative link whose target does not
+exist. External URLs, mail links, and pure in-page anchors are skipped.
+CI runs this as its docs-lint step, so a renamed file cannot silently
+orphan the documentation pointing at it.
+"""
+
+import os
+import re
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Inline markdown links: ``[label](target)`` (images included).
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_SCHEMES = ("http://", "https://", "mailto:")
+
+
+def documentation_files():
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    for dirpath, _, filenames in os.walk(docs_dir):
+        for filename in sorted(filenames):
+            if filename.endswith(".md"):
+                files.append(os.path.join(dirpath, filename))
+    return files
+
+
+def relative_links(path):
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_SCHEMES):
+            continue
+        if target.startswith("#"):  # in-page anchor
+            continue
+        yield target.split("#", 1)[0]  # drop any anchor suffix
+
+
+@pytest.mark.parametrize("path", documentation_files(),
+                         ids=lambda p: os.path.relpath(p, REPO_ROOT))
+def test_intra_repo_links_resolve(path):
+    dead = []
+    for target in relative_links(path):
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            dead.append(target)
+    assert not dead, (
+        f"{os.path.relpath(path, REPO_ROOT)} has dead links: {dead}")
+
+
+def test_docs_tree_is_complete():
+    """The docs index and the pages it promises all exist."""
+    for name in ("README.md", "PAPER_MAP.md", "ARCHITECTURE.md",
+                 "OBSERVABILITY.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, "docs", name))
+
+
+def test_docs_index_links_every_page():
+    index_path = os.path.join(REPO_ROOT, "docs", "README.md")
+    with open(index_path, encoding="utf-8") as handle:
+        index = handle.read()
+    for name in ("PAPER_MAP.md", "ARCHITECTURE.md", "OBSERVABILITY.md",
+                 "EXPERIMENTS.md"):
+        assert name in index, f"docs/README.md does not link {name}"
+
+
+def test_every_instrument_name_is_documented():
+    """docs/OBSERVABILITY.md is the instrument catalog: every span name
+    opened anywhere in ``src/`` and every counter constant declared in
+    ``repro.core.stats`` must appear in it."""
+    span_name = re.compile(r"\.span\(\s*\"([^\"]+)\"")
+    counter_constant = re.compile(r"^[A-Z_]+ = \"([a-z_.]+)\"",
+                                  re.MULTILINE)
+    names = set()
+    src_dir = os.path.join(REPO_ROOT, "src", "repro")
+    for dirpath, _, filenames in os.walk(src_dir):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            with open(os.path.join(dirpath, filename),
+                      encoding="utf-8") as handle:
+                text = handle.read()
+            names.update(span_name.findall(text))
+    stats_path = os.path.join(src_dir, "core", "stats.py")
+    with open(stats_path, encoding="utf-8") as handle:
+        names.update(counter_constant.findall(handle.read()))
+
+    catalog_path = os.path.join(REPO_ROOT, "docs", "OBSERVABILITY.md")
+    with open(catalog_path, encoding="utf-8") as handle:
+        catalog = handle.read()
+    undocumented = sorted(name for name in names if name not in catalog)
+    assert not undocumented, (
+        f"instrument names missing from docs/OBSERVABILITY.md: "
+        f"{undocumented}")
