@@ -19,6 +19,7 @@ from repro.core.config import ALL_STRATEGIES, RELATIONSHIPS
 from repro.core.index.vocabulary import corpus_vocabulary
 from repro.core.obs import Tracer, render_profile
 from repro.core.query.engine import XOntoRankEngine
+from repro.core.query.federated import FederatedEngine
 
 from conftest import record_result
 
@@ -26,6 +27,7 @@ KEYWORD_COUNTS = (2, 3, 4, 5)
 QUERIES_PER_POINT = 8
 TOP_K = 10
 SAMPLE_SEED = 29
+SHARD_COUNTS = (1, 2, 4)
 
 
 def build_query_set(corpus):
@@ -91,6 +93,48 @@ def test_fig11_query_time(benchmark, bench_engines, bench_corpus):
     # Paper claim: Relationships is the slowest strategy overall.
     totals = {name: sum(series[name].values()) for name in series}
     assert totals["relationships"] >= totals["xrank"]
+
+
+def test_fig11_sharded_query_time(bench_corpus, bench_ontology):
+    """Figure 11's workload through the federated engine, by shard
+    count (1/2/4; Relationships, the costliest strategy).
+
+    The federated engine's contract is that sharding changes the
+    execution plan, never the answer: every shard count must return the
+    byte-identical ranking of the single engine. The per-shard-count
+    timings land next to the Figure 11 series so the fan-out overhead
+    is visible alongside the numbers it perturbs.
+    """
+    queries = build_query_set(bench_corpus)
+    reference = XOntoRankEngine(bench_corpus, bench_ontology,
+                                strategy=RELATIONSHIPS)
+    engines = {
+        f"{shards} shard{'s' if shards > 1 else ''}": FederatedEngine(
+            bench_corpus, bench_ontology, strategy=RELATIONSHIPS,
+            shards=shards, shard_workers=min(shards, 2))
+        for shards in SHARD_COUNTS}
+    warm_caches({"single": reference, **engines}, queries)
+
+    expected = {query: [(r.dewey, r.score) for r in
+                        reference.search(query, k=TOP_K)]
+                for query_list in queries.values()
+                for query in query_list}
+    for engine in engines.values():
+        for query, ranking in expected.items():
+            assert [(r.dewey, r.score) for r in
+                    engine.search(query, k=TOP_K)] == ranking
+
+    series = measure(engines, queries, repetitions=2)
+    names = list(engines)
+    header = f"{'#keywords':>10}" + "".join(f"{name:>16}"
+                                            for name in names)
+    lines = [f"FIGURE 11 (sharded) -- relationships query time "
+             f"(ms, top-{TOP_K})", header]
+    for count in KEYWORD_COUNTS:
+        cells = "".join(f"{series[name][count]:>16.3f}"
+                        for name in names)
+        lines.append(f"{count:>10}" + cells)
+    record_result("fig11_sharded_query_time", "\n".join(lines) + "\n")
 
 
 def test_fig11_phase_breakdown(bench_corpus, bench_ontology):

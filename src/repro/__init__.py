@@ -27,15 +27,19 @@ Quickstart::
 
 from .core import (ALL_STRATEGIES, DEFAULT_CONFIG, GRAPH,
                    ONTOLOGY_STRATEGIES, RELATIONSHIPS, TAXONOMY, XRANK,
-                   DILCache, ParallelIndexBuilder, QueryResult,
+                   DILCache, FederatedEngine, IndexManager,
+                   ParallelIndexBuilder, QueryPipeline, QueryResult,
                    XOntoRankConfig, XOntoRankEngine, build_engines)
 from .ir import Keyword, KeywordQuery
+from .xmldoc import ShardedCorpus
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
-    "ALL_STRATEGIES", "DEFAULT_CONFIG", "DILCache", "GRAPH", "Keyword",
-    "KeywordQuery", "ONTOLOGY_STRATEGIES", "ParallelIndexBuilder",
-    "QueryResult", "RELATIONSHIPS", "TAXONOMY", "XOntoRankConfig",
-    "XOntoRankEngine", "XRANK", "build_engines", "__version__",
+    "ALL_STRATEGIES", "DEFAULT_CONFIG", "DILCache", "FederatedEngine",
+    "GRAPH", "IndexManager", "Keyword", "KeywordQuery",
+    "ONTOLOGY_STRATEGIES", "ParallelIndexBuilder", "QueryPipeline",
+    "QueryResult", "RELATIONSHIPS", "ShardedCorpus", "TAXONOMY",
+    "XOntoRankConfig", "XOntoRankEngine", "XRANK", "build_engines",
+    "__version__",
 ]

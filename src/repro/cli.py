@@ -47,6 +47,14 @@ the paper's parameters off their published defaults. ``index`` writes
 the database to a temporary sibling path and atomically renames it into
 place, so a killed build never publishes a partial store.
 
+Both subcommands accept ``--shards N`` (and ``--shard-workers M`` for a
+thread-pool fan-out): the corpus is hash-partitioned into N shards,
+``index`` writes one store per shard at ``STORE.shardII-of-NN`` (each
+with its own crash-safe manifest), and ``search`` federates the query
+across the shards and k-way-merges per-shard rankings. Federated
+rankings are byte-identical to the single-engine ranking; a damaged
+shard store degrades only its own shard.
+
 Observability (see docs/OBSERVABILITY.md for the instrument catalog):
 --profile traces the hot paths through :mod:`repro.core.obs` and prints
 a per-phase timing table (parse / OntoScore / DIL merge / storage);
@@ -59,6 +67,7 @@ any of the three, the engine runs on the no-op tracer and pays nothing.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
 from typing import Sequence
@@ -69,6 +78,7 @@ from .core.config import (ALL_STRATEGIES, RELATIONSHIPS,
 from .core.obs import (Tracer, render_profile, write_chrome_trace,
                        write_metrics_jsonl)
 from .core.query.engine import XOntoRankEngine, build_engines
+from .core.query.federated import FederatedEngine, shard_store_path
 from .emr.synth import generate_cardiac_emr
 from .evaluation.metrics import run_survey
 from .evaluation.oracle import RelevanceOracle
@@ -145,7 +155,8 @@ def _tracer_from(args: argparse.Namespace) -> Tracer | None:
     return None
 
 
-def _emit_profile(args: argparse.Namespace, engine: XOntoRankEngine,
+def _emit_profile(args: argparse.Namespace,
+                  engine: "XOntoRankEngine | FederatedEngine",
                   tracer: Tracer | None) -> None:
     if tracer is None:
         return
@@ -158,6 +169,26 @@ def _emit_profile(args: argparse.Namespace, engine: XOntoRankEngine,
         count = write_chrome_trace(tracer, args.trace_out)
         print(f"trace: {count} spans -> {args.trace_out} "
               f"(open in chrome://tracing or ui.perfetto.dev)")
+
+
+def _make_engine(args: argparse.Namespace, corpus, ontology,
+                 tracer: Tracer | None,
+                 ) -> XOntoRankEngine | FederatedEngine:
+    """One engine (``--shards 1``, the default) or a federated facade
+    over N shard engines. Both expose the same search/index surface and
+    produce byte-identical rankings."""
+    ontology = ontology if args.strategy != "xrank" else None
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        raise SystemExit(2)
+    if args.shards > 1:
+        return FederatedEngine(corpus, ontology, strategy=args.strategy,
+                               config=_config_from(args),
+                               shards=args.shards,
+                               shard_workers=args.shard_workers,
+                               tracer=tracer)
+    return XOntoRankEngine(corpus, ontology, strategy=args.strategy,
+                           config=_config_from(args), tracer=tracer)
 
 
 # ----------------------------------------------------------------------
@@ -189,51 +220,74 @@ def command_generate(args: argparse.Namespace) -> int:
 def command_index(args: argparse.Namespace) -> int:
     ontology, corpus = _load_data_directory(args.data)
     tracer = _tracer_from(args)
-    engine = XOntoRankEngine(corpus, ontology, strategy=args.strategy,
-                             config=_config_from(args), tracer=tracer)
-    # Crash safety: the database is written to a ".building" sibling
-    # and atomically renamed over args.store only after the manifest's
-    # completion marker has landed.
-    with atomic_sqlite_build(args.store) as store:
-        index = engine.build_index(radius=args.radius, store=store,
-                                   workers=args.workers)
-        workers = store.get_metadata("build_workers")
-        mode = store.get_metadata("build_mode")
-        chunks = store.get_metadata("build_chunks")
-        checksum = store.get_metadata(CHECKSUM_KEY_PREFIX
-                                      + args.strategy) or ""
+    engine = _make_engine(args, corpus, ontology, tracer)
+    # Crash safety: every database is written to a ".building" sibling
+    # and atomically renamed into place only after its manifest's
+    # completion marker has landed. With --shards N, each shard gets
+    # its own store (and manifest) at a derived sibling path.
+    if isinstance(engine, FederatedEngine):
+        paths = [shard_store_path(args.store, shard, args.shards)
+                 for shard in range(args.shards)]
+        with contextlib.ExitStack() as stack:
+            stores = [stack.enter_context(atomic_sqlite_build(path))
+                      for path in paths]
+            index = engine.build_index(radius=args.radius,
+                                       stores=stores,
+                                       workers=args.workers)
+            workers = stores[0].get_metadata("build_workers")
+            mode = stores[0].get_metadata("build_mode")
+            chunks = stores[0].get_metadata("build_chunks")
+            checksum = stores[0].get_metadata(CHECKSUM_KEY_PREFIX
+                                              + args.strategy) or ""
+        destination = (f"{paths[0]} .. {paths[-1]} "
+                       f"({args.shards} shards)")
+        audit_path = paths[0]
+    else:
+        with atomic_sqlite_build(args.store) as store:
+            index = engine.build_index(radius=args.radius, store=store,
+                                       workers=args.workers)
+            workers = store.get_metadata("build_workers")
+            mode = store.get_metadata("build_mode")
+            chunks = store.get_metadata("build_chunks")
+            checksum = store.get_metadata(CHECKSUM_KEY_PREFIX
+                                          + args.strategy) or ""
+        destination = args.store
+        audit_path = args.store
     print(f"built {len(index)} XOnto-DILs "
           f"({index.total_postings()} postings, "
-          f"{index.total_size_bytes() / 1024:.1f} KB) -> {args.store}")
+          f"{index.total_size_bytes() / 1024:.1f} KB) -> {destination}")
     print(f"build: workers={workers} mode={mode} chunks={chunks}")
     print(f"manifest: complete checksum={checksum[:12]} "
           f"(audit with `python -m repro verify-index "
-          f"--store {args.store}`)")
+          f"--store {audit_path}`)")
     print(f"dil-cache: {engine.cache_stats().render()}")
     _emit_profile(args, engine, tracer)
     return 0
 
 
-def _load_store_or_degrade(engine: XOntoRankEngine,
-                           args: argparse.Namespace) -> int:
-    """Load the persisted index into the engine per the chosen policy.
+def _load_store_or_degrade(engine: XOntoRankEngine, path: str,
+                           args: argparse.Namespace,
+                           build_hint: str | None = None) -> int:
+    """Load one persisted index into one engine per the chosen policy.
 
     Returns an exit code: 0 on success (including degraded operation),
     2 on a fail-fast error. Fail-fast is chosen by --strict or
     --no-fallback; the default degrades -- a store that is missing a
     posting list falls back per keyword, a store that fails validation
     outright is discarded with a warning and the engine serves from
-    the corpus.
+    the corpus. For a federated search this runs once per shard, so a
+    damaged shard store degrades only that shard.
     """
     fail_fast = args.strict or args.no_fallback
-    if not os.path.exists(args.store):
-        print(f"error: no index store at {args.store} -- build one "
-              f"with `python -m repro index --data {args.data} "
-              f"--store {args.store}`", file=sys.stderr)
+    if not os.path.exists(path):
+        hint = build_hint or (f"python -m repro index "
+                              f"--data {args.data} --store {args.store}")
+        print(f"error: no index store at {path} -- build one "
+              f"with `{hint}`", file=sys.stderr)
         return 2
     store = None
     try:
-        store = SQLiteStore(args.store, read_only=True,
+        store = SQLiteStore(path, read_only=True,
                             tracer=engine.tracer)
         reader: "SQLiteStore | RetryingStore" = store
         if args.retries > 0:
@@ -241,16 +295,16 @@ def _load_store_or_degrade(engine: XOntoRankEngine,
                                    stats=engine.stats,
                                    tracer=engine.tracer)
         loaded = engine.load_index(reader, fallback=not fail_fast)
-        print(f"loaded {loaded} posting lists from {args.store}")
+        print(f"loaded {loaded} posting lists from {path}")
         return 0
     except StorageError as exc:
         from .core.stats import FALLBACK_STORE_DISCARDS
         if fail_fast:
-            print(f"error: cannot use index store {args.store}: {exc}",
+            print(f"error: cannot use index store {path}: {exc}",
                   file=sys.stderr)
             return 2
         engine.stats.increment(FALLBACK_STORE_DISCARDS)
-        print(f"warning: ignoring index store {args.store} ({exc}); "
+        print(f"warning: ignoring index store {path} ({exc}); "
               f"building posting lists from the corpus",
               file=sys.stderr)
         return 0
@@ -259,15 +313,28 @@ def _load_store_or_degrade(engine: XOntoRankEngine,
             store.close()
 
 
+def _load_stores(engine: "XOntoRankEngine | FederatedEngine",
+                 args: argparse.Namespace) -> int:
+    """Load --store into the engine; per shard when federated."""
+    if isinstance(engine, FederatedEngine):
+        hint = (f"python -m repro index --data {args.data} "
+                f"--store {args.store} --shards {args.shards}")
+        for shard, shard_engine in enumerate(engine.shard_engines):
+            path = shard_store_path(args.store, shard, args.shards)
+            code = _load_store_or_degrade(shard_engine, path, args,
+                                          build_hint=hint)
+            if code != 0:
+                return code
+        return 0
+    return _load_store_or_degrade(engine, args.store, args)
+
+
 def command_search(args: argparse.Namespace) -> int:
     ontology, corpus = _load_data_directory(args.data)
     tracer = _tracer_from(args)
-    engine = XOntoRankEngine(
-        corpus, ontology if args.strategy != "xrank" else None,
-        strategy=args.strategy, config=_config_from(args),
-        tracer=tracer)
+    engine = _make_engine(args, corpus, ontology, tracer)
     if args.store:
-        code = _load_store_or_degrade(engine, args)
+        code = _load_stores(engine, args)
         if code != 0:
             return code
     results = engine.search(args.query, k=args.k)
@@ -443,6 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
     for subparser in (index, search):
         _add_parameter_flags(subparser)
         _add_profiling_flags(subparser)
+        subparser.add_argument(
+            "--shards", type=int, default=1,
+            help="partition the corpus into N shards and federate "
+                 "(1 = single engine; rankings are identical)")
+        subparser.add_argument(
+            "--shard-workers", type=int, default=None,
+            help="thread-pool size for the shard fan-out "
+                 "(default: sequential)")
     return parser
 
 

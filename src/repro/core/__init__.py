@@ -10,9 +10,9 @@ from .config import (ALL_STRATEGIES, DEFAULT_CONFIG, GRAPH,
                      ONTOLOGY_STRATEGIES, RELATIONSHIPS, TAXONOMY, XRANK,
                      XOntoRankConfig)
 from .elemrank import ElemRankComputer, ElemRankParameters
-from .index import (DeweyInvertedList, IndexBuilder, KeywordBuildStats,
-                    ParallelIndexBuilder, Posting, XOntoDILIndex,
-                    index_key, keyword_from_key)
+from .index import (DeweyInvertedList, IndexBuilder, IndexManager,
+                    KeywordBuildStats, ParallelIndexBuilder, Posting,
+                    XOntoDILIndex, index_key, keyword_from_key)
 from .stats import CacheStats, StatsRegistry
 from .ontoscore import (GraphOntoScore, MaterializedRelationshipsOntoScore,
                         NullOntoScore, OntoScoreComputer,
@@ -21,26 +21,28 @@ from .ontoscore import (GraphOntoScore, MaterializedRelationshipsOntoScore,
                         concept_seed_scorer, level_order_expansion,
                         relationships_seed_scorer)
 from .query import (DILQueryProcessor, DILQueryStatistics,
-                    KeywordEvidence, NaiveEvaluator, OntologyHop,
-                    QueryResult, ResultExplanation, XOntoRankEngine,
-                    build_engines, explain_result, rank_results)
+                    FederatedEngine, KeywordEvidence, NaiveEvaluator,
+                    OntologyHop, QueryPipeline, QueryResult,
+                    ResultExplanation, XOntoRankEngine, build_engines,
+                    explain_result, merge_ranked, rank_results)
 from .scoring import (ElementIndex, NodeScorer, propagate_scores,
                       result_score)
 
 __all__ = [
     "ALL_STRATEGIES", "CacheStats", "DEFAULT_CONFIG", "DILCache",
     "DILQueryProcessor", "DILQueryStatistics", "DeweyInvertedList",
-    "ElemRankComputer", "ElemRankParameters", "ElementIndex", "GRAPH",
-    "KeywordEvidence", "OntologyHop", "ResultExplanation",
-    "explain_result", "GraphOntoScore", "IndexBuilder",
-    "KeywordBuildStats", "MaterializedRelationshipsOntoScore",
-    "NaiveEvaluator", "NodeScorer", "NullOntoScore",
-    "ONTOLOGY_STRATEGIES", "OntoScoreComputer", "ParallelIndexBuilder",
-    "Posting", "QueryResult", "RELATIONSHIPS", "RelationshipsOntoScore",
-    "SeedScorer", "StatsRegistry", "TAXONOMY", "TaxonomyOntoScore",
-    "XOntoDILIndex", "XOntoRankConfig", "XOntoRankEngine", "XRANK",
-    "best_first_expansion", "build_engines", "concept_seed_scorer",
-    "index_key", "keyword_from_key", "level_order_expansion",
-    "propagate_scores", "rank_results", "relationships_seed_scorer",
-    "result_score",
+    "ElemRankComputer", "ElemRankParameters", "ElementIndex",
+    "FederatedEngine", "GRAPH", "KeywordEvidence", "OntologyHop",
+    "ResultExplanation", "explain_result", "GraphOntoScore",
+    "IndexBuilder", "IndexManager", "KeywordBuildStats",
+    "MaterializedRelationshipsOntoScore", "NaiveEvaluator",
+    "NodeScorer", "NullOntoScore", "ONTOLOGY_STRATEGIES",
+    "OntoScoreComputer", "ParallelIndexBuilder", "Posting",
+    "QueryPipeline", "QueryResult", "RELATIONSHIPS",
+    "RelationshipsOntoScore", "SeedScorer", "StatsRegistry", "TAXONOMY",
+    "TaxonomyOntoScore", "XOntoDILIndex", "XOntoRankConfig",
+    "XOntoRankEngine", "XRANK", "best_first_expansion", "build_engines",
+    "concept_seed_scorer", "index_key", "keyword_from_key",
+    "level_order_expansion", "merge_ranked", "propagate_scores",
+    "rank_results", "relationships_seed_scorer", "result_score",
 ]

@@ -4,15 +4,18 @@ builder (paper Section V-B)."""
 from .builder import IndexBuilder
 from .dil import (DeweyInvertedList, KeywordBuildStats, Posting,
                   XOntoDILIndex, index_key, keyword_from_key)
+from .manager import IndexManager, memoized_corpus_fingerprint
 from .parallel import PROCESS_MODE_THRESHOLD, ParallelIndexBuilder
 from .vocabulary import (concept_vocabulary, concepts_within_radius,
                          corpus_vocabulary, experiment_vocabulary,
                          full_vocabulary, referenced_concepts)
 
 __all__ = [
-    "DeweyInvertedList", "IndexBuilder", "KeywordBuildStats",
-    "PROCESS_MODE_THRESHOLD", "ParallelIndexBuilder", "Posting",
-    "XOntoDILIndex", "concept_vocabulary", "concepts_within_radius",
+    "DeweyInvertedList", "IndexBuilder", "IndexManager",
+    "KeywordBuildStats", "PROCESS_MODE_THRESHOLD",
+    "ParallelIndexBuilder", "Posting", "XOntoDILIndex",
+    "concept_vocabulary", "concepts_within_radius",
     "corpus_vocabulary", "experiment_vocabulary", "full_vocabulary",
-    "index_key", "keyword_from_key", "referenced_concepts",
+    "index_key", "keyword_from_key", "memoized_corpus_fingerprint",
+    "referenced_concepts",
 ]

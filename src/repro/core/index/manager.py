@@ -1,0 +1,284 @@
+"""The Index Creation Module's lifecycle owner (paper Figure 8).
+
+:class:`IndexManager` owns everything about one strategy's XOnto-DIL
+index *except* query execution: building (serial or through the
+:class:`~repro.core.index.parallel.ParallelIndexBuilder`), persistence
+into an :class:`~repro.storage.interface.IndexStore` with the crash-safe
+manifest protocol, validated loading with per-keyword degraded rebuilds,
+and the bounded query-time :class:`~repro.core.cache.DILCache`. The
+:class:`~repro.core.query.engine.XOntoRankEngine` facade delegates its
+``build_index`` / ``load_index`` / ``dil_for`` surface here; the
+federated engine gives each shard its own manager over the shard's
+sub-corpus and store.
+
+Corpus fingerprints (the manifest's defense against loading an index
+built from different documents) are memoized per :class:`Corpus`
+object -- serializing every document on every ``load_index`` was the
+single hottest redundant step of the old engine. The memo is invalidated
+when the corpus gains or loses documents; in-place mutation of a
+document's nodes is outside the supported lifecycle (corpora are
+read-only once indexed).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Iterable, MutableMapping
+
+from ...ir.tokenizer import Keyword
+from ...storage import manifest as store_manifest
+from ...storage.errors import (CorruptIndexError, IncompatibleIndexError,
+                               StorageError)
+from ...storage.interface import IndexStore
+from ...xmldoc.model import Corpus
+from ...xmldoc.serializer import serialize
+from ..cache import DILCache
+from ..config import XRANK, XOntoRankConfig
+from ..obs.tracer import NULL_TRACER
+from ..stats import (FALLBACK_REBUILDS, INTEGRITY_FAILURES,
+                     INTEGRITY_VALIDATIONS, CacheStats, StatsRegistry)
+from .builder import IndexBuilder
+from .dil import DeweyInvertedList, XOntoDILIndex, keyword_from_key
+from .parallel import ParallelIndexBuilder
+from .vocabulary import corpus_vocabulary, experiment_vocabulary
+
+#: corpus object -> (document count, fingerprint). Keyed weakly so a
+#: discarded corpus does not pin its fingerprint; the document count
+#: invalidates the entry when documents are added or removed.
+_FINGERPRINTS: MutableMapping[Corpus, tuple[int, str]] = (
+    weakref.WeakKeyDictionary())
+
+
+def memoized_corpus_fingerprint(
+        corpus: Corpus,
+        texts: list[tuple[int, str]] | None = None) -> str:
+    """The corpus's manifest fingerprint, serialized at most once.
+
+    ``texts`` lets a caller that already serialized every document (the
+    build path persists them anyway) seed the memo for free.
+    """
+    cached = _FINGERPRINTS.get(corpus)
+    if cached is not None and cached[0] == len(corpus):
+        return cached[1]
+    pairs = texts if texts is not None else [
+        (document.doc_id, serialize(document)) for document in corpus]
+    fingerprint = store_manifest.corpus_fingerprint(pairs)
+    _FINGERPRINTS[corpus] = (len(corpus), fingerprint)
+    return fingerprint
+
+
+class IndexManager:
+    """Build/load/persist lifecycle of one strategy's XOnto-DIL index."""
+
+    def __init__(self, corpus: Corpus, builder: IndexBuilder,
+                 strategy: str, config: XOntoRankConfig,
+                 ontology=None, stats: StatsRegistry | None = None,
+                 tracer=None, cache: DILCache | None = None) -> None:
+        self.corpus = corpus
+        self.builder = builder
+        self.strategy = strategy
+        self.config = config
+        self.ontology = ontology
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.dil_cache = cache if cache is not None else DILCache(
+            capacity=config.dil_cache_capacity, stats=self.stats)
+
+    # ------------------------------------------------------------------
+    # Query-time DIL access
+    # ------------------------------------------------------------------
+    def dil_for(self, keyword: Keyword) -> DeweyInvertedList:
+        """The keyword's XOnto-DIL, built on first use.
+
+        Cached under ``(text, is_phrase)``: a phrase keyword and a term
+        keyword with identical text are distinct cache entries.
+        """
+        with self.tracer.span("query.dil_fetch",
+                              keyword=keyword.text) as span:
+            dil = self.dil_cache.get_or_build(
+                (keyword.text, keyword.is_phrase),
+                lambda: self.builder.build_keyword(keyword)[0])
+            span.annotate(postings=len(dil))
+            return dil
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the DIL cache."""
+        return self.dil_cache.stats()
+
+    # ------------------------------------------------------------------
+    # Pre-processing phase
+    # ------------------------------------------------------------------
+    def default_vocabulary(self, radius: int = 2) -> set[str]:
+        """The paper's experimental vocabulary rule (Section VII-B)."""
+        if self.strategy == XRANK or self.ontology is None:
+            return corpus_vocabulary(self.corpus,
+                                     self.config.text_policy)
+        return experiment_vocabulary(self.corpus, self.ontology,
+                                     radius=radius,
+                                     text_policy=self.config.text_policy)
+
+    def build_index(self, vocabulary: Iterable[str] | None = None,
+                    radius: int = 2,
+                    store: IndexStore | None = None,
+                    workers: int | None = None,
+                    parallel_mode: str = "auto") -> XOntoDILIndex:
+        """Pre-build DILs for a whole vocabulary (Section V-B).
+
+        Without an explicit vocabulary, ontology-aware strategies use
+        the paper's experimental rule (document words plus concepts
+        within ``radius`` relationships of referenced concepts); the
+        XRANK baseline indexes the document words.
+
+        With ``workers > 1`` the vocabulary is built on a worker pool
+        (see :class:`~repro.core.index.parallel.ParallelIndexBuilder`);
+        the result is guaranteed identical to the serial build, and
+        with a ``store`` the shards are streamed into it as they
+        complete.
+        """
+        if vocabulary is None:
+            vocabulary = self.default_vocabulary(radius)
+        vocabulary = set(vocabulary)
+        if store is not None:
+            # Crash-safety protocol: flip the store to *incomplete*
+            # before the first posting lands, so a build killed at any
+            # later point leaves a store that load_index rejects; the
+            # completion marker is re-set only by finalize_manifest
+            # after everything else has been written.
+            store_manifest.mark_build_started(store)
+        build_stats = StatsRegistry()
+        if workers is not None and workers > 1:
+            parallel = ParallelIndexBuilder(
+                self.builder, workers=workers, mode=parallel_mode,
+                stats=build_stats, tracer=self.tracer)
+            index = parallel.build(vocabulary,
+                                   strategy_name=self.strategy,
+                                   store=store)
+        else:
+            with self.tracer.span("index.serial_build",
+                                  keywords=len(vocabulary)):
+                index = self.builder.build(vocabulary,
+                                           strategy_name=self.strategy)
+            if store is not None:
+                with self.tracer.span("storage.save_index"):
+                    index.save(store)
+        for key, dil in index.lists.items():
+            keyword = keyword_from_key(key)
+            self.dil_cache.put((keyword.text, keyword.is_phrase), dil)
+        if store is not None:
+            self._persist_corpus_and_manifest(store, build_stats,
+                                              workers)
+        return index
+
+    def _persist_corpus_and_manifest(self, store: IndexStore,
+                                     build_stats: StatsRegistry,
+                                     workers: int | None) -> None:
+        document_texts = []
+        for document in self.corpus:
+            text = serialize(document)
+            store.put_document(document.doc_id, text)
+            document_texts.append((document.doc_id, text))
+        store.put_metadata("strategy", self.strategy)
+        store.put_metadata("decay", str(self.config.decay))
+        store.put_metadata("threshold", str(self.config.threshold))
+        store.put_metadata("t", str(self.config.t))
+        chunks = build_stats.value("parallel_build.chunks")
+        mode = next(
+            (name.rsplit(".", 1)[1]
+             for name in build_stats.snapshot()
+             if name.startswith("parallel_build.mode.")), "serial")
+        store.put_metadata("build_workers",
+                           str(workers if workers else 1))
+        store.put_metadata("build_chunks", str(chunks or 1))
+        store.put_metadata("build_mode", mode)
+        store_manifest.finalize_manifest(
+            store, self.strategy,
+            memoized_corpus_fingerprint(self.corpus, document_texts))
+
+    # ------------------------------------------------------------------
+    # Load phase
+    # ------------------------------------------------------------------
+    def load_index(self, store: IndexStore, *, validate: bool = True,
+                   fallback: bool = True) -> int:
+        """Warm the DIL cache from a persisted index; returns list
+        count.
+
+        With ``validate=True`` (the default) the store's manifest is
+        checked first: an interrupted build raises
+        :class:`CorruptIndexError`, and a store built with a different
+        strategy, decay/threshold/``t``, or corpus raises
+        :class:`IncompatibleIndexError` -- silently loading such an
+        index would corrupt every ranking.
+
+        With ``fallback=True`` (the default) a posting list that fails
+        to load -- a transient fault the caller's retries did not clear,
+        or a corrupt/undecodable list -- is rebuilt from the corpus
+        instead of failing the load (counted under
+        ``engine.fallback.rebuilds``); ``fallback=False`` re-raises,
+        for fail-fast operation.
+        """
+        if validate:
+            self.validate_store(store)
+        with self.tracer.span("storage.load_index",
+                              strategy=self.strategy) as span:
+            loaded = self._load_lists(store, fallback)
+            span.annotate(lists=loaded)
+        return loaded
+
+    def _load_lists(self, store: IndexStore, fallback: bool) -> int:
+        loaded = 0
+        for key in sorted(store.keywords(self.strategy)):
+            keyword = keyword_from_key(key)
+            failure: StorageError | None = None
+            dil = None
+            try:
+                encoded = store.get_postings(self.strategy, key)
+                dil = DeweyInvertedList.from_encoded(keyword, encoded)
+            except ValueError as exc:
+                failure = CorruptIndexError(
+                    f"stored posting list for {key!r} is corrupt: {exc}")
+                failure.__cause__ = exc
+            except StorageError as exc:
+                failure = exc
+            if failure is not None:
+                if not fallback:
+                    raise failure
+                self.stats.increment(FALLBACK_REBUILDS)
+                dil = self.builder.build_keyword(keyword)[0]
+            self.dil_cache.put((keyword.text, keyword.is_phrase), dil)
+            loaded += 1
+        return loaded
+
+    def validate_store(self, store: IndexStore) -> None:
+        """Reject interrupted builds and parameter/corpus mismatches."""
+        try:
+            store_manifest.require_complete(store)
+            stored_strategy = store.get_metadata("strategy")
+            if stored_strategy != self.strategy:
+                raise IncompatibleIndexError(
+                    f"index store was built for strategy "
+                    f"{stored_strategy!r}, engine runs "
+                    f"{self.strategy!r}")
+            parameters = (("decay", self.config.decay),
+                          ("threshold", self.config.threshold),
+                          ("t", self.config.t))
+            for name, expected in parameters:
+                raw = store.get_metadata(name)
+                try:
+                    stored = None if raw is None else float(raw)
+                except ValueError:
+                    stored = None
+                if stored != expected:
+                    raise IncompatibleIndexError(
+                        f"index store was built with {name}={raw}, "
+                        f"engine is configured with {name}={expected}")
+            stored_fingerprint = store.get_metadata(
+                store_manifest.CORPUS_FINGERPRINT_KEY)
+            if stored_fingerprint != memoized_corpus_fingerprint(
+                    self.corpus):
+                raise IncompatibleIndexError(
+                    "index store was built from a different corpus "
+                    "(corpus fingerprint mismatch)")
+        except StorageError:
+            self.stats.increment(INTEGRITY_FAILURES)
+            raise
+        self.stats.increment(INTEGRITY_VALIDATIONS)

@@ -3,6 +3,7 @@ XRANK null strategy, over a shared pruned authority-flow engine."""
 
 from .base import (NullOntoScore, OntoScoreComputer, SeedScorer,
                    best_first_expansion, level_order_expansion)
+from .factory import make_ontoscore, make_seed_scorer
 from .graph import GraphOntoScore, concept_seed_scorer
 from .relationships import (MaterializedRelationshipsOntoScore,
                             RelationshipsOntoScore,
@@ -13,6 +14,6 @@ __all__ = [
     "GraphOntoScore", "MaterializedRelationshipsOntoScore",
     "NullOntoScore", "OntoScoreComputer", "RelationshipsOntoScore",
     "SeedScorer", "TaxonomyOntoScore", "best_first_expansion",
-    "concept_seed_scorer", "level_order_expansion",
-    "relationships_seed_scorer",
+    "concept_seed_scorer", "level_order_expansion", "make_ontoscore",
+    "make_seed_scorer", "relationships_seed_scorer",
 ]

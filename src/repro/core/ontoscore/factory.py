@@ -1,0 +1,62 @@
+"""Strategy factory: Section IV's approaches by name.
+
+Maps the four strategy names of :mod:`repro.core.config` to configured
+:class:`~repro.core.ontoscore.base.OntoScoreComputer` instances. Lived
+inside the engine facade until the layering refactor; as a free
+function the :class:`~repro.core.query.federated.FederatedEngine` and
+:func:`~repro.core.query.engine.build_engines` can construct (and
+share) computers without instantiating an engine.
+"""
+
+from __future__ import annotations
+
+from ...ontology.model import Ontology
+from ..config import (GRAPH, RELATIONSHIPS, TAXONOMY, XRANK,
+                      XOntoRankConfig)
+from .base import NullOntoScore, OntoScoreComputer, SeedScorer
+from .graph import GraphOntoScore, concept_seed_scorer
+from .relationships import (RelationshipsOntoScore,
+                            relationships_seed_scorer)
+from .taxonomy import TaxonomyOntoScore
+
+
+def make_seed_scorer(strategy: str, ontology: Ontology,
+                     config: XOntoRankConfig) -> SeedScorer:
+    """The strategy's keyword→concept seed scorer (ontology-only, so
+    one instance is shareable across engines and shards)."""
+    if strategy == RELATIONSHIPS:
+        return relationships_seed_scorer(
+            ontology, k1=config.bm25_k1, b=config.bm25_b,
+            ir_function=config.ir_function)
+    if strategy in (GRAPH, TAXONOMY):
+        return concept_seed_scorer(
+            ontology, k1=config.bm25_k1, b=config.bm25_b,
+            ir_function=config.ir_function)
+    raise ValueError(f"strategy {strategy!r} has no seed scorer")
+
+
+def make_ontoscore(strategy: str, ontology: Ontology | None,
+                   config: XOntoRankConfig,
+                   seed_scorer: SeedScorer | None = None,
+                   ) -> OntoScoreComputer:
+    """A configured OntoScore computer for ``strategy`` (Section IV)."""
+    if strategy == XRANK:
+        return NullOntoScore()
+    if ontology is None:
+        raise ValueError(
+            f"strategy {strategy!r} needs an ontology; "
+            f"use strategy='xrank' for ontology-free search")
+    seeds = seed_scorer or make_seed_scorer(strategy, ontology, config)
+    if strategy == GRAPH:
+        return GraphOntoScore(ontology, seeds, decay=config.decay,
+                              threshold=config.threshold,
+                              exact=config.exact_expansion)
+    if strategy == TAXONOMY:
+        return TaxonomyOntoScore(ontology, seeds,
+                                 threshold=config.threshold,
+                                 exact=config.exact_expansion)
+    if strategy == RELATIONSHIPS:
+        return RelationshipsOntoScore(ontology, seeds, t=config.t,
+                                      threshold=config.threshold,
+                                      exact=config.exact_expansion)
+    raise ValueError(f"unknown strategy {strategy!r}")

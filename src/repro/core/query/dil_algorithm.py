@@ -60,19 +60,25 @@ class DILQueryProcessor:
     def execute(self, dils: list[DeweyInvertedList],
                 k: int | None = None) -> list[QueryResult]:
         """All Eq. 1 results of the query, ranked; top-k when given."""
+        return rank_results(self.collect(dils), k)
+
+    def collect(self, dils: list[DeweyInvertedList],
+                ) -> list[QueryResult]:
+        """All Eq. 1 results of the query, *unranked* -- the merge
+        stage of the query pipeline; ranking is a separate stage."""
         if not dils:
             raise ValueError("a query needs at least one keyword list")
         with self._tracer.span("query.dil_merge",
                                keywords=len(dils)) as span:
-            results = self._execute(dils, k)
+            results = self._merge(dils)
             span.annotate(
                 postings_read=self.last_statistics.postings_read,
                 frames_pushed=self.last_statistics.frames_pushed,
                 results=self.last_statistics.results_found)
             return results
 
-    def _execute(self, dils: list[DeweyInvertedList],
-                 k: int | None) -> list[QueryResult]:
+    def _merge(self, dils: list[DeweyInvertedList],
+               ) -> list[QueryResult]:
         statistics = DILQueryStatistics()
         self.last_statistics = statistics
         keyword_count = len(dils)
@@ -99,7 +105,7 @@ class DILQueryProcessor:
         while stack:
             self._pop_frame(stack, results, statistics)
         statistics.results_found = len(results)
-        return rank_results(results, k)
+        return results
 
     # ------------------------------------------------------------------
     def _align_stack(self, stack: list[_Frame], dewey: DeweyID,

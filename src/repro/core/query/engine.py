@@ -1,10 +1,16 @@
 """The XOntoRank engine: the system facade (paper Figure 8).
 
-Wires the substrates together exactly as the architecture diagram does:
-the Index Creation Module (full-text stage, OntoScore stage, DIL stage)
-feeds XOnto-DILs to the Query Module, which runs XRANK's DIL algorithm;
-the Database Access Module resolves result Dewey IDs back to XML
-fragments.
+A thin coordinator over the three layered services that mirror the
+architecture diagram:
+
+* the :class:`~repro.core.index.manager.IndexManager` owns the Index
+  Creation Module's lifecycle -- building, persistence, validated
+  loading, and the bounded DIL cache;
+* the :class:`~repro.core.query.pipeline.QueryPipeline` is the Query
+  Module -- an explicit parse → dil_fetch → merge → rank stage chain
+  running XRANK's DIL algorithm;
+* the Database Access Module methods (:meth:`fragment`,
+  :meth:`snippet`) resolve result Dewey IDs back to XML fragments.
 
 Typical use::
 
@@ -12,14 +18,8 @@ Typical use::
     results = engine.search('"bronchial structure" theophylline', k=5)
     fragment = engine.fragment(results[0])
 
-DILs for query keywords are built on first use and held in a bounded
-:class:`~repro.core.cache.DILCache` (keyed by ``(text, is_phrase)`` so
-quoted single-word phrases and bare terms stay distinct); call
-:meth:`build_index` to pre-build a whole vocabulary -- serially or, with
-``workers > 1``, through the
-:class:`~repro.core.index.parallel.ParallelIndexBuilder` -- and
-optionally persist it through an
-:class:`~repro.storage.interface.IndexStore`.
+For shard-parallel search over a partitioned corpus with the same
+facade, see :class:`~repro.core.query.federated.FederatedEngine`.
 """
 
 from __future__ import annotations
@@ -27,9 +27,6 @@ from __future__ import annotations
 from ...ir.tokenizer import Keyword, KeywordQuery
 from ...ontology.api import TerminologyService
 from ...ontology.model import Ontology
-from ...storage import manifest as store_manifest
-from ...storage.errors import (CorruptIndexError, IncompatibleIndexError,
-                               StorageError)
 from ...storage.interface import IndexStore
 from ...xmldoc.model import Corpus, XMLNode
 from ...xmldoc.serializer import serialize
@@ -37,21 +34,16 @@ from ..cache import DILCache
 from ..config import (DEFAULT_CONFIG, GRAPH, ONTOLOGY_STRATEGIES,
                       RELATIONSHIPS, TAXONOMY, XRANK, XOntoRankConfig)
 from ..index.builder import IndexBuilder
-from ..index.dil import (DeweyInvertedList, XOntoDILIndex,
-                         keyword_from_key)
-from ..index.parallel import ParallelIndexBuilder
-from ..index.vocabulary import corpus_vocabulary, experiment_vocabulary
+from ..index.dil import DeweyInvertedList, XOntoDILIndex
+from ..index.manager import IndexManager
 from ..obs.tracer import NULL_TRACER, Tracer
-from ..stats import (FALLBACK_REBUILDS, INTEGRITY_FAILURES,
-                     INTEGRITY_VALIDATIONS, CacheStats, StatsRegistry)
-from ..ontoscore.base import (NullOntoScore, OntoScoreComputer, SeedScorer)
-from ..ontoscore.graph import GraphOntoScore, concept_seed_scorer
-from ..ontoscore.relationships import (RelationshipsOntoScore,
-                                       relationships_seed_scorer)
-from ..ontoscore.taxonomy import TaxonomyOntoScore
+from ..ontoscore.base import SeedScorer
+from ..ontoscore.factory import make_ontoscore, make_seed_scorer
 from ..scoring import ElementIndex
+from ..stats import CacheStats, StatsRegistry
 from .dil_algorithm import DILQueryProcessor
 from .naive import NaiveEvaluator
+from .pipeline import QueryPipeline
 from .results import QueryResult
 
 
@@ -63,8 +55,10 @@ class XOntoRankEngine:
                  config: XOntoRankConfig = DEFAULT_CONFIG,
                  element_index: ElementIndex | None = None,
                  seed_scorer: SeedScorer | None = None,
-                 tracer: Tracer | None = None) -> None:
-        if strategy != XRANK and ontology is None:
+                 tracer: Tracer | None = None,
+                 stats: StatsRegistry | None = None,
+                 builder: IndexBuilder | None = None) -> None:
+        if builder is None and strategy != XRANK and ontology is None:
             raise ValueError(
                 f"strategy {strategy!r} needs an ontology; "
                 f"use strategy='xrank' for ontology-free search")
@@ -72,65 +66,63 @@ class XOntoRankEngine:
         self.ontology = ontology
         self.strategy = strategy
         self.config = config
-        self.terminology = (TerminologyService([ontology])
-                            if ontology is not None else None)
-        resolver = (self.terminology.resolve
-                    if self.terminology is not None else None)
-        self.element_index = element_index or ElementIndex(
-            corpus, text_policy=config.text_policy,
-            concept_resolver=resolver, k1=config.bm25_k1,
-            b=config.bm25_b, ir_function=config.ir_function)
-        self.ontoscore = self._make_ontoscore(seed_scorer)
-        node_weights = None
-        if config.use_elemrank:
-            from ..elemrank import ElemRankComputer
-            node_weights = ElemRankComputer(corpus).normalized_weights()
-        self.stats = StatsRegistry()
+        self.stats = stats if stats is not None else StatsRegistry()
         # One tracer threads every hot path; a tracer without its own
         # registry adopts the engine's, so each span also feeds the
         # timer histogram of the same name.
         self.tracer = tracer if tracer is not None else NULL_TRACER
         if tracer is not None and tracer.registry is None:
             tracer.registry = self.stats
+        self.terminology = None
+        if builder is None:
+            builder = self._make_builder(element_index, seed_scorer)
+        self.element_index = builder.element_index
+        self.ontoscore = builder.ontoscore
         self.ontoscore.tracer = self.tracer
-        self.builder = IndexBuilder(self.element_index, self.ontoscore,
-                                    node_weights=node_weights,
-                                    tracer=self.tracer)
+        self.index_manager = IndexManager(
+            corpus, builder, strategy, config, ontology=ontology,
+            stats=self.stats, tracer=self.tracer)
         self.processor = DILQueryProcessor(decay=config.decay,
                                            tracer=self.tracer)
-        self.dil_cache = DILCache(capacity=config.dil_cache_capacity,
-                                  stats=self.stats)
+        self.pipeline = QueryPipeline.default(
+            self.index_manager.dil_for, self.processor,
+            tracer=self.tracer)
+        self._naive_evaluator: NaiveEvaluator | None = None
+
+    def _make_builder(self, element_index: ElementIndex | None,
+                      seed_scorer: SeedScorer | None) -> IndexBuilder:
+        self.terminology = (TerminologyService([self.ontology])
+                            if self.ontology is not None else None)
+        resolver = (self.terminology.resolve
+                    if self.terminology is not None else None)
+        config = self.config
+        element_index = element_index or ElementIndex(
+            self.corpus, text_policy=config.text_policy,
+            concept_resolver=resolver, k1=config.bm25_k1,
+            b=config.bm25_b, ir_function=config.ir_function)
+        ontoscore = make_ontoscore(self.strategy, self.ontology, config,
+                                   seed_scorer=seed_scorer)
+        node_weights = None
+        if config.use_elemrank:
+            from ..elemrank import ElemRankComputer
+            node_weights = ElemRankComputer(
+                self.corpus).normalized_weights()
+        return IndexBuilder(element_index, ontoscore,
+                            node_weights=node_weights,
+                            tracer=self.tracer)
 
     # ------------------------------------------------------------------
-    def _make_ontoscore(self, seed_scorer: SeedScorer | None,
-                        ) -> OntoScoreComputer:
-        config = self.config
-        if self.strategy == XRANK:
-            return NullOntoScore()
-        assert self.ontology is not None
-        if self.strategy == GRAPH:
-            seeds = seed_scorer or concept_seed_scorer(
-                self.ontology, k1=config.bm25_k1, b=config.bm25_b,
-                ir_function=config.ir_function)
-            return GraphOntoScore(self.ontology, seeds, decay=config.decay,
-                                  threshold=config.threshold,
-                                  exact=config.exact_expansion)
-        if self.strategy == TAXONOMY:
-            seeds = seed_scorer or concept_seed_scorer(
-                self.ontology, k1=config.bm25_k1, b=config.bm25_b,
-                ir_function=config.ir_function)
-            return TaxonomyOntoScore(self.ontology, seeds,
-                                     threshold=config.threshold,
-                                     exact=config.exact_expansion)
-        if self.strategy == RELATIONSHIPS:
-            seeds = seed_scorer or relationships_seed_scorer(
-                self.ontology, k1=config.bm25_k1, b=config.bm25_b,
-                ir_function=config.ir_function)
-            return RelationshipsOntoScore(self.ontology, seeds,
-                                          t=config.t,
-                                          threshold=config.threshold,
-                                          exact=config.exact_expansion)
-        raise ValueError(f"unknown strategy {self.strategy!r}")
+    # Backward-compatible views into the layered services
+    # ------------------------------------------------------------------
+    @property
+    def builder(self) -> IndexBuilder:
+        """The Index Creation Module's builder (owned by the manager)."""
+        return self.index_manager.builder
+
+    @property
+    def dil_cache(self) -> DILCache:
+        """The query-time DIL cache (owned by the manager)."""
+        return self.index_manager.dil_cache
 
     # ------------------------------------------------------------------
     # Query phase
@@ -140,41 +132,32 @@ class XOntoRankEngine:
         """Top-k ontology-aware keyword search."""
         with self.tracer.span("query.search",
                               strategy=self.strategy) as span:
-            with self.tracer.span("query.parse"):
-                parsed = (KeywordQuery.parse(query)
-                          if isinstance(query, str) else query)
-            dils = [self.dil_for(keyword) for keyword in parsed]
-            results = self.processor.execute(dils,
-                                             k=k or self.config.top_k)
-            span.annotate(keywords=len(dils), results=len(results))
-            return results
+            context = self.pipeline.run(query,
+                                        k=k or self.config.top_k)
+            span.annotate(keywords=len(context.dils),
+                          results=len(context.results))
+            return context.results
 
     def search_naive(self, query: str | KeywordQuery,
                      k: int | None = None) -> list[QueryResult]:
-        """The same search through the naive reference evaluator."""
+        """The same search through the naive reference evaluator
+        (built lazily once, then reused)."""
         parsed = (KeywordQuery.parse(query) if isinstance(query, str)
                   else query)
-        evaluator = NaiveEvaluator(self.builder.node_scorer,
-                                   decay=self.config.decay)
-        return evaluator.execute(parsed, k=k or self.config.top_k)
+        if self._naive_evaluator is None:
+            self._naive_evaluator = NaiveEvaluator(
+                self.builder.node_scorer, decay=self.config.decay)
+        return self._naive_evaluator.execute(parsed,
+                                             k=k or self.config.top_k)
 
     def dil_for(self, keyword: Keyword) -> DeweyInvertedList:
-        """The keyword's XOnto-DIL, built on first use.
-
-        Cached under ``(text, is_phrase)``: a phrase keyword and a term
-        keyword with identical text are distinct cache entries.
-        """
-        with self.tracer.span("query.dil_fetch",
-                              keyword=keyword.text) as span:
-            dil = self.dil_cache.get_or_build(
-                (keyword.text, keyword.is_phrase),
-                lambda: self.builder.build_keyword(keyword)[0])
-            span.annotate(postings=len(dil))
-            return dil
+        """The keyword's XOnto-DIL, built on first use (cached under
+        ``(text, is_phrase)``)."""
+        return self.index_manager.dil_for(keyword)
 
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction counters of the DIL cache."""
-        return self.dil_cache.stats()
+        return self.index_manager.cache_stats()
 
     def explain(self, result: QueryResult, query: str | KeywordQuery):
         """Per-keyword evidence for a result (see
@@ -221,183 +204,44 @@ class XOntoRankEngine:
                          xml_declaration=False)
 
     # ------------------------------------------------------------------
-    # Pre-processing phase
+    # Pre-processing phase (delegated to the IndexManager)
     # ------------------------------------------------------------------
     def build_index(self, vocabulary: set[str] | None = None,
                     radius: int = 2,
                     store: IndexStore | None = None,
                     workers: int | None = None,
                     parallel_mode: str = "auto") -> XOntoDILIndex:
-        """Pre-build DILs for a whole vocabulary (Section V-B).
-
-        Without an explicit vocabulary, ontology-aware strategies use
-        the paper's experimental rule (document words plus concepts
-        within ``radius`` relationships of referenced concepts); the
-        XRANK baseline indexes the document words.
-
-        With ``workers > 1`` the vocabulary is built on a worker pool
-        (see :class:`~repro.core.index.parallel.ParallelIndexBuilder`);
-        the result is guaranteed identical to the serial build, and
-        with a ``store`` the shards are streamed into it as they
-        complete.
-        """
-        if vocabulary is None:
-            if self.strategy == XRANK or self.ontology is None:
-                vocabulary = corpus_vocabulary(
-                    self.corpus, self.config.text_policy)
-            else:
-                vocabulary = experiment_vocabulary(
-                    self.corpus, self.ontology, radius=radius,
-                    text_policy=self.config.text_policy)
-        if store is not None:
-            # Crash-safety protocol: flip the store to *incomplete*
-            # before the first posting lands, so a build killed at any
-            # later point leaves a store that load_index rejects; the
-            # completion marker is re-set only by finalize_manifest
-            # after everything else has been written.
-            store_manifest.mark_build_started(store)
-        build_stats = StatsRegistry()
-        if workers is not None and workers > 1:
-            parallel = ParallelIndexBuilder(
-                self.builder, workers=workers, mode=parallel_mode,
-                stats=build_stats, tracer=self.tracer)
-            index = parallel.build(vocabulary,
-                                   strategy_name=self.strategy,
-                                   store=store)
-        else:
-            with self.tracer.span("index.serial_build",
-                                  keywords=len(vocabulary)):
-                index = self.builder.build(vocabulary,
-                                           strategy_name=self.strategy)
-            if store is not None:
-                with self.tracer.span("storage.save_index"):
-                    index.save(store)
-        for key, dil in index.lists.items():
-            keyword = keyword_from_key(key)
-            self.dil_cache.put((keyword.text, keyword.is_phrase), dil)
-        if store is not None:
-            document_texts = []
-            for document in self.corpus:
-                text = serialize(document)
-                store.put_document(document.doc_id, text)
-                document_texts.append((document.doc_id, text))
-            store.put_metadata("strategy", self.strategy)
-            store.put_metadata("decay", str(self.config.decay))
-            store.put_metadata("threshold", str(self.config.threshold))
-            store.put_metadata("t", str(self.config.t))
-            chunks = build_stats.value("parallel_build.chunks")
-            mode = next(
-                (name.rsplit(".", 1)[1]
-                 for name in build_stats.snapshot()
-                 if name.startswith("parallel_build.mode.")), "serial")
-            store.put_metadata("build_workers",
-                               str(workers if workers else 1))
-            store.put_metadata("build_chunks", str(chunks or 1))
-            store.put_metadata("build_mode", mode)
-            store_manifest.finalize_manifest(
-                store, self.strategy,
-                store_manifest.corpus_fingerprint(document_texts))
-        return index
+        """Pre-build DILs for a whole vocabulary (Section V-B); see
+        :meth:`IndexManager.build_index
+        <repro.core.index.manager.IndexManager.build_index>`."""
+        return self.index_manager.build_index(
+            vocabulary=vocabulary, radius=radius, store=store,
+            workers=workers, parallel_mode=parallel_mode)
 
     def load_index(self, store: IndexStore, *, validate: bool = True,
                    fallback: bool = True) -> int:
-        """Warm the DIL cache from a persisted index; returns list
-        count.
-
-        With ``validate=True`` (the default) the store's manifest is
-        checked first: an interrupted build raises
-        :class:`CorruptIndexError`, and a store built with a different
-        strategy, decay/threshold/``t``, or corpus raises
-        :class:`IncompatibleIndexError` -- silently loading such an
-        index would corrupt every ranking.
-
-        With ``fallback=True`` (the default) a posting list that fails
-        to load -- a transient fault the caller's retries did not clear,
-        or a corrupt/undecodable list -- is rebuilt from the corpus
-        instead of failing the load (counted under
-        ``engine.fallback.rebuilds``); ``fallback=False`` re-raises,
-        for fail-fast operation.
-        """
-        if validate:
-            self._validate_store(store)
-        with self.tracer.span("storage.load_index",
-                              strategy=self.strategy) as span:
-            loaded = self._load_lists(store, fallback)
-            span.annotate(lists=loaded)
-        return loaded
-
-    def _load_lists(self, store: IndexStore, fallback: bool) -> int:
-        loaded = 0
-        for key in sorted(store.keywords(self.strategy)):
-            keyword = keyword_from_key(key)
-            failure: StorageError | None = None
-            dil = None
-            try:
-                encoded = store.get_postings(self.strategy, key)
-                dil = DeweyInvertedList.from_encoded(keyword, encoded)
-            except ValueError as exc:
-                failure = CorruptIndexError(
-                    f"stored posting list for {key!r} is corrupt: {exc}")
-                failure.__cause__ = exc
-            except StorageError as exc:
-                failure = exc
-            if failure is not None:
-                if not fallback:
-                    raise failure
-                self.stats.increment(FALLBACK_REBUILDS)
-                dil = self.builder.build_keyword(keyword)[0]
-            self.dil_cache.put((keyword.text, keyword.is_phrase), dil)
-            loaded += 1
-        return loaded
-
-    def _validate_store(self, store: IndexStore) -> None:
-        """Reject interrupted builds and parameter/corpus mismatches."""
-        try:
-            store_manifest.require_complete(store)
-            stored_strategy = store.get_metadata("strategy")
-            if stored_strategy != self.strategy:
-                raise IncompatibleIndexError(
-                    f"index store was built for strategy "
-                    f"{stored_strategy!r}, engine runs "
-                    f"{self.strategy!r}")
-            parameters = (("decay", self.config.decay),
-                          ("threshold", self.config.threshold),
-                          ("t", self.config.t))
-            for name, expected in parameters:
-                raw = store.get_metadata(name)
-                try:
-                    stored = None if raw is None else float(raw)
-                except ValueError:
-                    stored = None
-                if stored != expected:
-                    raise IncompatibleIndexError(
-                        f"index store was built with {name}={raw}, "
-                        f"engine is configured with {name}={expected}")
-            stored_fingerprint = store.get_metadata(
-                store_manifest.CORPUS_FINGERPRINT_KEY)
-            actual_fingerprint = store_manifest.corpus_fingerprint(
-                (document.doc_id, serialize(document))
-                for document in self.corpus)
-            if stored_fingerprint != actual_fingerprint:
-                raise IncompatibleIndexError(
-                    "index store was built from a different corpus "
-                    "(corpus fingerprint mismatch)")
-        except StorageError:
-            self.stats.increment(INTEGRITY_FAILURES)
-            raise
-        self.stats.increment(INTEGRITY_VALIDATIONS)
+        """Warm the DIL cache from a persisted index; see
+        :meth:`IndexManager.load_index
+        <repro.core.index.manager.IndexManager.load_index>`."""
+        return self.index_manager.load_index(store, validate=validate,
+                                             fallback=fallback)
 
 
 def build_engines(corpus: Corpus, ontology: Ontology,
                   strategies: tuple[str, ...] = (XRANK, GRAPH, TAXONOMY,
                                                  RELATIONSHIPS),
                   config: XOntoRankConfig = DEFAULT_CONFIG,
+                  tracer: Tracer | None = None,
+                  stats: StatsRegistry | None = None,
                   ) -> dict[str, XOntoRankEngine]:
     """One engine per strategy, sharing the expensive common stages.
 
     The element index (full-text stage) is strategy-independent; the
     concept seed scorer is shared between Graph and Taxonomy. This is
     how the experiments compare the four approaches on equal footing.
+    A ``tracer`` and/or ``stats`` registry passed here is threaded into
+    *every* engine, so cross-strategy experiments land their spans and
+    counters in one unified profile.
     """
     terminology = TerminologyService([ontology])
     element_index = ElementIndex(
@@ -406,14 +250,13 @@ def build_engines(corpus: Corpus, ontology: Ontology,
         b=config.bm25_b, ir_function=config.ir_function)
     concept_seeds: SeedScorer | None = None
     if GRAPH in strategies or TAXONOMY in strategies:
-        concept_seeds = concept_seed_scorer(
-            ontology, k1=config.bm25_k1, b=config.bm25_b,
-            ir_function=config.ir_function)
+        concept_seeds = make_seed_scorer(GRAPH, ontology, config)
     engines: dict[str, XOntoRankEngine] = {}
     for strategy in strategies:
         seeds = concept_seeds if strategy in (GRAPH, TAXONOMY) else None
         engines[strategy] = XOntoRankEngine(
             corpus, ontology if strategy in ONTOLOGY_STRATEGIES else None,
             strategy=strategy, config=config,
-            element_index=element_index, seed_scorer=seeds)
+            element_index=element_index, seed_scorer=seeds,
+            tracer=tracer, stats=stats)
     return engines

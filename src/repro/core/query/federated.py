@@ -1,0 +1,355 @@
+"""Shard-parallel federated search with the engine's facade.
+
+A :class:`FederatedEngine` partitions the corpus with a
+:class:`~repro.xmldoc.sharding.ShardedCorpus`, backs every shard with
+its own :class:`~repro.core.query.engine.XOntoRankEngine` (and, when
+persisted, its own index store + manifest), fans queries out across the
+shards -- sequentially or on a thread pool -- and k-way-merges the
+per-shard top-k into a global top-k.
+
+**The identity contract.** Federated results are byte-identical to a
+single engine over the same corpus, for every shard count and policy.
+Two facts make this exact rather than approximate:
+
+* NodeScores are corpus-global (BM25 statistics come from the shared
+  :class:`~repro.core.scoring.ElementIndex`; OntoScores from the
+  ontology alone), so every shard scores with the *whole-corpus*
+  statistics: each shard wraps one shared
+  :class:`~repro.core.index.builder.IndexBuilder` in a
+  :class:`ShardScopedBuilder` that restricts posting lists to the
+  shard's documents instead of re-deriving statistics per shard.
+* XRANK's stack merge never crosses a document boundary (Dewey IDs
+  root at the document), so a shard's results are exactly the global
+  results whose documents live in that shard, and the global ranking
+  order ``(-score, dewey)`` is a total order (Dewey IDs are unique) --
+  a stable k-way merge of per-shard rankings reproduces it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ...ir.tokenizer import Keyword, KeywordQuery
+from ...ontology.model import Ontology
+from ...storage.interface import IndexStore
+from ...xmldoc.model import Corpus, XMLNode
+from ...xmldoc.serializer import serialize
+from ...xmldoc.sharding import HASH, ShardedCorpus
+from ..config import (DEFAULT_CONFIG, RELATIONSHIPS, XRANK,
+                      XOntoRankConfig)
+from ..index.builder import IndexBuilder
+from ..index.dil import (DeweyInvertedList, KeywordBuildStats,
+                         XOntoDILIndex, keyword_from_key)
+from ..obs.tracer import NULL_TRACER, Tracer
+from ..ontoscore.factory import make_ontoscore
+from ..scoring import ElementIndex
+from ..stats import CacheStats, StatsRegistry
+from .engine import XOntoRankEngine
+from .results import QueryResult
+
+Shard = TypeVar("Shard")
+Value = TypeVar("Value")
+
+
+def shard_store_path(path: str, shard: int, shard_count: int) -> str:
+    """Canonical per-shard store path derived from the logical path."""
+    return f"{path}.shard{shard:02d}-of-{shard_count:02d}"
+
+
+def merge_ranked(result_lists: Iterable[Sequence[QueryResult]],
+                 k: int | None = None) -> list[QueryResult]:
+    """Stable k-way merge of ranked result lists into one ranking.
+
+    Inputs must each be sorted by ``(-score, dewey)`` (what
+    :func:`~repro.core.query.results.rank_results` produces); the merge
+    preserves that order globally and optionally truncates to ``k``.
+    Dewey IDs are unique across shards, so the order is total and the
+    output is independent of the shard decomposition.
+    """
+    merged = heapq.merge(*result_lists,
+                         key=lambda result: (-result.score,
+                                             result.dewey))
+    if k is None:
+        return list(merged)
+    if k < 1:
+        raise ValueError("k must be positive")
+    return [result for result, _ in zip(merged, range(k))]
+
+
+class ShardScopedBuilder:
+    """An :class:`IndexBuilder` view restricted to one shard's documents.
+
+    Delegates the expensive work (OntoScore expansion, NodeScores over
+    the shared corpus-global element index) to the wrapped builder --
+    whose per-keyword caches are therefore shared across shards -- and
+    filters the resulting posting lists down to the shard's doc IDs.
+    """
+
+    def __init__(self, builder: IndexBuilder,
+                 doc_ids: frozenset[int]) -> None:
+        self._builder = builder
+        self._doc_ids = doc_ids
+
+    @property
+    def doc_ids(self) -> frozenset[int]:
+        return self._doc_ids
+
+    # The IndexBuilder surface the manager and engine rely on.
+    @property
+    def element_index(self) -> ElementIndex:
+        return self._builder.element_index
+
+    @property
+    def ontoscore(self):
+        return self._builder.ontoscore
+
+    @property
+    def node_scorer(self):
+        return self._builder.node_scorer
+
+    def build_keyword(self, keyword: Keyword,
+                      ) -> tuple[DeweyInvertedList, KeywordBuildStats]:
+        dil, stats = self._builder.build_keyword(keyword)
+        scoped = DeweyInvertedList(
+            keyword, [posting for posting in dil
+                      if posting.dewey.doc_id in self._doc_ids])
+        return scoped, KeywordBuildStats(
+            keyword=stats.keyword,
+            creation_time_ms=stats.creation_time_ms,
+            posting_count=len(scoped),
+            size_bytes=scoped.size_bytes(),
+            ontology_entries=stats.ontology_entries)
+
+    def build(self, vocabulary: Iterable[str],
+              strategy_name: str | None = None) -> XOntoDILIndex:
+        index = XOntoDILIndex(
+            strategy=strategy_name or self.ontoscore.name)
+        for word in sorted(set(vocabulary)):
+            keyword = Keyword.from_text(word)
+            dil, stats = self.build_keyword(keyword)
+            index.add(dil, stats)
+        return index
+
+
+class FederatedEngine:
+    """The :class:`XOntoRankEngine` facade over N corpus shards."""
+
+    def __init__(self, corpus: Corpus, ontology: Ontology | None = None,
+                 strategy: str = RELATIONSHIPS,
+                 config: XOntoRankConfig = DEFAULT_CONFIG,
+                 shards: int = 2, policy: str = HASH,
+                 shard_workers: int | None = None,
+                 tracer: Tracer | None = None,
+                 stats: StatsRegistry | None = None) -> None:
+        if strategy != XRANK and ontology is None:
+            raise ValueError(
+                f"strategy {strategy!r} needs an ontology; "
+                f"use strategy='xrank' for ontology-free search")
+        if shard_workers is not None and shard_workers < 1:
+            raise ValueError("shard_workers must be None or >= 1")
+        self.corpus = corpus
+        self.ontology = ontology
+        self.strategy = strategy
+        self.config = config
+        self.shard_workers = shard_workers
+        self.stats = stats if stats is not None else StatsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None and tracer.registry is None:
+            tracer.registry = self.stats
+        self.sharded = ShardedCorpus(corpus, shards, policy=policy)
+
+        # The corpus-global scoring substrate, built exactly once and
+        # shared by every shard -- the reason federated scores equal
+        # single-engine scores (BM25 statistics span the whole corpus).
+        element_index = ElementIndex(
+            corpus, text_policy=config.text_policy,
+            concept_resolver=self._resolver(), k1=config.bm25_k1,
+            b=config.bm25_b, ir_function=config.ir_function)
+        ontoscore = make_ontoscore(strategy, ontology, config)
+        node_weights = None
+        if config.use_elemrank:
+            from ..elemrank import ElemRankComputer
+            node_weights = ElemRankComputer(corpus).normalized_weights()
+        self.builder = IndexBuilder(element_index, ontoscore,
+                                    node_weights=node_weights,
+                                    tracer=self.tracer)
+        self.element_index = element_index
+        self.ontoscore = ontoscore
+
+        self.shard_engines: list[XOntoRankEngine] = []
+        for shard, shard_corpus in enumerate(self.sharded):
+            scoped = ShardScopedBuilder(
+                self.builder, self.sharded.shard_doc_ids(shard))
+            self.shard_engines.append(XOntoRankEngine(
+                shard_corpus, ontology, strategy=strategy,
+                config=config, tracer=tracer, stats=self.stats,
+                builder=scoped))
+
+    def _resolver(self):
+        self.terminology = None
+        if self.ontology is None:
+            return None
+        from ...ontology.api import TerminologyService
+        self.terminology = TerminologyService([self.ontology])
+        return self.terminology.resolve
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return self.sharded.shard_count
+
+    def _fan_out(self, task: Callable[[XOntoRankEngine, int], Value],
+                 ) -> list[Value]:
+        """Run ``task(engine, shard)`` per shard; results in shard
+        order regardless of execution interleaving."""
+        engines = self.shard_engines
+        if self.shard_workers is None or self.shard_workers == 1 \
+                or len(engines) == 1:
+            return [task(engine, shard)
+                    for shard, engine in enumerate(engines)]
+        workers = min(self.shard_workers, len(engines))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(task, engine, shard)
+                       for shard, engine in enumerate(engines)]
+            return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------
+    # Query phase
+    # ------------------------------------------------------------------
+    def search(self, query: str | KeywordQuery,
+               k: int | None = None) -> list[QueryResult]:
+        """Global top-k: per-shard top-k, k-way merged.
+
+        Any global top-k result is in its shard's top-k, so merging
+        the per-shard prefixes loses nothing.
+        """
+        k = k or self.config.top_k
+        with self.tracer.span("query.federated_search",
+                              strategy=self.strategy,
+                              shards=self.shard_count) as span:
+            parsed = (KeywordQuery.parse(query)
+                      if isinstance(query, str) else query)
+            per_shard = self._fan_out(
+                lambda engine, shard: engine.search(parsed, k=k))
+            merged = merge_ranked(per_shard, k)
+            span.annotate(results=len(merged))
+            return merged
+
+    def dil_for(self, keyword: Keyword) -> DeweyInvertedList:
+        """The *global* DIL of a keyword: shard DILs re-merged (mostly
+        useful to compare against a single engine)."""
+        postings = [posting
+                    for engine in self.shard_engines
+                    for posting in engine.dil_for(keyword)]
+        return DeweyInvertedList(keyword, postings)
+
+    def explain(self, result: QueryResult, query: str | KeywordQuery):
+        """Per-keyword evidence, answered by the shard that owns the
+        result's document (scores are identical corpus-wide)."""
+        shard = self.sharded.shard_of(result.doc_id)
+        return self.shard_engines[shard].explain(result, query)
+
+    def cache_stats(self) -> CacheStats:
+        """DIL-cache counters aggregated across every shard."""
+        parts = [engine.cache_stats() for engine in self.shard_engines]
+        return CacheStats(
+            hits=sum(part.hits for part in parts),
+            misses=sum(part.misses for part in parts),
+            evictions=sum(part.evictions for part in parts),
+            size=sum(part.size for part in parts),
+            capacity=self.config.dil_cache_capacity)
+
+    # ------------------------------------------------------------------
+    # Database Access Module (global corpus -- no shard hop needed)
+    # ------------------------------------------------------------------
+    def fragment(self, result: QueryResult) -> XMLNode:
+        """The XML fragment a result addresses (Figure 4)."""
+        return result.fragment(self.corpus)
+
+    def fragment_text(self, result: QueryResult,
+                      indent: str | None = "  ") -> str:
+        """Serialized form of the result fragment, for display."""
+        return serialize(self.fragment(result), indent=indent,
+                         xml_declaration=False)
+
+    # ------------------------------------------------------------------
+    # Pre-processing phase
+    # ------------------------------------------------------------------
+    def build_index(self, vocabulary: set[str] | None = None,
+                    radius: int = 2,
+                    stores: Sequence[IndexStore] | None = None,
+                    workers: int | None = None,
+                    parallel_mode: str = "auto") -> XOntoDILIndex:
+        """Build every shard's index (optionally into per-shard stores)
+        and return the re-combined global index.
+
+        The vocabulary is computed once from the *global* corpus (the
+        paper's experimental rule), so every shard indexes the same
+        keyword set; the union of the shard-scoped posting lists equals
+        the single-engine index.
+        """
+        if stores is not None and len(stores) != self.shard_count:
+            raise ValueError(
+                f"need one store per shard: got {len(stores)} stores "
+                f"for {self.shard_count} shards")
+        if vocabulary is None:
+            if self.strategy == XRANK or self.ontology is None:
+                from ..index.vocabulary import corpus_vocabulary
+                vocabulary = corpus_vocabulary(
+                    self.corpus, self.config.text_policy)
+            else:
+                from ..index.vocabulary import experiment_vocabulary
+                vocabulary = experiment_vocabulary(
+                    self.corpus, self.ontology, radius=radius,
+                    text_policy=self.config.text_policy)
+        with self.tracer.span("index.federated_build",
+                              shards=self.shard_count,
+                              keywords=len(vocabulary)):
+            shard_indices = self._fan_out(
+                lambda engine, shard: engine.build_index(
+                    vocabulary=vocabulary,
+                    store=stores[shard] if stores is not None else None,
+                    workers=workers, parallel_mode=parallel_mode))
+        return self._combine(shard_indices)
+
+    def _combine(self,
+                 shard_indices: Sequence[XOntoDILIndex],
+                 ) -> XOntoDILIndex:
+        """Union of shard indices: the single-engine index, re-formed."""
+        combined = XOntoDILIndex(strategy=self.strategy)
+        keys = sorted({key for index in shard_indices
+                       for key in index.lists})
+        for key in keys:
+            keyword = keyword_from_key(key)
+            postings = [posting for index in shard_indices
+                        if key in index.lists
+                        for posting in index.lists[key]]
+            stats = [index.stats[key] for index in shard_indices
+                     if key in index.stats]
+            merged = DeweyInvertedList(keyword, postings)
+            combined.add(merged, KeywordBuildStats(
+                keyword=keyword.text,
+                creation_time_ms=max((stat.creation_time_ms
+                                      for stat in stats), default=0.0),
+                posting_count=len(merged),
+                size_bytes=merged.size_bytes(),
+                ontology_entries=max((stat.ontology_entries
+                                      for stat in stats), default=0),
+            ) if stats else None)
+        return combined
+
+    def load_index(self, stores: Sequence[IndexStore], *,
+                   validate: bool = True, fallback: bool = True) -> int:
+        """Warm every shard's cache from its store; returns the total
+        list count. Validation and degraded rebuilds apply per shard
+        (one damaged shard store does not poison the others)."""
+        if len(stores) != self.shard_count:
+            raise ValueError(
+                f"need one store per shard: got {len(stores)} stores "
+                f"for {self.shard_count} shards")
+        loaded = self._fan_out(
+            lambda engine, shard: engine.load_index(
+                stores[shard], validate=validate, fallback=fallback))
+        return sum(loaded)

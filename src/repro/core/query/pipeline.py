@@ -1,0 +1,203 @@
+"""The Query Module as an explicit stage chain (paper Figure 8).
+
+The engine's ``search`` used to be one inline body; this module makes
+each step a named, independently testable stage object so future work
+(query rewriting, result caching, federated scatter/gather) can insert
+stages without touching the engine:
+
+``parse``
+    Keyword-query parsing (:class:`ParseStage`).
+``dil_fetch``
+    One XOnto-DIL per keyword, through the
+    :class:`~repro.core.index.manager.IndexManager`'s cache
+    (:class:`DILFetchStage`).
+``merge``
+    XRANK's stack merge over the fetched lists
+    (:class:`MergeStage`, unranked Eq. 1 results).
+``rank``
+    Deterministic ``(-score, dewey)`` ordering and top-k truncation
+    (:class:`RankStage`).
+
+Stages communicate through a :class:`QueryContext` that accumulates the
+intermediate artifacts; each stage reads what earlier stages wrote and
+is traced by the component it wraps (``query.parse``,
+``query.dil_fetch`` per keyword, ``query.dil_merge``, ``query.rank``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ...ir.tokenizer import Keyword, KeywordQuery
+from ..index.dil import DeweyInvertedList
+from ..obs.tracer import NULL_TRACER
+from .dil_algorithm import DILQueryProcessor
+from .results import QueryResult, rank_results
+
+
+@dataclass
+class QueryContext:
+    """Mutable state threaded through the stage chain."""
+
+    query: str | KeywordQuery
+    k: int | None = None
+    parsed: KeywordQuery | None = None
+    dils: list[DeweyInvertedList] = field(default_factory=list)
+    unranked: list[QueryResult] = field(default_factory=list)
+    results: list[QueryResult] = field(default_factory=list)
+    #: Free-form scratch space for inserted stages (rewriters, result
+    #: caches) that need to hand data to a later stage of their own.
+    extras: dict = field(default_factory=dict)
+
+
+class QueryStage:
+    """One named step of the pipeline. Subclasses set :attr:`name` and
+    implement :meth:`run`; stages must be reentrant (one pipeline can
+    serve many queries)."""
+
+    name = "stage"
+
+    def run(self, context: QueryContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ParseStage(QueryStage):
+    """``query`` → ``parsed`` (string queries only; pre-parsed
+    :class:`KeywordQuery` objects pass through)."""
+
+    name = "parse"
+
+    def __init__(self, tracer=None) -> None:
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    def run(self, context: QueryContext) -> None:
+        with self._tracer.span("query.parse"):
+            context.parsed = (KeywordQuery.parse(context.query)
+                              if isinstance(context.query, str)
+                              else context.query)
+
+
+class DILFetchStage(QueryStage):
+    """``parsed`` → ``dils`` via a keyword→DIL source (usually
+    :meth:`IndexManager.dil_for <repro.core.index.manager.IndexManager.dil_for>`,
+    which traces each fetch as ``query.dil_fetch``)."""
+
+    name = "dil_fetch"
+
+    def __init__(self, dil_source: Callable[[Keyword],
+                                            DeweyInvertedList]) -> None:
+        self._source = dil_source
+
+    def run(self, context: QueryContext) -> None:
+        assert context.parsed is not None, "parse stage must run first"
+        context.dils = [self._source(keyword)
+                        for keyword in context.parsed]
+
+
+class MergeStage(QueryStage):
+    """``dils`` → ``unranked`` through the XRANK stack merge (traced as
+    ``query.dil_merge`` by the processor)."""
+
+    name = "merge"
+
+    def __init__(self, processor: DILQueryProcessor) -> None:
+        self.processor = processor
+
+    def run(self, context: QueryContext) -> None:
+        context.unranked = self.processor.collect(context.dils)
+
+
+class RankStage(QueryStage):
+    """``unranked`` → ``results``: deterministic ordering + top-k."""
+
+    name = "rank"
+
+    def __init__(self, tracer=None) -> None:
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    def run(self, context: QueryContext) -> None:
+        with self._tracer.span("query.rank",
+                               candidates=len(context.unranked)):
+            context.results = rank_results(context.unranked, context.k)
+
+
+class QueryPipeline:
+    """An ordered chain of named stages executing one keyword query."""
+
+    def __init__(self, stages: Sequence[QueryStage]) -> None:
+        self._stages = list(stages)
+        self._check_unique_names()
+
+    @classmethod
+    def default(cls, dil_source: Callable[[Keyword], DeweyInvertedList],
+                processor: DILQueryProcessor,
+                tracer=None) -> "QueryPipeline":
+        """The paper's parse → dil_fetch → merge → rank chain."""
+        return cls([ParseStage(tracer), DILFetchStage(dil_source),
+                    MergeStage(processor), RankStage(tracer)])
+
+    # ------------------------------------------------------------------
+    def run(self, query: str | KeywordQuery,
+            k: int | None = None) -> QueryContext:
+        """Execute every stage in order; returns the filled context."""
+        context = QueryContext(query=query, k=k)
+        for stage in self._stages:
+            stage.run(context)
+        return context
+
+    # ------------------------------------------------------------------
+    # Introspection and surgery (how future PRs insert stages)
+    # ------------------------------------------------------------------
+    @property
+    def stages(self) -> tuple[QueryStage, ...]:
+        return tuple(self._stages)
+
+    def stage_names(self) -> list[str]:
+        return [stage.name for stage in self._stages]
+
+    def stage(self, name: str) -> QueryStage:
+        for stage in self._stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"pipeline has no stage named {name!r}")
+
+    def _index_of(self, name: str) -> int:
+        for index, stage in enumerate(self._stages):
+            if stage.name == name:
+                return index
+        raise KeyError(f"pipeline has no stage named {name!r}")
+
+    def insert_before(self, name: str, stage: QueryStage) -> None:
+        self._splice(self._index_of(name), stage, replacing=False)
+
+    def insert_after(self, name: str, stage: QueryStage) -> None:
+        self._splice(self._index_of(name) + 1, stage, replacing=False)
+
+    def replace(self, name: str, stage: QueryStage) -> None:
+        self._splice(self._index_of(name), stage, replacing=True)
+
+    def remove(self, name: str) -> QueryStage:
+        return self._stages.pop(self._index_of(name))
+
+    def _splice(self, index: int, stage: QueryStage,
+                replacing: bool) -> None:
+        """Atomic mutation: a rejected stage leaves the chain as-is."""
+        others = [existing.name
+                  for position, existing in enumerate(self._stages)
+                  if not (replacing and position == index)]
+        if stage.name in others:
+            raise ValueError(
+                f"duplicate stage name {stage.name!r}")
+        if replacing:
+            self._stages[index] = stage
+        else:
+            self._stages.insert(index, stage)
+
+    def _check_unique_names(self) -> None:
+        names = self.stage_names()
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate stage names: {sorted(names)}")

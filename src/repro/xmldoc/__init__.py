@@ -14,12 +14,17 @@ from .navigation import (copy_subtree, extract_fragment, iter_matching,
 from .parser import (XMLParseError, XMLParser, cda_reference_extractor,
                      no_reference_extractor, parse_document)
 from .serializer import XMLSerializer, serialize
+from .sharding import (HASH, ROUND_ROBIN, SHARDING_POLICIES,
+                       ShardedCorpus, hash_shard)
 
 __all__ = [
-    "Corpus", "DEFAULT_TEXT_POLICY", "DeweyID", "OntologicalReference",
-    "TextPolicy", "XMLDocument", "XMLNode", "XMLParseError", "XMLParser",
-    "XMLSerializer", "assign_dewey_ids", "cda_reference_extractor",
-    "copy_subtree", "document_order", "extract_fragment", "iter_matching",
-    "no_reference_extractor", "node_at", "parse_document", "path_to_root",
-    "prune_to_paths", "serialize", "subtree_size", "tree_depth",
+    "Corpus", "DEFAULT_TEXT_POLICY", "DeweyID", "HASH",
+    "OntologicalReference", "ROUND_ROBIN", "SHARDING_POLICIES",
+    "ShardedCorpus", "TextPolicy", "XMLDocument", "XMLNode",
+    "XMLParseError", "XMLParser", "XMLSerializer", "assign_dewey_ids",
+    "cda_reference_extractor", "copy_subtree", "document_order",
+    "extract_fragment", "hash_shard", "iter_matching",
+    "no_reference_extractor", "node_at", "parse_document",
+    "path_to_root", "prune_to_paths", "serialize", "subtree_size",
+    "tree_depth",
 ]

@@ -1,0 +1,99 @@
+"""Deterministic document partitioning for shard-parallel search.
+
+Large patient-record collections are served from partitions; a
+:class:`ShardedCorpus` splits a :class:`~repro.xmldoc.model.Corpus`
+into N sub-corpora whose union is the original and whose assignment is
+a pure function of the document IDs (and, for round-robin, their sorted
+order) -- never of insertion order, process, or time. Documents keep
+their global ``doc_id``, so Dewey IDs (whose first component is the
+document ID, Section V) are globally unique across shards and a
+federated merge of per-shard rankings needs no ID translation.
+
+Two policies:
+
+* ``hash`` (default) -- ``crc32(doc_id) mod N``. Assignment of a
+  document never changes when other documents come or go, the right
+  policy for an evolving collection.
+* ``round_robin`` -- position in doc-ID order, modulo N. Perfectly
+  balanced shard sizes for a fixed collection.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterator
+
+from .model import Corpus, XMLDocument
+
+HASH = "hash"
+ROUND_ROBIN = "round_robin"
+SHARDING_POLICIES = (HASH, ROUND_ROBIN)
+
+
+def hash_shard(doc_id: int, shard_count: int) -> int:
+    """The ``hash`` policy's stable assignment (CRC32, not Python's
+    per-process-salted ``hash``)."""
+    return zlib.crc32(str(doc_id).encode("ascii")) % shard_count
+
+
+class ShardedCorpus:
+    """A corpus partitioned into N deterministic sub-corpora."""
+
+    def __init__(self, corpus: Corpus, shard_count: int,
+                 policy: str = HASH) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if policy not in SHARDING_POLICIES:
+            raise ValueError(
+                f"unknown sharding policy {policy!r}; "
+                f"choose from {SHARDING_POLICIES}")
+        self.corpus = corpus
+        self.policy = policy
+        self._assignment: dict[int, int] = {}
+        self.shards: list[Corpus] = [Corpus()
+                                     for _ in range(shard_count)]
+        # Corpus iteration is sorted by doc_id, which is what makes
+        # round-robin deterministic.
+        for position, document in enumerate(corpus):
+            if policy == HASH:
+                shard = hash_shard(document.doc_id, shard_count)
+            else:
+                shard = position % shard_count
+            self._assignment[document.doc_id] = shard
+            self.shards[shard].add(document)
+
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, doc_id: int) -> int:
+        """The shard index holding ``doc_id``."""
+        try:
+            return self._assignment[doc_id]
+        except KeyError:
+            raise KeyError(f"no document with id {doc_id}") from None
+
+    def shard_doc_ids(self, shard: int) -> frozenset[int]:
+        """The document IDs assigned to one shard."""
+        return frozenset(doc_id for doc_id, index
+                         in self._assignment.items() if index == shard)
+
+    def assignment(self) -> dict[int, int]:
+        """A copy of the full doc_id → shard map."""
+        return dict(self._assignment)
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[Corpus]:
+        return iter(self.shards)
+
+    def documents(self) -> Iterator[XMLDocument]:
+        """Every document, in global doc-ID order."""
+        return iter(self.corpus)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = [len(shard) for shard in self.shards]
+        return (f"<ShardedCorpus {len(self.corpus)} docs -> "
+                f"{self.shard_count} shards {sizes} ({self.policy})>")

@@ -1,0 +1,120 @@
+"""QueryPipeline: the explicit parse → dil_fetch → merge → rank chain
+and its stage-surgery surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cda.sample import build_figure1_document
+from repro.core.query.engine import XOntoRankEngine
+from repro.core.query.pipeline import (QueryContext, QueryPipeline,
+                                       QueryStage)
+from repro.xmldoc.model import Corpus
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return XOntoRankEngine(Corpus([build_figure1_document()]),
+                           strategy="xrank")
+
+
+class Recorder(QueryStage):
+    """Test stage: snapshots the context it observed."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seen: list[QueryContext] = []
+
+    def run(self, context: QueryContext) -> None:
+        self.seen.append(context)
+        context.extras[self.name] = len(context.dils)
+
+
+class TestDefaultChain:
+    def test_stage_names(self, engine):
+        assert engine.pipeline.stage_names() == \
+            ["parse", "dil_fetch", "merge", "rank"]
+
+    def test_run_fills_every_context_field(self, engine):
+        context = engine.pipeline.run("asthma medications", k=5)
+        assert context.parsed is not None
+        assert [keyword.text for keyword in context.parsed] == \
+            ["asthma", "medications"]
+        assert len(context.dils) == 2
+        assert context.results == sorted(
+            context.unranked,
+            key=lambda r: (-r.score, r.dewey))[:5]
+
+    def test_matches_engine_search(self, engine):
+        query, k = "asthma temperature", 4
+        via_pipeline = engine.pipeline.run(query, k=k).results
+        via_engine = engine.search(query, k=k)
+        assert [(r.dewey, r.score) for r in via_pipeline] == \
+            [(r.dewey, r.score) for r in via_engine]
+
+    def test_pre_parsed_queries_pass_through(self, engine):
+        from repro.ir.tokenizer import KeywordQuery
+        parsed = KeywordQuery.parse("asthma")
+        context = engine.pipeline.run(parsed, k=3)
+        assert context.parsed is parsed
+
+    def test_empty_query_raises(self, engine):
+        with pytest.raises(ValueError):
+            engine.pipeline.run("", k=3)
+
+
+class TestSurgery:
+    def make_pipeline(self, engine):
+        return QueryPipeline.default(engine.index_manager.dil_for,
+                                     engine.processor)
+
+    def test_insert_after_observes_upstream_artifacts(self, engine):
+        pipeline = self.make_pipeline(engine)
+        probe = Recorder("probe")
+        pipeline.insert_after("dil_fetch", probe)
+        assert pipeline.stage_names() == \
+            ["parse", "dil_fetch", "probe", "merge", "rank"]
+        context = pipeline.run("asthma", k=3)
+        assert probe.seen == [context]
+        assert context.extras["probe"] == 1
+
+    def test_insert_before_can_rewrite_the_query(self, engine):
+        class Rewriter(QueryStage):
+            name = "rewrite"
+
+            def run(self, context: QueryContext) -> None:
+                context.query = "asthma"
+
+        pipeline = self.make_pipeline(engine)
+        pipeline.insert_before("parse", Rewriter())
+        context = pipeline.run("completely ignored", k=3)
+        assert [keyword.text for keyword in context.parsed] == \
+            ["asthma"]
+
+    def test_replace_and_remove(self, engine):
+        pipeline = self.make_pipeline(engine)
+        stand_in = Recorder("rank")
+        pipeline.replace("rank", stand_in)
+        context = pipeline.run("asthma", k=3)
+        assert context.results == []  # the stand-in ranks nothing
+        assert stand_in.seen == [context]
+        removed = pipeline.remove("rank")
+        assert removed is stand_in
+        assert pipeline.stage_names() == \
+            ["parse", "dil_fetch", "merge"]
+
+    def test_stage_lookup(self, engine):
+        pipeline = self.make_pipeline(engine)
+        assert pipeline.stage("merge").processor is engine.processor
+        with pytest.raises(KeyError):
+            pipeline.stage("missing")
+        with pytest.raises(KeyError):
+            pipeline.insert_before("missing", Recorder("x"))
+
+    def test_duplicate_names_rejected(self, engine):
+        pipeline = self.make_pipeline(engine)
+        with pytest.raises(ValueError):
+            pipeline.insert_after("merge", Recorder("parse"))
+        # The failed insert must not leave the duplicate behind.
+        assert pipeline.stage_names() == \
+            ["parse", "dil_fetch", "merge", "rank"]

@@ -1,0 +1,257 @@
+"""Differential tests: federated search ≡ single-engine search.
+
+The identity contract of
+:class:`~repro.core.query.federated.FederatedEngine` is that a search
+over N corpus shards is *indistinguishable* from the same search on one
+:class:`~repro.core.query.engine.XOntoRankEngine` over the whole
+corpus:
+
+* same ranked results (Dewey IDs, scores, keyword scores) for every
+  shard count, sharding policy, and fan-out mode (sequential or
+  thread pool);
+* same persisted contents when each shard writes its own store, and
+  the identity survives a store round-trip;
+* a damaged shard store degrades only its own shard and still yields
+  the identical global ranking.
+
+Also covers the k-way merge itself (tie-breaking, truncation, empty
+inputs) and shard counts exceeding the document count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ALL_STRATEGIES, XRANK
+from repro.core.query.engine import XOntoRankEngine
+from repro.core.query.federated import (FederatedEngine, merge_ranked,
+                                        shard_store_path)
+from repro.core.query.results import QueryResult, rank_results
+from repro.core.stats import FALLBACK_REBUILDS
+from repro.storage.faults import FaultInjectingStore
+from repro.storage.memory_store import MemoryStore
+from repro.xmldoc.dewey import DeweyID
+from repro.xmldoc.sharding import HASH, ROUND_ROBIN
+
+QUERIES = ('"cardiac arrest" amiodarone',
+           'myocardial infarction aspirin',
+           'asthma')
+SHARD_COUNTS = (1, 2, 4, 7)
+
+
+def ranking(results):
+    return [(result.dewey, result.score, result.keyword_scores)
+            for result in results]
+
+
+def _single(corpus, ontology, strategy):
+    return XOntoRankEngine(
+        corpus, ontology if strategy != XRANK else None,
+        strategy=strategy)
+
+
+def _federated(corpus, ontology, strategy, **kwargs):
+    return FederatedEngine(
+        corpus, ontology if strategy != XRANK else None,
+        strategy=strategy, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def single_engines(cda_corpus, synthetic_ontology):
+    """One reference engine per strategy over the shared corpus."""
+    return {strategy: _single(cda_corpus, synthetic_ontology, strategy)
+            for strategy in ALL_STRATEGIES}
+
+
+class TestSearchIdentity:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_identical_across_shard_counts(self, strategy,
+                                           single_engines, cda_corpus,
+                                           synthetic_ontology):
+        single = single_engines[strategy]
+        expected = {query: ranking(single.search(query, k=10))
+                    for query in QUERIES}
+        for shards in SHARD_COUNTS:
+            federated = _federated(cda_corpus, synthetic_ontology,
+                                   strategy, shards=shards)
+            for query in QUERIES:
+                assert ranking(federated.search(query, k=10)) == \
+                    expected[query], (strategy, shards, query)
+
+    def test_thread_pool_fan_out_identical(self, single_engines,
+                                           cda_corpus,
+                                           synthetic_ontology):
+        single = single_engines["relationships"]
+        federated = _federated(cda_corpus, synthetic_ontology,
+                               "relationships", shards=4,
+                               shard_workers=3)
+        for query in QUERIES:
+            assert ranking(federated.search(query, k=10)) == \
+                ranking(single.search(query, k=10))
+
+    @pytest.mark.parametrize("policy", [HASH, ROUND_ROBIN])
+    def test_policy_does_not_change_results(self, policy,
+                                            single_engines, cda_corpus,
+                                            synthetic_ontology):
+        single = single_engines["graph"]
+        federated = _federated(cda_corpus, synthetic_ontology, "graph",
+                               shards=3, policy=policy)
+        for query in QUERIES:
+            assert ranking(federated.search(query, k=10)) == \
+                ranking(single.search(query, k=10))
+
+    def test_more_shards_than_documents(self, figure1_corpus,
+                                        core_ontology):
+        """Empty shards contribute nothing and break nothing."""
+        single = _single(figure1_corpus, core_ontology,
+                         "relationships")
+        federated = _federated(figure1_corpus, core_ontology,
+                               "relationships", shards=5)
+        assert any(len(shard) == 0 for shard in federated.sharded)
+        assert ranking(federated.search("asthma", k=10)) == \
+            ranking(single.search("asthma", k=10))
+
+    def test_global_dil_matches_single_engine(self, single_engines,
+                                              cda_corpus,
+                                              synthetic_ontology):
+        from repro.ir.tokenizer import Keyword
+        single = single_engines["taxonomy"]
+        federated = _federated(cda_corpus, synthetic_ontology,
+                               "taxonomy", shards=4)
+        keyword = Keyword.from_text("amiodarone")
+        assert federated.dil_for(keyword).encoded() == \
+            single.dil_for(keyword).encoded()
+
+    def test_explain_answered_by_owning_shard(self, single_engines,
+                                              cda_corpus,
+                                              synthetic_ontology):
+        single = single_engines["relationships"]
+        federated = _federated(cda_corpus, synthetic_ontology,
+                               "relationships", shards=3)
+        query = QUERIES[0]
+        result = federated.search(query, k=1)[0]
+        theirs = federated.explain(result, query)
+        ours = single.explain(result, query)
+        assert [item.describe() for item in theirs.evidence] == \
+            [item.describe() for item in ours.evidence]
+
+
+class TestStoreRoundTrip:
+    def test_per_shard_stores_round_trip(self, cda_corpus,
+                                         synthetic_ontology):
+        shards = 3
+        builder_side = _federated(cda_corpus, synthetic_ontology,
+                                  "relationships", shards=shards)
+        stores = [MemoryStore() for _ in range(shards)]
+        vocabulary = {"asthma", "amiodarone", "aspirin"}
+        built = builder_side.build_index(vocabulary=vocabulary,
+                                         stores=stores)
+        loader_side = _federated(cda_corpus, synthetic_ontology,
+                                 "relationships", shards=shards)
+        loaded = loader_side.load_index(stores)
+        assert loaded == sum(
+            len(list(store.keywords("relationships")))
+            for store in stores)
+        single = _single(cda_corpus, synthetic_ontology,
+                         "relationships")
+        reference = single.build_index(vocabulary=vocabulary)
+        assert built.keywords() == reference.keywords()
+        for key in reference.keywords():
+            assert built.lists[key].encoded() == \
+                reference.lists[key].encoded(), key
+        for query in QUERIES:
+            assert ranking(loader_side.search(query, k=10)) == \
+                ranking(single.search(query, k=10))
+
+    def test_store_count_must_match_shard_count(self, cda_corpus,
+                                                synthetic_ontology):
+        federated = _federated(cda_corpus, synthetic_ontology,
+                               "relationships", shards=3)
+        with pytest.raises(ValueError):
+            federated.build_index(vocabulary={"asthma"},
+                                  stores=[MemoryStore()])
+        with pytest.raises(ValueError):
+            federated.load_index([MemoryStore(), MemoryStore()])
+
+    def test_corrupt_shard_degrades_alone(self, cda_corpus,
+                                          synthetic_ontology):
+        """One shard's corrupt posting list is rebuilt from that
+        shard's corpus; the global ranking is unchanged."""
+        shards = 3
+        builder_side = _federated(cda_corpus, synthetic_ontology,
+                                  "xrank", shards=shards)
+        stores = [MemoryStore() for _ in range(shards)]
+        vocabulary = {"asthma", "amiodarone"}
+        builder_side.build_index(vocabulary=vocabulary, stores=stores)
+        wrapped = [FaultInjectingStore(store,
+                                       corrupt_keywords=("asthma",))
+                   if shard == 1 else store
+                   for shard, store in enumerate(stores)]
+        loader_side = _federated(cda_corpus, synthetic_ontology,
+                                 "xrank", shards=shards)
+        loader_side.load_index(wrapped, fallback=True)
+        assert loader_side.stats.value(FALLBACK_REBUILDS) == 1
+        single = _single(cda_corpus, synthetic_ontology, "xrank")
+        assert ranking(loader_side.search("asthma", k=10)) == \
+            ranking(single.search("asthma", k=10))
+
+
+class TestMergeRanked:
+    @staticmethod
+    def result(dewey: str, score: float) -> QueryResult:
+        return QueryResult(dewey=DeweyID.parse(dewey), score=score,
+                           keyword_scores=(score,))
+
+    def test_ties_break_by_dewey(self):
+        left = [self.result("0.1", 2.0), self.result("0.3", 1.0)]
+        right = [self.result("1.2", 2.0), self.result("1.0", 0.5)]
+        merged = merge_ranked([left, right])
+        assert [r.dewey.encode() for r in merged] == \
+            ["0.1", "1.2", "0.3", "1.0"]
+
+    def test_matches_rank_results(self):
+        """Merging ranked halves equals ranking the whole."""
+        everything = [self.result(f"{doc}.{pos}", score)
+                      for doc in range(4)
+                      for pos, score in enumerate((3.0, 1.5, 1.5))]
+        whole = rank_results(list(everything))
+        halves = [rank_results([r for r in everything
+                                if r.doc_id % 2 == parity])
+                  for parity in (0, 1)]
+        assert merge_ranked(halves) == whole
+        assert merge_ranked(halves, k=5) == whole[:5]
+
+    def test_truncates_to_k(self):
+        ranked = [self.result(f"0.{i}", 10.0 - i) for i in range(6)]
+        assert len(merge_ranked([ranked], k=2)) == 2
+        assert merge_ranked([ranked], k=100) == ranked
+
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            merge_ranked([[self.result("0.0", 1.0)]], k=0)
+
+    def test_empty_inputs(self):
+        assert merge_ranked([]) == []
+        assert merge_ranked([[], []]) == []
+        only = [self.result("0.0", 1.0)]
+        assert merge_ranked([[], only, []]) == only
+
+
+class TestValidation:
+    def test_ontology_required_for_ontology_strategies(self,
+                                                       cda_corpus):
+        with pytest.raises(ValueError):
+            FederatedEngine(cda_corpus, None, strategy="relationships",
+                            shards=2)
+
+    def test_rejects_bad_shard_workers(self, cda_corpus,
+                                       synthetic_ontology):
+        with pytest.raises(ValueError):
+            FederatedEngine(cda_corpus, synthetic_ontology, shards=2,
+                            shard_workers=0)
+
+    def test_shard_store_path_is_stable(self):
+        assert shard_store_path("idx.db", 0, 4) == \
+            "idx.db.shard00-of-04"
+        assert shard_store_path("idx.db", 3, 4) == \
+            "idx.db.shard03-of-04"

@@ -205,6 +205,67 @@ class TestRobustness:
         assert not os.path.exists(store + ".building")
 
 
+class TestSharded:
+    @pytest.fixture(scope="class")
+    def shard_stores(self, data_dir, tmp_path_factory):
+        store = str(tmp_path_factory.mktemp("sharded") / "index.db")
+        assert main(["index", "--data", data_dir, "--store", store,
+                     "--shards", "3"]) == 0
+        return store
+
+    def test_index_writes_one_store_per_shard(self, shard_stores,
+                                              capsys):
+        capsys.readouterr()
+        from repro.core.query.federated import shard_store_path
+        paths = [shard_store_path(shard_stores, shard, 3)
+                 for shard in range(3)]
+        for path in paths:
+            assert os.path.exists(path)
+            assert main(["verify-index", "--store", path]) == 0
+        assert not os.path.exists(shard_stores)  # no single-store file
+        capsys.readouterr()
+
+    def test_federated_search_matches_single(self, data_dir,
+                                             shard_stores, capsys):
+        query = "asthma theophylline"
+        code = main(["search", "--data", data_dir, "--store",
+                     shard_stores, "--shards", "3",
+                     "--shard-workers", "2", query, "-k", "3"])
+        federated = capsys.readouterr().out
+        assert code in (0, 1)
+        assert federated.count("loaded") == 3
+        single_code = main(["search", "--data", data_dir, query,
+                            "-k", "3"])
+        single = capsys.readouterr().out
+        assert single_code == code
+        ranked = [line for line in federated.splitlines()
+                  if line.startswith("#")]
+        assert ranked == [line for line in single.splitlines()
+                          if line.startswith("#")]
+
+    def test_missing_shard_store_is_an_error(self, data_dir,
+                                             shard_stores, capsys):
+        code = main(["search", "--data", data_dir, "--store",
+                     shard_stores, "--shards", "4", "asthma"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "no index store" in captured.err
+        assert "--shards 4" in captured.err
+
+    def test_sharded_search_without_store(self, data_dir, capsys):
+        code = main(["search", "--data", data_dir, "--shards", "2",
+                     "fever", "-k", "2"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        assert captured.out.strip()
+
+    def test_rejects_non_positive_shards(self, data_dir, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "--data", data_dir, "--shards", "0",
+                  "fever"])
+        capsys.readouterr()
+
+
 class TestStatsAndParameters:
     def test_stats_subcommand(self, data_dir, capsys):
         assert main(["stats", "--data", data_dir]) == 0

@@ -1,0 +1,107 @@
+"""ShardedCorpus: deterministic partitioning invariants."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.xmldoc.model import Corpus, XMLDocument, XMLNode
+from repro.xmldoc.sharding import (HASH, ROUND_ROBIN, ShardedCorpus,
+                                   hash_shard)
+
+
+def make_corpus(doc_ids) -> Corpus:
+    corpus = Corpus()
+    for doc_id in doc_ids:
+        root = XMLNode(tag="record", text=f"patient {doc_id}")
+        corpus.add(XMLDocument(doc_id=doc_id, root=root))
+    return corpus
+
+
+@pytest.fixture()
+def corpus():
+    return make_corpus(range(10))
+
+
+class TestPartition:
+    @pytest.mark.parametrize("policy", [HASH, ROUND_ROBIN])
+    @pytest.mark.parametrize("shard_count", [1, 2, 3, 7])
+    def test_complete_and_disjoint(self, corpus, policy, shard_count):
+        sharded = ShardedCorpus(corpus, shard_count, policy=policy)
+        shard_ids = [frozenset(doc.doc_id for doc in shard)
+                     for shard in sharded]
+        union = frozenset().union(*shard_ids)
+        assert union == {doc.doc_id for doc in corpus}
+        assert sum(len(ids) for ids in shard_ids) == len(corpus)
+
+    def test_documents_keep_global_ids(self, corpus):
+        """Dewey IDs root at the global doc_id, so sharding must not
+        renumber documents."""
+        sharded = ShardedCorpus(corpus, 3)
+        for shard in sharded:
+            for document in shard:
+                assert document is corpus.get(document.doc_id)
+
+    def test_assignment_is_deterministic(self, corpus):
+        first = ShardedCorpus(corpus, 4).assignment()
+        second = ShardedCorpus(make_corpus(range(10)), 4).assignment()
+        assert first == second
+
+    def test_round_robin_balances_sorted_order(self, corpus):
+        sharded = ShardedCorpus(corpus, 3, policy=ROUND_ROBIN)
+        for position, document in enumerate(corpus):
+            assert sharded.shard_of(document.doc_id) == position % 3
+        sizes = sorted(len(shard) for shard in sharded)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_hash_assignment_survives_collection_changes(self):
+        """A document's shard is a function of its own ID alone."""
+        small = ShardedCorpus(make_corpus([3, 5, 8]), 4)
+        large = ShardedCorpus(make_corpus(range(10)), 4)
+        for doc_id in (3, 5, 8):
+            assert small.shard_of(doc_id) == large.shard_of(doc_id)
+
+    def test_hash_shard_is_crc32(self):
+        assert hash_shard(42, 5) == \
+            zlib.crc32(b"42") % 5
+        assert all(0 <= hash_shard(doc_id, 7) < 7
+                   for doc_id in range(100))
+
+
+class TestAccessors:
+    def test_shard_of_unknown_document(self, corpus):
+        sharded = ShardedCorpus(corpus, 2)
+        with pytest.raises(KeyError):
+            sharded.shard_of(999)
+
+    def test_shard_doc_ids_inverts_assignment(self, corpus):
+        sharded = ShardedCorpus(corpus, 3)
+        for shard in range(sharded.shard_count):
+            for doc_id in sharded.shard_doc_ids(shard):
+                assert sharded.shard_of(doc_id) == shard
+
+    def test_len_and_iter(self, corpus):
+        sharded = ShardedCorpus(corpus, 4)
+        assert len(sharded) == 4
+        assert sharded.shard_count == 4
+        assert [len(shard) for shard in sharded] == \
+            [len(sharded.shard_doc_ids(i)) for i in range(4)]
+        assert [doc.doc_id for doc in sharded.documents()] == \
+            sorted(doc.doc_id for doc in corpus)
+
+    def test_more_shards_than_documents(self):
+        sharded = ShardedCorpus(make_corpus([0, 1]), 5,
+                                policy=ROUND_ROBIN)
+        assert sum(len(shard) for shard in sharded) == 2
+        assert sum(1 for shard in sharded if len(shard) == 0) == 3
+
+
+class TestValidation:
+    def test_rejects_bad_shard_count(self, corpus):
+        with pytest.raises(ValueError):
+            ShardedCorpus(corpus, 0)
+
+    def test_rejects_unknown_policy(self, corpus):
+        with pytest.raises(ValueError):
+            ShardedCorpus(corpus, 2, policy="random")
