@@ -27,6 +27,20 @@ EMR_SEED = 7
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="smoke mode: shrink workloads/repetitions so the bench "
+             "suite exercises every code path in CI time")
+
+
+@pytest.fixture(scope="session")
+def quick_mode(request):
+    """True under ``--quick``: benchmarks should cut repetitions and
+    sample sizes but still run (and assert) end to end."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture(scope="session")
 def bench_ontology():
     return build_synthetic_snomed()

@@ -16,7 +16,7 @@ Four subcommands mirror the system's phases::
         alias for this subcommand.
 
     python -m repro search --data DIR "QUERY" [--store FILE.db]
-        [--strategy relationships] [-k 10] [--explain] [--cache-size N]
+        [--strategy relationships] [--top-k 10] [--explain] [--cache-size N]
         [--retries N] [--strict | --no-fallback] [--verbose]
         [--profile] [--metrics-out F.jsonl] [--trace-out F.json]
         Query phase: run a keyword query, print ranked fragments; with
@@ -428,6 +428,20 @@ def command_stats(args: argparse.Namespace) -> int:
 # ----------------------------------------------------------------------
 # Argument parsing
 # ----------------------------------------------------------------------
+def _positive_int(text: str) -> int:
+    """Argparse type for ``--top-k``: the query layer requires k >= 1,
+    so reject 0/negatives here with a usage error, not a traceback."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (got {value})")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -469,7 +483,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="optional persisted index to load")
     search.add_argument("--strategy", choices=ALL_STRATEGIES,
                         default=RELATIONSHIPS)
-    search.add_argument("-k", type=int, default=10)
+    search.add_argument("-k", "--top-k", dest="k", type=_positive_int,
+                        default=10,
+                        help="number of results (positive; bounded "
+                             "top-k evaluation)")
     search.add_argument("--explain", action="store_true",
                         help="print per-keyword evidence")
     search.add_argument("--fragment-lines", type=int, default=6)

@@ -104,9 +104,12 @@ class DILCache:
         blocks concurrent lookups of other keywords; two threads racing
         on the same cold keyword may both build, but both record a miss
         and the first inserted value wins, so every caller shares one
-        object afterwards. Miss builds are timed into the registry's
-        ``<namespace>.build`` timer (the cost the cache exists to
-        avoid).
+        object afterwards. The insert-if-absent happens under a single
+        lock acquisition -- re-checking and then inserting via
+        :meth:`put` would let a losing builder *replace* the winner,
+        handing concurrent callers distinct objects. Miss builds are
+        timed into the registry's ``<namespace>.build`` timer (the cost
+        the cache exists to avoid).
         """
         with self._lock:
             if key in self._entries:
@@ -118,11 +121,17 @@ class DILCache:
         value = factory()
         self._stats.observe(f"{self._namespace}.build",
                             self._stats.clock() - started)
+        if self._capacity == 0:
+            return value
         with self._lock:
             if key in self._entries:  # lost the race: share the winner
                 self._entries.move_to_end(key)
                 return self._entries[key]  # type: ignore[return-value]
-        self.put(key, value)
+            self._entries[key] = value
+            if (self._capacity is not None
+                    and len(self._entries) > self._capacity):
+                self._entries.popitem(last=False)
+                self._count("evictions")
         return value
 
     # ------------------------------------------------------------------

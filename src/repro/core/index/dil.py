@@ -63,6 +63,7 @@ class DeweyInvertedList:
                  postings: Sequence[Posting] = ()) -> None:
         self.keyword = keyword
         self._postings = sorted(postings)
+        self._doc_max: dict[int, float] | None = None
         for first, second in zip(self._postings, self._postings[1:]):
             if first.dewey == second.dewey:
                 raise ValueError(
@@ -80,6 +81,36 @@ class DeweyInvertedList:
 
     def postings(self) -> list[Posting]:
         return list(self._postings)
+
+    def sorted_postings(self) -> Sequence[Posting]:
+        """The internal Dewey-sorted posting sequence, without copying.
+
+        Callers must treat the returned sequence as read-only; it is the
+        list the query processor streams over (and bisects into for
+        document-granular skipping), so copying it would defeat the
+        streaming memory bound.
+        """
+        return self._postings
+
+    def doc_max_scores(self) -> dict[int, float]:
+        """Per-document maximum NodeScore of this list.
+
+        This is the block-max metadata of the top-k query mode: with one
+        entry per document, ``sum(doc_max per keyword)`` upper-bounds
+        every Eq. 4 result score inside that document (propagation only
+        attenuates, ``decay <= 1``), so whole documents can be skipped
+        once a bounded result heap is full. Computed lazily on first use
+        and cached -- the list is immutable after construction.
+        """
+        if self._doc_max is None:
+            maxes: dict[int, float] = {}
+            for posting in self._postings:
+                doc_id = posting.dewey.doc_id
+                best = maxes.get(doc_id)
+                if best is None or posting.score > best:
+                    maxes[doc_id] = posting.score
+            self._doc_max = maxes
+        return self._doc_max
 
     def size_bytes(self) -> int:
         """Estimated storage size of the list (Table III's "Size (KB)")."""
@@ -168,7 +199,21 @@ class XOntoDILIndex:
     def save(self, store: IndexStore) -> None:
         """Write every non-empty posting list into an
         :class:`IndexStore` (stores treat an empty list as absent, and
-        a missing keyword loads back as an empty list)."""
+        a missing keyword loads back as an empty list).
+
+        Keys are normalized on the way out: a legacy unquoted
+        multi-word row (``heart murmur``, written before phrase keys
+        were quoted) whose canonical form (``"heart murmur"``) is part
+        of this index is deleted before the canonical row is written.
+        Without this, a load → save round-trip against the same store
+        would leave both rows behind -- the postings duplicated and
+        ``total_size_bytes`` double-counted on the next load.
+        """
+        stale = [key for key in list(store.keywords(self.strategy))
+                 if key not in self.lists
+                 and index_key(keyword_from_key(key)) in self.lists]
+        for key in stale:
+            store.put_postings(self.strategy, key, ())
         for key, dil in self.lists.items():
             if dil:
                 store.put_postings(self.strategy, key, dil.encoded())

@@ -14,18 +14,43 @@ scores flow to its parent attenuated by ``decay`` (Eq. 2-3). Result
 scores are the per-keyword sums (Eq. 4).
 
 One sequential pass over the posting lists, O(depth) memory -- the
-structural reason the paper adopts DILs.
+structural reason the paper adopts DILs. The merge consumes lazy
+per-DIL generators, so no posting list is ever materialized as a
+parallel tuple list.
+
+Two execution modes:
+
+* :meth:`DILQueryProcessor.collect` -- the full Eq. 1 enumeration, as
+  the paper describes it; ranking/truncation is a separate stage.
+* :meth:`DILQueryProcessor.collect_topk` -- bounded evaluation: a
+  size-k result heap plus per-document score upper bounds
+  (``sum(per-keyword doc max)``, i.e. the optimistic score with zero
+  propagation decay) let whole documents be skipped once the heap is
+  full. Because documents are visited in ascending doc-id order and
+  results tie-break on ``(-score, dewey)``, a document whose bound
+  *equals* the current heap minimum can also be skipped: any tying
+  result would lose the Dewey tie-break against the earlier entry.
+  Returns the byte-identical ranking the full mode's top-k prefix
+  would.
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
 from dataclasses import dataclass
+from typing import Iterator
 
 from ...xmldoc.dewey import DeweyID
 from ..index.dil import DeweyInvertedList
 from ..obs.tracer import NULL_TRACER
+from ..stats import TOPK_DOCS_SKIPPED, TOPK_HEAP_EVICTIONS, StatsRegistry
 from .results import QueryResult, rank_results
+
+#: A merge tuple: (dewey, keyword index, NodeScore). Sorting on the
+#: leading DeweyID is what keeps the k-way merge in global document
+#: order.
+_MergeItem = tuple[DeweyID, int, float]
 
 
 @dataclass
@@ -37,6 +62,59 @@ class _Frame:
     contains_result: bool = False
 
 
+class _HeapDewey:
+    """A DeweyID wrapper whose ordering is *reversed*.
+
+    The bounded result heap is a min-heap holding the current top-k
+    with the **worst** entry at the root. "Worst" means lowest score,
+    ties broken by *largest* Dewey ID (the final ranking prefers
+    smaller Dewey IDs among equals). Scores compare naturally in a
+    min-heap; Dewey IDs need their order flipped, and negation does
+    not reverse variable-length tuple prefix order -- hence this
+    wrapper.
+    """
+
+    __slots__ = ("dewey",)
+
+    def __init__(self, dewey: DeweyID) -> None:
+        self.dewey = dewey
+
+    def __lt__(self, other: "_HeapDewey") -> bool:
+        return other.dewey < self.dewey
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, _HeapDewey)
+                and other.dewey == self.dewey)
+
+
+class _DocStream:
+    """A cursor over one DIL that serves per-document posting runs.
+
+    ``doc_postings(doc_id)`` bisects forward from the cursor to the
+    document's first posting and yields merge tuples while the document
+    matches. Skipped documents cost O(log n) cursor moves and zero
+    posting reads -- the mechanism behind the top-k mode's
+    ``postings_read`` reduction.
+    """
+
+    __slots__ = ("_postings", "_index", "_pos")
+
+    def __init__(self, dil: DeweyInvertedList, index: int) -> None:
+        self._postings = dil.sorted_postings()
+        self._index = index
+        self._pos = 0
+
+    def doc_postings(self, doc_id: int) -> Iterator[_MergeItem]:
+        self._pos = bisect.bisect_left(self._postings, doc_id,
+                                       lo=self._pos,
+                                       key=lambda p: p.dewey.doc_id)
+        while (self._pos < len(self._postings)
+               and self._postings[self._pos].dewey.doc_id == doc_id):
+            posting = self._postings[self._pos]
+            self._pos += 1
+            yield (posting.dewey, self._index, posting.score)
+
+
 @dataclass
 class DILQueryStatistics:
     """Counters exposed for the performance experiments (Figure 11)."""
@@ -44,23 +122,34 @@ class DILQueryStatistics:
     postings_read: int = 0
     frames_pushed: int = 0
     results_found: int = 0
+    #: Documents the bounded (top-k) mode never merged: missing at
+    #: least one keyword, or upper-bounded below the heap minimum.
+    docs_skipped: int = 0
+    #: Heap replacements in the bounded mode -- results that entered a
+    #: full heap by displacing the then-worst entry.
+    heap_evictions: int = 0
 
 
 class DILQueryProcessor:
     """Executes one keyword query against per-keyword Dewey lists."""
 
-    def __init__(self, decay: float = 0.5, tracer=None) -> None:
+    def __init__(self, decay: float = 0.5, tracer=None,
+                 stats: StatsRegistry | None = None) -> None:
         if not 0.0 < decay <= 1.0:
             raise ValueError("decay must lie in (0, 1]")
         self._decay = decay
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._stats = stats
         self.last_statistics = DILQueryStatistics()
 
     # ------------------------------------------------------------------
     def execute(self, dils: list[DeweyInvertedList],
                 k: int | None = None) -> list[QueryResult]:
-        """All Eq. 1 results of the query, ranked; top-k when given."""
-        return rank_results(self.collect(dils), k)
+        """All Eq. 1 results of the query, ranked; top-k when given
+        (the bounded mode, identical to ranking-then-truncating)."""
+        if k is None:
+            return rank_results(self.collect(dils), None)
+        return self.collect_topk(dils, k)
 
     def collect(self, dils: list[DeweyInvertedList],
                 ) -> list[QueryResult]:
@@ -77,6 +166,35 @@ class DILQueryProcessor:
                 results=self.last_statistics.results_found)
             return results
 
+    def collect_topk(self, dils: list[DeweyInvertedList],
+                     k: int) -> list[QueryResult]:
+        """The top-k Eq. 1 results, *ranked*, via bounded evaluation.
+
+        Equivalent to ``rank_results(self.collect(dils), k)`` but
+        short-circuiting: documents whose optimistic score cannot enter
+        the full result heap are skipped without reading a posting.
+        """
+        if not dils:
+            raise ValueError("a query needs at least one keyword list")
+        if k < 1:
+            raise ValueError("k must be positive")
+        with self._tracer.span("query.dil_merge",
+                               keywords=len(dils)) as span:
+            results = self._merge_topk(dils, k)
+            statistics = self.last_statistics
+            span.annotate(
+                postings_read=statistics.postings_read,
+                frames_pushed=statistics.frames_pushed,
+                results=statistics.results_found,
+                docs_skipped=statistics.docs_skipped,
+                heap_evictions=statistics.heap_evictions)
+            if self._stats is not None:
+                self._stats.increment_many({
+                    TOPK_DOCS_SKIPPED: statistics.docs_skipped,
+                    TOPK_HEAP_EVICTIONS: statistics.heap_evictions})
+            return results
+
+    # ------------------------------------------------------------------
     def _merge(self, dils: list[DeweyInvertedList],
                ) -> list[QueryResult]:
         statistics = DILQueryStatistics()
@@ -87,14 +205,70 @@ class DILQueryProcessor:
             # cover all keywords.
             return []
 
-        streams = [[(posting.dewey, index, posting.score)
-                    for posting in dil]
-                   for index, dil in enumerate(dils)]
-        merged = heapq.merge(*streams)
+        merged = heapq.merge(*(self._posting_stream(dil, index)
+                               for index, dil in enumerate(dils)))
+        results = self._stack_results(merged, keyword_count, statistics)
+        statistics.results_found = len(results)
+        return results
 
+    def _merge_topk(self, dils: list[DeweyInvertedList],
+                    k: int) -> list[QueryResult]:
+        statistics = DILQueryStatistics()
+        self.last_statistics = statistics
+        keyword_count = len(dils)
+        if any(not dil for dil in dils):
+            return []
+
+        doc_maxes = [dil.doc_max_scores() for dil in dils]
+        # Only documents containing every keyword can produce results;
+        # ascending doc-id order is what makes the equality skip below
+        # safe (heap entries always precede the current document).
+        candidates = sorted(set.intersection(
+            *(set(maxes) for maxes in doc_maxes)))
+        union_size = len(set.union(*(set(maxes) for maxes in doc_maxes)))
+        statistics.docs_skipped += union_size - len(candidates)
+
+        streams = [_DocStream(dil, index)
+                   for index, dil in enumerate(dils)]
+        heap: list[tuple[float, _HeapDewey, QueryResult]] = []
+        for doc_id in candidates:
+            if len(heap) == k:
+                bound = sum(maxes[doc_id] for maxes in doc_maxes)
+                if bound <= heap[0][0]:
+                    statistics.docs_skipped += 1
+                    continue
+            merged = heapq.merge(*(stream.doc_postings(doc_id)
+                                   for stream in streams))
+            doc_results = self._stack_results(merged, keyword_count,
+                                              statistics)
+            statistics.results_found += len(doc_results)
+            for result in doc_results:
+                entry = (result.score, _HeapDewey(result.dewey), result)
+                if len(heap) < k:
+                    heapq.heappush(heap, entry)
+                elif heap[0] < entry:
+                    heapq.heapreplace(heap, entry)
+                    statistics.heap_evictions += 1
+        ordered = sorted(heap)
+        ordered.reverse()
+        return [entry[2] for entry in ordered]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _posting_stream(dil: DeweyInvertedList,
+                        index: int) -> Iterator[_MergeItem]:
+        """Lazy merge feed of one DIL -- O(1) memory per list."""
+        for posting in dil:
+            yield (posting.dewey, index, posting.score)
+
+    def _stack_results(self, merged: Iterator[_MergeItem],
+                       keyword_count: int,
+                       statistics: DILQueryStatistics,
+                       ) -> list[QueryResult]:
+        """Run the stack merge over an already-ordered posting stream
+        and return its Eq. 1 results (document order)."""
         stack: list[_Frame] = []
         results: list[QueryResult] = []
-
         for dewey, keyword_index, score in merged:
             statistics.postings_read += 1
             self._align_stack(stack, dewey, keyword_count, results,
@@ -104,7 +278,6 @@ class DILQueryProcessor:
                 top.scores[keyword_index] = score
         while stack:
             self._pop_frame(stack, results, statistics)
-        statistics.results_found = len(results)
         return results
 
     # ------------------------------------------------------------------

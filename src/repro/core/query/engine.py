@@ -83,7 +83,8 @@ class XOntoRankEngine:
             corpus, builder, strategy, config, ontology=ontology,
             stats=self.stats, tracer=self.tracer)
         self.processor = DILQueryProcessor(decay=config.decay,
-                                           tracer=self.tracer)
+                                           tracer=self.tracer,
+                                           stats=self.stats)
         self.pipeline = QueryPipeline.default(
             self.index_manager.dil_for, self.processor,
             tracer=self.tracer)
@@ -129,11 +130,16 @@ class XOntoRankEngine:
     # ------------------------------------------------------------------
     def search(self, query: str | KeywordQuery,
                k: int | None = None) -> list[QueryResult]:
-        """Top-k ontology-aware keyword search."""
+        """Top-k ontology-aware keyword search.
+
+        ``k=None`` falls back to ``config.top_k``; any given ``k`` runs
+        the bounded (document-skipping) merge mode, which returns the
+        byte-identical ranking of full evaluation plus truncation.
+        """
         with self.tracer.span("query.search",
                               strategy=self.strategy) as span:
-            context = self.pipeline.run(query,
-                                        k=k or self.config.top_k)
+            context = self.pipeline.run(
+                query, k=k if k is not None else self.config.top_k)
             span.annotate(keywords=len(context.dils),
                           results=len(context.results))
             return context.results
@@ -147,8 +153,8 @@ class XOntoRankEngine:
         if self._naive_evaluator is None:
             self._naive_evaluator = NaiveEvaluator(
                 self.builder.node_scorer, decay=self.config.decay)
-        return self._naive_evaluator.execute(parsed,
-                                             k=k or self.config.top_k)
+        return self._naive_evaluator.execute(
+            parsed, k=k if k is not None else self.config.top_k)
 
     def dil_for(self, keyword: Keyword) -> DeweyInvertedList:
         """The keyword's XOnto-DIL, built on first use (cached under

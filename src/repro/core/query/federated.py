@@ -223,9 +223,12 @@ class FederatedEngine:
         """Global top-k: per-shard top-k, k-way merged.
 
         Any global top-k result is in its shard's top-k, so merging
-        the per-shard prefixes loses nothing.
+        the per-shard prefixes loses nothing. Each shard runs the
+        bounded (document-skipping) merge locally; the global
+        truncation of the k-way merge is traced as
+        ``query.topk_pruned``.
         """
-        k = k or self.config.top_k
+        k = k if k is not None else self.config.top_k
         with self.tracer.span("query.federated_search",
                               strategy=self.strategy,
                               shards=self.shard_count) as span:
@@ -233,7 +236,13 @@ class FederatedEngine:
                       if isinstance(query, str) else query)
             per_shard = self._fan_out(
                 lambda engine, shard: engine.search(parsed, k=k))
-            merged = merge_ranked(per_shard, k)
+            with self.tracer.span("query.topk_pruned",
+                                  shards=self.shard_count) as prune:
+                merged = merge_ranked(per_shard, k)
+                prune.annotate(
+                    candidates=sum(len(results)
+                                   for results in per_shard),
+                    results=len(merged))
             span.annotate(results=len(merged))
             return merged
 

@@ -100,7 +100,13 @@ class DILFetchStage(QueryStage):
 
 class MergeStage(QueryStage):
     """``dils`` → ``unranked`` through the XRANK stack merge (traced as
-    ``query.dil_merge`` by the processor)."""
+    ``query.dil_merge`` by the processor).
+
+    With a bounded query (``context.k`` set) the merge runs in the
+    processor's top-k mode: ``unranked`` then already holds the ranked
+    top-k (the bounded heap drained in final order) and
+    ``extras["merge_bounded"]`` tells the rank stage to pass it
+    through instead of re-sorting."""
 
     name = "merge"
 
@@ -108,11 +114,21 @@ class MergeStage(QueryStage):
         self.processor = processor
 
     def run(self, context: QueryContext) -> None:
-        context.unranked = self.processor.collect(context.dils)
+        if context.k is not None:
+            context.unranked = self.processor.collect_topk(
+                context.dils, context.k)
+            context.extras["merge_bounded"] = True
+        else:
+            context.unranked = self.processor.collect(context.dils)
 
 
 class RankStage(QueryStage):
-    """``unranked`` → ``results``: deterministic ordering + top-k."""
+    """``unranked`` → ``results``: deterministic ordering + top-k.
+
+    When the merge stage already bounded the evaluation, this stage is
+    a heap-drain pass-through -- the candidates arrive ranked and
+    truncated, so sorting them again would only re-verify the heap's
+    invariant."""
 
     name = "rank"
 
@@ -122,7 +138,11 @@ class RankStage(QueryStage):
     def run(self, context: QueryContext) -> None:
         with self._tracer.span("query.rank",
                                candidates=len(context.unranked)):
-            context.results = rank_results(context.unranked, context.k)
+            if context.extras.get("merge_bounded"):
+                context.results = list(context.unranked)
+            else:
+                context.results = rank_results(context.unranked,
+                                               context.k)
 
 
 class QueryPipeline:

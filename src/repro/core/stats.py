@@ -55,6 +55,12 @@ FALLBACK_STORE_DISCARDS = "engine.fallback.store_discards"
 INTEGRITY_VALIDATIONS = "engine.integrity.validations"
 #: Store-metadata validations that raised.
 INTEGRITY_FAILURES = "engine.integrity.failures"
+#: Documents the bounded top-k query mode skipped without merging
+#: (missing a keyword, or upper-bounded below the heap minimum).
+TOPK_DOCS_SKIPPED = "query.topk.docs_skipped"
+#: Bounded-heap replacements during top-k queries (a result displaced
+#: the then-worst of the k held entries).
+TOPK_HEAP_EVICTIONS = "query.topk.heap_evictions"
 #: Faults injected by :class:`~repro.storage.faults.FaultInjectingStore`.
 FAULTS_TRANSIENT = "faults.injected.transient"
 FAULTS_CORRUPTION = "faults.injected.corruption"

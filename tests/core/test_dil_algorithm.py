@@ -4,6 +4,8 @@ import pytest
 
 from repro.core.index.dil import DeweyInvertedList, Posting
 from repro.core.query.dil_algorithm import DILQueryProcessor
+from repro.core.stats import (TOPK_DOCS_SKIPPED, TOPK_HEAP_EVICTIONS,
+                              StatsRegistry)
 from repro.ir.tokenizer import Keyword
 from repro.xmldoc.dewey import DeweyID
 
@@ -120,3 +122,83 @@ class TestScoring:
     def test_decay_validation(self):
         with pytest.raises(ValueError):
             DILQueryProcessor(decay=1.5)
+
+
+class TestBoundedTopK:
+    """Document-skip pruning: which documents the bounded mode reads,
+    and what the statistics say about the ones it doesn't."""
+
+    #: Four documents: a strong hit (doc 0, bound 2.0), a weak hit
+    #: (doc 1, bound 0.4), one missing keyword b entirely (doc 2), and
+    #: a stronger hit than doc 0 (doc 3, single covering node).
+    DILS = (
+        ("a", ("0.1", 1.0), ("1.1", 0.2), ("2.0", 1.0), ("3.0", 1.0)),
+        ("b", ("0.2", 1.0), ("1.2", 0.2), ("3.0", 1.0)),
+    )
+
+    def dils(self):
+        return [dil(text, *entries) for text, *entries in self.DILS]
+
+    def test_skips_weak_and_uncovered_documents(self, processor):
+        results = processor.collect_topk(self.dils(), 1)
+        assert [r.dewey.encode() for r in results] == ["3.0"]
+        assert results[0].score == pytest.approx(2.0)
+        stats = processor.last_statistics
+        # doc 2 never covers keyword b; doc 1's bound (0.4) cannot beat
+        # the heap minimum (1.0) once doc 0 filled the size-1 heap.
+        assert stats.docs_skipped == 2
+        # doc 3's result displaced doc 0's.
+        assert stats.heap_evictions == 1
+        # Only docs 0 and 3 were merged: 2 postings each.
+        assert stats.postings_read == 4
+
+    def test_statistics_match_full_mode_when_nothing_prunes(
+            self, processor):
+        lists = self.dils()
+        full = processor.collect(lists)
+        full_reads = processor.last_statistics.postings_read
+        bounded = processor.collect_topk(lists, 10)
+        stats = processor.last_statistics
+        # k=10 never fills the heap, so only the uncovered doc is
+        # skipped -- and its postings are the whole saving.
+        assert stats.docs_skipped == 1
+        assert stats.heap_evictions == 0
+        assert stats.postings_read == full_reads - 1
+        from repro.core.query.results import rank_results
+        assert bounded == rank_results(full, 10)
+
+    def test_equal_bound_skip_respects_dewey_tie_break(self, processor):
+        """A later document whose bound exactly equals the heap minimum
+        is skipped: any tying result would lose the (-score, dewey)
+        tie-break against the earlier entry."""
+        lists = [
+            dil("a", ("0.1", 1.0), ("1.0", 0.5)),
+            dil("b", ("0.2", 1.0), ("1.0", 0.5)),
+        ]
+        results = processor.collect_topk(lists, 1)
+        assert [r.dewey.encode() for r in results] == ["0"]
+        assert processor.last_statistics.docs_skipped == 1
+        from repro.core.query.results import rank_results
+        assert results == rank_results(processor.collect(lists), 1)
+
+    def test_registry_counters_accumulate(self):
+        registry = StatsRegistry()
+        processor = DILQueryProcessor(decay=0.5, stats=registry)
+        processor.collect_topk(self.dils(), 1)
+        assert registry.value(TOPK_DOCS_SKIPPED) == 2
+        assert registry.value(TOPK_HEAP_EVICTIONS) == 1
+        processor.collect_topk(self.dils(), 1)
+        assert registry.value(TOPK_DOCS_SKIPPED) == 4
+
+    def test_execute_routes_k_to_bounded_mode(self, processor):
+        results = processor.execute(self.dils(), k=2)
+        assert [r.dewey.encode() for r in results] == ["3.0", "0"]
+        assert processor.last_statistics.docs_skipped > 0
+
+    def test_missing_keyword_short_circuits(self, processor):
+        results = processor.collect_topk([
+            dil("a", ("0.1", 1.0)),
+            DeweyInvertedList(Keyword.from_text("b"), []),
+        ], 5)
+        assert results == []
+        assert processor.last_statistics.postings_read == 0

@@ -1,6 +1,7 @@
 """Unit tests for the bounded LRU DIL cache and its counters."""
 
 import threading
+import time
 
 import pytest
 
@@ -176,6 +177,52 @@ class TestThreadSafety:
         # exactly one.
         assert cache.get("key") in seen
         assert len(cache) == 1
+
+    def test_losing_builder_never_replaces_the_winner(self):
+        """Regression: the cold-build race must be first-insert-wins.
+
+        The broken interleaving was: thread T1 misses, builds, re-checks
+        under the lock (still absent), releases the lock, and only then
+        inserts via ``put`` -- so a thread T2 that completed its own
+        build-and-insert inside that window got its value *replaced*,
+        leaving T1 and T2 holding distinct objects for the same key.
+
+        The test forces exactly that interleaving by hooking the
+        instance's ``put``: T1's first call parks there (after its
+        under-lock re-check, before its insert) while the main thread
+        completes a full ``get_or_build``. On the fixed code the hook
+        never fires -- ``get_or_build`` inserts under one lock
+        acquisition -- and the loop below falls through when T1's
+        thread exits.
+        """
+        cache = DILCache(capacity=8)
+        original_put = cache.put
+        t1_at_put = threading.Event()
+        t2_done = threading.Event()
+
+        def parking_put(key, value):
+            if not t1_at_put.is_set():
+                t1_at_put.set()
+                assert t2_done.wait(timeout=5.0)
+            original_put(key, value)
+
+        cache.put = parking_put
+        t1_results = []
+        thread = threading.Thread(
+            target=lambda: t1_results.append(
+                cache.get_or_build("key", object)))
+        thread.start()
+        while not t1_at_put.is_set() and thread.is_alive():
+            time.sleep(0.001)
+        t2_value = cache.get_or_build("key", object)
+        t2_done.set()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        cache.put = original_put
+
+        cached = cache.get("key")
+        assert cached is t2_value
+        assert cached is t1_results[0]
 
 
 class TestEngineIntegration:

@@ -62,6 +62,23 @@ class TestDefaultChain:
         with pytest.raises(ValueError):
             engine.pipeline.run("", k=3)
 
+    def test_bounded_merge_makes_rank_a_pass_through(self, engine):
+        """With k set, the merge stage runs the bounded mode and marks
+        the context; the rank stage then hands the heap-drain through
+        unchanged."""
+        context = engine.pipeline.run("asthma medications", k=3)
+        assert context.extras.get("merge_bounded") is True
+        assert context.results == context.unranked
+        assert len(context.results) <= 3
+
+    def test_unbounded_run_ranks_all_results(self, engine):
+        """k=None keeps the paper's full enumeration: the merge stage
+        collects every Eq. 1 result and the rank stage sorts them."""
+        context = engine.pipeline.run("asthma medications", k=None)
+        assert "merge_bounded" not in context.extras
+        bounded = engine.pipeline.run("asthma medications", k=3)
+        assert bounded.results == context.results[:3]
+
 
 class TestSurgery:
     def make_pipeline(self, engine):

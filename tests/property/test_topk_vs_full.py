@@ -1,0 +1,127 @@
+"""Differential tests: bounded top-k execution ≡ full evaluation + cut.
+
+The contract of :meth:`DILQueryProcessor.collect_topk` is that the
+document-skipping bounded mode is an *optimization*, never an
+approximation: for every corpus, query and k it returns the
+byte-identical prefix of the full Eq. 1 enumeration ranked by
+``(-score, dewey)`` — same Dewey IDs, same floats (both modes run the
+same stack merge per document, so no arithmetic is reordered). This
+holds through every layer: processor, pipeline, single engine, and the
+federated engine's per-shard fan-out.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import RELATIONSHIPS, XOntoRankConfig
+from repro.core.query.engine import XOntoRankEngine
+from repro.core.query.federated import FederatedEngine
+from repro.core.query.results import rank_results
+from repro.ir.tokenizer import KeywordQuery
+from repro.ontology.snomed import (ASTHMA, BRONCHITIS, CARDIAC_ARREST,
+                                   THEOPHYLLINE, build_core_ontology)
+from repro.xmldoc.model import Corpus
+
+from .strategies import words, xml_documents
+
+CODES = (ASTHMA, BRONCHITIS, CARDIAC_ARREST, THEOPHYLLINE)
+K_VALUES = (1, 3, 10, None)
+
+_ONTOLOGY = build_core_ontology()
+
+
+@st.composite
+def corpora(draw, max_documents: int = 3):
+    count = draw(st.integers(min_value=1, max_value=max_documents))
+    documents = [draw(xml_documents(doc_id=doc_id, concept_codes=CODES))
+                 for doc_id in range(count)]
+    return Corpus(documents)
+
+
+@st.composite
+def queries(draw):
+    terms = draw(st.lists(words, min_size=1, max_size=3, unique=True))
+    return KeywordQuery.of(*terms)
+
+
+def exact_ranking(results):
+    """The byte-level identity of a ranking: no float tolerance."""
+    return [(result.dewey, result.score, result.keyword_scores)
+            for result in results]
+
+
+def full_ranking(engine, query):
+    """Full-evaluate-then-rank, bypassing the bounded default mode."""
+    return engine.pipeline.run(query, k=None).results
+
+
+@settings(max_examples=40, deadline=None)
+@given(corpora(), queries(), st.sampled_from(K_VALUES),
+       st.sampled_from(["xrank", RELATIONSHIPS]))
+def test_topk_equals_full_prefix(corpus, query, k, strategy):
+    ontology = _ONTOLOGY if strategy != "xrank" else None
+    engine = XOntoRankEngine(corpus, ontology, strategy=strategy,
+                             config=XOntoRankConfig())
+    full = full_ranking(engine, query)
+    bounded = engine.search(query, k=k)
+    cut = k if k is not None else engine.config.top_k
+    assert exact_ranking(bounded) == exact_ranking(full[:cut])
+
+
+@settings(max_examples=25, deadline=None)
+@given(corpora(max_documents=4), queries(), st.sampled_from(K_VALUES),
+       st.integers(min_value=2, max_value=3))
+def test_federated_topk_equals_full_prefix(corpus, query, k, shards):
+    single = XOntoRankEngine(corpus, _ONTOLOGY,
+                             strategy=RELATIONSHIPS,
+                             config=XOntoRankConfig())
+    federated = FederatedEngine(corpus, _ONTOLOGY,
+                                strategy=RELATIONSHIPS,
+                                config=XOntoRankConfig(), shards=shards)
+    full = full_ranking(single, query)
+    bounded = federated.search(query, k=k)
+    cut = k if k is not None else federated.config.top_k
+    assert exact_ranking(bounded) == exact_ranking(full[:cut])
+
+
+@settings(max_examples=25, deadline=None)
+@given(corpora(), queries(), st.integers(min_value=1, max_value=6))
+def test_processor_topk_equals_rank_of_collect(corpus, query, k):
+    """The processor-level contract, below the pipeline: collect_topk
+    is exactly rank_results(collect(...), k)."""
+    engine = XOntoRankEngine(corpus, _ONTOLOGY,
+                             strategy=RELATIONSHIPS,
+                             config=XOntoRankConfig())
+    dils = [engine.dil_for(keyword) for keyword in query]
+    processor = engine.processor
+    full = rank_results(processor.collect(dils), k)
+    assert exact_ranking(processor.collect_topk(dils, k)) == \
+        exact_ranking(full)
+
+
+def test_bounded_reads_fewer_postings(cda_corpus, synthetic_ontology):
+    """The point of the mode: on a real corpus with small k, document
+    skipping strictly reduces merge-consumed postings."""
+    engine = XOntoRankEngine(cda_corpus, synthetic_ontology,
+                             strategy=RELATIONSHIPS)
+    query = KeywordQuery.parse('"cardiac arrest" amiodarone')
+    dils = [engine.dil_for(keyword) for keyword in query]
+    engine.processor.collect(dils)
+    full_reads = engine.processor.last_statistics.postings_read
+    engine.processor.collect_topk(dils, 1)
+    bounded = engine.processor.last_statistics
+    assert bounded.postings_read < full_reads
+    assert bounded.docs_skipped > 0
+
+
+def test_collect_topk_rejects_bad_k(figure1_corpus, core_ontology):
+    engine = XOntoRankEngine(figure1_corpus, core_ontology,
+                             strategy=RELATIONSHIPS)
+    query = KeywordQuery.parse("asthma")
+    dils = [engine.dil_for(keyword) for keyword in query]
+    with pytest.raises(ValueError):
+        engine.processor.collect_topk(dils, 0)
+    with pytest.raises(ValueError):
+        engine.processor.collect_topk([], 3)

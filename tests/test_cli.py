@@ -93,6 +93,28 @@ class TestParser:
         with pytest.raises(FileNotFoundError):
             main(["search", "--data", empty, "q"])
 
+    @pytest.mark.parametrize("bad_k", ["0", "-3", "two"])
+    def test_top_k_must_be_a_positive_int(self, data_dir, capsys,
+                                          bad_k):
+        """k < 1 used to reach rank_results and traceback; argparse
+        must reject it as a usage error (exit code 2) instead."""
+        with pytest.raises(SystemExit) as excinfo:
+            main(["search", "--data", data_dir, "fever",
+                  "--top-k", bad_k])
+        assert excinfo.value.code == 2
+        message = capsys.readouterr().err
+        assert "positive integer" in message or "invalid" in message
+
+    def test_top_k_long_flag_matches_short(self, data_dir, capsys):
+        code_long = main(["search", "--data", data_dir, "fever",
+                          "--top-k", "2"])
+        long_output = capsys.readouterr().out
+        code_short = main(["search", "--data", data_dir, "fever",
+                           "-k", "2"])
+        short_output = capsys.readouterr().out
+        assert code_long == code_short
+        assert long_output == short_output
+
 
 class TestRobustness:
     @pytest.fixture(scope="class")
