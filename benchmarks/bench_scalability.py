@@ -55,11 +55,28 @@ def sweep(ontology, terminology):
         started = time.perf_counter()
         parallel_index = parallel_builder.build(vocabulary)
         parallel_seconds = time.perf_counter() - started
-        # Determinism contract at every tier.
+        # The measured cost model: ``auto`` probes the first chunk and
+        # projects fork overhead against the remaining serial cost, so
+        # its choice (recorded per tier) should track whichever fixed
+        # mode wins at this corpus size.
+        auto_builder = ParallelIndexBuilder(
+            engine.builder, workers=PARALLEL_WORKERS, mode="auto")
+        started = time.perf_counter()
+        auto_index = auto_builder.build(vocabulary)
+        auto_seconds = time.perf_counter() - started
+        snapshot = auto_builder.registry.snapshot()
+        auto_mode = next(
+            (name.rsplit(".", 1)[1] for name, count in snapshot.items()
+             if name.startswith("parallel_build.mode.") and count),
+            "?")
+        # Determinism contract at every tier, for both pool flavors.
         assert serial_index.keywords() == parallel_index.keywords()
+        assert serial_index.keywords() == auto_index.keywords()
         for key in serial_index.keywords():
             assert serial_index.lists[key].encoded() == \
                 parallel_index.lists[key].encoded()
+            assert serial_index.lists[key].encoded() == \
+                auto_index.lists[key].encoded()
         for query in QUERIES:  # warm DIL cache for the query phase
             engine.search(query, k=10)
         started = time.perf_counter()
@@ -71,6 +88,7 @@ def sweep(ontology, terminology):
                     / (repetitions * len(QUERIES)) * 1000.0)
         rows.append((size, corpus.total_nodes(), build_seconds * 1000.0,
                      serial_seconds * 1000.0, parallel_seconds * 1000.0,
+                     auto_seconds * 1000.0, auto_mode,
                      index.total_postings(), query_ms))
     return rows
 
@@ -80,13 +98,15 @@ def render(rows):
              f"{PARALLEL_WORKERS} workers, {os.cpu_count() or 1} cores, "
              f"{VOCAB_SLICE}-word parallel slice)",
              f"{'patients':>9}{'elements':>10}{'build (ms)':>12}"
-             f"{'serial (ms)':>13}{'par (ms)':>10}{'speedup':>9}"
+             f"{'serial (ms)':>13}{'par (ms)':>10}{'auto (ms)':>11}"
+             f"{'auto mode':>11}{'speedup':>9}"
              f"{'postings':>10}{'query (ms)':>12}"]
-    for (size, elements, build_ms, serial_ms, par_ms, postings,
-         query_ms) in rows:
+    for (size, elements, build_ms, serial_ms, par_ms, auto_ms,
+         auto_mode, postings, query_ms) in rows:
         speedup = serial_ms / par_ms if par_ms else float("inf")
         lines.append(f"{size:>9}{elements:>10}{build_ms:>12.1f}"
-                     f"{serial_ms:>13.1f}{par_ms:>10.1f}{speedup:>9.2f}"
+                     f"{serial_ms:>13.1f}{par_ms:>10.1f}"
+                     f"{auto_ms:>11.1f}{auto_mode:>11}{speedup:>9.2f}"
                      f"{postings:>10}{query_ms:>12.2f}")
     return "\n".join(lines) + "\n"
 
@@ -97,15 +117,18 @@ def test_scalability_sweep(benchmark, bench_ontology, bench_terminology):
                               rounds=1, iterations=1)
     record_result("scalability", render(rows))
     # Postings grow with the corpus.
-    postings = [row[5] for row in rows]
+    postings = [row[7] for row in rows]
     assert postings == sorted(postings)
     # Element counts grow with patients.
     elements = [row[1] for row in rows]
     assert elements == sorted(elements)
+    # The measured cost model always resolves to a real pool flavor.
+    assert all(row[6] in ("thread", "process", "serial")
+               for row in rows)
     # On multi-core hosts the largest tier must benefit from the pool
     # (>= 4 cores: with fewer, pool startup eats the theoretical 2x).
     if (os.cpu_count() or 1) >= 4:
-        _, _, _, serial_ms, par_ms, _, _ = rows[-1]
+        serial_ms, par_ms = rows[-1][3], rows[-1][4]
         assert serial_ms / par_ms >= 1.5, (
             f"largest-tier parallel speedup {serial_ms / par_ms:.2f}x "
             f"below 1.5x")

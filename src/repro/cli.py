@@ -8,12 +8,25 @@ Four subcommands mirror the system's phases::
 
     python -m repro index --data DIR --store FILE.db
         [--strategy relationships] [--radius 2] [--workers N]
-        [--profile] [--metrics-out F.jsonl] [--trace-out F.json]
+        [--append] [--profile] [--metrics-out F.jsonl] [--trace-out F.json]
         Pre-processing phase: build XOnto-DILs for the experiment
         vocabulary and persist them (plus the documents) to SQLite.
         ``--workers N`` (N > 1) builds on a worker pool; the persisted
         index is identical to the serial build. ``build-index`` is an
         alias for this subcommand.
+
+        With ``--append`` the store must already exist: documents in
+        DIR that the store does not yet hold are indexed as one
+        immutable LSM segment -- no existing posting list is rebuilt --
+        and published by a single atomic catalog write (a crash leaves
+        the previous index intact). New corpus files must sort after
+        the existing ones (document ids are positional).
+
+    python -m repro compact --store FILE.db [--shards N]
+        Fold an incrementally grown store's segments back into one,
+        dropping tombstoned documents and any orphan rows left by
+        crashed appends. The logical index (and every query answer) is
+        unchanged; with --shards N every shard store is compacted.
 
     python -m repro search --data DIR "QUERY" [--store FILE.db]
         [--strategy relationships] [--top-k 10] [--explain] [--cache-size N]
@@ -221,6 +234,8 @@ def command_index(args: argparse.Namespace) -> int:
     ontology, corpus = _load_data_directory(args.data)
     tracer = _tracer_from(args)
     engine = _make_engine(args, corpus, ontology, tracer)
+    if args.append:
+        return _append_to_stores(args, engine, tracer)
     # Crash safety: every database is written to a ".building" sibling
     # and atomically renamed into place only after its manifest's
     # completion marker has landed. With --shards N, each shard gets
@@ -263,6 +278,99 @@ def command_index(args: argparse.Namespace) -> int:
     print(f"dil-cache: {engine.cache_stats().render()}")
     _emit_profile(args, engine, tracer)
     return 0
+
+
+def _append_to_stores(args: argparse.Namespace,
+                      engine: "XOntoRankEngine | FederatedEngine",
+                      tracer: Tracer | None) -> int:
+    """``index --append``: one immutable segment per store holding the
+    data directory's documents the store has not indexed yet."""
+    from .core.stats import (APPEND_KEYWORDS_BUILT,
+                             APPEND_KEYWORDS_SKIPPED, SEGMENTS_LIVE)
+    from .storage.errors import IncompatibleIndexError
+    from .storage.segments import load_catalog
+    if isinstance(engine, FederatedEngine):
+        paths = [shard_store_path(args.store, shard, args.shards)
+                 for shard in range(args.shards)]
+    else:
+        paths = [args.store]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"error: --append needs an existing store; missing: "
+              f"{', '.join(missing)} -- build one with `python -m repro "
+              f"index --data {args.data} --store {args.store}`",
+              file=sys.stderr)
+        return 2
+    with contextlib.ExitStack() as stack:
+        stores = [stack.enter_context(SQLiteStore(path,
+                                                  tracer=engine.tracer))
+                  for path in paths]
+        held: set[int] = set()
+        for store in stores:
+            catalog = load_catalog(store)
+            held |= (set(catalog.live) if catalog is not None
+                     else set(store.document_ids()))
+        new_docs = [document for document in engine.corpus
+                    if document.doc_id not in held]
+        if not new_docs:
+            print(f"nothing to append: every document of {args.data} "
+                  f"is already live in the store")
+            return 0
+        try:
+            if isinstance(engine, FederatedEngine):
+                engine.add_documents(new_docs, stores,
+                                     radius=args.radius)
+            else:
+                engine.add_documents(new_docs, stores[0],
+                                     radius=args.radius)
+        except (StorageError, ValueError) as exc:
+            print(f"error: cannot append to {args.store}: {exc}",
+                  file=sys.stderr)
+            return 2
+    built = engine.stats.value(APPEND_KEYWORDS_BUILT)
+    skipped = engine.stats.value(APPEND_KEYWORDS_SKIPPED)
+    print(f"appended {len(new_docs)} document(s) as new segment(s) "
+          f"-> {args.store}")
+    print(f"append: segments_live={engine.stats.value(SEGMENTS_LIVE)} "
+          f"keywords_built={built} keywords_skipped={skipped}")
+    print(f"(compact with `python -m repro compact "
+          f"--store {args.store}`)")
+    _emit_profile(args, engine, tracer)
+    return 0
+
+
+def command_compact(args: argparse.Namespace) -> int:
+    from .core.index.segments import compact_store
+    if args.shards > 1:
+        paths = [shard_store_path(args.store, shard, args.shards)
+                 for shard in range(args.shards)]
+    else:
+        paths = [args.store]
+    exit_code = 0
+    for path in paths:
+        if not os.path.exists(path):
+            print(f"error: no index store at {path}", file=sys.stderr)
+            exit_code = 2
+            continue
+        try:
+            with SQLiteStore(path) as store:
+                catalog = compact_store(store)
+                lists = (len(list(store.keywords(
+                    catalog.segments[0].namespace)))
+                    if catalog is not None else 0)
+        except StorageError as exc:
+            print(f"error: cannot compact {path}: {exc}",
+                  file=sys.stderr)
+            exit_code = 2
+            continue
+        if catalog is None:
+            print(f"{path}: no segment catalog; nothing to compact")
+        else:
+            record = catalog.segments[0]
+            print(f"{path}: compacted into segment "
+                  f"{record.segment_id} ({len(catalog.live)} live "
+                  f"documents, {lists} posting lists)")
+    return exit_code
 
 
 def _load_store_or_degrade(engine: XOntoRankEngine, path: str,
@@ -473,7 +581,23 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--workers", type=int, default=1,
                        help="worker-pool size for the build "
                             "(1 = serial; result is identical)")
+    index.add_argument("--append", action="store_true",
+                       help="index only the data directory's new "
+                            "documents as one immutable segment of the "
+                            "existing store (LSM-style; nothing is "
+                            "rebuilt)")
     index.set_defaults(handler=command_index)
+
+    compact = subparsers.add_parser(
+        "compact",
+        help="fold an incrementally grown store's segments into one")
+    compact.add_argument("--store", required=True,
+                         help="SQLite database path (logical path with "
+                              "--shards)")
+    compact.add_argument("--shards", type=int, default=1,
+                         help="compact every shard store of a "
+                              "federated index")
+    compact.set_defaults(handler=command_compact)
 
     search = subparsers.add_parser("search",
                                    help="query phase: keyword search")

@@ -30,6 +30,7 @@ from ...storage import manifest as store_manifest
 from ...storage.errors import (CorruptIndexError, IncompatibleIndexError,
                                StorageError)
 from ...storage.interface import IndexStore
+from ...storage.segments import segment_view
 from ...xmldoc.model import Corpus
 from ...xmldoc.serializer import serialize
 from ..cache import DILCache
@@ -40,11 +41,13 @@ from ..stats import (FALLBACK_REBUILDS, INTEGRITY_FAILURES,
 from .builder import IndexBuilder
 from .dil import DeweyInvertedList, XOntoDILIndex, keyword_from_key
 from .parallel import ParallelIndexBuilder
+from .segments import SegmentLifecycle
 from .vocabulary import corpus_vocabulary, experiment_vocabulary
 
-#: corpus object -> (document count, fingerprint). Keyed weakly so a
-#: discarded corpus does not pin its fingerprint; the document count
-#: invalidates the entry when documents are added or removed.
+#: corpus object -> (corpus version, fingerprint). Keyed weakly so a
+#: discarded corpus does not pin its fingerprint; the membership version
+#: invalidates the entry when documents are added or removed (a plain
+#: length check would miss a remove-then-add of the same count).
 _FINGERPRINTS: MutableMapping[Corpus, tuple[int, str]] = (
     weakref.WeakKeyDictionary())
 
@@ -58,12 +61,12 @@ def memoized_corpus_fingerprint(
     build path persists them anyway) seed the memo for free.
     """
     cached = _FINGERPRINTS.get(corpus)
-    if cached is not None and cached[0] == len(corpus):
+    if cached is not None and cached[0] == corpus.version:
         return cached[1]
     pairs = texts if texts is not None else [
         (document.doc_id, serialize(document)) for document in corpus]
     fingerprint = store_manifest.corpus_fingerprint(pairs)
-    _FINGERPRINTS[corpus] = (len(corpus), fingerprint)
+    _FINGERPRINTS[corpus] = (corpus.version, fingerprint)
     return fingerprint
 
 
@@ -83,6 +86,9 @@ class IndexManager:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.dil_cache = cache if cache is not None else DILCache(
             capacity=config.dil_cache_capacity, stats=self.stats)
+        #: The incremental (LSM-segment) lifecycle, bound lazily to the
+        #: first store an add/remove/compact call targets.
+        self._segments: SegmentLifecycle | None = None
 
     # ------------------------------------------------------------------
     # Query-time DIL access
@@ -95,15 +101,46 @@ class IndexManager:
         """
         with self.tracer.span("query.dil_fetch",
                               keyword=keyword.text) as span:
+            if self._segments is not None:
+                build = lambda: self._segments.build_dil(keyword)
+            else:
+                build = lambda: self.builder.build_keyword(keyword)[0]
             dil = self.dil_cache.get_or_build(
-                (keyword.text, keyword.is_phrase),
-                lambda: self.builder.build_keyword(keyword)[0])
+                (keyword.text, keyword.is_phrase), build)
             span.annotate(postings=len(dil))
             return dil
 
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction counters of the DIL cache."""
         return self.dil_cache.stats()
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (LSM segments)
+    # ------------------------------------------------------------------
+    def _lifecycle(self, store: IndexStore | None) -> SegmentLifecycle:
+        if store is None:
+            raise ValueError(
+                "incremental index operations require a store")
+        if self._segments is None or self._segments.store is not store:
+            self._segments = SegmentLifecycle(self, store)
+        return self._segments
+
+    def add_documents(self, documents, store: IndexStore,
+                      radius: int = 2):
+        """Index new documents as one immutable appended segment --
+        no existing segment is rebuilt. Returns the new catalog."""
+        return self._lifecycle(store).append(documents, radius=radius)
+
+    def remove_documents(self, doc_ids: Iterable[int],
+                         store: IndexStore):
+        """Tombstone documents (one catalog write; rows are reclaimed
+        by the next :meth:`compact`). Returns the new catalog."""
+        return self._lifecycle(store).remove(doc_ids)
+
+    def compact(self, store: IndexStore):
+        """Fold the store's live segments into one and reclaim dead
+        rows; the logical index is unchanged. Returns the new catalog."""
+        return self._lifecycle(store).compact()
 
     # ------------------------------------------------------------------
     # Pre-processing phase
@@ -209,6 +246,12 @@ class IndexManager:
         :class:`IncompatibleIndexError` -- silently loading such an
         index would corrupt every ranking.
 
+        A store holding a segment catalog is loaded through its
+        read-only :class:`~repro.storage.segments.SegmentView`: the
+        cache is warmed with the *logical* (merged, tombstone-masked)
+        posting lists, byte-identical to a from-scratch build of the
+        live documents.
+
         With ``fallback=True`` (the default) a posting list that fails
         to load -- a transient fault the caller's retries did not clear,
         or a corrupt/undecodable list -- is rebuilt from the corpus
@@ -216,6 +259,7 @@ class IndexManager:
         ``engine.fallback.rebuilds``); ``fallback=False`` re-raises,
         for fail-fast operation.
         """
+        store = segment_view(store)
         if validate:
             self.validate_store(store)
         with self.tracer.span("storage.load_index",
@@ -249,7 +293,12 @@ class IndexManager:
         return loaded
 
     def validate_store(self, store: IndexStore) -> None:
-        """Reject interrupted builds and parameter/corpus mismatches."""
+        """Reject interrupted builds and parameter/corpus mismatches.
+
+        Segmented stores are validated through their logical view, so
+        the corpus fingerprint is checked against the *live* documents.
+        """
+        store = segment_view(store)
         try:
             store_manifest.require_complete(store)
             stored_strategy = store.get_metadata("strategy")

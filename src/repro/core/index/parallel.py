@@ -18,9 +18,15 @@ Two pool flavors, chosen by ``mode``:
   No fork cost, no pickling; the fallback for small vocabularies, for
   platforms without ``fork``, and for GIL-free interpreters.
 
-``mode="auto"`` picks processes when the vocabulary is large enough to
-amortize the fork (``PROCESS_MODE_THRESHOLD`` words) and ``fork`` is
-available, threads otherwise.
+``mode="auto"`` chooses by *measured* cost rather than a fixed size
+cutoff: the first vocabulary chunk is built serially as a timed probe,
+and :func:`choose_mode` projects the remaining serial cost against the
+process-pool cost (fork overhead plus the parallelized remainder).
+Processes are picked only when the projection says they win; a tiny or
+cheap vocabulary therefore never pays a fork it cannot amortize. The
+legacy ``PROCESS_MODE_THRESHOLD`` word-count cutoff remains only as the
+fallback when no probe signal exists (a single chunk, or a zero-cost
+probe).
 
 **Determinism contract.** The parallel build must be indistinguishable
 from ``IndexBuilder.build`` (the serial reference): identical DIL
@@ -56,10 +62,44 @@ from .builder import IndexBuilder
 from .dil import (DeweyInvertedList, KeywordBuildStats, XOntoDILIndex,
                   index_key)
 
-#: ``mode="auto"`` switches from threads to processes at this
-#: vocabulary size: below it the fork + result-pickling overhead beats
-#: any parallel gain on the paper-scale corpora.
+#: Legacy ``mode="auto"`` cutoff, now only the fallback when the timed
+#: probe yields no signal: below this vocabulary size the fork +
+#: result-pickling overhead beat any parallel gain on the paper-scale
+#: corpora.
 PROCESS_MODE_THRESHOLD = 512
+
+#: Assumed cost of standing up one forked worker (fork + first-task
+#: warmup + result pickling), the fixed term of the process-pool cost
+#: projection in :func:`choose_mode`. Deliberately conservative: when
+#: the projected win is within the noise of this constant, threads (no
+#: fixed cost, exact same results) are the safe choice.
+FORK_OVERHEAD_SECONDS = 0.15
+
+
+def choose_mode(probe_seconds: float, probe_words: int,
+                remaining_words: int, workers: int,
+                fork_available: bool,
+                fork_overhead: float = FORK_OVERHEAD_SECONDS) -> str:
+    """Pick ``"process"`` or ``"thread"`` from a measured probe.
+
+    Pure function of its inputs (testable without building anything):
+    the probe says one keyword costs ``probe_seconds / probe_words``
+    serially, so finishing the remaining words serially costs ``S``.
+    A process pool costs ``fork_overhead * workers + S / workers``;
+    processes are chosen only when that projection beats ``S`` -- i.e.
+    the fork is actually amortized. With no usable probe signal the
+    legacy :data:`PROCESS_MODE_THRESHOLD` size cutoff decides.
+    """
+    if not fork_available or workers < 2 or remaining_words <= 0:
+        return "thread"
+    if probe_words <= 0 or probe_seconds <= 0.0:
+        return ("process" if remaining_words >= PROCESS_MODE_THRESHOLD
+                else "thread")
+    serial_remaining = (probe_seconds / probe_words) * remaining_words
+    process_projection = (fork_overhead * workers
+                          + serial_remaining / workers)
+    return ("process" if process_projection < serial_remaining
+            else "thread")
 
 #: One row of a shard as shipped back from a worker:
 #: ``(tokens, is_phrase, encoded postings, stats tuple)``. Encoded
@@ -163,7 +203,22 @@ class ParallelIndexBuilder:
         if not words:
             return index
         chunks = self._partition(words)
-        mode = self._resolved_mode(len(words))
+        # Measured-cost mode choice: with ``auto`` and a real pool to
+        # choose for, chunk 0 is built serially as a timed probe (its
+        # work is needed anyway, so a wrong-looking probe costs
+        # nothing) and choose_mode projects the rest.
+        probe_shard = None
+        if (self._mode == "auto" and self._workers > 1
+                and len(chunks) > 1):
+            probe_shard = _build_chunk(self._builder, chunks[0])
+            self._stats.observe("parallel_build.probe", probe_shard[0])
+            mode = choose_mode(
+                probe_shard[0], len(chunks[0]),
+                len(words) - len(chunks[0]),
+                min(self._workers, len(chunks) - 1),
+                "fork" in multiprocessing.get_all_start_methods())
+        else:
+            mode = self._resolved_mode(len(words))
         # One lock acquisition for the whole build header.
         self._stats.increment_many({
             "parallel_build.builds": 1,
@@ -174,16 +229,24 @@ class ParallelIndexBuilder:
         with self._tracer.span("index.parallel_build", mode=mode,
                                keywords=len(words), chunks=len(chunks)):
             if mode == "serial":
-                shards = (_build_chunk(self._builder, chunk)
-                          for chunk in chunks)
+                shards = (probe_shard if chunk_id == 0
+                          and probe_shard is not None
+                          else _build_chunk(self._builder, chunk)
+                          for chunk_id, chunk in enumerate(chunks))
                 for chunk_id, shard in enumerate(shards):
                     self._merge_shard(index, shard, store, keep_lists,
                                       chunk_id)
             else:
+                offset = 0
+                pooled = chunks
+                if probe_shard is not None:
+                    self._merge_shard(index, probe_shard, store,
+                                      keep_lists, 0)
+                    offset, pooled = 1, chunks[1:]
                 for chunk_id, shard in enumerate(
-                        self._run_pool(chunks, mode)):
+                        self._run_pool(pooled, mode)):
                     self._merge_shard(index, shard, store, keep_lists,
-                                      chunk_id)
+                                      offset + chunk_id)
         return index
 
     # ------------------------------------------------------------------

@@ -232,6 +232,26 @@ class XOntoRankEngine:
         return self.index_manager.load_index(store, validate=validate,
                                              fallback=fallback)
 
+    # ------------------------------------------------------------------
+    # Incremental maintenance (LSM segments; delegated to the manager)
+    # ------------------------------------------------------------------
+    def add_documents(self, documents, store: IndexStore,
+                      radius: int = 2):
+        """Index new documents as one immutable appended segment; no
+        existing segment is rebuilt. Returns the new segment catalog."""
+        return self.index_manager.add_documents(documents, store,
+                                                radius=radius)
+
+    def remove_documents(self, doc_ids, store: IndexStore):
+        """Tombstone documents: they vanish from query results with one
+        catalog write; their rows are reclaimed by :meth:`compact`."""
+        return self.index_manager.remove_documents(doc_ids, store)
+
+    def compact(self, store: IndexStore):
+        """Fold the store's live segments into one; the logical index
+        (and every query result) is unchanged."""
+        return self.index_manager.compact(store)
+
 
 def build_engines(corpus: Corpus, ontology: Ontology,
                   strategies: tuple[str, ...] = (XRANK, GRAPH, TAXONOMY,

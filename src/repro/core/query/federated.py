@@ -96,6 +96,21 @@ class ShardScopedBuilder:
     def doc_ids(self) -> frozenset[int]:
         return self._doc_ids
 
+    @property
+    def inner(self) -> IndexBuilder:
+        """The wrapped corpus-global builder. The incremental segment
+        lifecycle unwraps through this to apply its own per-operation
+        document scoping."""
+        return self._builder
+
+    def extend_scope(self, doc_ids: Iterable[int]) -> None:
+        """Grow the scope when documents join this shard (append)."""
+        self._doc_ids = self._doc_ids | frozenset(doc_ids)
+
+    def shrink_scope(self, doc_ids: Iterable[int]) -> None:
+        """Drop removed documents, so direct builds stay live-only."""
+        self._doc_ids = self._doc_ids - frozenset(doc_ids)
+
     # The IndexBuilder surface the manager and engine rely on.
     @property
     def element_index(self) -> ElementIndex:
@@ -142,7 +157,8 @@ class FederatedEngine:
                  shards: int = 2, policy: str = HASH,
                  shard_workers: int | None = None,
                  tracer: Tracer | None = None,
-                 stats: StatsRegistry | None = None) -> None:
+                 stats: StatsRegistry | None = None,
+                 element_index: ElementIndex | None = None) -> None:
         if strategy != XRANK and ontology is None:
             raise ValueError(
                 f"strategy {strategy!r} needs an ontology; "
@@ -163,10 +179,15 @@ class FederatedEngine:
         # The corpus-global scoring substrate, built exactly once and
         # shared by every shard -- the reason federated scores equal
         # single-engine scores (BM25 statistics span the whole corpus).
-        element_index = ElementIndex(
-            corpus, text_policy=config.text_policy,
-            concept_resolver=self._resolver(), k1=config.bm25_k1,
-            b=config.bm25_b, ir_function=config.ir_function)
+        # An injected ``element_index`` (covering at least this corpus)
+        # pins the statistics epoch externally, e.g. for differential
+        # tests comparing incremental growth against full rebuilds.
+        resolver = self._resolver()
+        if element_index is None:
+            element_index = ElementIndex(
+                corpus, text_policy=config.text_policy,
+                concept_resolver=resolver, k1=config.bm25_k1,
+                b=config.bm25_b, ir_function=config.ir_function)
         ontoscore = make_ontoscore(strategy, ontology, config)
         node_weights = None
         if config.use_elemrank:
@@ -362,3 +383,69 @@ class FederatedEngine:
             lambda engine, shard: engine.load_index(
                 stores[shard], validate=validate, fallback=fallback))
         return sum(loaded)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (LSM segments, fanned out per shard)
+    # ------------------------------------------------------------------
+    def _check_shard_stores(self,
+                            stores: Sequence[IndexStore]) -> None:
+        if len(stores) != self.shard_count:
+            raise ValueError(
+                f"need one store per shard: got {len(stores)} stores "
+                f"for {self.shard_count} shards")
+
+    def add_documents(self, documents, stores: Sequence[IndexStore],
+                      radius: int = 2) -> None:
+        """Route new documents to their hash shards and append each
+        group as one segment of the owning shard's store.
+
+        Requires the ``hash`` policy (round-robin assignment depends on
+        every other document's position). Each shard store is its own
+        commit domain: a failure mid-way leaves the already-appended
+        shards committed and the rest untouched -- every shard store is
+        individually consistent either way.
+        """
+        self._check_shard_stores(stores)
+        documents = list(documents)
+        groups: dict[int, list] = {}
+        fresh: set[int] = set()
+        for document in documents:
+            try:
+                shard = self.sharded.shard_of(document.doc_id)
+            except KeyError:
+                shard = self.sharded.route(document.doc_id)
+                fresh.add(document.doc_id)
+            groups.setdefault(shard, []).append(document)
+        for shard in sorted(groups):
+            # The shard engine's corpus IS the shard sub-corpus; its
+            # lifecycle adds the documents there, so only the global
+            # corpus and the assignment map need updating here.
+            self.shard_engines[shard].add_documents(
+                groups[shard], stores[shard], radius=radius)
+            for document in groups[shard]:
+                if document.doc_id in fresh:
+                    self.sharded.record(document.doc_id, shard)
+                if document.doc_id not in self.corpus:
+                    self.corpus.add(document)
+
+    def remove_documents(self, doc_ids,
+                         stores: Sequence[IndexStore]) -> None:
+        """Tombstone documents in the shard stores that own them."""
+        self._check_shard_stores(stores)
+        groups: dict[int, list[int]] = {}
+        for doc_id in doc_ids:
+            groups.setdefault(self.sharded.shard_of(doc_id),
+                              []).append(doc_id)
+        for shard in sorted(groups):
+            self.shard_engines[shard].remove_documents(
+                groups[shard], stores[shard])
+            for doc_id in groups[shard]:
+                self.sharded.forget(doc_id)
+                if doc_id in self.corpus:
+                    self.corpus.remove(doc_id)
+
+    def compact(self, stores: Sequence[IndexStore]) -> None:
+        """Compact every shard store (logical indexes unchanged)."""
+        self._check_shard_stores(stores)
+        for shard, engine in enumerate(self.shard_engines):
+            engine.compact(stores[shard])

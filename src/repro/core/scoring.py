@@ -37,17 +37,42 @@ class ElementIndex:
         self._index = PositionalIndex()
         self._code_node_concepts: dict[DeweyID, str] = {}
         self._node_order: list[DeweyID] = []
+        self._doc_ids: set[int] = set()
+        self._text_policy = text_policy
+        self._resolver = concept_resolver
         for document in corpus:
-            dewey_ids = assign_dewey_ids(document)
-            for node in document.iter():
-                dewey = dewey_ids[node]
-                self._index.add(dewey, node.textual_description(text_policy))
-                self._node_order.append(dewey)
-                if node.reference is not None and concept_resolver is not None:
-                    concept = concept_resolver(node.reference)
-                    if concept is not None:
-                        self._code_node_concepts[dewey] = concept.code
+            self._ingest(document)
         self._scorer = make_scorer(self._index, ir_function, k1=k1, b=b)
+
+    def _ingest(self, document) -> None:
+        self._doc_ids.add(document.doc_id)
+        dewey_ids = assign_dewey_ids(document)
+        for node in document.iter():
+            dewey = dewey_ids[node]
+            self._index.add(dewey,
+                            node.textual_description(self._text_policy))
+            self._node_order.append(dewey)
+            if node.reference is not None and self._resolver is not None:
+                concept = self._resolver(node.reference)
+                if concept is not None:
+                    self._code_node_concepts[dewey] = concept.code
+
+    def has_document(self, doc_id: int) -> bool:
+        """Whether a document already contributes to the statistics."""
+        return doc_id in self._doc_ids
+
+    def add_document(self, document) -> None:
+        """Grow the statistics substrate with one more document.
+
+        The index is add-order independent (term statistics are set
+        aggregates over elements), but growing it *does* shift the
+        corpus-global BM25 statistics -- callers holding normalized
+        score caches (:class:`NodeScorer`) must invalidate them.
+        """
+        if document.doc_id in self._doc_ids:
+            raise ValueError(
+                f"document {document.doc_id} is already indexed")
+        self._ingest(document)
 
     # ------------------------------------------------------------------
     @property
@@ -92,6 +117,11 @@ class NodeScorer:
         self._node_weights = node_weights
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._cache: dict[Keyword, dict[DeweyID, float]] = {}
+
+    def invalidate(self) -> None:
+        """Drop memoized per-keyword scores; required after the element
+        index's corpus-global statistics change (document added)."""
+        self._cache.clear()
 
     def node_scores(self, keyword: Keyword) -> dict[DeweyID, float]:
         """All nonzero ``NS(v, w)`` values for one keyword."""

@@ -66,6 +66,22 @@ FAULTS_TRANSIENT = "faults.injected.transient"
 FAULTS_CORRUPTION = "faults.injected.corruption"
 FAULTS_LATENCY = "faults.injected.latency"
 FAULTS_CRASHES = "faults.injected.crashes"
+#: Live (query-visible) segments of an incrementally grown index -- a
+#: gauge maintained by delta increments (appends +1, compaction
+#: collapses the count back to 1).
+SEGMENTS_LIVE = "index.segments_live"
+#: Tombstoned documents still held by some segment -- a gauge; drops
+#: back to zero at compaction.
+TOMBSTONES = "index.tombstones"
+#: Documents appended across the lifecycle's lifetime.
+APPEND_DOCS = "index.append.docs"
+#: Keywords whose posting lists an append actually built.
+APPEND_KEYWORDS_BUILT = "index.append.keywords_built"
+#: Keywords an append proved untouched by the new documents and
+#: skipped without building.
+APPEND_KEYWORDS_SKIPPED = "index.append.keywords_skipped"
+#: Segment compactions run to completion.
+COMPACTIONS = "index.compactions"
 
 
 class _TimeContext:

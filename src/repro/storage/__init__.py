@@ -15,16 +15,21 @@ from .manifest import (BUILD_COMPLETE_KEY, CHECKSUM_KEY_PREFIX,
                        require_complete, store_checksum, verify_manifest)
 from .memory_store import MemoryStore
 from .retrying import RetryingStore
+from .segments import (CATALOG_KEY, SegmentCatalog, SegmentRecord,
+                       SegmentView, load_catalog, save_catalog,
+                       segment_namespace, segment_view)
 from .sqlite_store import SQLiteStore
 
 __all__ = [
-    "BUILD_COMPLETE_KEY", "CHECKSUM_KEY_PREFIX",
+    "BUILD_COMPLETE_KEY", "CATALOG_KEY", "CHECKSUM_KEY_PREFIX",
     "CORPUS_FINGERPRINT_KEY", "CorruptIndexError", "EncodedPosting",
     "FaultInjectingStore", "IncompatibleIndexError", "IndexStore",
     "ManifestReport", "MemoryStore", "PROVENANCE_METADATA_KEYS",
-    "RetryingStore", "SQLiteStore", "StorageError",
-    "TransientStorageError", "atomic_sqlite_build",
-    "canonical_dump", "corpus_fingerprint", "finalize_manifest",
-    "manifest_strategies", "mark_build_started", "postings_checksum",
-    "require_complete", "store_checksum", "verify_manifest",
+    "RetryingStore", "SQLiteStore", "SegmentCatalog", "SegmentRecord",
+    "SegmentView", "StorageError", "TransientStorageError",
+    "atomic_sqlite_build", "canonical_dump", "corpus_fingerprint",
+    "finalize_manifest", "load_catalog", "manifest_strategies",
+    "mark_build_started", "postings_checksum", "require_complete",
+    "save_catalog", "segment_namespace", "segment_view",
+    "store_checksum", "verify_manifest",
 ]

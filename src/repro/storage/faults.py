@@ -39,7 +39,8 @@ from .interface import EncodedPosting, IndexStore
 CORRUPT_DEWEY = "corrupt.posting.!"
 
 _WRITE_OPERATIONS = frozenset(
-    {"put_postings", "put_document", "put_metadata"})
+    {"put_postings", "put_document", "put_metadata",
+     "delete_document"})
 
 
 class FaultInjectingStore(IndexStore):
@@ -144,6 +145,10 @@ class FaultInjectingStore(IndexStore):
     def document_ids(self) -> Iterator[int]:
         self._guard("document_ids")
         return iter(list(self._inner.document_ids()))
+
+    def delete_document(self, doc_id: int) -> None:
+        self._guard("delete_document")
+        self._inner.delete_document(doc_id)
 
     # ------------------------------------------------------------------
     def put_metadata(self, key: str, value: str) -> None:

@@ -80,6 +80,11 @@ class IndexStore(ABC):
     def document_ids(self) -> Iterator[int]:
         """All stored document ids, ascending."""
 
+    @abstractmethod
+    def delete_document(self, doc_id: int) -> None:
+        """Remove a stored document; unknown ids are a no-op (the
+        compactor garbage-collects rows that may already be gone)."""
+
     # ------------------------------------------------------------------
     # Metadata
     # ------------------------------------------------------------------
@@ -117,7 +122,15 @@ def canonical_dump(store: IndexStore, strategies: Sequence[str],
     parallel-vs-serial determinism contract. Build-provenance metadata
     (:data:`PROVENANCE_METADATA_KEYS`) is excluded unless requested,
     since worker counts may differ between equivalent builds.
+
+    A segmented store (one holding a ``segments.catalog``) is dumped
+    through its *logical* view -- live segments merged, tombstoned
+    documents masked, segment bookkeeping hidden -- so an incrementally
+    grown index and a from-scratch build of the same corpus compare
+    equal. That is the incremental-vs-rebuild differential contract.
     """
+    from .segments import segment_view  # local import: avoids a cycle
+    store = segment_view(store)
     postings = {
         strategy: {keyword: store.get_postings(strategy, keyword)
                    for keyword in store.keywords(strategy)}

@@ -39,7 +39,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping, Sequence
 
-from .errors import CorruptIndexError
+from .errors import CorruptIndexError, StorageError
 from .interface import EncodedPosting, IndexStore
 from .sqlite_store import SQLiteStore
 
@@ -143,6 +143,10 @@ class ManifestReport:
     #: strategy → number of posting lists whose checksum was verified.
     strategies: dict[str, int] = field(default_factory=dict)
     documents: int = 0
+    #: Benign observations that do not fail the check -- tombstones
+    #: awaiting compaction, orphaned rows left by a crashed append or
+    #: compaction (invisible to queries, reclaimed by compaction).
+    notes: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -155,6 +159,8 @@ class ManifestReport:
                          f"{self.strategies[strategy]} posting lists "
                          f"checksum-verified")
         lines.append(f"documents: {self.documents} fingerprint-checked")
+        for note in self.notes:
+            lines.append(f"manifest: NOTE - {note}")
         if self.ok:
             lines.append("manifest: OK")
         else:
@@ -172,7 +178,15 @@ def verify_manifest(store: IndexStore,
     posting-list checksum and the corpus fingerprint from the stored
     documents, and reports every divergence (it does not stop at the
     first problem -- operators want the full damage picture).
+
+    A *segmented* store (one holding a ``segments.catalog``) is checked
+    segment-aware instead: every live segment's checksum is recomputed
+    over its own namespace, the live-document fingerprint is checked
+    against the catalog, and leftovers of crash-interrupted mutations
+    (orphaned rows/namespaces, tombstones awaiting compaction) are
+    surfaced as notes -- they are invisible to queries, not damage.
     """
+    from .segments import load_catalog
     report = ManifestReport()
     marker = store.get_metadata(BUILD_COMPLETE_KEY)
     if marker != BUILD_COMPLETE:
@@ -182,8 +196,20 @@ def verify_manifest(store: IndexStore,
             "manifests")
     if store.get_metadata(MANIFEST_VERSION_KEY) != MANIFEST_VERSION:
         report.problems.append("manifest version missing or unsupported")
+    catalog = None
+    try:
+        catalog = load_catalog(store)
+    except CorruptIndexError as exc:
+        report.problems.append(str(exc))
     names = list(strategies) if strategies else manifest_strategies(store)
-    if not names:
+    if catalog is not None:
+        _verify_segments(store, catalog, report)
+        # The catalog supersedes the plain checksum/fingerprint entries
+        # for its own strategy: appends leave those stale by design
+        # (refreshing them would cost a whole-index checksum per
+        # append); compaction brings them back in sync.
+        names = [name for name in names if name != catalog.strategy]
+    elif not names:
         report.problems.append("no per-strategy checksums recorded")
     for strategy in names:
         expected = store.get_metadata(CHECKSUM_KEY_PREFIX + strategy)
@@ -198,17 +224,68 @@ def verify_manifest(store: IndexStore,
                 f"posting-list checksum mismatch for strategy "
                 f"{strategy!r} ({len(lists)} lists)")
         report.strategies[strategy] = len(lists)
-    expected_fingerprint = store.get_metadata(CORPUS_FINGERPRINT_KEY)
-    documents = [(doc_id, store.get_document(doc_id))
-                 for doc_id in store.document_ids()]
-    report.documents = len(documents)
-    if expected_fingerprint is None:
-        report.problems.append("no corpus fingerprint recorded")
-    elif corpus_fingerprint(documents) != expected_fingerprint:
-        report.problems.append(
-            "corpus fingerprint mismatch: stored documents differ from "
-            "the corpus the index was built from")
+    if catalog is None:
+        expected_fingerprint = store.get_metadata(CORPUS_FINGERPRINT_KEY)
+        documents = [(doc_id, store.get_document(doc_id))
+                     for doc_id in store.document_ids()]
+        report.documents = len(documents)
+        if expected_fingerprint is None:
+            report.problems.append("no corpus fingerprint recorded")
+        elif corpus_fingerprint(documents) != expected_fingerprint:
+            report.problems.append(
+                "corpus fingerprint mismatch: stored documents differ "
+                "from the corpus the index was built from")
     return report
+
+
+def _verify_segments(store: IndexStore, catalog,
+                     report: ManifestReport) -> None:
+    """The segment-aware arm of :func:`verify_manifest`."""
+    from .segments import segment_namespace
+    for record in catalog.segments:
+        lists = {keyword: store.get_postings(record.namespace, keyword)
+                 for keyword in store.keywords(record.namespace)}
+        if postings_checksum(lists) != record.checksum:
+            report.problems.append(
+                f"posting-list checksum mismatch for segment "
+                f"{record.segment_id} ({record.namespace!r}, "
+                f"{len(lists)} lists)")
+        report.strategies[record.namespace] = len(lists)
+    live_documents = []
+    missing = []
+    for doc_id in sorted(catalog.live_set):
+        try:
+            live_documents.append((doc_id, store.get_document(doc_id)))
+        except StorageError:
+            missing.append(doc_id)
+    report.documents = len(live_documents)
+    if missing:
+        report.problems.append(
+            f"live documents missing from the store: {missing}")
+    elif corpus_fingerprint(live_documents) != catalog.live_fingerprint:
+        report.problems.append(
+            "live-corpus fingerprint mismatch: stored documents differ "
+            "from the documents the segments were built from")
+    tombstones = catalog.tombstone_count
+    if tombstones:
+        report.notes.append(
+            f"{tombstones} tombstoned document(s) awaiting compaction")
+    orphan_rows = sorted(set(store.document_ids())
+                         - catalog.segment_doc_ids())
+    if orphan_rows:
+        report.notes.append(
+            f"orphaned document rows {orphan_rows} from an interrupted "
+            f"append; invisible to queries, reclaimed by compaction")
+    known = {record.namespace for record in catalog.segments}
+    for probe_id in range(catalog.next_id + 2):
+        namespace = segment_namespace(catalog.strategy, probe_id)
+        if namespace in known:
+            continue
+        if next(iter(store.keywords(namespace)), None) is not None:
+            report.notes.append(
+                f"orphaned posting namespace {namespace!r} from an "
+                f"interrupted append or compaction; invisible to "
+                f"queries, reclaimed by compaction")
 
 
 # ----------------------------------------------------------------------

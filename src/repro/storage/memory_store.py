@@ -51,6 +51,9 @@ class MemoryStore(IndexStore):
     def document_ids(self) -> Iterator[int]:
         return iter(sorted(self._documents))
 
+    def delete_document(self, doc_id: int) -> None:
+        self._documents.pop(doc_id, None)
+
     # ------------------------------------------------------------------
     def put_metadata(self, key: str, value: str) -> None:
         self._metadata[key] = value

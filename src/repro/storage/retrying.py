@@ -120,6 +120,9 @@ class RetryingStore(IndexStore):
         return iter(self._retry(
             lambda: list(self._inner.document_ids())))
 
+    def delete_document(self, doc_id: int) -> None:
+        self._retry(lambda: self._inner.delete_document(doc_id))
+
     # ------------------------------------------------------------------
     def put_metadata(self, key: str, value: str) -> None:
         self._retry(lambda: self._inner.put_metadata(key, value))

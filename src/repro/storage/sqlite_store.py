@@ -103,6 +103,7 @@ class SQLiteStore(IndexStore):
                     "read-only mode needs an existing database file")
             if not os.path.exists(path):
                 raise StorageError(f"no index store at {path}")
+            self._recover_hot_journal(path)
             uri = f"{Path(path).resolve().as_uri()}?mode=ro"
             connect_args: tuple = (uri,)
             connect_kwargs = {"uri": True, "check_same_thread": False}
@@ -120,6 +121,31 @@ class SQLiteStore(IndexStore):
     @property
     def path(self) -> str:
         return self._path
+
+    @staticmethod
+    def _recover_hot_journal(path: str) -> None:
+        """Roll back a crashed writer's hot journal before a read-only
+        open.
+
+        Incremental appends and compactions mutate the published store
+        in place, so a SIGKILLed writer can leave ``<path>-journal``
+        behind. SQLite recovers it (restoring the last committed
+        state) on the next access -- but recovery is a write, which a
+        ``mode=ro`` connection refuses. One throwaway writable open
+        performs the rollback; if the file is on read-only media the
+        attempt fails silently and the read-only open reports the
+        original condition.
+        """
+        if not os.path.exists(path + "-journal"):
+            return
+        try:
+            recovery = sqlite3.connect(path)
+            try:
+                recovery.execute("PRAGMA schema_version").fetchone()
+            finally:
+                recovery.close()
+        except sqlite3.Error:
+            pass
 
     def _probe(self, read_only: bool) -> None:
         """Validate the file at open time; create the schema if allowed.
@@ -224,6 +250,11 @@ class SQLiteStore(IndexStore):
                 "SELECT doc_id FROM documents ORDER BY doc_id").fetchall()
         for (doc_id,) in rows:
             yield int(doc_id)
+
+    def delete_document(self, doc_id: int) -> None:
+        with self._guarded(), self._connection:
+            self._connection.execute(
+                "DELETE FROM documents WHERE doc_id = ?", (doc_id,))
 
     # ------------------------------------------------------------------
     def put_metadata(self, key: str, value: str) -> None:

@@ -274,13 +274,30 @@ class Corpus:
 
     def __init__(self, documents: Iterable[XMLDocument] = ()) -> None:
         self._documents: dict[int, XMLDocument] = {}
+        self._version = 0
         for document in documents:
             self.add(document)
+
+    @property
+    def version(self) -> int:
+        """Monotonic membership counter, bumped by :meth:`add` and
+        :meth:`remove` -- lets caches keyed on corpus contents detect
+        that a remove-then-add left the length unchanged."""
+        return self._version
 
     def add(self, document: XMLDocument) -> XMLDocument:
         if document.doc_id in self._documents:
             raise ValueError(f"duplicate document id {document.doc_id}")
         self._documents[document.doc_id] = document
+        self._version += 1
+        return document
+
+    def remove(self, doc_id: int) -> XMLDocument:
+        try:
+            document = self._documents.pop(doc_id)
+        except KeyError:
+            raise KeyError(f"no document with id {doc_id}") from None
+        self._version += 1
         return document
 
     def __len__(self) -> int:

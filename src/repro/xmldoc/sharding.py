@@ -83,6 +83,41 @@ class ShardedCorpus:
         """A copy of the full doc_id → shard map."""
         return dict(self._assignment)
 
+    # ------------------------------------------------------------------
+    # Incremental membership (hash policy only)
+    # ------------------------------------------------------------------
+    def route(self, doc_id: int) -> int:
+        """The shard a document id belongs to: its recorded assignment,
+        or -- for a new id under the ``hash`` policy -- its stable hash
+        shard. Round-robin assignment is position-dependent, so new ids
+        cannot be routed incrementally under it."""
+        shard = self._assignment.get(doc_id)
+        if shard is not None:
+            return shard
+        if self.policy != HASH:
+            raise ValueError(
+                "incremental routing requires the 'hash' policy; "
+                "'round_robin' assignment depends on the position of "
+                "every other document")
+        return hash_shard(doc_id, self.shard_count)
+
+    def record(self, doc_id: int, shard: int) -> None:
+        """Record the assignment of a document whose shard corpus was
+        populated by the caller (the federated append path, where the
+        shard engine's lifecycle owns the corpus mutation)."""
+        if doc_id in self._assignment:
+            raise ValueError(f"document {doc_id} is already assigned")
+        if not 0 <= shard < self.shard_count:
+            raise ValueError(f"no shard {shard}")
+        self._assignment[doc_id] = shard
+
+    def forget(self, doc_id: int) -> int:
+        """Drop the assignment of a document the caller removed from
+        its shard corpus; returns the shard it occupied."""
+        shard = self.shard_of(doc_id)
+        del self._assignment[doc_id]
+        return shard
+
     def __len__(self) -> int:
         return len(self.shards)
 

@@ -1,0 +1,155 @@
+"""Unit tests for the incremental segment lifecycle: validation,
+observability gauges, and shard routing of mutations."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import RELATIONSHIPS, XRANK, XOntoRankConfig
+from repro.core.query.engine import XOntoRankEngine
+from repro.core.stats import (APPEND_DOCS, COMPACTIONS, SEGMENTS_LIVE,
+                              TOMBSTONES)
+from repro.ontology.snomed import build_core_ontology
+from repro.storage import MemoryStore, load_catalog
+from repro.storage.errors import IncompatibleIndexError
+from repro.xmldoc.model import Corpus, XMLDocument, XMLNode
+from repro.xmldoc.sharding import ROUND_ROBIN, ShardedCorpus, \
+    hash_shard
+
+_ONTOLOGY = build_core_ontology()
+
+
+def tiny_document(doc_id: int, text: str) -> XMLDocument:
+    return XMLDocument(doc_id=doc_id,
+                       root=XMLNode("record", {}, text=text))
+
+
+DOCUMENTS = [tiny_document(0, "asthma fever"),
+             tiny_document(1, "cardiac arrest"),
+             tiny_document(2, "chronic pain")]
+EXTRA = tiny_document(3, "valve stenosis")
+
+
+def built(strategy=XRANK, config=None, documents=DOCUMENTS):
+    ontology = _ONTOLOGY if strategy != XRANK else None
+    engine = XOntoRankEngine(Corpus(list(documents)), ontology,
+                             strategy=strategy,
+                             config=config or XOntoRankConfig())
+    store = MemoryStore()
+    engine.build_index(store=store)
+    return engine, store
+
+
+class TestLifecycleValidation:
+    def test_elemrank_config_rejected(self):
+        engine, store = built(
+            config=XOntoRankConfig(use_elemrank=False))
+        engine.config = dataclasses.replace(engine.config,
+                                            use_elemrank=True)
+        engine.index_manager.config = engine.config
+        with pytest.raises(ValueError, match="use_elemrank"):
+            engine.add_documents([EXTRA], store)
+
+    def test_strategy_mismatch_rejected(self):
+        _, store = built(strategy=XRANK)
+        other = XOntoRankEngine(Corpus(list(DOCUMENTS)), _ONTOLOGY,
+                                strategy=RELATIONSHIPS,
+                                config=XOntoRankConfig())
+        with pytest.raises(IncompatibleIndexError):
+            other.add_documents([EXTRA], store)
+
+    def test_parameter_mismatch_rejected(self):
+        _, store = built(strategy=RELATIONSHIPS)
+        other = XOntoRankEngine(Corpus(list(DOCUMENTS)), _ONTOLOGY,
+                                strategy=RELATIONSHIPS,
+                                config=XOntoRankConfig(decay=0.25))
+        with pytest.raises(IncompatibleIndexError):
+            other.add_documents([EXTRA], store)
+
+    def test_corpus_content_mismatch_rejected(self):
+        engine, store = built()
+        mutated = [tiny_document(0, "tampered text"),
+                   DOCUMENTS[1], DOCUMENTS[2]]
+        other = XOntoRankEngine(Corpus(mutated), None, strategy=XRANK,
+                                config=XOntoRankConfig())
+        with pytest.raises(IncompatibleIndexError):
+            other.add_documents([EXTRA], store)
+
+    def test_mutation_requires_a_store(self):
+        engine, _ = built()
+        with pytest.raises(ValueError):
+            engine.add_documents([EXTRA], None)
+
+
+class TestLifecycleGauges:
+    def test_segment_and_tombstone_gauges_track_the_catalog(self):
+        engine, store = built()
+        stats = engine.stats
+        engine.add_documents([EXTRA], store)
+        assert stats.value(SEGMENTS_LIVE) == 2
+        assert stats.value(APPEND_DOCS) == 1
+        assert stats.value(TOMBSTONES) == 0
+
+        engine.remove_documents([0], store)
+        assert stats.value(TOMBSTONES) == 1
+        catalog = load_catalog(store)
+        assert catalog.live_set == {1, 2, 3}
+
+        engine.compact(store)
+        assert stats.value(COMPACTIONS) == 1
+        assert stats.value(SEGMENTS_LIVE) == 1
+        assert stats.value(TOMBSTONES) == 0
+        catalog = load_catalog(store)
+        assert len(catalog.segments) == 1
+        assert catalog.live_set == {1, 2, 3}
+
+    def test_compact_store_without_catalog_is_a_no_op(self):
+        from repro.core.index.segments import compact_store
+        _, store = built()
+        assert compact_store(store) is None
+        assert load_catalog(store) is None
+
+    def test_engine_compact_bootstraps_then_compacts(self):
+        engine, store = built()
+        catalog = engine.compact(store)
+        assert len(catalog.segments) == 1
+        assert catalog.live_set == {0, 1, 2}
+        assert load_catalog(store) == catalog
+
+    def test_corpus_follows_mutations(self):
+        engine, store = built()
+        engine.add_documents([EXTRA], store)
+        assert 3 in {doc.doc_id for doc in engine.corpus}
+        engine.remove_documents([3], store)
+        assert 3 not in {doc.doc_id for doc in engine.corpus}
+
+
+class TestShardedCorpusRouting:
+    def test_route_of_known_and_new_ids(self):
+        sharded = ShardedCorpus(Corpus(list(DOCUMENTS)), 2)
+        for document in DOCUMENTS:
+            assert sharded.route(document.doc_id) == \
+                sharded.shard_of(document.doc_id)
+        assert sharded.route(99) == hash_shard(99, 2)
+
+    def test_round_robin_cannot_route_new_ids(self):
+        sharded = ShardedCorpus(Corpus(list(DOCUMENTS)), 2,
+                                policy=ROUND_ROBIN)
+        assert sharded.route(0) == sharded.shard_of(0)
+        with pytest.raises(ValueError):
+            sharded.route(99)
+
+    def test_record_and_forget(self):
+        sharded = ShardedCorpus(Corpus(list(DOCUMENTS)), 2)
+        shard = sharded.route(3)
+        sharded.record(3, shard)
+        assert sharded.shard_of(3) == shard
+        with pytest.raises(ValueError):
+            sharded.record(3, shard)
+        with pytest.raises(ValueError):
+            sharded.record(4, 9)
+        assert sharded.forget(3) == shard
+        with pytest.raises(KeyError):
+            sharded.shard_of(3)

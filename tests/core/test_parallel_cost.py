@@ -1,0 +1,121 @@
+"""The measured cost model behind ``mode="auto"`` parallel builds.
+
+Regression target: the old fixed 512-word threshold could fork a
+process pool for a vocabulary that was large but *cheap*, paying more
+in fork overhead than the whole serial build cost. The chooser is now
+a pure projection from a timed probe chunk; these tests pin its
+decision table, and the integration case asserts the chooser never
+picks the process pool on a tiny corpus where it cannot win.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import XRANK, XOntoRankConfig
+from repro.core.index.parallel import (PROCESS_MODE_THRESHOLD,
+                                       ParallelIndexBuilder,
+                                       choose_mode)
+from repro.core.query.engine import XOntoRankEngine
+from repro.xmldoc.model import Corpus, XMLDocument, XMLNode
+
+
+class TestChooseMode:
+    def test_thread_without_fork_support(self):
+        assert choose_mode(10.0, 10, 10_000, workers=8,
+                           fork_available=False) == "thread"
+
+    def test_thread_with_a_single_worker(self):
+        assert choose_mode(10.0, 10, 10_000, workers=1,
+                           fork_available=True) == "thread"
+
+    def test_thread_with_nothing_remaining(self):
+        assert choose_mode(10.0, 10, 0, workers=8,
+                           fork_available=True) == "thread"
+
+    def test_threshold_fallback_without_probe_signal(self):
+        # A zero-cost (or zero-width) probe says nothing; the legacy
+        # size cutoff decides.
+        assert choose_mode(0.0, 10, PROCESS_MODE_THRESHOLD, workers=4,
+                           fork_available=True) == "process"
+        assert choose_mode(0.0, 10, PROCESS_MODE_THRESHOLD - 1,
+                           workers=4, fork_available=True) == "thread"
+        assert choose_mode(1.0, 0, PROCESS_MODE_THRESHOLD, workers=4,
+                           fork_available=True) == "process"
+
+    def test_cheap_vocabulary_stays_serial_even_when_large(self):
+        # 10k words at 1µs each: the whole remainder costs 10ms, far
+        # below any fork. The old threshold would have forked here.
+        assert choose_mode(0.00001, 10, 10_000, workers=4,
+                           fork_available=True) == "thread"
+
+    def test_expensive_vocabulary_forks_even_when_small(self):
+        # 100 words at 50ms each: 5s serial vs 0.6s fork + 1.25s
+        # pooled. The old threshold would have stayed serial here.
+        assert choose_mode(0.5, 10, 100, workers=4,
+                           fork_available=True) == "process"
+
+    def test_breakeven_boundary_is_exact(self):
+        # With probe cost c per word, S = c * remaining; process wins
+        # iff overhead * workers < S * (1 - 1/workers).
+        workers, overhead = 4, 0.15
+        cost_per_word = 0.01
+        breakeven = (overhead * workers) / (cost_per_word *
+                                            (1 - 1 / workers))
+        below = int(breakeven) - 1
+        above = int(breakeven) + 2
+        assert choose_mode(cost_per_word, 1, below, workers,
+                           fork_available=True,
+                           fork_overhead=overhead) == "thread"
+        assert choose_mode(cost_per_word, 1, above, workers,
+                           fork_available=True,
+                           fork_overhead=overhead) == "process"
+
+
+class TestAutoModeOnTinyCorpus:
+    def test_auto_never_forks_for_a_tiny_corpus(self):
+        """The regression the probe exists to prevent: a tiny corpus
+        makes every keyword near-free, so the chooser must never pick
+        the process pool -- whose fork overhead alone would exceed the
+        whole serial build -- regardless of vocabulary size vs the old
+        threshold."""
+        documents = [
+            XMLDocument(doc_id=i, root=XMLNode(
+                "record", {}, text=f"word{i} shared tiny corpus"))
+            for i in range(6)
+        ]
+        engine = XOntoRankEngine(Corpus(documents), None,
+                                 strategy=XRANK,
+                                 config=XOntoRankConfig())
+        vocabulary = sorted({"shared", "tiny", "corpus"}
+                            | {f"word{i}" for i in range(6)})
+        serial_index = engine.builder.build(vocabulary, XRANK)
+
+        parallel = ParallelIndexBuilder(engine.builder, workers=4,
+                                        mode="auto", chunk_size=2)
+        index = parallel.build(vocabulary, XRANK)
+
+        registry = parallel.registry
+        assert registry.value("parallel_build.mode.process") == 0
+        assert registry.value("parallel_build.builds") == 1
+        # The probe ran (auto + several chunks) and its shard was
+        # reused, not rebuilt: the result still equals the serial one.
+        assert set(index.lists) == set(serial_index.lists)
+        for key in serial_index.lists:
+            assert [posting.encoded() for posting
+                    in index.lists[key]] == \
+                [posting.encoded() for posting
+                 in serial_index.lists[key]]
+
+    def test_explicit_modes_still_respected(self):
+        documents = [XMLDocument(doc_id=0, root=XMLNode(
+            "record", {}, text="alpha beta"))]
+        engine = XOntoRankEngine(Corpus(documents), None,
+                                 strategy=XRANK,
+                                 config=XOntoRankConfig())
+        thread = ParallelIndexBuilder(engine.builder, workers=2,
+                                      mode="thread", chunk_size=1)
+        thread.build(["alpha", "beta"], XRANK)
+        assert thread.registry.value("parallel_build.mode.thread") == 1
+        with pytest.raises(ValueError):
+            ParallelIndexBuilder(engine.builder, mode="rocket")

@@ -5,9 +5,17 @@ The atomic-build protocol gives a binary outcome: either the build
 reached the final rename (store exists, manifest verifies end to end)
 or it did not (no file at the published path; at most a ``.building``
 temp file, which the next build discards). There is no third state.
+
+The incremental protocol extends the same guarantee in place: a
+segment append (or compaction) commits through one catalog write, so a
+SIGKILL at any instant leaves the surviving store either entirely
+without the in-flight segment (old catalog in force; any orphan rows
+are invisible to readers and reported as verify-index *notes*, never
+problems) or with it complete. Torn segments cannot be observed.
 """
 
 import os
+import shutil
 import signal
 import subprocess
 import sys
@@ -16,6 +24,7 @@ import time
 import pytest
 
 from repro.cli import main
+from repro.storage import SQLiteStore, load_catalog, verify_manifest
 
 SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(
     os.path.dirname(os.path.abspath(__file__)))), "src")
@@ -68,3 +77,144 @@ class TestSigkilledBuild:
         assert os.path.exists(store)
         assert not os.path.exists(store + ".building")
         assert main(["verify-index", "--store", store]) == 0
+
+
+# ----------------------------------------------------------------------
+# Incremental appends and compaction under SIGKILL
+# ----------------------------------------------------------------------
+BASE_PATIENTS = ("patient-0000.xml", "patient-0001.xml")
+
+
+@pytest.fixture(scope="module")
+def grow_dirs(tmp_path_factory):
+    """A 4-patient data directory plus a 2-patient prefix of it.
+
+    The generator is prefix-stable for a fixed seed, so the base
+    directory's documents are byte-identical to the full directory's
+    first two -- exactly the situation ``index --append`` requires
+    (the indexed documents re-read unchanged, plus new ones)."""
+    full = str(tmp_path_factory.mktemp("growfull"))
+    assert main(["generate", "--out", full, "--patients", "4",
+                 "--seed", "11"]) == 0
+    base = str(tmp_path_factory.mktemp("growbase"))
+    shutil.copytree(full, base, dirs_exist_ok=True)
+    for name in os.listdir(os.path.join(base, "corpus")):
+        if name not in BASE_PATIENTS:
+            os.unlink(os.path.join(base, "corpus", name))
+    return base, full
+
+
+def spawn_cli(arguments) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC_DIR] + [p for p in env.get("PYTHONPATH", "").split(
+            os.pathsep) if p])
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *arguments],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def kill_after(process: subprocess.Popen, delay: float) -> None:
+    time.sleep(delay)
+    process.send_signal(signal.SIGKILL)
+    process.wait(timeout=30)
+
+
+def surviving_catalog(store_path: str):
+    """Assert the surviving store is readable and internally
+    consistent; return its catalog (None = plain, pre-append)."""
+    assert main(["verify-index", "--store", store_path]) == 0
+    with SQLiteStore(store_path, read_only=True) as store:
+        report = verify_manifest(store)
+        assert report.ok, report.describe()
+        return load_catalog(store)
+
+
+class TestSigkilledAppend:
+    @pytest.fixture(scope="class")
+    def built_store(self, grow_dirs, tmp_path_factory):
+        base, _ = grow_dirs
+        store = str(tmp_path_factory.mktemp("appendstores") / "base.db")
+        assert main(["index", "--data", base, "--store", store]) == 0
+        return store
+
+    @pytest.mark.parametrize("delay", [0.1, 0.6, 2.0])
+    def test_killed_append_is_all_or_nothing(self, grow_dirs,
+                                             built_store, tmp_path,
+                                             delay):
+        _, full = grow_dirs
+        store = str(tmp_path / f"append-{delay}.db")
+        shutil.copyfile(built_store, store)
+        process = spawn_cli(["index", "--data", full, "--store",
+                             store, "--append"])
+        kill_after(process, delay)
+        catalog = surviving_catalog(store)
+        if catalog is None:
+            # Killed before the lifecycle's first commit: the store is
+            # exactly the published base build.
+            return
+        live = catalog.live_set
+        assert live in ({0, 1}, {0, 1, 2, 3})
+        if live == {0, 1}:
+            # Old catalog in force; the in-flight segment is invisible.
+            assert len(catalog.segments) == 1
+        else:
+            # The append won the race: one complete new segment.
+            assert len(catalog.segments) == 2
+            assert set(catalog.segments[-1].doc_ids) == {2, 3}
+
+    def test_completed_append_verifies_and_searches(self, grow_dirs,
+                                                    built_store,
+                                                    tmp_path):
+        _, full = grow_dirs
+        store = str(tmp_path / "append-complete.db")
+        shutil.copyfile(built_store, store)
+        assert main(["index", "--data", full, "--store", store,
+                     "--append"]) == 0
+        catalog = surviving_catalog(store)
+        assert catalog is not None
+        assert catalog.live_set == {0, 1, 2, 3}
+        assert main(["search", "--data", full, "--store", store,
+                     "cardiac", "--strict"]) == 0
+
+
+class TestSigkilledCompaction:
+    @pytest.fixture(scope="class")
+    def segmented_store(self, grow_dirs, tmp_path_factory):
+        """A store holding the base segment plus one appended one."""
+        base, full = grow_dirs
+        store = str(tmp_path_factory.mktemp("compactstores")
+                    / "segmented.db")
+        assert main(["index", "--data", base, "--store", store]) == 0
+        assert main(["index", "--data", full, "--store", store,
+                     "--append"]) == 0
+        return store
+
+    @pytest.mark.parametrize("delay", [0.1, 0.6, 2.0])
+    def test_killed_compaction_never_tears(self, segmented_store,
+                                           tmp_path, delay):
+        store = str(tmp_path / f"compact-{delay}.db")
+        shutil.copyfile(segmented_store, store)
+        process = spawn_cli(["compact", "--store", store])
+        kill_after(process, delay)
+        catalog = surviving_catalog(store)
+        assert catalog is not None
+        # Compaction never changes the live set -- only the segment
+        # organization. Either the old two-segment catalog survives or
+        # the single merged segment committed; a kill during post-commit
+        # garbage collection leaves only invisible orphans (notes).
+        assert catalog.live_set == {0, 1, 2, 3}
+        assert len(catalog.segments) in (1, 2)
+
+    def test_completed_compaction_verifies(self, grow_dirs,
+                                           segmented_store, tmp_path):
+        _, full = grow_dirs
+        store = str(tmp_path / "compact-complete.db")
+        shutil.copyfile(segmented_store, store)
+        assert main(["compact", "--store", store]) == 0
+        catalog = surviving_catalog(store)
+        assert len(catalog.segments) == 1
+        assert catalog.live_set == {0, 1, 2, 3}
+        assert catalog.tombstone_count == 0
+        assert main(["search", "--data", full, "--store", store,
+                     "cardiac", "--strict"]) == 0

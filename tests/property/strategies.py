@@ -101,6 +101,69 @@ def small_ontologies(draw):
     return ontology
 
 
+# ----------------------------------------------------------------------
+# Incremental-maintenance schedules
+# ----------------------------------------------------------------------
+@st.composite
+def corpus_mutation_plans(draw, max_documents: int = 6,
+                          max_ops: int = 6, concept_codes=()):
+    """A random incremental-index maintenance schedule.
+
+    Returns ``(documents, initial_ids, ops)``: the document universe,
+    the ids of the base build, and a list of ``("add", ids)`` /
+    ``("remove", ids)`` / ``("compact", ())`` steps. The invariants the
+    segment lifecycle enforces hold by construction: adds introduce
+    only absent ids (including re-adds of previously tombstoned
+    documents, with identical content), removes target only live ids
+    and never empty the index, and every returned document is live at
+    some point in the schedule (so a statistics universe over
+    ``documents`` covers exactly the ever-indexed set).
+    """
+    count = draw(st.integers(min_value=2, max_value=max_documents))
+    documents = [draw(xml_documents(doc_id=doc_id,
+                                    concept_codes=concept_codes))
+                 for doc_id in range(count)]
+    initial_count = draw(st.integers(min_value=1, max_value=count))
+    initial_ids = tuple(range(initial_count))
+    live = set(initial_ids)
+    absent = set(range(initial_count, count))
+    ever = set(initial_ids)
+    ops: list[tuple[str, tuple[int, ...]]] = []
+    for _ in range(draw(st.integers(min_value=1, max_value=max_ops))):
+        kinds = ["compact"]
+        if absent:
+            kinds.append("add")
+        if len(live) > 1:
+            kinds.append("remove")
+        kind = draw(st.sampled_from(kinds))
+        if kind == "add":
+            pool = sorted(absent)
+            size = draw(st.integers(1, min(2, len(pool))))
+            ids = tuple(sorted(draw(st.lists(
+                st.sampled_from(pool), min_size=size, max_size=size,
+                unique=True))))
+            absent -= set(ids)
+            live |= set(ids)
+            ever |= set(ids)
+            ops.append(("add", ids))
+        elif kind == "remove":
+            pool = sorted(live)
+            size = draw(st.integers(1, min(2, len(pool) - 1)))
+            ids = tuple(sorted(draw(st.lists(
+                st.sampled_from(pool), min_size=size, max_size=size,
+                unique=True))))
+            live -= set(ids)
+            absent |= set(ids)
+            ops.append(("remove", ids))
+        else:
+            ops.append(("compact", ()))
+    # Drop documents the schedule never indexed: the universe is the
+    # ever-live set, which is what pins the statistics epoch.
+    documents = [document for document in documents
+                 if document.doc_id in ever]
+    return documents, initial_ids, ops
+
+
 #: Random authority-flow graphs: node -> list of (neighbor, factor).
 @st.composite
 def flow_graphs(draw):

@@ -13,7 +13,8 @@ federated engine's per-shard fan-out.
 from __future__ import annotations
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import HealthCheck, given, seed, settings, \
+    strategies as st
 
 from repro.core.config import RELATIONSHIPS, XOntoRankConfig
 from repro.core.query.engine import XOntoRankEngine
@@ -24,7 +25,11 @@ from repro.ontology.snomed import (ASTHMA, BRONCHITIS, CARDIAC_ARREST,
                                    THEOPHYLLINE, build_core_ontology)
 from repro.xmldoc.model import Corpus
 
-from .strategies import words, xml_documents
+from repro.storage import MemoryStore
+
+from .strategies import corpus_mutation_plans, words, xml_documents
+from .test_incremental_vs_rebuild import pinned_engine, replay, \
+    universe_substrate
 
 CODES = (ASTHMA, BRONCHITIS, CARDIAC_ARREST, THEOPHYLLINE)
 K_VALUES = (1, 3, 10, None)
@@ -99,6 +104,46 @@ def test_processor_topk_equals_rank_of_collect(corpus, query, k):
     full = rank_results(processor.collect(dils), k)
     assert exact_ranking(processor.collect_topk(dils, k)) == \
         exact_ranking(full)
+
+
+@seed(20090331)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(plan=corpus_mutation_plans(concept_codes=CODES), query=queries(),
+       k=st.sampled_from(K_VALUES))
+def test_topk_equals_full_prefix_across_segments(plan, query, k):
+    """The pruning contract survives the segment merge: an engine
+    grown through add/remove/compact steps serves its DILs from the
+    multi-segment view, and bounded top-k over those merged lists is
+    still the byte-identical prefix of the full enumeration."""
+    documents, initial_ids, ops = plan
+    config = XOntoRankConfig()
+    _, universe_index = universe_substrate(documents, config,
+                                           _ONTOLOGY)
+    engine = pinned_engine(documents, set(initial_ids), _ONTOLOGY,
+                           RELATIONSHIPS, config, universe_index)
+    store = MemoryStore()
+    engine.build_index(store=store)
+    replay(engine, store, documents, initial_ids, ops)
+
+    # The block-max metadata the skipping mode trusts must be exact on
+    # merged lists: per document, the recorded bound IS the maximum
+    # posting score, so no document can be wrongly skipped across a
+    # segment boundary.
+    for keyword in query:
+        dil = engine.dil_for(keyword)
+        expected: dict[int, float] = {}
+        for posting in dil.postings():
+            doc_id = posting.dewey.doc_id
+            if doc_id not in expected \
+                    or posting.score > expected[doc_id]:
+                expected[doc_id] = posting.score
+        assert dil.doc_max_scores() == expected
+
+    full = full_ranking(engine, query)
+    bounded = engine.search(query, k=k)
+    cut = k if k is not None else engine.config.top_k
+    assert exact_ranking(bounded) == exact_ranking(full[:cut])
 
 
 def test_bounded_reads_fewer_postings(cda_corpus, synthetic_ontology):
