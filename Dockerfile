@@ -1,0 +1,39 @@
+# syntax=docker/dockerfile:1
+# Always-on XOntoRank search service (docs/SERVING.md).
+#
+# Stage 1 builds a wheel and bakes a small demo corpus + persisted
+# index so the image serves out of the box; stage 2 is a slim,
+# non-root runtime. For real corpora, mount your own data directory
+# and store and override the command:
+#
+#   docker run -v /my/data:/data xontorank \
+#       python -m repro serve --data /data --store /data/index.db \
+#       --host 0.0.0.0 --port 8080
+
+FROM python:3.12-slim AS build
+WORKDIR /build
+COPY pyproject.toml setup.py README.md ./
+COPY src ./src
+RUN pip wheel --no-deps --wheel-dir /build/wheels .
+# Demo payload: a tiny generated EMR corpus and its crash-safe index.
+RUN pip install --no-deps /build/wheels/*.whl \
+    && python -m repro generate --out /build/data --patients 12 --seed 11 \
+    && python -m repro index --data /build/data --store /build/data/index.db \
+        --strategy relationships
+
+FROM python:3.12-slim
+RUN useradd --create-home --uid 10001 serve
+COPY --from=build /build/wheels /tmp/wheels
+RUN pip install --no-cache-dir --no-deps /tmp/wheels/*.whl \
+    && rm -rf /tmp/wheels
+COPY --from=build --chown=serve:serve /build/data /home/serve/data
+USER serve
+WORKDIR /home/serve
+EXPOSE 8080
+HEALTHCHECK --interval=15s --timeout=3s --start-period=30s --retries=3 \
+    CMD ["python", "-c", "import urllib.request,sys; sys.exit(0 if urllib.request.urlopen('http://127.0.0.1:8080/healthz', timeout=2).status == 200 else 1)"]
+# SIGTERM (docker stop) triggers the graceful drain; exec form keeps
+# the python process as PID 1 so the signal actually reaches it.
+CMD ["python", "-m", "repro", "serve", "--data", "/home/serve/data", \
+     "--store", "/home/serve/data/index.db", "--strategy", "relationships", \
+     "--host", "0.0.0.0", "--port", "8080"]

@@ -473,6 +473,90 @@ def command_search(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _serving_stores(args: argparse.Namespace,
+                    engine: "XOntoRankEngine | FederatedEngine") -> int:
+    """Open --store read-only and put the engine in read-through mode
+    (cache misses served from the store, strict per shard so the
+    server's circuit breakers see real faults); optionally pre-warm.
+    The stores stay open for the process lifetime."""
+    if isinstance(engine, FederatedEngine):
+        paths = [shard_store_path(args.store, shard, args.shards)
+                 for shard in range(args.shards)]
+    else:
+        paths = [args.store]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"error: no index store at {', '.join(missing)} -- "
+              f"build one with `python -m repro index --data {args.data} "
+              f"--store {args.store}"
+              + (f" --shards {args.shards}`" if args.shards > 1
+                 else "`"), file=sys.stderr)
+        return 2
+    readers: list[SQLiteStore | RetryingStore] = []
+    try:
+        for path in paths:
+            store = SQLiteStore(path, read_only=True)
+            reader: "SQLiteStore | RetryingStore" = store
+            if args.retries > 0:
+                reader = RetryingStore(store,
+                                       max_attempts=args.retries + 1,
+                                       stats=engine.stats)
+            readers.append(reader)
+        if isinstance(engine, FederatedEngine):
+            engine.attach_read_stores(readers)
+        else:
+            engine.attach_read_store(readers[0])
+        if not args.no_warm:
+            if isinstance(engine, FederatedEngine):
+                loaded = engine.load_index(readers)
+            else:
+                loaded = engine.load_index(readers[0])
+            print(f"warmed {loaded} posting lists from {args.store}")
+    except StorageError as exc:
+        print(f"error: cannot serve index store {args.store}: {exc}",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def command_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the always-on HTTP search service
+    (see docs/SERVING.md)."""
+    import asyncio
+
+    from .server import SearchService, ServerApp, ServerConfig
+    ontology, corpus = _load_data_directory(args.data)
+    engine = _make_engine(args, corpus, ontology, None)
+    if args.store:
+        code = _serving_stores(args, engine)
+        if code != 0:
+            return code
+    service = SearchService(stats=engine.stats,
+                            breaker_threshold=args.breaker_threshold,
+                            breaker_cooldown=args.breaker_cooldown)
+    service.add_corpus(args.corpus_name, engine)
+    app = ServerApp(service, ServerConfig(
+        host=args.host, port=args.port,
+        max_concurrency=args.concurrency, max_queue=args.queue,
+        default_timeout_ms=args.timeout_ms,
+        drain_grace=args.drain_grace))
+
+    async def _run() -> None:
+        await app.start()
+        print(f"serving corpus {args.corpus_name!r} "
+              f"({len(corpus)} documents, strategy={args.strategy}, "
+              f"shards={args.shards}) on "
+              f"http://{args.host}:{app.bound_port}", flush=True)
+        app.mark_ready()
+        print("ready (GET /search /healthz /readyz /metrics; "
+              "SIGTERM drains)", flush=True)
+        await app.serve_forever()
+        print("drained cleanly; exiting", flush=True)
+
+    asyncio.run(_run())
+    return 0
+
+
 def command_verify_index(args: argparse.Namespace) -> int:
     if not os.path.exists(args.store):
         print(f"error: no index store at {args.store}", file=sys.stderr)
@@ -629,6 +713,63 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--verbose", action="store_true",
                         help="print retry/fallback/integrity counters")
     search.set_defaults(handler=command_search)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="always-on HTTP search service: warm engines, admission "
+             "control, per-request deadlines, circuit-breaker "
+             "degradation (docs/SERVING.md)")
+    serve.add_argument("--data", required=True,
+                       help="data directory (generate one with "
+                            "`python -m repro generate`)")
+    serve.add_argument("--store", default="",
+                       help="persisted index to serve read-through "
+                            "(recommended; logical path with --shards)")
+    serve.add_argument("--strategy", choices=ALL_STRATEGIES,
+                       default=RELATIONSHIPS)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="0 binds an ephemeral port (printed on "
+                            "startup)")
+    serve.add_argument("--corpus-name", default="default",
+                       help="name clients pass as ?corpus=")
+    serve.add_argument("--concurrency", type=_positive_int, default=4,
+                       help="worker threads evaluating queries "
+                            "(= max concurrent searches)")
+    serve.add_argument("--queue", type=int, default=16,
+                       help="admitted-but-waiting bound; requests "
+                            "beyond concurrency+queue are shed (429)")
+    serve.add_argument("--timeout-ms", type=int, default=2000,
+                       help="default per-request deadline "
+                            "(0 = unbounded; clients override with "
+                            "?timeout_ms=)")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       help="seconds SIGTERM waits for in-flight "
+                            "requests before exiting")
+    serve.add_argument("--breaker-threshold", type=_positive_int,
+                       default=3,
+                       help="consecutive shard failures that trip its "
+                            "circuit breaker")
+    serve.add_argument("--breaker-cooldown", type=float, default=2.0,
+                       help="seconds a tripped breaker waits before "
+                            "probing the shard again")
+    serve.add_argument("--cache-size", type=int, default=None,
+                       help="bound the DIL cache to N lists (LRU); "
+                            "default keeps every list")
+    serve.add_argument("--no-warm", action="store_true",
+                       help="skip pre-loading posting lists; serve "
+                            "cold and fill the cache read-through")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="retry budget for transient store faults "
+                            "(deadline-aware; 0 disables retrying)")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="serve a federated index over N shard "
+                            "stores")
+    serve.add_argument("--shard-workers", type=int, default=None,
+                       help="thread-pool size for the per-request "
+                            "shard fan-out (default: sequential)")
+    _add_parameter_flags(serve)
+    serve.set_defaults(handler=command_serve)
 
     verify_index = subparsers.add_parser(
         "verify-index",

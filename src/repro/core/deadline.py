@@ -1,0 +1,115 @@
+"""Request deadlines: one budget, propagated end to end.
+
+A long-lived serving process cannot let any single request hold a
+worker forever: the client has already given up, yet the thread keeps
+burning CPU and -- worse -- keeps a retry loop sleeping. A
+:class:`Deadline` is the absolute point in time after which a request's
+answer is worthless; every layer below the server consults the *same*
+deadline instead of inventing per-layer timeouts that can add up past
+the caller's budget:
+
+* the HTTP layer creates one per request (``timeout_ms`` query
+  parameter or the server default) and converts expiry into a 504;
+* the query pipeline checks it between stages and between per-document
+  DIL merges (bounded top-k mode), returning partial results with a
+  flag instead of overshooting;
+* :class:`~repro.storage.retrying.RetryingStore` refuses to start a
+  backoff sleep that the deadline could not survive.
+
+Layers that cannot thread a parameter through (a store wrapped three
+decorators deep) read the **ambient deadline** instead: the server
+publishes the request's deadline through a :class:`contextvars.ContextVar`
+via :func:`deadline_scope`, and :func:`current_deadline` returns it (or
+``None`` outside any request). Context variables are per-thread-context,
+so concurrent requests on a worker pool never see each other's budget.
+
+The clock is injectable (defaults to :func:`time.monotonic`), so every
+expiry branch is unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from contextvars import ContextVar
+from typing import Callable, Iterator
+
+Clock = Callable[[], float]
+
+
+class DeadlineExceeded(Exception):
+    """The request's time budget ran out before the work finished.
+
+    Not a :class:`~repro.storage.errors.StorageError`: a deadline expiry
+    is the *caller's* budget ending, not the system failing -- the
+    server maps it to 504, never to the degraded/circuit-breaker path.
+    """
+
+
+class Deadline:
+    """An absolute expiry instant with a monotonic clock."""
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(self, expires_at: float,
+                 clock: Clock = time.monotonic) -> None:
+        self._expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(cls, seconds: float,
+              clock: Clock = time.monotonic) -> "Deadline":
+        """A deadline ``seconds`` from now (the usual constructor)."""
+        if seconds < 0:
+            raise ValueError("deadline timeout must be non-negative")
+        return cls(clock() + seconds, clock)
+
+    # ------------------------------------------------------------------
+    @property
+    def expires_at(self) -> float:
+        return self._expires_at
+
+    def remaining(self) -> float:
+        """Seconds left; negative once expired (callers clamp)."""
+        return self._expires_at - self._clock()
+
+    @property
+    def expired(self) -> bool:
+        return self._clock() >= self._expires_at
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` once the budget is gone."""
+        if self.expired:
+            suffix = f" during {where}" if where else ""
+            raise DeadlineExceeded(
+                f"deadline exceeded{suffix} "
+                f"({-self.remaining() * 1000.0:.1f} ms over budget)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Deadline remaining={self.remaining() * 1000.0:.1f}ms>"
+
+
+#: The ambient per-request deadline (None outside a request scope).
+_CURRENT_DEADLINE: ContextVar[Deadline | None] = ContextVar(
+    "repro_current_deadline", default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline of the enclosing :func:`deadline_scope`, if any."""
+    return _CURRENT_DEADLINE.get()
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Deadline | None) -> Iterator[None]:
+    """Publish ``deadline`` as the ambient deadline for the body.
+
+    Scopes nest; the previous value is restored on exit. Passing
+    ``None`` explicitly clears the ambient deadline for the body (e.g.
+    a background compaction triggered from a request handler must not
+    inherit the request's budget).
+    """
+    token = _CURRENT_DEADLINE.set(deadline)
+    try:
+        yield
+    finally:
+        _CURRENT_DEADLINE.reset(token)

@@ -89,6 +89,10 @@ class IndexManager:
         #: The incremental (LSM-segment) lifecycle, bound lazily to the
         #: first store an add/remove/compact call targets.
         self._segments: SegmentLifecycle | None = None
+        #: Read-through store for query-time cache misses (serving
+        #: mode); see :meth:`attach_read_store`.
+        self._read_store: IndexStore | None = None
+        self._read_on_error = None
 
     # ------------------------------------------------------------------
     # Query-time DIL access
@@ -97,11 +101,15 @@ class IndexManager:
         """The keyword's XOnto-DIL, built on first use.
 
         Cached under ``(text, is_phrase)``: a phrase keyword and a term
-        keyword with identical text are distinct cache entries.
+        keyword with identical text are distinct cache entries. With an
+        attached read store (:meth:`attach_read_store`), a miss is
+        served from the store before falling back to a corpus build.
         """
         with self.tracer.span("query.dil_fetch",
                               keyword=keyword.text) as span:
-            if self._segments is not None:
+            if self._read_store is not None:
+                build = lambda: self._read_through(keyword)
+            elif self._segments is not None:
                 build = lambda: self._segments.build_dil(keyword)
             else:
                 build = lambda: self.builder.build_keyword(keyword)[0]
@@ -109,6 +117,71 @@ class IndexManager:
                 (keyword.text, keyword.is_phrase), build)
             span.annotate(postings=len(dil))
             return dil
+
+    # ------------------------------------------------------------------
+    # Read-through serving mode
+    # ------------------------------------------------------------------
+    def attach_read_store(self, store: IndexStore, *,
+                          validate: bool = True,
+                          on_error=None) -> None:
+        """Serve DIL-cache misses from ``store`` instead of rebuilding.
+
+        The serving layer's bounded-memory mode: with a bounded
+        :class:`~repro.core.cache.DILCache`, evicted posting lists are
+        re-read from the persisted index (cheap) rather than re-derived
+        from the corpus (expensive). Segmented stores are read through
+        their logical :class:`~repro.storage.segments.SegmentView`.
+
+        ``on_error`` decides what a query-time storage failure does:
+        ``None`` (default) propagates the
+        :class:`~repro.storage.errors.StorageError` to the caller --
+        the strict mode a federated serving layer needs so its circuit
+        breaker sees shard faults. A callable ``on_error(exc) -> bool``
+        returning True absorbs the failure by rebuilding the list from
+        the corpus (counted under ``engine.fallback.rebuilds``,
+        PR 2's degradation path); returning False re-raises.
+
+        A keyword the store does not hold (a query word outside the
+        indexed vocabulary) is always built from the corpus -- that is
+        vocabulary coverage, not a fault.
+        """
+        if validate:
+            self.validate_store(store)
+        self._read_store = segment_view(store)
+        self._read_on_error = on_error
+
+    def detach_read_store(self) -> None:
+        """Back to corpus-built misses (does not close the store)."""
+        self._read_store = None
+        self._read_on_error = None
+
+    @property
+    def read_store(self) -> IndexStore | None:
+        return self._read_store
+
+    def _read_through(self, keyword: Keyword) -> DeweyInvertedList:
+        from .dil import index_key
+        failure: StorageError
+        try:
+            encoded = self._read_store.get_postings(
+                self.strategy, index_key(keyword))
+            if not encoded:
+                # Not a fault: the keyword is simply outside the
+                # persisted vocabulary (stores never hold empty lists).
+                return self.builder.build_keyword(keyword)[0]
+            return DeweyInvertedList.from_encoded(keyword, encoded)
+        except ValueError as exc:
+            failure = CorruptIndexError(
+                f"stored posting list for {keyword.text!r} is "
+                f"corrupt: {exc}")
+            failure.__cause__ = exc
+        except StorageError as exc:
+            failure = exc
+        if self._read_on_error is not None \
+                and self._read_on_error(failure):
+            self.stats.increment(FALLBACK_REBUILDS)
+            return self.builder.build_keyword(keyword)[0]
+        raise failure
 
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction counters of the DIL cache."""

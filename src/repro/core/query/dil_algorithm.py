@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from ...xmldoc.dewey import DeweyID
+from ..deadline import Deadline
 from ..index.dil import DeweyInvertedList
 from ..obs.tracer import NULL_TRACER
 from ..stats import TOPK_DOCS_SKIPPED, TOPK_HEAP_EVICTIONS, StatsRegistry
@@ -128,6 +129,10 @@ class DILQueryStatistics:
     #: Heap replacements in the bounded mode -- results that entered a
     #: full heap by displacing the then-worst entry.
     heap_evictions: int = 0
+    #: True when a request deadline expired between per-document merges
+    #: and the bounded mode returned its best-so-far heap (a *partial*
+    #: answer) instead of finishing the candidate scan.
+    deadline_hit: bool = False
 
 
 class DILQueryProcessor:
@@ -166,13 +171,31 @@ class DILQueryProcessor:
                 results=self.last_statistics.results_found)
             return results
 
-    def collect_topk(self, dils: list[DeweyInvertedList],
-                     k: int) -> list[QueryResult]:
+    def collect_topk(self, dils: list[DeweyInvertedList], k: int,
+                     deadline: Deadline | None = None,
+                     ) -> list[QueryResult]:
         """The top-k Eq. 1 results, *ranked*, via bounded evaluation.
 
         Equivalent to ``rank_results(self.collect(dils), k)`` but
         short-circuiting: documents whose optimistic score cannot enter
         the full result heap are skipped without reading a posting.
+        With a ``deadline``, the candidate scan stops once it expires
+        and the best-so-far heap is returned (see
+        :meth:`collect_topk_stats` for the partial flag).
+        """
+        return self.collect_topk_stats(dils, k, deadline)[0]
+
+    def collect_topk_stats(self, dils: list[DeweyInvertedList], k: int,
+                           deadline: Deadline | None = None,
+                           ) -> tuple[list[QueryResult],
+                                      DILQueryStatistics]:
+        """:meth:`collect_topk` plus *this call's own* statistics.
+
+        The returned statistics object is local to the call --
+        concurrent queries through one shared processor each get their
+        own (``last_statistics`` keeps only the most recent writer and
+        is for single-threaded inspection). ``statistics.deadline_hit``
+        is the partial-results flag the serving layer surfaces.
         """
         if not dils:
             raise ValueError("a query needs at least one keyword list")
@@ -180,19 +203,20 @@ class DILQueryProcessor:
             raise ValueError("k must be positive")
         with self._tracer.span("query.dil_merge",
                                keywords=len(dils)) as span:
-            results = self._merge_topk(dils, k)
-            statistics = self.last_statistics
+            results, statistics = self._merge_topk(dils, k, deadline)
             span.annotate(
                 postings_read=statistics.postings_read,
                 frames_pushed=statistics.frames_pushed,
                 results=statistics.results_found,
                 docs_skipped=statistics.docs_skipped,
                 heap_evictions=statistics.heap_evictions)
+            if statistics.deadline_hit:
+                span.annotate(deadline_hit=True)
             if self._stats is not None:
                 self._stats.increment_many({
                     TOPK_DOCS_SKIPPED: statistics.docs_skipped,
                     TOPK_HEAP_EVICTIONS: statistics.heap_evictions})
-            return results
+            return results, statistics
 
     # ------------------------------------------------------------------
     def _merge(self, dils: list[DeweyInvertedList],
@@ -211,13 +235,14 @@ class DILQueryProcessor:
         statistics.results_found = len(results)
         return results
 
-    def _merge_topk(self, dils: list[DeweyInvertedList],
-                    k: int) -> list[QueryResult]:
+    def _merge_topk(self, dils: list[DeweyInvertedList], k: int,
+                    deadline: Deadline | None = None,
+                    ) -> tuple[list[QueryResult], DILQueryStatistics]:
         statistics = DILQueryStatistics()
         self.last_statistics = statistics
         keyword_count = len(dils)
         if any(not dil for dil in dils):
-            return []
+            return [], statistics
 
         doc_maxes = [dil.doc_max_scores() for dil in dils]
         # Only documents containing every keyword can produce results;
@@ -232,6 +257,12 @@ class DILQueryProcessor:
                    for index, dil in enumerate(dils)]
         heap: list[tuple[float, _HeapDewey, QueryResult]] = []
         for doc_id in candidates:
+            if deadline is not None and deadline.expired:
+                # Mid-merge expiry: stop scanning and serve what the
+                # heap holds. Document granularity keeps every served
+                # result exact (a document merge is never cut in half).
+                statistics.deadline_hit = True
+                break
             if len(heap) == k:
                 bound = sum(maxes[doc_id] for maxes in doc_maxes)
                 if bound <= heap[0][0]:
@@ -251,7 +282,7 @@ class DILQueryProcessor:
                     statistics.heap_evictions += 1
         ordered = sorted(heap)
         ordered.reverse()
-        return [entry[2] for entry in ordered]
+        return [entry[2] for entry in ordered], statistics
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -33,6 +33,7 @@ from ...xmldoc.serializer import serialize
 from ..cache import DILCache
 from ..config import (DEFAULT_CONFIG, GRAPH, ONTOLOGY_STRATEGIES,
                       RELATIONSHIPS, TAXONOMY, XRANK, XOntoRankConfig)
+from ..deadline import Deadline
 from ..index.builder import IndexBuilder
 from ..index.dil import DeweyInvertedList, XOntoDILIndex
 from ..index.manager import IndexManager
@@ -44,7 +45,7 @@ from ..stats import CacheStats, StatsRegistry
 from .dil_algorithm import DILQueryProcessor
 from .naive import NaiveEvaluator
 from .pipeline import QueryPipeline
-from .results import QueryResult
+from .results import QueryResult, SearchOutcome
 
 
 class XOntoRankEngine:
@@ -128,21 +129,43 @@ class XOntoRankEngine:
     # ------------------------------------------------------------------
     # Query phase
     # ------------------------------------------------------------------
-    def search(self, query: str | KeywordQuery,
-               k: int | None = None) -> list[QueryResult]:
+    def search(self, query: str | KeywordQuery, k: int | None = None,
+               *, deadline: "Deadline | None" = None,
+               ) -> list[QueryResult]:
         """Top-k ontology-aware keyword search.
 
         ``k=None`` falls back to ``config.top_k``; any given ``k`` runs
         the bounded (document-skipping) merge mode, which returns the
-        byte-identical ranking of full evaluation plus truncation.
+        byte-identical ranking of full evaluation plus truncation. A
+        ``deadline`` bounds the evaluation (see :meth:`search_outcome`
+        for the partial-results flag it may set).
+        """
+        return self.search_outcome(query, k, deadline=deadline).results
+
+    def search_outcome(self, query: str | KeywordQuery,
+                       k: int | None = None, *,
+                       deadline: "Deadline | None" = None,
+                       ) -> SearchOutcome:
+        """:meth:`search` plus serving-quality annotations.
+
+        With a ``deadline``, expiry between per-document merges returns
+        the best-so-far prefix with ``partial=True``; expiry before any
+        result could exist raises
+        :class:`~repro.core.deadline.DeadlineExceeded`. This is the
+        entry point the serving layer uses; ``degraded_shards`` is
+        always empty here (a single engine has no shards to shed).
         """
         with self.tracer.span("query.search",
                               strategy=self.strategy) as span:
             context = self.pipeline.run(
-                query, k=k if k is not None else self.config.top_k)
+                query, k=k if k is not None else self.config.top_k,
+                deadline=deadline)
             span.annotate(keywords=len(context.dils),
                           results=len(context.results))
-            return context.results
+            if context.partial:
+                span.annotate(partial=True)
+            return SearchOutcome(results=context.results,
+                                 partial=context.partial)
 
     def search_naive(self, query: str | KeywordQuery,
                      k: int | None = None) -> list[QueryResult]:
@@ -231,6 +254,16 @@ class XOntoRankEngine:
         <repro.core.index.manager.IndexManager.load_index>`."""
         return self.index_manager.load_index(store, validate=validate,
                                              fallback=fallback)
+
+    def attach_read_store(self, store: IndexStore, *,
+                          validate: bool = True,
+                          on_error=None) -> None:
+        """Serve DIL-cache misses from a persisted store (read-through
+        mode, for bounded-memory serving); see
+        :meth:`IndexManager.attach_read_store
+        <repro.core.index.manager.IndexManager.attach_read_store>`."""
+        self.index_manager.attach_read_store(store, validate=validate,
+                                             on_error=on_error)
 
     # ------------------------------------------------------------------
     # Incremental maintenance (LSM segments; delegated to the manager)

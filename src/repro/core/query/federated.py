@@ -33,12 +33,14 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from ...ir.tokenizer import Keyword, KeywordQuery
 from ...ontology.model import Ontology
+from ...storage.errors import StorageError
 from ...storage.interface import IndexStore
 from ...xmldoc.model import Corpus, XMLNode
 from ...xmldoc.serializer import serialize
 from ...xmldoc.sharding import HASH, ShardedCorpus
 from ..config import (DEFAULT_CONFIG, RELATIONSHIPS, XRANK,
                       XOntoRankConfig)
+from ..deadline import Deadline, DeadlineExceeded
 from ..index.builder import IndexBuilder
 from ..index.dil import (DeweyInvertedList, KeywordBuildStats,
                          XOntoDILIndex, keyword_from_key)
@@ -47,7 +49,7 @@ from ..ontoscore.factory import make_ontoscore
 from ..scoring import ElementIndex
 from ..stats import CacheStats, StatsRegistry
 from .engine import XOntoRankEngine
-from .results import QueryResult
+from .results import QueryResult, SearchOutcome
 
 Shard = TypeVar("Shard")
 Value = TypeVar("Value")
@@ -239,33 +241,101 @@ class FederatedEngine:
     # ------------------------------------------------------------------
     # Query phase
     # ------------------------------------------------------------------
-    def search(self, query: str | KeywordQuery,
-               k: int | None = None) -> list[QueryResult]:
+    def search(self, query: str | KeywordQuery, k: int | None = None,
+               *, deadline: Deadline | None = None,
+               ) -> list[QueryResult]:
         """Global top-k: per-shard top-k, k-way merged.
 
         Any global top-k result is in its shard's top-k, so merging
         the per-shard prefixes loses nothing. Each shard runs the
         bounded (document-skipping) merge locally; the global
         truncation of the k-way merge is traced as
-        ``query.topk_pruned``.
+        ``query.topk_pruned``. Shard failures propagate -- for the
+        degraded mode the serving layer uses, see
+        :meth:`search_outcome`.
+        """
+        return self.search_outcome(query, k, deadline=deadline).results
+
+    #: Per-shard sentinel outcomes of the resilient fan-out.
+    _SHARD_SKIPPED = "skipped"
+    _SHARD_FAILED = "failed"
+    _SHARD_TIMED_OUT = "timed_out"
+
+    def search_outcome(self, query: str | KeywordQuery,
+                       k: int | None = None, *,
+                       deadline: Deadline | None = None,
+                       skip_shards: Iterable[int] = (),
+                       on_shard_error: "Callable[[int, StorageError], bool] | None" = None,
+                       ) -> SearchOutcome:
+        """:meth:`search` with per-shard degradation for the server.
+
+        ``skip_shards`` are not queried at all (their circuit breaker
+        is open); a shard raising a
+        :class:`~repro.storage.errors.StorageError` is offered to
+        ``on_shard_error(shard, error)`` -- returning True absorbs the
+        failure and serves without that shard, returning False (or
+        passing no handler) re-raises it. Every shard that contributed
+        nothing lands in the outcome's ``degraded_shards``; a degraded
+        answer is exact *over the shards that answered* but may miss
+        results whose documents live in a degraded shard -- the
+        identity contract holds only for exact outcomes.
+
+        A shard whose deadline expires before it produced anything is
+        treated as degraded-by-timeout with ``partial=True``; if every
+        shard times out,
+        :class:`~repro.core.deadline.DeadlineExceeded` propagates
+        (there is nothing to serve).
         """
         k = k if k is not None else self.config.top_k
+        skip = frozenset(skip_shards)
         with self.tracer.span("query.federated_search",
                               strategy=self.strategy,
                               shards=self.shard_count) as span:
             parsed = (KeywordQuery.parse(query)
                       if isinstance(query, str) else query)
-            per_shard = self._fan_out(
-                lambda engine, shard: engine.search(parsed, k=k))
+
+            def shard_search(engine: XOntoRankEngine, shard: int):
+                if shard in skip:
+                    return self._SHARD_SKIPPED
+                try:
+                    return engine.search_outcome(parsed, k=k,
+                                                 deadline=deadline)
+                except DeadlineExceeded:
+                    return self._SHARD_TIMED_OUT
+                except StorageError as error:
+                    if on_shard_error is not None \
+                            and on_shard_error(shard, error):
+                        return self._SHARD_FAILED
+                    raise
+
+            per_shard = self._fan_out(shard_search)
+            outcomes = [outcome for outcome in per_shard
+                        if isinstance(outcome, SearchOutcome)]
+            degraded = tuple(
+                shard for shard, outcome in enumerate(per_shard)
+                if not isinstance(outcome, SearchOutcome))
+            timed_out = sum(
+                1 for outcome in per_shard
+                if outcome == self._SHARD_TIMED_OUT)
+            if timed_out and not outcomes:
+                raise DeadlineExceeded(
+                    f"deadline exceeded in all {timed_out} live "
+                    f"shard(s) before any result was produced")
+            partial = (timed_out > 0
+                       or any(outcome.partial for outcome in outcomes))
             with self.tracer.span("query.topk_pruned",
                                   shards=self.shard_count) as prune:
-                merged = merge_ranked(per_shard, k)
+                merged = merge_ranked(
+                    [outcome.results for outcome in outcomes], k)
                 prune.annotate(
-                    candidates=sum(len(results)
-                                   for results in per_shard),
+                    candidates=sum(len(outcome.results)
+                                   for outcome in outcomes),
                     results=len(merged))
             span.annotate(results=len(merged))
-            return merged
+            if degraded:
+                span.annotate(degraded_shards=len(degraded))
+            return SearchOutcome(results=merged, partial=partial,
+                                 degraded_shards=degraded)
 
     def dil_for(self, keyword: Keyword) -> DeweyInvertedList:
         """The *global* DIL of a keyword: shard DILs re-merged (mostly
@@ -369,6 +439,21 @@ class FederatedEngine:
                                       for stat in stats), default=0),
             ) if stats else None)
         return combined
+
+    def attach_read_stores(self, stores: Sequence[IndexStore], *,
+                           validate: bool = True,
+                           on_error=None) -> None:
+        """Put every shard engine in read-through mode against its own
+        store (see :meth:`IndexManager.attach_read_store
+        <repro.core.index.manager.IndexManager.attach_read_store>`).
+        Strict per shard by default: a shard store failure surfaces as
+        that shard's :class:`~repro.storage.errors.StorageError`, which
+        is what :meth:`search_outcome`'s ``on_shard_error`` degradation
+        (and the serving layer's circuit breaker) keys off."""
+        self._check_shard_stores(stores)
+        for shard, engine in enumerate(self.shard_engines):
+            engine.attach_read_store(stores[shard], validate=validate,
+                                     on_error=on_error)
 
     def load_index(self, stores: Sequence[IndexStore], *,
                    validate: bool = True, fallback: bool = True) -> int:

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from ...ir.tokenizer import Keyword, KeywordQuery
+from ..deadline import Deadline
 from ..index.dil import DeweyInvertedList
 from ..obs.tracer import NULL_TRACER
 from .dil_algorithm import DILQueryProcessor
@@ -46,9 +47,25 @@ class QueryContext:
     dils: list[DeweyInvertedList] = field(default_factory=list)
     unranked: list[QueryResult] = field(default_factory=list)
     results: list[QueryResult] = field(default_factory=list)
+    #: The request's time budget (None = unbounded, the historical
+    #: behavior). Stages that can do real work check it: the fetch
+    #: stage between keywords (a fetch may rebuild a posting list from
+    #: the corpus), the merge stage between per-document merges.
+    deadline: Deadline | None = None
+    #: Set by the merge stage when the deadline expired mid-merge and
+    #: ``results`` holds a best-so-far prefix instead of the exact
+    #: top-k. Expiry *before* any result exists raises
+    #: :class:`~repro.core.deadline.DeadlineExceeded` instead.
+    partial: bool = False
     #: Free-form scratch space for inserted stages (rewriters, result
     #: caches) that need to hand data to a later stage of their own.
     extras: dict = field(default_factory=dict)
+
+    def check_deadline(self, where: str = "") -> None:
+        """Raise :class:`~repro.core.deadline.DeadlineExceeded` once
+        the request's budget is spent (no-op without a deadline)."""
+        if self.deadline is not None:
+            self.deadline.check(where)
 
 
 class QueryStage:
@@ -94,8 +111,14 @@ class DILFetchStage(QueryStage):
 
     def run(self, context: QueryContext) -> None:
         assert context.parsed is not None, "parse stage must run first"
-        context.dils = [self._source(keyword)
-                        for keyword in context.parsed]
+        dils = []
+        for keyword in context.parsed:
+            # A fetch can rebuild a whole posting list (cache miss with
+            # no store, or degraded mode); don't start one the request
+            # can no longer use.
+            context.check_deadline("dil_fetch")
+            dils.append(self._source(keyword))
+        context.dils = dils
 
 
 class MergeStage(QueryStage):
@@ -114,11 +137,18 @@ class MergeStage(QueryStage):
         self.processor = processor
 
     def run(self, context: QueryContext) -> None:
+        context.check_deadline("dil_merge")
         if context.k is not None:
-            context.unranked = self.processor.collect_topk(
-                context.dils, context.k)
+            context.unranked, statistics = \
+                self.processor.collect_topk_stats(
+                    context.dils, context.k, context.deadline)
+            context.partial = statistics.deadline_hit
             context.extras["merge_bounded"] = True
         else:
+            # Full enumeration has no partial mode: the stack merge's
+            # Eq. 1 emission order is document order, not rank order,
+            # so a prefix of it is not a top-k prefix. The entry check
+            # above is the full mode's only deadline gate.
             context.unranked = self.processor.collect(context.dils)
 
 
@@ -161,10 +191,16 @@ class QueryPipeline:
                     MergeStage(processor), RankStage(tracer)])
 
     # ------------------------------------------------------------------
-    def run(self, query: str | KeywordQuery,
-            k: int | None = None) -> QueryContext:
-        """Execute every stage in order; returns the filled context."""
-        context = QueryContext(query=query, k=k)
+    def run(self, query: str | KeywordQuery, k: int | None = None,
+            deadline: Deadline | None = None) -> QueryContext:
+        """Execute every stage in order; returns the filled context.
+
+        A ``deadline`` bounds the whole chain: expiry before the merge
+        produced anything raises
+        :class:`~repro.core.deadline.DeadlineExceeded`; expiry
+        mid-merge returns the filled context with ``partial=True``.
+        """
+        context = QueryContext(query=query, k=k, deadline=deadline)
         for stage in self._stages:
             stage.run(context)
         return context

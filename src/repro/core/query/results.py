@@ -36,6 +36,32 @@ class QueryResult:
                 f"{self.score:.4f})")
 
 
+@dataclass(frozen=True)
+class SearchOutcome:
+    """One search plus its serving-quality annotations.
+
+    ``results`` alone is what :meth:`XOntoRankEngine.search` returns;
+    the serving layer needs to know *how good* those results are:
+
+    * ``partial`` -- the request deadline expired mid-evaluation and
+      the bounded merge returned the best-so-far prefix instead of the
+      exact top-k (surfaced as ``X-Partial: true``);
+    * ``degraded_shards`` -- federated shards that contributed nothing
+      because their circuit breaker was open or their store failed
+      (surfaced as ``X-Degraded-Shards``). Always empty for an exact,
+      fully-served answer.
+    """
+
+    results: list[QueryResult]
+    partial: bool = False
+    degraded_shards: tuple[int, ...] = ()
+
+    @property
+    def exact(self) -> bool:
+        """True when nothing was skipped, shed, or cut short."""
+        return not self.partial and not self.degraded_shards
+
+
 def rank_results(results: list[QueryResult],
                  k: int | None = None) -> list[QueryResult]:
     """Sort by descending score, tie-broken by Dewey ID (deterministic);

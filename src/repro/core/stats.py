@@ -82,6 +82,49 @@ APPEND_KEYWORDS_BUILT = "index.append.keywords_built"
 APPEND_KEYWORDS_SKIPPED = "index.append.keywords_skipped"
 #: Segment compactions run to completion.
 COMPACTIONS = "index.compactions"
+#: Retry loops cut short because the next backoff sleep would have
+#: overshot the caller's time budget or ambient request deadline.
+RETRY_BUDGET_EXHAUSTED = "storage.retry.budget_exhausted"
+
+# ----------------------------------------------------------------------
+# Serving-layer counters (repro.server; see docs/SERVING.md). One
+# registry per server process collects them, and /metrics dumps the
+# whole registry as JSON.
+# ----------------------------------------------------------------------
+#: Search requests that reached the /search route (leaders + followers).
+SERVER_REQUESTS = "server.requests"
+#: Search requests admitted to the worker pool (single-flight leaders).
+SERVER_ADMITTED = "server.admitted"
+#: Search requests rejected with 429 because every concurrency token
+#: and queue slot was taken (load shedding).
+SERVER_SHED = "server.shed"
+#: Search requests that coalesced onto an identical in-flight query
+#: (single-flight followers; they consume no worker and no token).
+SERVER_COALESCED = "server.coalesced"
+#: Responses served with at least one shard degraded (skipped by an
+#: open circuit breaker or dropped after a storage failure).
+SERVER_DEGRADED_RESPONSES = "server.degraded_responses"
+#: 200 responses flagged partial: the deadline expired mid-merge and
+#: the bounded evaluation returned what it had.
+SERVER_PARTIAL_RESPONSES = "server.partial_responses"
+#: Requests answered 504 because the deadline expired before any
+#: servable result existed.
+SERVER_DEADLINE_TIMEOUTS = "server.deadline_timeouts"
+#: Unexpected handler exceptions answered 500.
+SERVER_ERRORS = "server.errors"
+#: Shard search failures recorded against a circuit breaker.
+SERVER_BREAKER_FAILURES = "server.breaker.failures"
+#: Breaker transitions closed/half-open -> open.
+SERVER_BREAKER_TRIPS = "server.breaker.trips"
+#: Probe requests allowed through a half-open breaker.
+SERVER_BREAKER_PROBES = "server.breaker.probes"
+#: Breaker transitions half-open -> closed (service recovered).
+SERVER_BREAKER_RESETS = "server.breaker.resets"
+#: Requests still in flight when a drain started and finished cleanly.
+SERVER_DRAINED_INFLIGHT = "server.drained_inflight"
+#: End-to-end /search leader latency (admission to response), as a
+#: timer histogram (p50/p95/p99 on /metrics).
+SERVER_REQUEST_SECONDS = "server.request_seconds"
 
 
 class _TimeContext:
@@ -104,13 +147,32 @@ class _TimeContext:
         return False
 
 
+@dataclass(frozen=True)
+class RegistrySnapshot:
+    """One mutually consistent view of a registry: counters and timers
+    captured under a single lock acquisition, stamped with the epoch
+    they belong to. This is what ``/metrics`` serves -- a scrape never
+    mixes counters from one epoch with timers from the next."""
+
+    epoch: int
+    counters: dict[str, int]
+    timers: dict[str, TimerStats]
+
+
 class StatsRegistry:
-    """A thread-safe map of named counters and timer histograms."""
+    """A thread-safe map of named counters and timer histograms.
+
+    The registry is **epoched**: :meth:`reset` (and the atomic
+    :meth:`drain`) advance a monotonic epoch counter, so a consumer
+    appending periodic :meth:`snapshot_all` scrapes can tell a counter
+    that went backwards because of a reset from one that was corrupted.
+    """
 
     def __init__(self, clock: Clock | None = None) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, int] = {}
         self._timers: dict[str, LogBucketHistogram] = {}
+        self._epoch = 0
         #: The duration source for :meth:`time`; inject a
         #: :class:`~repro.core.obs.instruments.ManualClock` in tests.
         self.clock = clock if clock is not None else default_clock()
@@ -148,6 +210,44 @@ class StatsRegistry:
         with self._lock:
             return dict(self._counters)
 
+    @property
+    def epoch(self) -> int:
+        """Number of resets this registry has seen (0 when fresh)."""
+        with self._lock:
+            return self._epoch
+
+    def snapshot_all(self) -> RegistrySnapshot:
+        """Counters *and* timers captured under one lock acquisition.
+
+        Unlike calling :meth:`snapshot` and :meth:`timers` separately,
+        the two maps are guaranteed to belong to the same instant and
+        the same epoch -- a concurrent writer (a live build, a request
+        thread) can never land an update between the two halves of the
+        scrape.
+        """
+        with self._lock:
+            return RegistrySnapshot(
+                epoch=self._epoch,
+                counters=dict(self._counters),
+                timers={name: histogram.snapshot()
+                        for name, histogram in self._timers.items()})
+
+    def drain(self) -> RegistrySnapshot:
+        """Atomic snapshot-then-reset: the returned snapshot holds
+        exactly the updates of the ending epoch -- summing drained
+        counters across epochs loses nothing and double-counts nothing
+        even with writers running concurrently."""
+        with self._lock:
+            snapshot = RegistrySnapshot(
+                epoch=self._epoch,
+                counters=dict(self._counters),
+                timers={name: histogram.snapshot()
+                        for name, histogram in self._timers.items()})
+            self._counters.clear()
+            self._timers.clear()
+            self._epoch += 1
+            return snapshot
+
     # ------------------------------------------------------------------
     def observe(self, name: str, seconds: float) -> None:
         """Record one duration sample into timer ``name``."""
@@ -180,10 +280,12 @@ class StatsRegistry:
                     for name, histogram in self._timers.items()}
 
     def reset(self) -> None:
-        """Zero every counter and timer (between benchmark rounds)."""
+        """Zero every counter and timer and advance the epoch
+        (between benchmark rounds, or a metrics-scrape rotation)."""
         with self._lock:
             self._counters.clear()
             self._timers.clear()
+            self._epoch += 1
 
     # ------------------------------------------------------------------
     def render(self, prefix: str | None = None) -> str:

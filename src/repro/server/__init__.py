@@ -1,0 +1,48 @@
+"""The always-on serving layer (``repro serve``).
+
+Turns the library into a long-lived HTTP service with the robustness
+properties the CLI's one-shot processes cannot offer:
+
+* **warm engines** -- indexes are loaded once and reused, so a request
+  pays only query-time work (see ``benchmarks/bench_serving.py`` for
+  the measured gap against per-query CLI startup);
+* **admission control** -- a bounded worker pool plus a bounded queue;
+  excess load is shed immediately with 429 instead of collapsing
+  latency for everyone (:class:`~repro.server.admission.AdmissionController`);
+* **deadlines** -- every request carries a time budget that propagates
+  through retry backoff and the top-k merge
+  (:class:`~repro.core.deadline.Deadline`); expiry yields a partial
+  result or 504, never an unbounded wait;
+* **graceful degradation** -- a per-shard circuit breaker
+  (:class:`~repro.server.breaker.CircuitBreaker`) converts a failing
+  shard store into degraded-but-successful responses (the
+  ``X-Degraded-Shards`` header) instead of an error storm;
+* **single-flight coalescing** -- identical in-flight queries share one
+  evaluation (:class:`~repro.server.coalesce.Coalescer`);
+* **lifecycle** -- ``/healthz``, ``/readyz``, ``/metrics`` and a
+  SIGTERM drain that finishes in-flight work before exiting.
+
+The package splits a synchronous, independently testable service core
+(:mod:`~repro.server.service`) from the asyncio HTTP front-end
+(:mod:`~repro.server.app`); :mod:`~repro.server.http` holds the
+dependency-free HTTP/1.1 plumbing.
+"""
+
+from .admission import AdmissionController
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .coalesce import Coalescer
+from .service import SearchService, UnknownCorpusError
+from .app import ServerApp, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+    "Coalescer",
+    "SearchService",
+    "UnknownCorpusError",
+    "ServerApp",
+    "ServerConfig",
+]

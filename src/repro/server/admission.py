@@ -1,0 +1,79 @@
+"""Admission control: bounded concurrency plus a bounded queue.
+
+The server executes queries on a worker pool of ``max_concurrency``
+threads. Without admission control, a burst beyond the pool size piles
+unboundedly into the executor's internal queue and every queued request
+eventually times out -- the classic latency collapse. The
+:class:`AdmissionController` caps the pile: at most
+``max_concurrency + max_queue`` requests may be in flight at once, and
+anything beyond that is *shed immediately* (HTTP 429) while the server
+is still healthy enough to say so.
+
+The controller is a plain token counter under a lock rather than a
+semaphore because admission must be non-blocking: a request either gets
+a token *now* or is shed *now*; nothing ever waits for one.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.stats import SERVER_ADMITTED, SERVER_SHED, StatsRegistry
+
+
+class AdmissionController:
+    """Non-blocking token-based admission for a bounded worker pool.
+
+    ``capacity = max_concurrency + max_queue`` tokens exist;
+    :meth:`try_admit` takes one or reports shedding, :meth:`release`
+    returns one. Thread-safe; usable from the event loop and from
+    worker threads alike.
+    """
+
+    def __init__(self, max_concurrency: int, max_queue: int = 0,
+                 stats: StatsRegistry | None = None) -> None:
+        if max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self._capacity = max_concurrency + max_queue
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self._stats = stats
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently holding a token."""
+        with self._lock:
+            return self._in_flight
+
+    def try_admit(self) -> bool:
+        """Take a token if one is free; never blocks.
+
+        Returns True (admitted; caller must :meth:`release`) or False
+        (shed; the caller answers 429 without touching the pool).
+        """
+        with self._lock:
+            if self._in_flight >= self._capacity:
+                shed = True
+            else:
+                self._in_flight += 1
+                shed = False
+        if self._stats is not None:
+            self._stats.increment(SERVER_SHED if shed
+                                  else SERVER_ADMITTED)
+        return not shed
+
+    def release(self) -> None:
+        """Return a token taken by a successful :meth:`try_admit`."""
+        with self._lock:
+            if self._in_flight <= 0:
+                raise RuntimeError(
+                    "release() without a matching try_admit()")
+            self._in_flight -= 1

@@ -1,0 +1,338 @@
+"""The asyncio HTTP front-end over the synchronous serving core.
+
+One event loop handles all connections; query evaluation (CPU-bound,
+GIL-releasing only in SQLite) runs on a bounded thread pool sized to
+the admission controller's concurrency. The loop therefore never
+blocks on a query, and the three lifecycle endpoints stay responsive
+even under full load -- the property the load-shedding contract
+depends on (a shed request must cost microseconds).
+
+Endpoints:
+
+``GET /search?q=...&k=...&corpus=...&timeout_ms=...``
+    Deadline-bounded top-k search. Degradation is visible, never
+    silent: ``X-Degraded-Shards`` lists shards served around,
+    ``X-Partial: 1`` flags a best-so-far prefix. 429 when shed, 504
+    when the deadline expired before anything could be served.
+``GET /healthz``
+    Liveness: 200 whenever the process can answer at all.
+``GET /readyz``
+    Readiness: 200 only after every corpus is warm and validated, 503
+    while warming and again while draining (load balancers stop
+    routing before in-flight work finishes).
+``GET /metrics``
+    One consistent :meth:`~repro.core.stats.StatsRegistry.snapshot_all`
+    scrape (counters + timers + epoch) plus live server state.
+
+SIGTERM/SIGINT starts the graceful drain: stop accepting, flip
+``/readyz`` to 503, wait up to ``drain_grace`` seconds for in-flight
+requests, then exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import signal
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..core.deadline import Deadline, DeadlineExceeded
+from ..core.query.results import SearchOutcome
+from ..core.stats import (SERVER_DEADLINE_TIMEOUTS, SERVER_DRAINED_INFLIGHT,
+                          SERVER_ERRORS, SERVER_REQUEST_SECONDS,
+                          SERVER_REQUESTS, StatsRegistry)
+from .admission import AdmissionController
+from .coalesce import Coalescer
+from .http import BadRequest, Request, read_request, render_response
+from .service import SearchService, UnknownCorpusError
+
+
+class _Shed(Exception):
+    """Internal: admission refused the request (becomes 429)."""
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of one server process."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    #: Worker threads evaluating queries (= max concurrent queries).
+    max_concurrency: int = 4
+    #: Admitted-but-waiting requests beyond the pool; more is shed.
+    max_queue: int = 16
+    #: Deadline applied when the request names none (0 = unbounded).
+    default_timeout_ms: int = 2000
+    #: Ceiling on client-requested timeouts.
+    max_timeout_ms: int = 60_000
+    #: Seconds the drain waits for in-flight requests on SIGTERM.
+    drain_grace: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.default_timeout_ms < 0 or self.drain_grace < 0:
+            raise ValueError("timeouts must be >= 0")
+
+
+class ServerApp:
+    """Event loop, routes, worker pool, and lifecycle for one server."""
+
+    def __init__(self, service: SearchService,
+                 config: ServerConfig = ServerConfig(),
+                 stats: StatsRegistry | None = None) -> None:
+        self.service = service
+        self.config = config
+        self.stats = stats if stats is not None else service.stats
+        self.admission = AdmissionController(config.max_concurrency,
+                                             config.max_queue,
+                                             stats=self.stats)
+        self.coalescer = Coalescer(stats=self.stats)
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.max_concurrency,
+            thread_name_prefix="repro-serve")
+        self._server: asyncio.AbstractServer | None = None
+        self._ready = False
+        self._draining = False
+        self._http_inflight = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        return self._ready and not self._draining
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def mark_ready(self) -> None:
+        """Flip ``/readyz`` to 200 (call after every corpus is warm)."""
+        self._ready = True
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port)
+
+    @property
+    def bound_port(self) -> int:
+        """The actual port (resolves ``port=0`` ephemeral binds)."""
+        assert self._server is not None, "start() must run first"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight work
+        (up to ``drain_grace`` seconds), release the worker pool."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.stats.increment(SERVER_DRAINED_INFLIGHT,
+                             self._http_inflight)
+        loop = asyncio.get_running_loop()
+        give_up = loop.time() + self.config.drain_grace
+        while self._http_inflight > 0 and loop.time() < give_up:
+            await asyncio.sleep(0.01)
+        self._executor.shutdown(wait=False)
+
+    async def serve_forever(self) -> None:
+        """Run until SIGTERM/SIGINT, then drain and return."""
+        if self._server is None:
+            await self.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread or unsupported platform
+        try:
+            await stop.wait()
+        finally:
+            await self.drain()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except BadRequest as error:
+                    writer.write(render_response(
+                        400, {"error": str(error)}, keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                self._http_inflight += 1
+                try:
+                    status, body, headers = await self._dispatch(request)
+                finally:
+                    self._http_inflight -= 1
+                self.stats.increment(f"server.responses.{status}")
+                keep_alive = request.keep_alive and not self._draining
+                writer.write(render_response(status, body,
+                                             headers=headers,
+                                             keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: Request,
+                        ) -> tuple[int, dict | str, dict[str, str]]:
+        if request.method != "GET":
+            return 405, {"error": "only GET is supported"}, {}
+        if request.path == "/healthz":
+            return 200, "ok\n", {}
+        if request.path == "/readyz":
+            if self._draining:
+                return 503, "draining\n", {}
+            if not self._ready:
+                return 503, "warming\n", {}
+            return 200, "ready\n", {}
+        if request.path == "/metrics":
+            return 200, self._metrics_body(), {}
+        if request.path == "/search":
+            return await self._handle_search(request)
+        return 404, {"error": f"no route for {request.path}"}, {}
+
+    # ------------------------------------------------------------------
+    # /metrics
+    # ------------------------------------------------------------------
+    def _metrics_body(self) -> dict:
+        scrape = self.stats.snapshot_all()
+        return {
+            "epoch": scrape.epoch,
+            "counters": scrape.counters,
+            "timers": {name: {"count": timer.count,
+                              "total": timer.total,
+                              "mean": timer.mean,
+                              "p50": timer.p50,
+                              "p95": timer.p95,
+                              "p99": timer.p99,
+                              "max": timer.maximum}
+                       for name, timer in scrape.timers.items()},
+            "server": {
+                "ready": self.ready,
+                "draining": self._draining,
+                "in_flight": self.admission.in_flight,
+                "capacity": self.admission.capacity,
+                "corpora": {handle.name: {
+                    "shards": handle.shard_count,
+                    "breakers": handle.breaker_states()}
+                    for handle in self.service.corpora()},
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # /search
+    # ------------------------------------------------------------------
+    async def _handle_search(self, request: Request,
+                             ) -> tuple[int, dict, dict[str, str]]:
+        self.stats.increment(SERVER_REQUESTS)
+        if self._draining:
+            return 503, {"error": "draining"}, {}
+        query = (request.param("q") or "").strip()
+        if not query:
+            return 400, {"error": "missing required parameter: q"}, {}
+        corpus = request.param("corpus") or "default"
+        try:
+            k = self._int_param(request, "k", minimum=1)
+            timeout_ms = self._int_param(request, "timeout_ms",
+                                         minimum=0)
+        except ValueError as error:
+            return 400, {"error": str(error)}, {}
+        if timeout_ms is None:
+            timeout_ms = self.config.default_timeout_ms
+        timeout_ms = min(timeout_ms, self.config.max_timeout_ms)
+        deadline = (Deadline.after(timeout_ms / 1000.0)
+                    if timeout_ms > 0 else None)
+
+        loop = asyncio.get_running_loop()
+
+        async def lead() -> SearchOutcome:
+            # Admission is charged to leaders only: a coalesced
+            # follower consumes neither a token nor a worker thread.
+            if not self.admission.try_admit():
+                raise _Shed
+            try:
+                with self.stats.time(SERVER_REQUEST_SECONDS):
+                    return await loop.run_in_executor(
+                        self._executor,
+                        functools.partial(self.service.execute, corpus,
+                                          query, k, deadline))
+            finally:
+                self.admission.release()
+
+        try:
+            outcome = await self.coalescer.run(
+                (corpus, query, k), lead,
+                timeout=(deadline.remaining()
+                         if deadline is not None else None))
+        except _Shed:
+            return 429, {"error": "overloaded, request shed"}, \
+                {"Retry-After": "1"}
+        except UnknownCorpusError:
+            return 404, {"error": f"unknown corpus: {corpus}"}, {}
+        except DeadlineExceeded as error:
+            self.stats.increment(SERVER_DEADLINE_TIMEOUTS)
+            return 504, {"error": f"deadline exceeded: {error}"}, {}
+        except ValueError as error:
+            return 400, {"error": str(error)}, {}
+        except Exception as error:  # the 500 backstop
+            self.stats.increment(SERVER_ERRORS)
+            return 500, {"error": f"{type(error).__name__}: {error}"}, {}
+
+        headers: dict[str, str] = {}
+        if outcome.degraded_shards:
+            headers["X-Degraded-Shards"] = ",".join(
+                str(shard) for shard in outcome.degraded_shards)
+        if outcome.partial:
+            headers["X-Partial"] = "1"
+        body = {
+            "query": query,
+            "corpus": corpus,
+            "k": k,
+            "partial": outcome.partial,
+            "degraded_shards": list(outcome.degraded_shards),
+            "results": [{"rank": rank,
+                         "score": round(result.score, 6),
+                         "doc_id": result.doc_id,
+                         "dewey": result.dewey.encode()}
+                        for rank, result
+                        in enumerate(outcome.results, start=1)],
+        }
+        return 200, body, headers
+
+    @staticmethod
+    def _int_param(request: Request, name: str,
+                   minimum: int) -> int | None:
+        raw = request.param(name)
+        if raw is None or raw == "":
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(f"{name} must be an integer, "
+                             f"got {raw!r}") from None
+        if value < minimum:
+            raise ValueError(f"{name} must be >= {minimum}, "
+                             f"got {value}")
+        return value

@@ -1,0 +1,137 @@
+"""A per-shard circuit breaker for the degraded serving mode.
+
+When a shard's store starts failing (every read raising
+:class:`~repro.storage.errors.TransientStorageError` or
+:class:`~repro.storage.errors.CorruptIndexError`), retrying it on every
+request burns the request's deadline on a shard that cannot answer.
+The breaker converts that into fast, *bounded* degradation:
+
+``CLOSED``
+    Healthy. Requests flow; ``failure_threshold`` *consecutive*
+    failures trip the breaker to ``OPEN``.
+``OPEN``
+    Tripped. :meth:`allow` answers False (the serving layer skips the
+    shard entirely -- no store access, no deadline spent) until
+    ``cooldown`` seconds have passed.
+``HALF_OPEN``
+    Probation. After the cooldown, exactly **one** request is let
+    through as a probe; its success resets the breaker to ``CLOSED``
+    (full fidelity resumes), its failure re-trips to ``OPEN`` for
+    another cooldown. Concurrent requests during the probe stay
+    skipped, so a still-broken shard sees one request per cooldown
+    instead of the full load.
+
+The clock is injectable, so breaker tests never sleep. Thread-safe:
+the serving layer calls it from many worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..core.stats import (SERVER_BREAKER_FAILURES, SERVER_BREAKER_PROBES,
+                          SERVER_BREAKER_RESETS, SERVER_BREAKER_TRIPS,
+                          StatsRegistry)
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single-probe half-open state."""
+
+    def __init__(self, failure_threshold: int = 3,
+                 cooldown: float = 2.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 stats: StatsRegistry | None = None) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._stats = stats
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        self._probe_started = 0.0
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``open`` / ``half_open`` (open reported as
+        half_open only once a probe actually started)."""
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request touch the guarded shard right now?
+
+        In ``OPEN`` past the cooldown this *takes* the single probe
+        slot as a side effect: the first caller gets True (and must
+        report the outcome via :meth:`record_success` /
+        :meth:`record_failure`), every other caller gets False until
+        the probe resolves. A probe whose request died without
+        reporting (e.g. its deadline expired, which is deliberately
+        breaker-neutral) goes stale after one cooldown and the slot is
+        handed to the next caller -- the shard can never get stuck
+        permanently skipped.
+        """
+        probe = False
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            now = self._clock()
+            if self._state == OPEN \
+                    and now - self._opened_at >= self.cooldown:
+                self._state = HALF_OPEN
+                probe = True
+            elif self._state == HALF_OPEN \
+                    and (not self._probing
+                         or now - self._probe_started >= self.cooldown):
+                probe = True
+            if probe:
+                self._probing = True
+                self._probe_started = now
+        if probe and self._stats is not None:
+            self._stats.increment(SERVER_BREAKER_PROBES)
+        return probe
+
+    def record_success(self) -> None:
+        """A guarded operation succeeded: reset to ``CLOSED``."""
+        reset = False
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probing = False
+            if self._state != CLOSED:
+                self._state = CLOSED
+                reset = True
+        if reset and self._stats is not None:
+            self._stats.increment(SERVER_BREAKER_RESETS)
+
+    def record_failure(self) -> None:
+        """A guarded operation failed: count it, trip at the threshold
+        (a failed half-open probe re-trips immediately)."""
+        tripped = False
+        with self._lock:
+            self._consecutive_failures += 1
+            if self._state == HALF_OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+                tripped = True
+            elif (self._state == CLOSED
+                  and self._consecutive_failures
+                  >= self.failure_threshold):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                tripped = True
+        if self._stats is not None:
+            self._stats.increment(SERVER_BREAKER_FAILURES)
+            if tripped:
+                self._stats.increment(SERVER_BREAKER_TRIPS)

@@ -1,0 +1,88 @@
+"""Single-flight coalescing of identical in-flight queries.
+
+A hot query (think a dashboard every clinician has open) arriving N
+times concurrently should cost one evaluation, not N. The
+:class:`Coalescer` keys in-flight work by ``(corpus, query, k)``: the
+first arrival (the *leader*) runs the evaluation; every identical
+request arriving while it runs (a *follower*) awaits the leader's
+future and consumes **no admission token and no worker thread** --
+coalesced followers are invisible to the load-shedding math.
+
+Followers keep their own deadlines: each waits at most its own
+remaining budget and times out independently (a follower with 50 ms
+left gets 504 even though the leader, with 500 ms, eventually
+succeeds). The leader's future is shielded so a follower timing out or
+disconnecting never cancels the shared evaluation.
+
+This class is asyncio-level (single event loop); the cross-thread
+safety of the underlying evaluation is the service core's concern.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Hashable, TypeVar
+
+from ..core.deadline import DeadlineExceeded
+from ..core.stats import SERVER_COALESCED, StatsRegistry
+
+Result = TypeVar("Result")
+
+
+class Coalescer:
+    """Map of in-flight keys to shared asyncio futures."""
+
+    def __init__(self, stats: StatsRegistry | None = None) -> None:
+        self._inflight: dict[Hashable, asyncio.Future] = {}
+        self._stats = stats
+
+    @property
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    def leading(self, key: Hashable) -> bool:
+        """Would a request for ``key`` be the leader right now?"""
+        return key not in self._inflight
+
+    async def run(self, key: Hashable,
+                  factory: Callable[[], Awaitable[Result]],
+                  timeout: float | None = None) -> Result:
+        """Run ``factory`` once per concurrent batch of ``key``.
+
+        The leader executes ``factory()`` and publishes the result (or
+        exception) to every follower. Followers wait up to ``timeout``
+        seconds (their own deadline's remainder; None = forever) and
+        raise :class:`~repro.core.deadline.DeadlineExceeded` when it
+        elapses first -- without disturbing the leader.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            if self._stats is not None:
+                self._stats.increment(SERVER_COALESCED)
+            try:
+                return await asyncio.wait_for(asyncio.shield(existing),
+                                              timeout)
+            except asyncio.TimeoutError:
+                raise DeadlineExceeded(
+                    "deadline exceeded while waiting on the "
+                    "coalesced in-flight query") from None
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await factory()
+        except BaseException as exc:
+            if not future.cancelled():
+                future.set_exception(exc)
+                # A batch with zero followers never awaits the future;
+                # mark the exception retrieved so asyncio doesn't log
+                # a spurious "exception was never retrieved".
+                future.exception()
+            raise
+        else:
+            if not future.cancelled():
+                future.set_result(result)
+            return result
+        finally:
+            self._inflight.pop(key, None)

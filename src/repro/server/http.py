@@ -1,0 +1,124 @@
+"""Dependency-free HTTP/1.1 plumbing for the asyncio front-end.
+
+The serving layer must run on the standard library alone, so this
+module implements the narrow slice of HTTP/1.1 the API needs: parse a
+request head (method + target + headers) off an asyncio stream, decode
+the query string, and serialize a response with keep-alive handling.
+No chunked bodies, no TLS, no pipelining guarantees beyond
+read-one/write-one per round trip -- the endpoints are all small GET
+requests and the load generator drives them exactly that way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qs, urlsplit
+
+#: Hard cap on an incoming request head; longer heads answer 431.
+MAX_HEAD_BYTES = 16 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(Exception):
+    """Malformed request head (answered 400 and the connection closed)."""
+
+
+@dataclass
+class Request:
+    """One parsed request head."""
+
+    method: str
+    target: str
+    path: str
+    params: dict[str, str]
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def param(self, name: str, default: str | None = None) -> str | None:
+        return self.params.get(name, default)
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       ) -> Request | None:
+    """Parse one request head; None on a cleanly closed connection."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # peer closed between requests: normal
+        raise BadRequest("truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("request head too large") from None
+    if len(head) > MAX_HEAD_BYTES:
+        raise BadRequest("request head too large")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise BadRequest("undecodable request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequest(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    if headers.get("content-length", "0") not in ("", "0"):
+        # All endpoints are GET; drain the body so keep-alive framing
+        # stays aligned, then reject.
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise BadRequest("malformed content-length") from None
+        await reader.readexactly(min(length, MAX_HEAD_BYTES))
+        raise BadRequest("request bodies are not supported")
+    split = urlsplit(target)
+    params = {name: values[-1] for name, values
+              in parse_qs(split.query, keep_blank_values=True).items()}
+    return Request(method=method, target=target, path=split.path,
+                   params=params, headers=headers)
+
+
+def render_response(status: int, body: bytes | str | dict, *,
+                    headers: dict[str, str] | None = None,
+                    keep_alive: bool = True) -> bytes:
+    """Serialize one full HTTP/1.1 response (dict bodies become JSON)."""
+    if isinstance(body, dict):
+        payload = json.dumps(body, sort_keys=True).encode("utf-8")
+        content_type = "application/json"
+    elif isinstance(body, str):
+        payload = body.encode("utf-8")
+        content_type = "text/plain; charset=utf-8"
+    else:
+        payload = body
+        content_type = "application/octet-stream"
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             f"Content-Type: {content_type}",
+             f"Content-Length: {len(payload)}",
+             f"Connection: {'keep-alive' if keep_alive else 'close'}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + payload

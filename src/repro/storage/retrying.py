@@ -14,6 +14,25 @@ caller's latency budget.
 Counters land in a :class:`~repro.core.stats.StatsRegistry` under the
 ``storage.retry.*`` names so the CLI's ``--verbose`` output shows how
 hard the store had to work.
+
+**Time budgets.** Unbounded, retrying can sleep long past the point
+where the caller still wants an answer -- the worst case
+(``max_attempts=4``) is ~0.35 s of pure backoff per operation, which a
+100 ms request deadline cannot survive even once. Two mechanisms bound
+it:
+
+* an explicit per-operation ``budget`` (seconds): sleeps never push
+  one operation's total elapsed time past it;
+* the **ambient request deadline** of
+  :func:`repro.core.deadline.current_deadline`, published by the
+  serving layer around each request: a backoff sleep the deadline
+  could not survive is skipped and the transient error re-raised
+  immediately, leaving the caller its remaining milliseconds to
+  degrade instead of sleeping through them.
+
+Either cut-short re-raises the *original* transient error and counts
+under ``storage.retry.budget_exhausted`` (in addition to the ordinary
+give-up counter).
 """
 
 from __future__ import annotations
@@ -22,9 +41,10 @@ import random
 import time
 from typing import Callable, Iterator, Sequence, TypeVar
 
+from ..core.deadline import current_deadline
 from ..core.obs.tracer import NULL_TRACER
-from ..core.stats import (RETRY_ATTEMPTS, RETRY_GIVEUPS,
-                          RETRY_RECOVERIES, StatsRegistry)
+from ..core.stats import (RETRY_ATTEMPTS, RETRY_BUDGET_EXHAUSTED,
+                          RETRY_GIVEUPS, RETRY_RECOVERIES, StatsRegistry)
 from .errors import TransientStorageError
 from .interface import EncodedPosting, IndexStore
 
@@ -39,13 +59,16 @@ class RetryingStore(IndexStore):
                  jitter: float = 0.25, seed: int = 0,
                  stats: StatsRegistry | None = None,
                  sleep: Callable[[float], None] = time.sleep,
-                 tracer=None) -> None:
+                 tracer=None, budget: float | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
         if base_delay < 0 or max_delay < 0:
             raise ValueError("delays must be non-negative")
         if jitter < 0:
             raise ValueError("jitter must be non-negative")
+        if budget is not None and budget < 0:
+            raise ValueError("budget must be None or non-negative")
         self._inner = inner
         self._max_attempts = max_attempts
         self._base_delay = base_delay
@@ -54,6 +77,8 @@ class RetryingStore(IndexStore):
         self._random = random.Random(seed)
         self._stats = stats if stats is not None else StatsRegistry()
         self._sleep = sleep
+        self._budget = budget
+        self._clock = clock
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
@@ -65,7 +90,22 @@ class RetryingStore(IndexStore):
     def registry(self) -> StatsRegistry:
         return self._stats
 
+    def _time_allowance(self, started: float) -> float | None:
+        """Seconds of sleeping this operation may still afford, or
+        ``None`` when neither a budget nor an ambient deadline bounds
+        it. The binding constraint wins (the minimum)."""
+        allowance: float | None = None
+        if self._budget is not None:
+            allowance = self._budget - (self._clock() - started)
+        deadline = current_deadline()
+        if deadline is not None:
+            remaining = deadline.remaining()
+            allowance = (remaining if allowance is None
+                         else min(allowance, remaining))
+        return allowance
+
     def _retry(self, call: Callable[[], Result]) -> Result:
+        started = self._clock()
         delay = self._base_delay
         for attempt in range(1, self._max_attempts + 1):
             try:
@@ -77,6 +117,14 @@ class RetryingStore(IndexStore):
                     raise
                 pause = min(delay, self._max_delay)
                 pause *= 1.0 + self._jitter * self._random.random()
+                allowance = self._time_allowance(started)
+                if allowance is not None and pause >= allowance:
+                    # Sleeping would overshoot the caller's window:
+                    # hand back the remaining time instead of burning
+                    # it on a backoff the caller can't wait out.
+                    self._stats.increment(RETRY_BUDGET_EXHAUSTED)
+                    self._stats.increment(RETRY_GIVEUPS)
+                    raise
                 self._sleep(pause)
                 delay *= 2.0
             else:

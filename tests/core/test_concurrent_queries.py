@@ -1,0 +1,52 @@
+"""Warm-engine thread safety: N threads x M queries against one engine
+must be byte-identical to serial execution, with DIL-cache counters
+that still add up. This is the property the serving layer's worker
+pool stands on."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+QUERIES = ["chest pain", "aspirin", "myocardial infarction",
+           "patient medication", "blood pressure", "heart"]
+THREADS = 8
+ROUNDS = 4  # each query executed THREADS * ROUNDS times concurrently
+
+
+@pytest.fixture(scope="module")
+def engine(engines):
+    return engines["relationships"]
+
+
+def test_concurrent_queries_match_serial(engine):
+    serial = {query: engine.search(query, k=10) for query in QUERIES}
+
+    jobs = [query for _ in range(THREADS * ROUNDS)
+            for query in QUERIES]
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        outcomes = list(pool.map(
+            lambda query: (query, engine.search(query, k=10)), jobs))
+
+    for query, results in outcomes:
+        expected = serial[query]
+        assert len(results) == len(expected)
+        for mine, reference in zip(results, expected):
+            # Byte-identical: same element, same score, same order.
+            assert mine.dewey == reference.dewey
+            assert mine.score == reference.score
+
+    stats = engine.cache_stats()
+    assert stats.hits + stats.misses == stats.lookups
+    # Everything was warm after the serial pass: the concurrent rounds
+    # were pure cache hits (no rebuild raced another).
+    assert stats.hits >= len(jobs)
+
+
+def test_concurrent_outcomes_are_exact(engine):
+    # search_outcome's partial flag is per-call state; concurrent use
+    # must never leak one request's flag into another.
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        outcomes = list(pool.map(
+            lambda query: engine.search_outcome(query, 10),
+            QUERIES * THREADS))
+    assert all(outcome.exact for outcome in outcomes)

@@ -1,0 +1,125 @@
+"""Deadline semantics: the clock-injected budget and its ambient
+propagation, plus the deadline-bounded query pipeline."""
+
+import threading
+
+import pytest
+
+from repro.core.deadline import (Deadline, DeadlineExceeded,
+                                 current_deadline, deadline_scope)
+from repro.core.query.engine import XOntoRankEngine
+from repro.storage.errors import StorageError
+
+
+class SteppingClock:
+    """A clock advancing by ``step`` on every reading -- each check of
+    a deadline consumes one tick, making expiry points exact."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestDeadline:
+    def test_remaining_and_expiry(self):
+        clock = SteppingClock(step=0.0)
+        deadline = Deadline.after(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        assert not deadline.expired
+        clock.now = 5.0
+        assert deadline.expired
+        assert deadline.remaining() == pytest.approx(0.0)
+        clock.now = 7.0
+        assert deadline.remaining() == pytest.approx(-2.0)
+
+    def test_check_raises_once_expired(self):
+        clock = SteppingClock(step=0.0)
+        deadline = Deadline.after(1.0, clock=clock)
+        deadline.check("merge")  # not expired: no-op
+        clock.now = 2.0
+        with pytest.raises(DeadlineExceeded, match="during merge"):
+            deadline.check("merge")
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(-0.1)
+
+    def test_not_a_storage_error(self):
+        # 504 must never feed the degraded/circuit-breaker path.
+        assert not issubclass(DeadlineExceeded, StorageError)
+
+
+class TestAmbientDeadline:
+    def test_scope_publishes_and_restores(self):
+        assert current_deadline() is None
+        outer = Deadline.after(10.0)
+        inner = Deadline.after(1.0)
+        with deadline_scope(outer):
+            assert current_deadline() is outer
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+        assert current_deadline() is None
+
+    def test_none_clears_for_background_work(self):
+        with deadline_scope(Deadline.after(10.0)):
+            with deadline_scope(None):
+                assert current_deadline() is None
+            assert current_deadline() is not None
+
+    def test_threads_are_isolated(self):
+        # A worker pool must never observe another request's budget.
+        seen: list[object] = []
+        with deadline_scope(Deadline.after(10.0)):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_deadline()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestDeadlineBoundedSearch:
+    @pytest.fixture(scope="class")
+    def engine(self, cda_corpus):
+        return XOntoRankEngine(cda_corpus, None, strategy="xrank")
+
+    def test_no_deadline_is_exact(self, engine):
+        outcome = engine.search_outcome("patient", k=5)
+        assert not outcome.partial
+        assert outcome.exact
+        assert outcome.results == engine.search("patient", k=5)
+
+    def test_expired_deadline_raises_before_work(self, engine):
+        clock = SteppingClock(step=0.0)
+        clock.now = 100.0
+        dead = Deadline(expires_at=0.0, clock=clock)
+        with pytest.raises(DeadlineExceeded):
+            engine.search_outcome("patient", k=5, deadline=dead)
+
+    def test_mid_merge_expiry_returns_partial_prefix(self, engine):
+        # The stepping clock pins the expiry between per-document
+        # merges: checks land at dil_fetch (t=0), merge entry (t=1),
+        # then one per candidate document (t=2, 3, ...). Expiring at
+        # t=3.5 lets exactly two documents merge.
+        clock = SteppingClock(step=1.0)
+        deadline = Deadline(expires_at=3.5, clock=clock)
+        exact = engine.search("patient", k=5)
+        outcome = engine.search_outcome("patient", k=5,
+                                        deadline=deadline)
+        assert outcome.partial
+        assert not outcome.exact
+        assert len(outcome.results) <= len(exact)
+        # What was served is a subset of real results with real scores
+        # (granularity is a whole document: served entries are exact).
+        exact_by_dewey = {result.dewey.encode(): result.score
+                          for result in exact}
+        full = {result.dewey.encode(): result.score
+                for result in engine.search("patient", k=1000)}
+        for result in outcome.results:
+            assert full[result.dewey.encode()] == result.score
+        assert exact_by_dewey  # sanity: the query matches something

@@ -1,0 +1,255 @@
+"""Unit tests for the serving primitives: admission control, the
+per-shard circuit breaker, and single-flight coalescing."""
+
+import asyncio
+
+import pytest
+
+from repro.core.deadline import DeadlineExceeded
+from repro.core.stats import (SERVER_ADMITTED, SERVER_BREAKER_FAILURES,
+                              SERVER_BREAKER_PROBES,
+                              SERVER_BREAKER_RESETS,
+                              SERVER_BREAKER_TRIPS, SERVER_COALESCED,
+                              SERVER_SHED, StatsRegistry)
+from repro.server import (CLOSED, HALF_OPEN, OPEN, AdmissionController,
+                          CircuitBreaker, Coalescer)
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestAdmissionController:
+    def test_capacity_is_pool_plus_queue(self):
+        admission = AdmissionController(2, 3)
+        assert admission.capacity == 5
+
+    def test_admits_until_full_then_sheds(self):
+        stats = StatsRegistry()
+        admission = AdmissionController(1, 1, stats=stats)
+        assert admission.try_admit()
+        assert admission.try_admit()
+        assert not admission.try_admit()  # both tokens taken: shed
+        assert stats.value(SERVER_ADMITTED) == 2
+        assert stats.value(SERVER_SHED) == 1
+        admission.release()
+        assert admission.try_admit()  # token returned: admits again
+        assert admission.in_flight == 2
+
+    def test_release_without_admit_rejected(self):
+        admission = AdmissionController(1)
+        with pytest.raises(RuntimeError):
+            admission.release()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(1, -1)
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = ManualClock()
+        stats = StatsRegistry()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown=2.0,
+                                 clock=clock, stats=stats, **kwargs)
+        return breaker, clock, stats
+
+    def test_trips_after_consecutive_failures(self):
+        breaker, _, stats = self.make()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # below threshold
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert stats.value(SERVER_BREAKER_TRIPS) == 1
+        assert stats.value(SERVER_BREAKER_FAILURES) == 3
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # the run was broken
+
+    def test_single_probe_after_cooldown(self):
+        breaker, clock, stats = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()  # cooling down
+        clock.now = 2.0
+        assert breaker.allow()      # the probe slot
+        assert not breaker.allow()  # concurrent requests stay skipped
+        assert breaker.state == HALF_OPEN
+        assert stats.value(SERVER_BREAKER_PROBES) == 1
+
+    def test_probe_success_closes(self):
+        breaker, clock, stats = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 2.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert stats.value(SERVER_BREAKER_RESETS) == 1
+
+    def test_probe_failure_retrips_for_another_cooldown(self):
+        breaker, clock, stats = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 2.0
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == OPEN
+        assert not breaker.allow()       # new cooldown running
+        clock.now = 3.0
+        assert not breaker.allow()
+        clock.now = 4.0
+        assert breaker.allow()           # next probe
+        assert stats.value(SERVER_BREAKER_TRIPS) == 2
+
+    def test_stale_probe_slot_is_handed_over(self):
+        # A probe whose request died without reporting (deadline
+        # expiry is breaker-neutral) must not skip the shard forever.
+        breaker, clock, _ = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.now = 2.0
+        assert breaker.allow()      # probe starts ... and vanishes
+        clock.now = 3.9
+        assert not breaker.allow()  # still within the probe's window
+        clock.now = 4.0
+        assert breaker.allow()      # stale: the slot is reissued
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown=-1.0)
+
+
+class TestCoalescer:
+    def run(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_identical_inflight_queries_share_one_evaluation(self):
+        stats = StatsRegistry()
+        coalescer = Coalescer(stats=stats)
+        calls = []
+
+        async def scenario():
+            started = asyncio.Event()
+
+            async def evaluate():
+                calls.append(1)
+                started.set()
+                await asyncio.sleep(0.01)
+                return "answer"
+
+            async def leader():
+                return await coalescer.run("key", evaluate)
+
+            async def follower():
+                await started.wait()  # guaranteed to overlap
+                return await coalescer.run("key", evaluate)
+
+            return await asyncio.gather(leader(), follower(),
+                                        follower())
+
+        results = self.run(scenario())
+        assert results == ["answer"] * 3
+        assert len(calls) == 1
+        assert stats.value(SERVER_COALESCED) == 2
+
+    def test_distinct_keys_do_not_coalesce(self):
+        coalescer = Coalescer()
+        calls = []
+
+        async def scenario():
+            async def evaluate(key):
+                calls.append(key)
+                await asyncio.sleep(0.01)
+                return key
+
+            return await asyncio.gather(
+                coalescer.run("a", lambda: evaluate("a")),
+                coalescer.run("b", lambda: evaluate("b")))
+
+        assert self.run(scenario()) == ["a", "b"]
+        assert sorted(calls) == ["a", "b"]
+
+    def test_follower_timeout_leaves_leader_running(self):
+        coalescer = Coalescer()
+
+        async def scenario():
+            started = asyncio.Event()
+
+            async def evaluate():
+                started.set()
+                await asyncio.sleep(0.05)
+                return "slow answer"
+
+            async def leader():
+                return await coalescer.run("key", evaluate)
+
+            async def impatient_follower():
+                await started.wait()
+                with pytest.raises(DeadlineExceeded):
+                    await coalescer.run("key", evaluate,
+                                        timeout=0.001)
+                return "timed out"
+
+            return await asyncio.gather(leader(),
+                                        impatient_follower())
+
+        leader_result, follower_result = self.run(scenario())
+        assert leader_result == "slow answer"  # undisturbed
+        assert follower_result == "timed out"
+
+    def test_leader_exception_propagates_to_followers(self):
+        coalescer = Coalescer()
+
+        async def scenario():
+            started = asyncio.Event()
+
+            async def evaluate():
+                started.set()
+                await asyncio.sleep(0.01)
+                raise RuntimeError("boom")
+
+            async def leader():
+                with pytest.raises(RuntimeError):
+                    await coalescer.run("key", evaluate)
+
+            async def follower():
+                await started.wait()
+                with pytest.raises(RuntimeError):
+                    await coalescer.run("key", evaluate)
+
+            await asyncio.gather(leader(), follower())
+
+        self.run(scenario())
+
+    def test_key_is_released_after_completion(self):
+        coalescer = Coalescer()
+
+        async def scenario():
+            async def evaluate():
+                return 1
+
+            assert coalescer.leading("key")
+            await coalescer.run("key", evaluate)
+            assert coalescer.leading("key")  # next arrival leads again
+            assert coalescer.inflight == 0
+
+        self.run(scenario())

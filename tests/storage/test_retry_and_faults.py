@@ -5,8 +5,8 @@ import pytest
 
 from repro.core.stats import (FAULTS_CRASHES, FAULTS_LATENCY,
                               FAULTS_TRANSIENT, RETRY_ATTEMPTS,
-                              RETRY_GIVEUPS, RETRY_RECOVERIES,
-                              StatsRegistry)
+                              RETRY_BUDGET_EXHAUSTED, RETRY_GIVEUPS,
+                              RETRY_RECOVERIES, StatsRegistry)
 from repro.storage.errors import (CorruptIndexError, StorageError,
                                   TransientStorageError)
 from repro.storage.faults import CORRUPT_DEWEY, FaultInjectingStore
@@ -116,6 +116,107 @@ class TestRetryingStore:
             RetryingStore(MemoryStore(), max_attempts=0)
         with pytest.raises(ValueError):
             RetryingStore(MemoryStore(), jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryingStore(MemoryStore(), budget=-0.5)
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestRetryTimeBudget:
+    """The serving-layer contract: backoff sleeps never overshoot the
+    operation's explicit budget or the ambient request deadline."""
+
+    def make(self, budget=None, clock=None):
+        stats = StatsRegistry()
+        flaky = FlakyStore(failures=100)
+        sleeps: list[float] = []
+        store = RetryingStore(flaky, max_attempts=10, base_delay=0.1,
+                              jitter=0.0, stats=stats,
+                              sleep=sleeps.append, budget=budget,
+                              clock=clock if clock is not None
+                              else ManualClock())
+        return store, flaky, sleeps, stats
+
+    def test_budget_cuts_retrying_short(self):
+        # Deterministic schedule (jitter=0, frozen clock): sleeps of
+        # 0.1 + 0.2 == 0.3 fit a 0.35 s budget, the next (0.4) would
+        # overshoot -- it must be skipped and the error re-raised.
+        store, flaky, sleeps, stats = self.make(budget=0.35)
+        with pytest.raises(TransientStorageError):
+            store.get_postings("graph", "asthma")
+        assert sleeps == pytest.approx([0.1, 0.2])
+        assert flaky.calls == 3  # 2 sleeps -> 3 attempts, not 10
+        assert stats.value(RETRY_BUDGET_EXHAUSTED) == 1
+        assert stats.value(RETRY_GIVEUPS) == 1
+
+    def test_budget_boundary_pause_equal_to_allowance_gives_up(self):
+        # Boundary: a pause exactly equal to the remaining allowance
+        # is refused (sleeping to the very edge leaves the caller
+        # nothing to act in).
+        store, flaky, sleeps, stats = self.make(budget=0.1)
+        with pytest.raises(TransientStorageError):
+            store.get_postings("graph", "asthma")
+        assert sleeps == []  # first pause (0.1) == budget: refused
+        assert flaky.calls == 1
+        assert stats.value(RETRY_BUDGET_EXHAUSTED) == 1
+
+    def test_budget_measures_elapsed_time_not_just_sleeps(self):
+        # The inner call itself may burn the budget: each attempt
+        # advances the clock by 0.2 s, so a 0.25 s budget affords no
+        # backoff after the first (slow) failing attempt.
+        clock = ManualClock()
+
+        class SlowFlaky(FlakyStore):
+            def get_postings(self, strategy, keyword):
+                clock.now += 0.2
+                return super().get_postings(strategy, keyword)
+
+        stats = StatsRegistry()
+        flaky = SlowFlaky(failures=100)
+        sleeps: list[float] = []
+        store = RetryingStore(flaky, max_attempts=10, base_delay=0.1,
+                              jitter=0.0, stats=stats,
+                              sleep=sleeps.append, budget=0.25,
+                              clock=clock)
+        with pytest.raises(TransientStorageError):
+            store.get_postings("graph", "asthma")
+        assert sleeps == []  # 0.2 elapsed leaves 0.05 < the 0.1 pause
+        assert flaky.calls == 1
+
+    def test_ambient_deadline_bounds_sleeps(self):
+        from repro.core.deadline import Deadline, deadline_scope
+        clock = ManualClock()
+        store, flaky, sleeps, stats = self.make(clock=clock)
+        with deadline_scope(Deadline.after(0.35, clock=clock)):
+            with pytest.raises(TransientStorageError):
+                store.get_postings("graph", "asthma")
+        assert sleeps == pytest.approx([0.1, 0.2])
+        assert stats.value(RETRY_BUDGET_EXHAUSTED) == 1
+        # Outside the scope the same store retries to exhaustion.
+        flaky2 = FlakyStore(failures=100)
+        unbounded = RetryingStore(flaky2, max_attempts=4, jitter=0.0,
+                                  sleep=lambda _: None,
+                                  clock=ManualClock())
+        with pytest.raises(TransientStorageError):
+            unbounded.get_postings("graph", "asthma")
+        assert flaky2.calls == 4
+
+    def test_binding_constraint_is_the_minimum(self):
+        # Budget generous, ambient deadline tight: the deadline wins.
+        from repro.core.deadline import Deadline, deadline_scope
+        clock = ManualClock()
+        store, flaky, sleeps, _ = self.make(budget=100.0, clock=clock)
+        with deadline_scope(Deadline.after(0.05, clock=clock)):
+            with pytest.raises(TransientStorageError):
+                store.get_postings("graph", "asthma")
+        assert sleeps == []
+        assert flaky.calls == 1
 
 
 class TestFaultInjectingStore:
