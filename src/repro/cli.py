@@ -8,12 +8,17 @@ Four subcommands mirror the system's phases::
 
     python -m repro index --data DIR --store FILE.db
         [--strategy relationships] [--radius 2] [--workers N]
-        [--append] [--profile] [--metrics-out F.jsonl] [--trace-out F.json]
+        [--store-format sqlite|mmap] [--append]
+        [--profile] [--metrics-out F.jsonl] [--trace-out F.json]
         Pre-processing phase: build XOnto-DILs for the experiment
-        vocabulary and persist them (plus the documents) to SQLite.
-        ``--workers N`` (N > 1) builds on a worker pool; the persisted
-        index is identical to the serial build. ``build-index`` is an
-        alias for this subcommand.
+        vocabulary and persist them (plus the documents). The default
+        backend is SQLite; ``--store-format mmap`` writes the compact
+        memory-mapped container instead (read-only, O(1) open, shared
+        OS page cache -- see docs/STORAGE.md). ``--workers N`` (N > 1)
+        builds on a worker pool; the persisted index is identical to
+        the serial build. ``build-index`` is an alias for this
+        subcommand. ``search``/``serve``/``verify-index`` detect the
+        backend from the file itself; no flag is needed to read.
 
         With ``--append`` the store must already exist: documents in
         DIR that the store does not yet hold are indexed as one
@@ -43,10 +48,12 @@ Four subcommands mirror the system's phases::
         --verbose adds retry/fallback/integrity counters.
 
     python -m repro verify-index --store FILE.db
-        Check a persisted index's integrity manifest end to end:
-        build-completion marker, per-strategy posting-list checksums,
-        corpus fingerprint over the stored documents. Exit 0 when
-        intact, 1 when damaged, 2 when the file is missing.
+        Check a persisted index's integrity end to end: a
+        human-readable format/version line, per-block checksums (mmap
+        stores carry a crc32 per posting block), per-strategy
+        posting-list checksums, build-completion marker, corpus
+        fingerprint over the stored documents. Exit 0 when intact,
+        1 when damaged, 2 when the file is missing.
 
     python -m repro evaluate --data DIR [--k 5]
         Run the Table-I survey over the published workload with the
@@ -100,8 +107,10 @@ from .ontology.api import TerminologyService
 from .ontology.io import load_ontology, save_ontology
 from .ontology.snomed import build_synthetic_snomed
 from .storage.errors import StorageError
-from .storage.manifest import (CHECKSUM_KEY_PREFIX, atomic_sqlite_build,
-                               verify_manifest)
+from .storage.manifest import (CHECKSUM_KEY_PREFIX, MANIFEST_VERSION_KEY,
+                               atomic_sqlite_build, verify_manifest)
+from .storage.mmap_store import (MmapStore, atomic_mmap_build,
+                                 open_read_store, sniff_store_format)
 from .storage.retrying import RetryingStore
 from .storage.sqlite_store import SQLiteStore
 from .xmldoc.model import Corpus
@@ -230,21 +239,29 @@ def command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _atomic_build(path: str, store_format: str):
+    """The crash-safe build context for the chosen backend."""
+    if store_format == "mmap":
+        return atomic_mmap_build(path)
+    return atomic_sqlite_build(path)
+
+
 def command_index(args: argparse.Namespace) -> int:
     ontology, corpus = _load_data_directory(args.data)
     tracer = _tracer_from(args)
     engine = _make_engine(args, corpus, ontology, tracer)
     if args.append:
         return _append_to_stores(args, engine, tracer)
-    # Crash safety: every database is written to a ".building" sibling
-    # and atomically renamed into place only after its manifest's
+    # Crash safety: every store is written to a ".building" sibling and
+    # atomically renamed into place only after its manifest's
     # completion marker has landed. With --shards N, each shard gets
     # its own store (and manifest) at a derived sibling path.
     if isinstance(engine, FederatedEngine):
         paths = [shard_store_path(args.store, shard, args.shards)
                  for shard in range(args.shards)]
         with contextlib.ExitStack() as stack:
-            stores = [stack.enter_context(atomic_sqlite_build(path))
+            stores = [stack.enter_context(
+                _atomic_build(path, args.store_format))
                       for path in paths]
             index = engine.build_index(radius=args.radius,
                                        stores=stores,
@@ -258,7 +275,7 @@ def command_index(args: argparse.Namespace) -> int:
                        f"({args.shards} shards)")
         audit_path = paths[0]
     else:
-        with atomic_sqlite_build(args.store) as store:
+        with _atomic_build(args.store, args.store_format) as store:
             index = engine.build_index(radius=args.radius, store=store,
                                        workers=args.workers)
             workers = store.get_metadata("build_workers")
@@ -300,6 +317,14 @@ def _append_to_stores(args: argparse.Namespace,
               f"{', '.join(missing)} -- build one with `python -m repro "
               f"index --data {args.data} --store {args.store}`",
               file=sys.stderr)
+        return 2
+    immutable = [path for path in paths
+                 if sniff_store_format(path) == "mmap"]
+    if immutable:
+        print(f"error: {', '.join(immutable)}: mmap stores are "
+              f"immutable; rebuild with `python -m repro index` "
+              f"(--store-format mmap), or keep an appendable index in "
+              f"sqlite format", file=sys.stderr)
         return 2
     with contextlib.ExitStack() as stack:
         stores = [stack.enter_context(SQLiteStore(path,
@@ -352,6 +377,12 @@ def command_compact(args: argparse.Namespace) -> int:
             print(f"error: no index store at {path}", file=sys.stderr)
             exit_code = 2
             continue
+        if sniff_store_format(path) == "mmap":
+            print(f"error: cannot compact {path}: mmap stores are "
+                  f"immutable (a rebuild is already fully compact)",
+                  file=sys.stderr)
+            exit_code = 2
+            continue
         try:
             with SQLiteStore(path) as store:
                 catalog = compact_store(store)
@@ -395,10 +426,12 @@ def _load_store_or_degrade(engine: XOntoRankEngine, path: str,
         return 2
     store = None
     try:
-        store = SQLiteStore(path, read_only=True,
-                            tracer=engine.tracer)
-        reader: "SQLiteStore | RetryingStore" = store
-        if args.retries > 0:
+        store = open_read_store(path, tracer=engine.tracer)
+        reader = store
+        # Retries target the SQLite backend's transient faults (locked
+        # or busy databases). An mmap store has none -- and wrapping it
+        # would hide the zero-copy posting-block fast path.
+        if args.retries > 0 and not isinstance(store, MmapStore):
             reader = RetryingStore(store, max_attempts=args.retries + 1,
                                    stats=engine.stats,
                                    tracer=engine.tracer)
@@ -492,12 +525,12 @@ def _serving_stores(args: argparse.Namespace,
               + (f" --shards {args.shards}`" if args.shards > 1
                  else "`"), file=sys.stderr)
         return 2
-    readers: list[SQLiteStore | RetryingStore] = []
+    readers = []
     try:
         for path in paths:
-            store = SQLiteStore(path, read_only=True)
-            reader: "SQLiteStore | RetryingStore" = store
-            if args.retries > 0:
+            store = open_read_store(path)
+            reader = store
+            if args.retries > 0 and not isinstance(store, MmapStore):
                 reader = RetryingStore(store,
                                        max_attempts=args.retries + 1,
                                        stats=engine.stats)
@@ -561,16 +594,44 @@ def command_verify_index(args: argparse.Namespace) -> int:
     if not os.path.exists(args.store):
         print(f"error: no index store at {args.store}", file=sys.stderr)
         return 2
+    block_lines: list[str] = []
+    block_problems: list[str] = []
     try:
-        with SQLiteStore(args.store, read_only=True) as store:
+        with open_read_store(args.store) as store:
+            if isinstance(store, MmapStore):
+                from .storage.mmap_store import CONTAINER_VERSION
+                from .storage.codec import FORMAT_VERSION
+                format_line = (f"format: mmap store (container "
+                               f"v{CONTAINER_VERSION}, compact posting "
+                               f"blocks v{FORMAT_VERSION})")
+                per_strategy, raw, block_problems = store.block_report()
+                for strategy in sorted(per_strategy):
+                    block_lines.append(
+                        f"blocks[{strategy}]: "
+                        f"{per_strategy[strategy]} compact posting "
+                        f"blocks crc32-verified")
+                if raw:
+                    block_lines.append(
+                        f"blocks: {raw} raw (uncompacted-form) posting "
+                        f"records parsed")
+            else:
+                version = store.get_metadata(MANIFEST_VERSION_KEY)
+                format_line = (f"format: sqlite row store (manifest "
+                               f"v{version})" if version else
+                               "format: sqlite row store (no manifest)")
             report = verify_manifest(store)
     except StorageError as exc:
         print(f"verify-index: FAIL {args.store}: {exc}")
         return 1
     print(f"verify-index: {args.store}")
+    print(f"  {format_line}")
+    for line in block_lines:
+        print(f"  {line}")
+    for problem in block_problems:
+        print(f"  blocks: FAIL - {problem}")
     for line in report.describe():
         print(f"  {line}")
-    return 0 if report.ok else 1
+    return 0 if report.ok and not block_problems else 1
 
 
 def command_evaluate(args: argparse.Namespace) -> int:
@@ -657,7 +718,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-processing phase: build and persist XOnto-DILs")
     index.add_argument("--data", required=True)
     index.add_argument("--store", required=True,
-                       help="SQLite database path")
+                       help="index store path")
+    index.add_argument("--store-format", choices=("sqlite", "mmap"),
+                       default="sqlite",
+                       help="persistence backend: sqlite (appendable, "
+                            "default) or mmap (compact read-only "
+                            "container; O(1) open, shared page cache)")
     index.add_argument("--strategy", choices=ALL_STRATEGIES,
                        default=RELATIONSHIPS)
     index.add_argument("--radius", type=int, default=2,
@@ -775,7 +841,8 @@ def build_parser() -> argparse.ArgumentParser:
         "verify-index",
         help="check a persisted index's integrity manifest")
     verify_index.add_argument("--store", required=True,
-                              help="SQLite database path to verify")
+                              help="index store path to verify "
+                                   "(backend auto-detected)")
     verify_index.set_defaults(handler=command_verify_index)
 
     evaluate = subparsers.add_parser(

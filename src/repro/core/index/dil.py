@@ -59,6 +59,12 @@ class Posting:
 class DeweyInvertedList:
     """The sorted posting list of one keyword."""
 
+    #: The compact posting block backing this list, or ``None`` for an
+    #: eager (materialized) list. The query processor's document
+    #: streams use it to decode one document run at a time instead of
+    #: bisecting a materialized sequence.
+    block = None
+
     def __init__(self, keyword: Keyword,
                  postings: Sequence[Posting] = ()) -> None:
         self.keyword = keyword
@@ -130,6 +136,82 @@ class DeweyInvertedList:
         postings = [Posting(DeweyID.parse(dewey), score)
                     for dewey, score in encoded]
         return cls(keyword, postings)
+
+    @staticmethod
+    def from_block(keyword: Keyword, block) -> "DeweyInvertedList":
+        """Wrap a compact :class:`~repro.storage.codec.PostingBlock`
+        without decoding it (see :class:`CompactDeweyInvertedList`)."""
+        return CompactDeweyInvertedList(keyword, block)
+
+
+class CompactDeweyInvertedList(DeweyInvertedList):
+    """A posting list served lazily from one compact binary block.
+
+    Construction is O(1) in the posting count: the block's document
+    directory has already been parsed by the codec, so
+    :meth:`doc_max_scores` (the bounded-top-k pruning sidecar) and
+    :meth:`document_ids` answer without decoding a single posting.
+    Whole-list consumers (:meth:`sorted_postings`, iteration) decode
+    and cache the materialized list on first use, after which this
+    behaves exactly like an eager list -- the class is a representation
+    change, not a semantic one, which is what the byte-identical
+    ``canonical_dump`` differential suite pins.
+    """
+
+    def __init__(self, keyword: Keyword, block) -> None:
+        self.keyword = keyword
+        self.block = block
+        self._doc_max: dict[int, float] | None = None
+        self._materialized: list[Posting] | None = None
+
+    def _postings_list(self) -> list[Posting]:
+        if self._materialized is None:
+            self._materialized = [
+                Posting(DeweyID(doc_id, path), score)
+                for doc_id, path, score in self.block.items()]
+        return self._materialized
+
+    # -- directory-only reads (never decode postings) -------------------
+    def __len__(self) -> int:
+        return self.block.posting_count
+
+    def __bool__(self) -> bool:
+        return self.block.posting_count > 0
+
+    def doc_max_scores(self) -> dict[int, float]:
+        if self._doc_max is None:
+            self._doc_max = self.block.doc_max_scores()
+        return self._doc_max
+
+    def document_ids(self) -> set[int]:
+        return set(self.block.doc_ids())
+
+    def size_bytes(self) -> int:
+        """For a compact list the estimate is exact: the block's own
+        byte length (header included)."""
+        return self.block.size_bytes()
+
+    # -- decoding reads --------------------------------------------------
+    def __iter__(self) -> Iterator[Posting]:
+        if self._materialized is not None:
+            return iter(self._materialized)
+        return (Posting(DeweyID(doc_id, path), score)
+                for doc_id, path, score in self.block.items())
+
+    def postings(self) -> list[Posting]:
+        return list(self._postings_list())
+
+    def sorted_postings(self) -> Sequence[Posting]:
+        return self._postings_list()
+
+    def postings_for_doc(self, doc_id: int) -> list[Posting]:
+        """Decode exactly one document's run (used by the query
+        processor's document streams for document-granular skipping)."""
+        return [Posting(DeweyID(doc_id, path), score)
+                for path, score in self.block.doc_postings(doc_id)]
+
+    def encoded(self) -> list[EncodedPosting]:
+        return self.block.encoded()
 
 
 @dataclass

@@ -36,7 +36,8 @@ from ...xmldoc.serializer import serialize
 from ..cache import DILCache
 from ..config import XRANK, XOntoRankConfig
 from ..obs.tracer import NULL_TRACER
-from ..stats import (FALLBACK_REBUILDS, INTEGRITY_FAILURES,
+from ..stats import (CODEC_LAZY_LISTS, CODEC_RAW_FALLBACKS,
+                     FALLBACK_REBUILDS, INTEGRITY_FAILURES,
                      INTEGRITY_VALIDATIONS, CacheStats, StatsRegistry)
 from .builder import IndexBuilder
 from .dil import DeweyInvertedList, XOntoDILIndex, keyword_from_key
@@ -163,13 +164,13 @@ class IndexManager:
         from .dil import index_key
         failure: StorageError
         try:
-            encoded = self._read_store.get_postings(
-                self.strategy, index_key(keyword))
-            if not encoded:
+            dil = self._dil_from_store(self._read_store,
+                                       index_key(keyword), keyword)
+            if dil is None:
                 # Not a fault: the keyword is simply outside the
                 # persisted vocabulary (stores never hold empty lists).
                 return self.builder.build_keyword(keyword)[0]
-            return DeweyInvertedList.from_encoded(keyword, encoded)
+            return dil
         except ValueError as exc:
             failure = CorruptIndexError(
                 f"stored posting list for {keyword.text!r} is "
@@ -182,6 +183,31 @@ class IndexManager:
             self.stats.increment(FALLBACK_REBUILDS)
             return self.builder.build_keyword(keyword)[0]
         raise failure
+
+    def _dil_from_store(self, store: IndexStore, key: str,
+                        keyword: Keyword) -> DeweyInvertedList | None:
+        """One keyword's DIL out of ``store``, lazily when possible.
+
+        A store exposing ``get_posting_block`` (the mmap backend)
+        serves most lists as compact blocks wrapped *without decoding a
+        posting* -- construction cost is the block's document
+        directory, and bounded top-k can prune whole documents from the
+        directory's ``doc_max`` sidecar alone. Raw records and
+        block-less backends take the eager decoded path. Returns
+        ``None`` when the store holds no postings for the key.
+        """
+        block_reader = getattr(store, "get_posting_block", None)
+        if block_reader is not None:
+            block = block_reader(self.strategy, key)
+            if block is not None:
+                self.stats.increment(CODEC_LAZY_LISTS)
+                return DeweyInvertedList.from_block(keyword, block)
+        encoded = store.get_postings(self.strategy, key)
+        if not encoded:
+            return None
+        if block_reader is not None:
+            self.stats.increment(CODEC_RAW_FALLBACKS)
+        return DeweyInvertedList.from_encoded(keyword, encoded)
 
     def cache_stats(self) -> CacheStats:
         """Hit/miss/eviction counters of the DIL cache."""
@@ -348,8 +374,9 @@ class IndexManager:
             failure: StorageError | None = None
             dil = None
             try:
-                encoded = store.get_postings(self.strategy, key)
-                dil = DeweyInvertedList.from_encoded(keyword, encoded)
+                dil = self._dil_from_store(store, key, keyword)
+                if dil is None:
+                    dil = DeweyInvertedList(keyword)
             except ValueError as exc:
                 failure = CorruptIndexError(
                     f"stored posting list for {key!r} is corrupt: {exc}")

@@ -96,16 +96,31 @@ class _DocStream:
     matches. Skipped documents cost O(log n) cursor moves and zero
     posting reads -- the mechanism behind the top-k mode's
     ``postings_read`` reduction.
+
+    A compact (block-backed) DIL gets a better deal still: its block's
+    document directory locates the run exactly, so skipped documents
+    cost nothing and visited documents decode only their own run --
+    the materialized posting sequence is never built. The per-call
+    streams also keep block-backed DILs safely shareable across
+    concurrent queries: all cursor state lives here, the block itself
+    is immutable.
     """
 
-    __slots__ = ("_postings", "_index", "_pos")
+    __slots__ = ("_postings", "_index", "_pos", "_block")
 
     def __init__(self, dil: DeweyInvertedList, index: int) -> None:
-        self._postings = dil.sorted_postings()
         self._index = index
         self._pos = 0
+        self._block = dil.block
+        self._postings = (dil.sorted_postings()
+                          if self._block is None else ())
 
     def doc_postings(self, doc_id: int) -> Iterator[_MergeItem]:
+        if self._block is not None:
+            index = self._index
+            for path, score in self._block.doc_postings(doc_id):
+                yield (DeweyID(doc_id, path), index, score)
+            return
         self._pos = bisect.bisect_left(self._postings, doc_id,
                                        lo=self._pos,
                                        key=lambda p: p.dewey.doc_id)

@@ -1,0 +1,351 @@
+"""Compact binary posting blocks (the XPB1 codec).
+
+A :class:`~repro.core.index.dil.DeweyInvertedList` is, at rest, a list
+of ``(dewey, score)`` pairs sorted by Dewey ID.  Storing each posting
+as a Python tuple costs a few hundred bytes of object headers per
+posting and forces a full deserialize before the first byte of query
+work; the top-k engine then throws 91-100% of those postings away
+unread.  This module packs a whole posting list into one flat binary
+*block* that
+
+* delta-encodes Dewey IDs (varint document-id gaps in a directory,
+  prefix-shared path components inside each per-document run),
+* keeps a *document directory* up front -- ``(doc_id, posting count,
+  run byte-length, doc max score)`` per document -- so bounded top-k
+  reads its pruning bounds **without touching a single posting**, and
+* decodes lazily, one document run at a time, behind the existing
+  ``DeweyInvertedList`` API.
+
+The byte layout is normatively specified in ``docs/STORAGE.md``; this
+docstring is a summary, the spec wins.  In short::
+
+    block   := header payload
+    header  := magic "XPB1" | version u8 | reserved[3] |
+               crc32(payload) u32le | len(payload) u32le
+    payload := varint n_docs | varint n_postings |
+               directory[n_docs] | run[n_docs]
+    dirent  := varint doc_id_delta | varint run_postings |
+               varint run_bytes | doc_max f64le
+    run     := posting[run_postings]
+    posting := varint reuse | varint extend |
+               varint component[extend] | score f64le
+
+Scores are verbatim IEEE-754 doubles, so a decode round-trips the
+exact float the builder produced -- the property the byte-identical
+``canonical_dump`` differential gate rests on.  The codec is pure and
+dependency-free: it must not import ``repro.core.index`` (the DIL
+module imports *us* to build lazy lists).
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, Sequence
+
+from repro.storage.errors import CorruptIndexError, IncompatibleIndexError
+
+#: Leading bytes of every posting block ("XOnto Posting Block").
+MAGIC = b"XPB1"
+
+#: Current (and only) payload format version.
+FORMAT_VERSION = 1
+
+#: ``magic | version | reserved*3 | crc32 | payload_length``
+_HEADER = struct.Struct("<4sB3sII")
+
+#: Fixed-size header length in bytes.
+HEADER_SIZE = _HEADER.size
+
+_SCORE = struct.Struct("<d")
+_SCORE_SIZE = _SCORE.size
+
+
+class UnencodablePostings(ValueError):
+    """The posting list violates the codec's preconditions (unsorted,
+    duplicate, or non-canonical Dewey strings).  Writers catch this and
+    fall back to a raw record; it never signals corruption."""
+
+
+# ----------------------------------------------------------------------
+# varints (unsigned LEB128)
+# ----------------------------------------------------------------------
+
+def _append_varint(out: bytearray, value: int) -> None:
+    while value > 0x7F:
+        out.append((value & 0x7F) | 0x80)
+        value >>= 7
+    out.append(value)
+
+
+def _read_varint(buf, pos: int) -> tuple[int, int]:
+    value = 0
+    shift = 0
+    try:
+        while True:
+            byte = buf[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value, pos
+            shift += 7
+            if shift > 63:
+                raise CorruptIndexError(
+                    "posting block varint exceeds 64 bits")
+    except IndexError:
+        raise CorruptIndexError(
+            "posting block truncated inside a varint") from None
+
+
+# ----------------------------------------------------------------------
+# Dewey parsing (canonical dotted-decimal only)
+# ----------------------------------------------------------------------
+
+def _parse_dewey(text: str) -> tuple[int, tuple[int, ...]]:
+    """``"3.0.2" -> (3, (0, 2))``, rejecting anything whose re-encoding
+    would not be byte-identical (leading zeros, signs, blanks)."""
+    parts = text.split(".")
+    values = []
+    for part in parts:
+        if not part.isdigit() or (len(part) > 1 and part[0] == "0"):
+            raise UnencodablePostings(
+                f"non-canonical dewey component {part!r} in {text!r}")
+        values.append(int(part))
+    return values[0], tuple(values[1:])
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+
+def encode_postings(postings: Sequence[tuple[str, float]]) -> bytes:
+    """Pack an encoded posting list into one binary block.
+
+    ``postings`` must be sorted strictly ascending by
+    ``(doc_id, path)`` -- the invariant every ``DeweyInvertedList``
+    already maintains -- and every Dewey string must be canonical
+    dotted-decimal.  Raises :class:`UnencodablePostings` otherwise (the
+    mmap writer falls back to a raw record for such lists, preserving
+    the store contract bit-for-bit).
+    """
+    runs: list[tuple[int, int, bytes, float]] = []  # doc, count, bytes, max
+    run = bytearray()
+    run_count = 0
+    run_max = 0.0
+    current_doc = -1
+    previous_path: tuple[int, ...] = ()
+    previous_key: tuple[int, tuple[int, ...]] | None = None
+    total = 0
+
+    def flush() -> None:
+        nonlocal run, run_count
+        if run_count:
+            runs.append((current_doc, run_count, bytes(run), run_max))
+        run = bytearray()
+        run_count = 0
+
+    for dewey, score in postings:
+        doc_id, path = _parse_dewey(dewey)
+        key = (doc_id, path)
+        if previous_key is not None and key <= previous_key:
+            raise UnencodablePostings(
+                f"postings not strictly ascending at {dewey!r}")
+        previous_key = key
+        score = float(score)
+        if doc_id != current_doc:
+            flush()
+            current_doc = doc_id
+            previous_path = ()
+            run_max = score
+        elif score > run_max:
+            run_max = score
+        reuse = 0
+        limit = min(len(previous_path), len(path))
+        while reuse < limit and previous_path[reuse] == path[reuse]:
+            reuse += 1
+        _append_varint(run, reuse)
+        _append_varint(run, len(path) - reuse)
+        for component in path[reuse:]:
+            _append_varint(run, component)
+        run += _SCORE.pack(score)
+        previous_path = path
+        run_count += 1
+        total += 1
+    flush()
+
+    payload = bytearray()
+    _append_varint(payload, len(runs))
+    _append_varint(payload, total)
+    previous_doc = 0
+    for index, (doc_id, count, run_bytes, doc_max) in enumerate(runs):
+        _append_varint(payload, doc_id if index == 0
+                       else doc_id - previous_doc)
+        previous_doc = doc_id
+        _append_varint(payload, count)
+        _append_varint(payload, len(run_bytes))
+        payload += _SCORE.pack(doc_max)
+    for _, _, run_bytes, _ in runs:
+        payload += run_bytes
+
+    header = _HEADER.pack(MAGIC, FORMAT_VERSION, b"\x00\x00\x00",
+                          zlib.crc32(payload) & 0xFFFFFFFF, len(payload))
+    return header + bytes(payload)
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+
+class PostingBlock:
+    """Zero-copy reader over one encoded posting block.
+
+    Construction validates the header, version, and payload checksum
+    and parses the document directory; posting runs are decoded only
+    on demand (:meth:`doc_postings`, :meth:`items`).  Instances are
+    immutable and safe to share across threads -- they may wrap a
+    ``memoryview`` into a live ``mmap``, in which case they keep the
+    mapping alive until garbage-collected.
+    """
+
+    __slots__ = ("_payload", "posting_count", "doc_count", "_doc_ids",
+                 "_doc_maxes", "_run_counts", "_run_offsets",
+                 "_run_lengths", "_doc_index")
+
+    def __init__(self, data) -> None:
+        view = memoryview(data)
+        if len(view) < HEADER_SIZE:
+            raise CorruptIndexError(
+                f"posting block shorter than its {HEADER_SIZE}-byte "
+                f"header ({len(view)} bytes)")
+        magic, version, _, crc, length = _HEADER.unpack_from(view)
+        if magic != MAGIC:
+            raise CorruptIndexError(
+                f"bad posting-block magic {bytes(magic)!r}")
+        if version != FORMAT_VERSION:
+            raise IncompatibleIndexError(
+                f"posting block format v{version} is not supported "
+                f"(this build reads v{FORMAT_VERSION})")
+        payload = view[HEADER_SIZE:HEADER_SIZE + length]
+        if len(payload) != length:
+            raise CorruptIndexError(
+                f"posting block truncated: header promises {length} "
+                f"payload bytes, {len(payload)} present")
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise CorruptIndexError("posting block checksum mismatch")
+        self._payload = payload
+
+        pos = 0
+        self.doc_count, pos = _read_varint(payload, pos)
+        self.posting_count, pos = _read_varint(payload, pos)
+        doc_ids: list[int] = []
+        maxes: list[float] = []
+        counts: list[int] = []
+        lengths: list[int] = []
+        doc_id = 0
+        for index in range(self.doc_count):
+            delta, pos = _read_varint(payload, pos)
+            doc_id = delta if index == 0 else doc_id + delta
+            count, pos = _read_varint(payload, pos)
+            length, pos = _read_varint(payload, pos)
+            if pos + _SCORE_SIZE > len(payload):
+                raise CorruptIndexError(
+                    "posting block directory truncated")
+            maxes.append(_SCORE.unpack_from(payload, pos)[0])
+            pos += _SCORE_SIZE
+            doc_ids.append(doc_id)
+            counts.append(count)
+            lengths.append(length)
+        offsets = []
+        for length in lengths:
+            offsets.append(pos)
+            pos += length
+        if pos != len(payload):
+            raise CorruptIndexError(
+                f"posting block size mismatch: directory describes "
+                f"{pos} payload bytes, {len(payload)} present")
+        if sum(counts) != self.posting_count:
+            raise CorruptIndexError(
+                "posting block directory counts disagree with the "
+                "posting total")
+        self._doc_ids = doc_ids
+        self._doc_maxes = maxes
+        self._run_counts = counts
+        self._run_offsets = offsets
+        self._run_lengths = lengths
+        self._doc_index = {d: i for i, d in enumerate(doc_ids)}
+
+    # -- directory reads (never decode postings) -----------------------
+
+    def doc_ids(self) -> list[int]:
+        return list(self._doc_ids)
+
+    def doc_max_scores(self) -> dict[int, float]:
+        """The bounded-top-k pruning sidecar, straight from the
+        directory."""
+        return dict(zip(self._doc_ids, self._doc_maxes))
+
+    def size_bytes(self) -> int:
+        return HEADER_SIZE + len(self._payload)
+
+    # -- run decoding ---------------------------------------------------
+
+    def _decode_run(self, index: int) -> list[tuple[tuple[int, ...],
+                                                    float]]:
+        payload = self._payload
+        pos = self._run_offsets[index]
+        end = pos + self._run_lengths[index]
+        path: tuple[int, ...] = ()
+        out = []
+        for _ in range(self._run_counts[index]):
+            reuse, pos = _read_varint(payload, pos)
+            extend, pos = _read_varint(payload, pos)
+            if reuse > len(path):
+                raise CorruptIndexError(
+                    "posting run reuses a longer prefix than exists")
+            components = []
+            for _ in range(extend):
+                component, pos = _read_varint(payload, pos)
+                components.append(component)
+            if pos + _SCORE_SIZE > end:
+                raise CorruptIndexError("posting run truncated")
+            score = _SCORE.unpack_from(payload, pos)[0]
+            pos += _SCORE_SIZE
+            path = path[:reuse] + tuple(components)
+            out.append((path, score))
+        if pos != end:
+            raise CorruptIndexError(
+                "posting run decoded past its directory length")
+        return out
+
+    def doc_postings(self, doc_id: int) -> list[tuple[tuple[int, ...],
+                                                      float]]:
+        """Decode exactly one document's run: ``[(path, score), ...]``.
+        Returns ``[]`` for absent documents."""
+        index = self._doc_index.get(doc_id)
+        if index is None:
+            return []
+        return self._decode_run(index)
+
+    def items(self) -> Iterator[tuple[int, tuple[int, ...], float]]:
+        """Sequentially decode the whole block as
+        ``(doc_id, path, score)`` triples, in Dewey order."""
+        for index, doc_id in enumerate(self._doc_ids):
+            for path, score in self._decode_run(index):
+                yield doc_id, path, score
+
+    def encoded(self) -> list[tuple[str, float]]:
+        """The dotted-decimal ``(dewey, score)`` list -- byte-identical
+        to what :func:`encode_postings` was given."""
+        out = []
+        for doc_id, path, score in self.items():
+            if path:
+                dewey = f"{doc_id}." + ".".join(map(str, path))
+            else:
+                dewey = str(doc_id)
+            out.append((dewey, score))
+        return out
+
+
+def decode_postings(block: bytes) -> list[tuple[str, float]]:
+    """One-shot inverse of :func:`encode_postings`."""
+    return PostingBlock(block).encoded()

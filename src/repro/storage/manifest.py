@@ -142,6 +142,9 @@ class ManifestReport:
     problems: list[str] = field(default_factory=list)
     #: strategy → number of posting lists whose checksum was verified.
     strategies: dict[str, int] = field(default_factory=dict)
+    #: strategy/namespace → the recorded SHA-256 the check ran against
+    #: (so operators can quote and compare checksums across replicas).
+    checksums: dict[str, str] = field(default_factory=dict)
     documents: int = 0
     #: Benign observations that do not fail the check -- tombstones
     #: awaiting compaction, orphaned rows left by a crashed append or
@@ -155,9 +158,11 @@ class ManifestReport:
     def describe(self) -> list[str]:
         lines = []
         for strategy in sorted(self.strategies):
+            checksum = self.checksums.get(strategy)
+            suffix = (f" (sha256 {checksum[:12]})" if checksum else "")
             lines.append(f"strategy {strategy}: "
                          f"{self.strategies[strategy]} posting lists "
-                         f"checksum-verified")
+                         f"checksum-verified{suffix}")
         lines.append(f"documents: {self.documents} fingerprint-checked")
         for note in self.notes:
             lines.append(f"manifest: NOTE - {note}")
@@ -224,6 +229,7 @@ def verify_manifest(store: IndexStore,
                 f"posting-list checksum mismatch for strategy "
                 f"{strategy!r} ({len(lists)} lists)")
         report.strategies[strategy] = len(lists)
+        report.checksums[strategy] = expected
     if catalog is None:
         expected_fingerprint = store.get_metadata(CORPUS_FINGERPRINT_KEY)
         documents = [(doc_id, store.get_document(doc_id))
@@ -251,6 +257,7 @@ def _verify_segments(store: IndexStore, catalog,
                 f"{record.segment_id} ({record.namespace!r}, "
                 f"{len(lists)} lists)")
         report.strategies[record.namespace] = len(lists)
+        report.checksums[record.namespace] = record.checksum
     live_documents = []
     missing = []
     for doc_id in sorted(catalog.live_set):

@@ -1,0 +1,80 @@
+"""Property: a compact-block DIL is indistinguishable from an eager one.
+
+``DeweyInvertedList.from_block`` must be a pure representation change:
+for arbitrary posting lists, the merge (`collect`) and bounded top-k
+(`collect_topk`) results, the pruning sidecar (`doc_max_scores`), and
+the storage round-trip (`encoded`) all agree exactly with the eager
+``Posting``-object list -- same Dewey IDs, same float bits, same order.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index.dil import DeweyInvertedList, Posting
+from repro.core.query.dil_algorithm import DILQueryProcessor
+from repro.ir.tokenizer import Keyword
+from repro.storage.codec import PostingBlock, encode_postings
+from repro.xmldoc.dewey import DeweyID
+
+_scores = st.floats(min_value=0.001, max_value=10.0, allow_nan=False)
+_deweys = st.tuples(
+    st.integers(min_value=0, max_value=30),
+    st.lists(st.integers(min_value=0, max_value=6),
+             min_size=0, max_size=4).map(tuple))
+_posting_maps = st.dictionaries(_deweys, _scores, min_size=1,
+                                max_size=40)
+_queries = st.lists(_posting_maps, min_size=1, max_size=3)
+
+
+def _eager(name: str, entries) -> DeweyInvertedList:
+    postings = [Posting(DeweyID(doc_id, path), score)
+                for (doc_id, path), score in sorted(entries.items())]
+    return DeweyInvertedList(Keyword.from_text(name), postings)
+
+
+def _compact(name: str, entries) -> DeweyInvertedList:
+    block = PostingBlock(encode_postings(
+        _eager(name, entries).encoded()))
+    return DeweyInvertedList.from_block(Keyword.from_text(name), block)
+
+
+def _key(result):
+    return (result.dewey.doc_id, result.dewey.path, result.score,
+            result.keyword_scores)
+
+
+@settings(max_examples=50, deadline=None)
+@given(_queries)
+def test_collect_identical(keyword_maps):
+    eager = [_eager(f"w{i}", m) for i, m in enumerate(keyword_maps)]
+    compact = [_compact(f"w{i}", m) for i, m in enumerate(keyword_maps)]
+    processor = DILQueryProcessor(decay=0.5)
+    assert sorted(map(_key, processor.collect(eager))) \
+        == sorted(map(_key, processor.collect(compact)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(_queries, st.integers(min_value=1, max_value=8))
+def test_collect_topk_identical(keyword_maps, k):
+    eager = [_eager(f"w{i}", m) for i, m in enumerate(keyword_maps)]
+    compact = [_compact(f"w{i}", m) for i, m in enumerate(keyword_maps)]
+    processor = DILQueryProcessor(decay=0.5)
+    assert list(map(_key, processor.collect_topk(eager, k))) \
+        == list(map(_key, processor.collect_topk(compact, k)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(_posting_maps)
+def test_list_api_identical(entries):
+    eager = _eager("w", entries)
+    compact = _compact("w", entries)
+    assert len(compact) == len(eager)
+    assert bool(compact) == bool(eager)
+    assert compact.encoded() == eager.encoded()
+    assert compact.doc_max_scores() == eager.doc_max_scores()
+    assert compact.document_ids() == eager.document_ids()
+    assert [p.dewey.encode() for p in compact] \
+        == [p.dewey.encode() for p in eager]
+    assert compact.sorted_postings() == eager.sorted_postings()

@@ -1,0 +1,170 @@
+"""Unit and property tests for the compact posting codec (XPB1)."""
+
+import struct
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.codec import (FORMAT_VERSION, HEADER_SIZE, MAGIC,
+                                 PostingBlock, UnencodablePostings,
+                                 decode_postings, encode_postings)
+from repro.storage.errors import (CorruptIndexError,
+                                  IncompatibleIndexError)
+
+POSTINGS = [("0.1.2", 0.5), ("0.3", 1.0), ("2.0.1.4", 0.25),
+            ("2.0.2", 0.75), ("7", 0.125)]
+
+
+class TestRoundTrip:
+    def test_exact(self):
+        assert decode_postings(encode_postings(POSTINGS)) == POSTINGS
+
+    def test_empty_list(self):
+        block = encode_postings([])
+        assert decode_postings(block) == []
+        reader = PostingBlock(block)
+        assert reader.posting_count == 0
+        assert reader.doc_max_scores() == {}
+
+    def test_single_root_posting(self):
+        assert decode_postings(encode_postings([("5", 1.0)])) \
+            == [("5", 1.0)]
+
+    def test_scores_bitwise_exact(self):
+        # Scores are stored as raw IEEE-754 doubles: the decode must
+        # reproduce the exact float, including awkward ones -- the
+        # canonical_dump byte-identity gate depends on it.
+        awkward = [("0", 0.1), ("1", 1/3), ("2", 1e-308),
+                   ("3", 1.7976931348623157e308), ("4", 5e-324)]
+        out = decode_postings(encode_postings(awkward))
+        assert [s.hex() for _, s in out] \
+            == [s.hex() for _, s in awkward]
+
+    def test_deep_and_wide_paths(self):
+        postings = [("3." + ".".join(["0"] * 40), 0.5),
+                    ("3." + ".".join(["0"] * 39 + ["1"]), 0.25),
+                    ("3.1000000", 0.125),
+                    ("4." + ".".join(str(i) for i in range(20)), 1.0)]
+        postings.sort(key=lambda p: [int(x) for x in p[0].split(".")])
+        assert decode_postings(encode_postings(postings)) == postings
+
+
+class TestDirectory:
+    def test_doc_max_scores_without_decoding(self):
+        reader = PostingBlock(encode_postings(POSTINGS))
+        assert reader.doc_max_scores() == {0: 1.0, 2: 0.75, 7: 0.125}
+
+    def test_doc_ids_and_counts(self):
+        reader = PostingBlock(encode_postings(POSTINGS))
+        assert reader.doc_ids() == [0, 2, 7]
+        assert reader.doc_count == 3
+        assert reader.posting_count == 5
+
+    def test_doc_postings_decodes_one_run(self):
+        reader = PostingBlock(encode_postings(POSTINGS))
+        assert reader.doc_postings(2) == [((0, 1, 4), 0.25),
+                                          ((0, 2), 0.75)]
+        assert reader.doc_postings(7) == [((), 0.125)]
+        assert reader.doc_postings(99) == []
+
+    def test_size_bytes_matches_block_length(self):
+        block = encode_postings(POSTINGS)
+        assert PostingBlock(block).size_bytes() == len(block)
+
+    def test_delta_encoding_compresses_long_runs(self):
+        # 2000 sibling paths under one document share long prefixes;
+        # the delta encoding should land well under the textual form.
+        postings = [(f"12.4.7.{i}", 0.5) for i in range(2000)]
+        text_bytes = sum(len(dewey) + 8 for dewey, _ in postings)
+        assert len(encode_postings(postings)) < text_bytes * 0.8
+
+
+class TestPreconditions:
+    def test_unsorted_rejected(self):
+        with pytest.raises(UnencodablePostings):
+            encode_postings([("0.3", 1.0), ("0.1.2", 0.5)])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(UnencodablePostings):
+            encode_postings([("0.3", 1.0), ("0.3", 0.5)])
+
+    def test_non_canonical_dewey_rejected(self):
+        for bad in ("01.2", "1..2", "-1.2", "1.2 ", "a.b", ""):
+            with pytest.raises(UnencodablePostings):
+                encode_postings([(bad, 1.0)])
+
+    def test_prefix_order_is_respected(self):
+        # "0.1" < "0.1.0" in Dewey order; the codec must accept it.
+        postings = [("0.1", 0.5), ("0.1.0", 0.25)]
+        assert decode_postings(encode_postings(postings)) == postings
+
+
+class TestCorruption:
+    def test_short_buffer(self):
+        with pytest.raises(CorruptIndexError, match="header"):
+            PostingBlock(b"XPB1\x01")
+
+    def test_bad_magic(self):
+        block = bytearray(encode_postings(POSTINGS))
+        block[:4] = b"NOPE"
+        with pytest.raises(CorruptIndexError, match="magic"):
+            PostingBlock(bytes(block))
+
+    def test_version_mismatch_is_incompatible(self):
+        block = bytearray(encode_postings(POSTINGS))
+        block[4] = FORMAT_VERSION + 1
+        with pytest.raises(IncompatibleIndexError, match="format v2"):
+            PostingBlock(bytes(block))
+
+    def test_truncated_payload(self):
+        block = encode_postings(POSTINGS)
+        with pytest.raises(CorruptIndexError, match="truncated"):
+            PostingBlock(block[:-3])
+
+    def test_every_flipped_payload_byte_is_caught_by_crc(self):
+        block = encode_postings(POSTINGS)
+        for offset in range(HEADER_SIZE, len(block)):
+            damaged = bytearray(block)
+            damaged[offset] ^= 0xFF
+            with pytest.raises(CorruptIndexError):
+                PostingBlock(bytes(damaged))
+
+    def test_crc_collision_still_structurally_validated(self):
+        # Forge a block whose header checksum matches a garbage
+        # payload: the directory/run validation must still reject it.
+        payload = b"\x05\x05" + b"\xff" * 40
+        header = struct.pack("<4sB3sII", MAGIC, FORMAT_VERSION,
+                             b"\x00\x00\x00",
+                             zlib.crc32(payload) & 0xFFFFFFFF,
+                             len(payload))
+        with pytest.raises(CorruptIndexError):
+            PostingBlock(header + payload)
+
+
+# ----------------------------------------------------------------------
+# Property: arbitrary sorted canonical lists round-trip exactly.
+# ----------------------------------------------------------------------
+_scores = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+_deweys = st.tuples(
+    st.integers(min_value=0, max_value=500),
+    st.lists(st.integers(min_value=0, max_value=300),
+             max_size=8).map(tuple))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.dictionaries(_deweys, _scores, max_size=80))
+def test_random_lists_round_trip(entries):
+    postings = [(".".join(str(part) for part in (doc_id, *path)),
+                 entries[(doc_id, path)])
+                for doc_id, path in sorted(entries)]
+    block = encode_postings(postings)
+    assert decode_postings(block) == postings
+    reader = PostingBlock(block)
+    expected_max: dict[int, float] = {}
+    for dewey, score in postings:
+        doc_id = int(dewey.split(".")[0])
+        if score > expected_max.get(doc_id, float("-inf")):
+            expected_max[doc_id] = score
+    assert reader.doc_max_scores() == expected_max

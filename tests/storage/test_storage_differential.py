@@ -1,0 +1,138 @@
+"""Backend differential: the compact/mmap path is byte-identical.
+
+The gate the compact codec and the mmap container must pass: building
+the same index into a :class:`MemoryStore` (pickle-era in-memory rows),
+a :class:`SQLiteStore`, and an :class:`MmapStore` yields the *same
+logical index* -- ``canonical_dump`` equal byte for byte -- and a fresh
+engine serving DIL-cache misses from compact blocks ranks queries
+identically (full and bounded top-k modes) to the eagerly built
+engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import RELATIONSHIPS, XRANK
+from repro.core.query.engine import XOntoRankEngine
+from repro.core.stats import CODEC_LAZY_LISTS
+from repro.storage import (MemoryStore, MmapStore, SQLiteStore,
+                           atomic_mmap_build, canonical_dump)
+
+STRATEGIES = (XRANK, RELATIONSHIPS)
+BACKENDS = ("memory", "sqlite", "mmap")
+
+
+@pytest.fixture(scope="module")
+def backend_stores(tmp_path_factory, engines):
+    """``(backend, strategy) -> store``: the same index built through
+    every backend (stores are single-strategy, like production)."""
+    root = tmp_path_factory.mktemp("differential")
+    stores = {}
+    for strategy in STRATEGIES:
+        memory = MemoryStore()
+        sqlite = SQLiteStore(str(root / f"{strategy}.db"))
+        mmap_path = str(root / f"{strategy}.mm")
+        with atomic_mmap_build(mmap_path) as mmap_writer:
+            for store in (memory, sqlite, mmap_writer):
+                engines[strategy].build_index(store=store)
+        stores[("memory", strategy)] = memory
+        stores[("sqlite", strategy)] = sqlite
+        stores[("mmap", strategy)] = MmapStore(mmap_path)
+    yield stores
+    for strategy in STRATEGIES:
+        stores[("mmap", strategy)].close()
+        stores[("sqlite", strategy)].close()
+
+
+class TestCanonicalDump:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_memory_equals_sqlite(self, backend_stores, strategy):
+        assert canonical_dump(backend_stores[("memory", strategy)],
+                              [strategy]) \
+            == canonical_dump(backend_stores[("sqlite", strategy)],
+                              [strategy])
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_memory_equals_mmap(self, backend_stores, strategy):
+        # The load-bearing assertion: every posting list decoded out of
+        # compact XPB1 blocks (or raw fallback records) is *exactly*
+        # the list the builder produced -- same Dewey strings, same
+        # float bits, same order.
+        assert canonical_dump(backend_stores[("memory", strategy)],
+                              [strategy]) \
+            == canonical_dump(backend_stores[("mmap", strategy)],
+                              [strategy])
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_mmap_stores_real_blocks(self, backend_stores, strategy):
+        # Guard against the differential passing vacuously through the
+        # raw-record fallback: the corpus index must be all compact
+        # blocks.
+        per_strategy, raw, problems = \
+            backend_stores[("mmap", strategy)].block_report()
+        assert problems == []
+        assert per_strategy.get(strategy, 0) > 0
+        assert raw == 0, "corpus posting lists should all be encodable"
+
+
+class TestQueryEquivalence:
+    @pytest.fixture(scope="class")
+    def queries(self, backend_stores):
+        keywords = sorted(backend_stores[("mmap", XRANK)]
+                          .keywords(XRANK))
+        assert len(keywords) >= 4
+        singles = [keywords[0], keywords[len(keywords) // 2],
+                   keywords[-1]]
+        pair = f"{keywords[1]} {keywords[-2]}"
+        return singles + [pair]
+
+    @pytest.fixture(scope="class")
+    def served_engines(self, backend_stores, engines, cda_corpus,
+                       synthetic_ontology):
+        """Fresh engines (cold DIL cache) serving misses from the mmap
+        and sqlite stores respectively."""
+        served = {}
+        for name in ("mmap", "sqlite"):
+            for strategy in STRATEGIES:
+                ontology = (synthetic_ontology
+                            if strategy != XRANK else None)
+                engine = XOntoRankEngine(
+                    cda_corpus, ontology, strategy=strategy,
+                    config=engines[strategy].config,
+                    element_index=engines[strategy].element_index)
+                engine.attach_read_store(
+                    backend_stores[(name, strategy)])
+                served[(name, strategy)] = engine
+        return served
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_full_rankings_identical(self, engines, served_engines,
+                                     queries, strategy):
+        for query in queries:
+            expected = engines[strategy].search(query)
+            for backend in ("mmap", "sqlite"):
+                got = served_engines[(backend, strategy)].search(query)
+                assert [(r.dewey, r.score) for r in got] \
+                    == [(r.dewey, r.score) for r in expected], \
+                    (backend, strategy, query)
+
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_topk_equals_full_prefix_over_blocks(self, served_engines,
+                                                 queries, k):
+        # Bounded top-k over lazily decoded blocks must return the
+        # exact prefix of the full ranking -- the doc_max sidecar only
+        # prunes, never reorders.
+        for strategy in STRATEGIES:
+            engine = served_engines[("mmap", strategy)]
+            for query in queries:
+                full = engine.search(query)
+                assert [(r.dewey, r.score)
+                        for r in engine.search(query, k=k)] \
+                    == [(r.dewey, r.score) for r in full[:k]]
+
+    def test_blocks_actually_served_lazily(self, served_engines,
+                                           queries):
+        engine = served_engines[("mmap", XRANK)]
+        engine.search(queries[0])
+        assert engine.stats.value(CODEC_LAZY_LISTS) > 0

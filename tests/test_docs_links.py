@@ -42,6 +42,36 @@ def relative_links(path):
         yield target.split("#", 1)[0]  # drop any anchor suffix
 
 
+def anchored_links(path):
+    """``(target_path, fragment)`` for every link carrying a fragment;
+    in-page anchors yield the source file itself as the target."""
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_SKIP_SCHEMES) or "#" not in target:
+            continue
+        file_part, fragment = target.split("#", 1)
+        if not file_part:
+            yield path, fragment
+        elif file_part.endswith(".md"):
+            yield os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part)), fragment
+
+
+def heading_slugs(path):
+    """GitHub-style anchor slugs of every markdown heading in a file."""
+    slugs = set()
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if not line.startswith("#"):
+                continue
+            title = line.lstrip("#").strip()
+            slug = re.sub(r"[^\w\- ]", "", title.lower())
+            slugs.add(slug.replace(" ", "-"))
+    return slugs
+
+
 @pytest.mark.parametrize("path", documentation_files(),
                          ids=lambda p: os.path.relpath(p, REPO_ROOT))
 def test_intra_repo_links_resolve(path):
@@ -58,7 +88,7 @@ def test_intra_repo_links_resolve(path):
 def test_docs_tree_is_complete():
     """The docs index and the pages it promises all exist."""
     for name in ("README.md", "PAPER_MAP.md", "ARCHITECTURE.md",
-                 "OBSERVABILITY.md"):
+                 "OBSERVABILITY.md", "STORAGE.md", "SERVING.md"):
         assert os.path.exists(os.path.join(REPO_ROOT, "docs", name))
 
 
@@ -67,8 +97,25 @@ def test_docs_index_links_every_page():
     with open(index_path, encoding="utf-8") as handle:
         index = handle.read()
     for name in ("PAPER_MAP.md", "ARCHITECTURE.md", "OBSERVABILITY.md",
-                 "EXPERIMENTS.md"):
+                 "EXPERIMENTS.md", "STORAGE.md", "SERVING.md"):
         assert name in index, f"docs/README.md does not link {name}"
+
+
+@pytest.mark.parametrize("path", documentation_files(),
+                         ids=lambda p: os.path.relpath(p, REPO_ROOT))
+def test_anchor_fragments_resolve(path):
+    """Every ``#fragment`` on a markdown link must match a heading slug
+    in the target page (the format spec's table of contents relies on
+    these staying stable)."""
+    dead = []
+    for target, fragment in anchored_links(path):
+        if not os.path.exists(target):
+            continue  # dead files are test_intra_repo_links_resolve's job
+        if fragment not in heading_slugs(target):
+            dead.append(f"{os.path.relpath(target, REPO_ROOT)}"
+                        f"#{fragment}")
+    assert not dead, (
+        f"{os.path.relpath(path, REPO_ROOT)} has dead anchors: {dead}")
 
 
 def test_every_instrument_name_is_documented():
