@@ -244,3 +244,89 @@ def test_fig11_topk_pruning(bench_corpus, bench_ontology, quick_mode):
     # The acceptance bar: pruning must save postings on this workload.
     assert sum(row[2] for row in rows) < sum(row[1] for row in rows)
     assert sum(row[3] for row in rows) > 0
+
+
+ONTOLOGY_DECADES = (1_000, 10_000, 100_000)
+DECADE_VOCAB_SIZE = 24
+DECADE_QUERY = "asthma heart disorder"
+
+
+def test_fig11_ontology_decades(benchmark, tmp_path, quick_mode):
+    """Figure 11's x-axis the paper could not move: the ontology size.
+
+    At each synthetic-SNOMED decade, measures time-to-first-answer --
+    the pre-processing build (a fixed small vocabulary) plus one top-10
+    Relationships query -- cold (expansions computed from the graph,
+    written through to a persisted OntoScoreCache) against warm (a
+    fresh engine reading that cache). The ranked answers must be
+    byte-identical; only the pre-processing cost may move, since the
+    query phase runs on the already-built DILs either way.
+    """
+    from repro.cda import build_cda_corpus
+    from repro.emr import generate_cardiac_emr
+    from repro.ontology import TerminologyService
+    from repro.ontology.snomed import build_synthetic_snomed
+    from repro.storage import SQLiteStore
+
+    decades = ONTOLOGY_DECADES[:2] if quick_mode else ONTOLOGY_DECADES
+
+    def time_to_first_answer(corpus, ontology, vocabulary, cache_path):
+        engine = XOntoRankEngine(corpus, ontology,
+                                 strategy=RELATIONSHIPS)
+        cache_store = SQLiteStore(cache_path)
+        engine.attach_ontology_cache(cache_store)
+        started = time.perf_counter()
+        engine.build_index(vocabulary=vocabulary)
+        build_s = time.perf_counter() - started
+        started = time.perf_counter()
+        results = engine.search(DECADE_QUERY, k=TOP_K)
+        query_s = time.perf_counter() - started
+        cache_store.close()
+        return build_s, query_s, results
+
+    def sweep():
+        rows = []
+        for target in decades:
+            ontology = build_synthetic_snomed(target_concepts=target)
+            database = generate_cardiac_emr(n_patients=4, seed=7,
+                                            ontology=ontology)
+            corpus, _ = build_cda_corpus(
+                database, TerminologyService([ontology]))
+            words = sorted(word for word in corpus_vocabulary(corpus)
+                           if len(word) > 3 and not word.isdigit())
+            vocabulary = set(words[:DECADE_VOCAB_SIZE])
+            vocabulary.update(DECADE_QUERY.split())
+            cache_path = str(tmp_path / f"cache_{target}.db")
+            cold = time_to_first_answer(corpus, ontology, vocabulary,
+                                        cache_path)
+            warm = time_to_first_answer(corpus, ontology, vocabulary,
+                                        cache_path)
+            rows.append((target, len(ontology), cold, warm))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"FIGURE 11 (ontology decades) -- relationships, "
+        f"{DECADE_VOCAB_SIZE}-word build + top-{TOP_K} "
+        f"{DECADE_QUERY!r}, cold vs warm OntoScoreCache",
+        f"{'target':>10}{'concepts':>10}{'cold build (s)':>16}"
+        f"{'warm build (s)':>16}{'speedup':>9}{'query (ms)':>12}",
+    ]
+    for target, concepts, cold, warm in rows:
+        cold_build, cold_query, cold_results = cold
+        warm_build, warm_query, warm_results = warm
+        # Identity contract: the cache must not change a single answer.
+        assert [(r.doc_id, r.dewey, r.score) for r in cold_results] \
+            == [(r.doc_id, r.dewey, r.score) for r in warm_results]
+        speedup = (cold_build / warm_build if warm_build
+                   else float("inf"))
+        lines.append(
+            f"{target:>10}{concepts:>10}{cold_build:>16.3f}"
+            f"{warm_build:>16.3f}{speedup:>9.2f}"
+            f"{(cold_query + warm_query) / 2 * 1000.0:>12.2f}")
+    record_result("fig11_ontology_decades", "\n".join(lines) + "\n")
+
+    for target, _concepts, cold, warm in rows:
+        assert warm[0] < cold[0], (
+            f"warm build slower than cold at the {target} decade")

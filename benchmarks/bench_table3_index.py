@@ -249,3 +249,84 @@ def test_table3_build_phase_breakdown(bench_corpus, bench_ontology):
     # insert; building runs OntoScore expansion per keyword).
     assert timers["parallel_build.shard_build"].total > \
         timers["index.merge_shard"].total
+
+
+ONTOLOGY_DECADES = (1_000, 10_000, 100_000)
+DECADE_KEYWORDS = ("asthma", "heart", "valve", "disorder", "structure",
+                   "finding", "procedure", "entire")
+
+
+def test_table3_ontology_decades(benchmark, tmp_path, quick_mode):
+    """The column Table III holds fixed: the ontology's size.
+
+    Sweeps synthetic-SNOMED decades and times the OntoScore expansion
+    stage of index creation -- cold (computed from the graph, written
+    through to a persisted cache) against warm (a fresh computer
+    reading the same cache). The expansions are pure in
+    ``(fingerprint, strategy, params, keyword)``, so warm must be both
+    byte-identical and, at real scale, dramatically cheaper: the
+    acceptance line is >= 5x at the 10^5 decade.
+    """
+    from repro.core.config import DEFAULT_CONFIG
+    from repro.core.ontoscore import OntoScoreCache, expansion_params
+    from repro.core.ontoscore.factory import make_ontoscore
+    from repro.ir.tokenizer import Keyword
+    from repro.ontology.snomed import build_synthetic_snomed
+    from repro.storage import SQLiteStore
+
+    decades = ONTOLOGY_DECADES[:2] if quick_mode else ONTOLOGY_DECADES
+    keywords = [Keyword((word,)) for word in
+                (DECADE_KEYWORDS[:4] if quick_mode else DECADE_KEYWORDS)]
+    params = expansion_params(DEFAULT_CONFIG)
+
+    def sweep():
+        rows = []
+        for target in decades:
+            ontology = build_synthetic_snomed(target_concepts=target)
+            store = SQLiteStore(str(tmp_path / f"cache_{target}.db"))
+            cold = make_ontoscore(RELATIONSHIPS, ontology,
+                                  DEFAULT_CONFIG)
+            cold.attach_persistent_cache(OntoScoreCache(
+                store, ontology.fingerprint(), RELATIONSHIPS, params))
+            started = time.perf_counter()
+            cold_maps = [cold.compute(keyword) for keyword in keywords]
+            cold_s = time.perf_counter() - started
+
+            warm = make_ontoscore(RELATIONSHIPS, ontology,
+                                  DEFAULT_CONFIG)
+            warm.attach_persistent_cache(OntoScoreCache(
+                store, ontology.fingerprint(), RELATIONSHIPS, params))
+            started = time.perf_counter()
+            warm_maps = [warm.compute(keyword) for keyword in keywords]
+            warm_s = time.perf_counter() - started
+            store.close()
+
+            # Identity contract: the cache may only change the cost.
+            assert warm_maps == cold_maps
+            concepts = sum(len(scores) for scores in cold_maps)
+            rows.append((target, len(ontology), cold_s, warm_s,
+                         concepts))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"TABLE III (ontology decades) -- relationships expansion, "
+        f"{len(keywords)} keywords, cold graph vs warm OntoScoreCache",
+        f"{'target':>10}{'concepts':>10}{'cold (s)':>10}{'warm (s)':>10}"
+        f"{'speedup':>9}{'expanded':>10}",
+    ]
+    for target, concepts, cold_s, warm_s, expanded in rows:
+        speedup = cold_s / warm_s if warm_s else float("inf")
+        lines.append(f"{target:>10}{concepts:>10}{cold_s:>10.3f}"
+                     f"{warm_s:>10.3f}{speedup:>9.2f}{expanded:>10}")
+    record_result("table3_ontology_decades", "\n".join(lines) + "\n")
+
+    for target, _concepts, cold_s, warm_s, _expanded in rows:
+        assert warm_s < cold_s, (
+            f"warm slower than cold at the {target} decade")
+    if not quick_mode:
+        _target, _concepts, cold_s, warm_s, _expanded = rows[-1]
+        assert cold_s / warm_s >= 5.0, (
+            f"warm-vs-cold speedup {cold_s / warm_s:.2f}x below 5x "
+            f"at the 10^5 decade")

@@ -6,9 +6,19 @@ Four subcommands mirror the system's phases::
         Build the synthetic SNOMED (flat files) and the CDA corpus
         (one XML file per patient) under DIR.
 
+    python -m repro build-ontology --store FILE.db
+        [--data DIR | --scale F | --target-concepts N]
+        [--store-format sqlite|mmap] [--profile]
+        Build the persisted concept indexes of the ontology service:
+        exact + per-token name/synonym lookup, cross-references into
+        foreign code systems, and the is-a ancestor/descendant closure
+        with depths. With --data the ontology under DIR/ontology is
+        indexed; without it a synthetic SNOMED is *streamed* into the
+        build (--target-concepts 100000 never materializes the graph).
+
     python -m repro index --data DIR --store FILE.db
         [--strategy relationships] [--radius 2] [--workers N]
-        [--store-format sqlite|mmap] [--append]
+        [--store-format sqlite|mmap] [--append] [--ontology-cache F.db]
         [--profile] [--metrics-out F.jsonl] [--trace-out F.json]
         Pre-processing phase: build XOnto-DILs for the experiment
         vocabulary and persist them (plus the documents). The default
@@ -19,6 +29,12 @@ Four subcommands mirror the system's phases::
         the serial build. ``build-index`` is an alias for this
         subcommand. ``search``/``serve``/``verify-index`` detect the
         backend from the file itself; no flag is needed to read.
+
+        With ``--ontology-cache F.db`` OntoScore expansions are read
+        through a persisted cache keyed by (ontology fingerprint,
+        strategy, expansion parameters); a second build of the same
+        configuration starts warm, and a mismatched cache generation
+        is invalidated instead of reused.
 
         With ``--append`` the store must already exist: documents in
         DIR that the store does not yet hold are indexed as one
@@ -98,14 +114,20 @@ from .core.config import (ALL_STRATEGIES, RELATIONSHIPS,
 from .core.obs import (Tracer, render_profile, write_chrome_trace,
                        write_metrics_jsonl)
 from .core.query.engine import XOntoRankEngine, build_engines
+from .core.stats import (ONTOLOGY_CACHE_HITS,
+                         ONTOLOGY_CACHE_INVALIDATIONS,
+                         ONTOLOGY_CACHE_MISSES, StatsRegistry)
 from .core.query.federated import FederatedEngine, shard_store_path
 from .emr.synth import generate_cardiac_emr
 from .evaluation.metrics import run_survey
 from .evaluation.oracle import RelevanceOracle
 from .evaluation.workload import table1_queries
 from .ontology.api import TerminologyService
+from .ontology.indexes import build_ontology_indexes
 from .ontology.io import load_ontology, save_ontology
-from .ontology.snomed import build_synthetic_snomed
+from .ontology.snomed import (SNOMED_NAME, SNOMED_SYSTEM_CODE,
+                              SyntheticSnomedBuilder,
+                              build_synthetic_snomed)
 from .storage.errors import StorageError
 from .storage.manifest import (CHECKSUM_KEY_PREFIX, MANIFEST_VERSION_KEY,
                                atomic_sqlite_build, verify_manifest)
@@ -246,10 +268,56 @@ def _atomic_build(path: str, store_format: str):
     return atomic_sqlite_build(path)
 
 
+def command_build_ontology(args: argparse.Namespace) -> int:
+    """``repro build-ontology``: persist the concept indexes
+    (name/synonym, cross-reference, hierarchy closure) of an ontology
+    into a store, so terminology resolution never loads the graph."""
+    tracer = _tracer_from(args)
+    stats = StatsRegistry()
+    if tracer is not None:
+        tracer.registry = stats
+    with _atomic_build(args.store, args.store_format) as store:
+        if args.data:
+            ontology = load_ontology(os.path.join(args.data,
+                                                  ONTOLOGY_DIR))
+            indexes = build_ontology_indexes(ontology, store,
+                                             tracer=tracer)
+        else:
+            # Streamed: the 10^5+-concept synthetic SNOMED flows
+            # straight into the index builder, never materialized.
+            builder = SyntheticSnomedBuilder(
+                scale=args.scale, seed=args.ontology_seed,
+                target_concepts=args.target_concepts)
+            indexes = build_ontology_indexes(
+                builder.stream(), store,
+                system_code=SNOMED_SYSTEM_CODE, name=SNOMED_NAME,
+                tracer=tracer)
+        concepts = indexes.concept_count
+        fingerprint = indexes.fingerprint
+    print(f"built ontology indexes: {concepts} concepts -> "
+          f"{args.store}")
+    print(f"ontology fingerprint: {fingerprint}")
+    print(f"audit with `python -m repro verify-index "
+          f"--store {args.store}`")
+    if tracer is not None and args.profile:
+        print(render_profile(stats, tracer))
+    return 0
+
+
 def command_index(args: argparse.Namespace) -> int:
     ontology, corpus = _load_data_directory(args.data)
     tracer = _tracer_from(args)
     engine = _make_engine(args, corpus, ontology, tracer)
+    ontology_cache = None
+    if getattr(args, "ontology_cache", None):
+        if isinstance(engine, FederatedEngine):
+            print("note: --ontology-cache is ignored with --shards > 1",
+                  file=sys.stderr)
+        else:
+            cache_store = SQLiteStore(args.ontology_cache)
+            ontology_cache = engine.attach_ontology_cache(cache_store)
+            if ontology_cache is None:  # xrank has nothing to cache
+                cache_store.close()
     if args.append:
         return _append_to_stores(args, engine, tracer)
     # Crash safety: every store is written to a ".building" sibling and
@@ -293,6 +361,16 @@ def command_index(args: argparse.Namespace) -> int:
           f"(audit with `python -m repro verify-index "
           f"--store {audit_path}`)")
     print(f"dil-cache: {engine.cache_stats().render()}")
+    if ontology_cache is not None:
+        counters = engine.stats.snapshot()
+        print(f"ontology-cache: "
+              f"hits={counters.get(ONTOLOGY_CACHE_HITS, 0)} "
+              f"misses={counters.get(ONTOLOGY_CACHE_MISSES, 0)} "
+              f"invalidations="
+              f"{counters.get(ONTOLOGY_CACHE_INVALIDATIONS, 0)} "
+              f"epoch={ontology_cache.epoch} "
+              f"-> {args.ontology_cache}")
+        ontology_cache.close()
     _emit_profile(args, engine, tracer)
     return 0
 
@@ -564,10 +642,34 @@ def command_serve(args: argparse.Namespace) -> int:
         code = _serving_stores(args, engine)
         if code != 0:
             return code
+    # Additional corpora: each --corpus NAME=PATH loads its own data
+    # directory into its own engine (same strategy and tuning flags)
+    # and registers under NAME next to the primary --data corpus.
+    extra_corpora: list[tuple[str, str]] = []
+    seen_names = {args.corpus_name}
+    for spec in args.corpus or ():
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            print(f"error: --corpus expects NAME=PATH, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        if name in seen_names:
+            print(f"error: duplicate corpus name {name!r}",
+                  file=sys.stderr)
+            return 2
+        seen_names.add(name)
+        extra_corpora.append((name, path))
     service = SearchService(stats=engine.stats,
                             breaker_threshold=args.breaker_threshold,
                             breaker_cooldown=args.breaker_cooldown)
     service.add_corpus(args.corpus_name, engine)
+    corpus_sizes = {args.corpus_name: len(corpus)}
+    for name, path in extra_corpora:
+        extra_ontology, extra_corpus = _load_data_directory(path)
+        extra_engine = _make_engine(args, extra_corpus, extra_ontology,
+                                    None)
+        service.add_corpus(name, extra_engine)
+        corpus_sizes[name] = len(extra_corpus)
     app = ServerApp(service, ServerConfig(
         host=args.host, port=args.port,
         max_concurrency=args.concurrency, max_queue=args.queue,
@@ -576,9 +678,11 @@ def command_serve(args: argparse.Namespace) -> int:
 
     async def _run() -> None:
         await app.start()
-        print(f"serving corpus {args.corpus_name!r} "
-              f"({len(corpus)} documents, strategy={args.strategy}, "
-              f"shards={args.shards}) on "
+        described = ", ".join(f"{name!r} ({size} documents)"
+                              for name, size in corpus_sizes.items())
+        print(f"serving {len(corpus_sizes)} corpus"
+              f"{'es' if len(corpus_sizes) != 1 else ''}: {described} "
+              f"(strategy={args.strategy}, shards={args.shards}) on "
               f"http://{args.host}:{app.bound_port}", flush=True)
         app.mark_ready()
         print("ready (GET /search /healthz /readyz /metrics; "
@@ -713,6 +817,33 @@ def build_parser() -> argparse.ArgumentParser:
                           help="ontology size multiplier")
     generate.set_defaults(handler=command_generate)
 
+    build_ontology = subparsers.add_parser(
+        "build-ontology",
+        help="build and persist the ontology concept indexes "
+             "(name/synonym, xref, hierarchy closure)")
+    build_ontology.add_argument(
+        "--store", required=True,
+        help="destination store for the concept indexes")
+    build_ontology.add_argument(
+        "--store-format", choices=("sqlite", "mmap"), default="sqlite",
+        help="storage backend (default: sqlite; mmap writes the "
+             "immutable XMS1 image)")
+    build_ontology.add_argument(
+        "--data", default=None,
+        help="data directory whose ontology/ to index; omit to "
+             "stream a generated synthetic SNOMED instead")
+    build_ontology.add_argument("--scale", type=float, default=1.0,
+                                help="synthetic ontology size "
+                                     "multiplier (without --data)")
+    build_ontology.add_argument("--ontology-seed", type=int,
+                                default=20090331)
+    build_ontology.add_argument(
+        "--target-concepts", type=int, default=None,
+        help="generate approximately this many concepts "
+             "(overrides --scale)")
+    _add_profiling_flags(build_ontology)
+    build_ontology.set_defaults(handler=command_build_ontology)
+
     index = subparsers.add_parser(
         "index", aliases=["build-index"],
         help="pre-processing phase: build and persist XOnto-DILs")
@@ -731,6 +862,11 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("--workers", type=int, default=1,
                        help="worker-pool size for the build "
                             "(1 = serial; result is identical)")
+    index.add_argument("--ontology-cache", default=None, metavar="FILE",
+                       help="read OntoScore expansions through a "
+                            "persisted cache at FILE (SQLite), keyed "
+                            "by ontology fingerprint + strategy + "
+                            "parameters; created when absent")
     index.add_argument("--append", action="store_true",
                        help="index only the data directory's new "
                             "documents as one immutable segment of the "
@@ -797,6 +933,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080,
                        help="0 binds an ephemeral port (printed on "
                             "startup)")
+    serve.add_argument("--corpus", action="append", default=None,
+                       metavar="NAME=PATH",
+                       help="register an additional data directory as "
+                            "corpus NAME (repeatable)")
     serve.add_argument("--corpus-name", default="default",
                        help="name clients pass as ?corpus=")
     serve.add_argument("--concurrency", type=_positive_int, default=4,

@@ -3,6 +3,7 @@ XRANK null strategy, over a shared pruned authority-flow engine."""
 
 from .base import (NullOntoScore, OntoScoreComputer, SeedScorer,
                    best_first_expansion, level_order_expansion)
+from .cache import OntoScoreCache, expansion_params
 from .factory import make_ontoscore, make_seed_scorer
 from .graph import GraphOntoScore, concept_seed_scorer
 from .relationships import (MaterializedRelationshipsOntoScore,
@@ -13,7 +14,8 @@ from .taxonomy import TaxonomyOntoScore
 __all__ = [
     "GraphOntoScore", "MaterializedRelationshipsOntoScore",
     "NullOntoScore", "OntoScoreComputer", "RelationshipsOntoScore",
-    "SeedScorer", "TaxonomyOntoScore", "best_first_expansion",
-    "concept_seed_scorer", "level_order_expansion", "make_ontoscore",
-    "make_seed_scorer", "relationships_seed_scorer",
+    "OntoScoreCache", "SeedScorer", "TaxonomyOntoScore",
+    "best_first_expansion", "concept_seed_scorer", "expansion_params",
+    "level_order_expansion", "make_ontoscore", "make_seed_scorer",
+    "relationships_seed_scorer",
 ]

@@ -208,6 +208,7 @@ class OntoScoreComputer(ABC):
         self._threshold = threshold
         self._exact = exact
         self._cache: dict[Keyword, dict[NodeId, float]] = {}
+        self._persistent_cache = None
         self._trace_cache: dict[
             Keyword, tuple[dict[NodeId, float],
                            dict[NodeId, NodeId | None]]] = {}
@@ -227,10 +228,28 @@ class OntoScoreComputer(ABC):
         """
         return scores
 
+    def attach_persistent_cache(self, cache) -> None:
+        """Read expansions through a persisted
+        :class:`~repro.core.ontoscore.cache.OntoScoreCache`.
+
+        The in-memory per-keyword cache stays in front (one store read
+        per keyword per computer lifetime); on a persistent miss the
+        freshly computed expansion is written back, so the next build
+        against the same ontology/strategy/parameters starts warm. The
+        caller is responsible for binding the cache to this computer's
+        strategy and parameters -- the cache's descriptor check only
+        protects against *stores* from other configurations.
+        """
+        self._persistent_cache = cache
+
     # ------------------------------------------------------------------
     def compute(self, keyword: Keyword) -> dict[NodeId, float]:
         """OntoScores of all concepts for ``keyword`` (above threshold)."""
         cached = self._cache.get(keyword)
+        if cached is None and self._persistent_cache is not None:
+            cached = self._persistent_cache.get(keyword)
+            if cached is not None:
+                self._cache[keyword] = cached
         if cached is None:
             with self.tracer.span("ontoscore.expand",
                                   keyword=keyword.text,
@@ -246,6 +265,8 @@ class OntoScoreComputer(ABC):
                     algorithm=("best_first" if self._exact
                                else "level_order"),
                     seeds=len(seeds), concepts=len(cached))
+            if self._persistent_cache is not None:
+                self._persistent_cache.put(keyword, cached)
             self._cache[keyword] = cached
         return dict(cached)
 

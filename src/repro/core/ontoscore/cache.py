@@ -1,0 +1,144 @@
+"""Persisted, versioned OntoScore expansion cache (the cache layer of
+the ontology service).
+
+OntoScore expansions are pure functions of ``(ontology content,
+strategy, expansion parameters, keyword)`` -- yet every index build
+recomputes every expansion from the in-memory graph, which is exactly
+the cost the Table III / Figure 11 decade sweeps measure. This module
+persists the expansions through any :class:`IndexStore`, keyed by a
+*descriptor* combining the ontology's content fingerprint
+(:meth:`~repro.ontology.model.Ontology.fingerprint`), the strategy
+name, and the parameters that shape the flow. A store whose descriptor
+does not match the attaching computation is **invalidated**: the cache
+advances to a fresh generation (an epoch-suffixed posting namespace)
+rather than serving scores from a different ontology or configuration.
+
+Counters (``ontology.cache.hits`` / ``.misses`` / ``.invalidations``)
+land in the engine's :class:`~repro.core.stats.StatsRegistry`, so a
+``--verbose`` build prints the warm/cold ratio next to the DIL cache
+stats.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ...ir.tokenizer import Keyword
+from ...storage.interface import IndexStore
+from ..config import XOntoRankConfig
+from ..stats import (ONTOLOGY_CACHE_HITS, ONTOLOGY_CACHE_INVALIDATIONS,
+                     ONTOLOGY_CACHE_MISSES, StatsRegistry)
+
+#: Bumped whenever the cached-entry encoding changes; part of the
+#: descriptor, so old stores invalidate instead of misdecoding.
+CACHE_VERSION = "XOC1"
+
+_EPOCH_KEY = "onto.cache.{strategy}.epoch"
+_DESCRIPTOR_KEY = "onto.cache.{strategy}.descriptor"
+
+#: Sentinel posting distinguishing a *cached empty expansion* from a
+#: cache miss (both read back as "no postings" otherwise). The empty
+#: dewey cannot collide with a concept code.
+_EMPTY_SENTINEL = ("", -1.0)
+
+
+def expansion_params(config: XOntoRankConfig, *,
+                     exact: bool | None = None) -> dict:
+    """The configuration slice an expansion's output depends on.
+
+    Anything that can change a score must appear here -- a parameter
+    missing from the descriptor would let a stale cache serve wrong
+    expansions silently.
+    """
+    return {
+        "threshold": config.threshold,
+        "decay": config.decay,
+        "t": config.t,
+        "ir_function": config.ir_function,
+        "k1": config.bm25_k1,
+        "b": config.bm25_b,
+        "exact": config.exact_expansion if exact is None else exact,
+    }
+
+
+class OntoScoreCache:
+    """Read-through/write-back cache of per-keyword expansion maps.
+
+    One instance binds a store to one ``(fingerprint, strategy,
+    params)`` descriptor. Attaching compares the store's recorded
+    descriptor: a match reuses the current generation (warm); a
+    mismatch advances the epoch so stale entries become unreachable
+    (counted as an invalidation); a fresh store starts at epoch one.
+    """
+
+    def __init__(self, store: IndexStore, fingerprint: str,
+                 strategy: str, params: dict,
+                 stats: StatsRegistry | None = None) -> None:
+        self._store = store
+        self._stats = stats if stats is not None else StatsRegistry()
+        self.strategy = strategy
+        self.descriptor = json.dumps(
+            {"version": CACHE_VERSION, "fingerprint": fingerprint,
+             "strategy": strategy, "params": params},
+            sort_keys=True, separators=(",", ":"))
+        descriptor_key = _DESCRIPTOR_KEY.format(strategy=strategy)
+        epoch_key = _EPOCH_KEY.format(strategy=strategy)
+        recorded = store.get_metadata(descriptor_key)
+        epoch = int(store.get_metadata(epoch_key, "0") or "0")
+        if recorded == self.descriptor:
+            self.invalidated = False
+        else:
+            if recorded is not None:
+                self._stats.increment(ONTOLOGY_CACHE_INVALIDATIONS)
+            self.invalidated = recorded is not None
+            epoch += 1
+            store.put_metadata_many([(descriptor_key, self.descriptor),
+                                     (epoch_key, str(epoch))])
+        self._namespace = f"onto.cache.{strategy}.{epoch}"
+        self.epoch = epoch
+
+    @property
+    def store(self) -> IndexStore:
+        return self._store
+
+    @property
+    def stats(self) -> StatsRegistry:
+        return self._stats
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(keyword: Keyword) -> str:
+        # Mirrors repro.core.index.dil.index_key (kept local: the
+        # index package imports this package during init): phrases are
+        # quoted so "asthma" and asthma stay distinct entries.
+        return (f'"{keyword.text}"' if keyword.is_phrase
+                else keyword.text)
+
+    def get(self, keyword: Keyword) -> dict[str, float] | None:
+        """The cached expansion map, or ``None`` on a miss."""
+        postings = self._store.get_postings(self._namespace,
+                                            self._key(keyword))
+        if not postings:
+            self._stats.increment(ONTOLOGY_CACHE_MISSES)
+            return None
+        self._stats.increment(ONTOLOGY_CACHE_HITS)
+        if list(postings) == [_EMPTY_SENTINEL]:
+            return {}
+        return {code: score for code, score in postings}
+
+    def put(self, keyword: Keyword, scores: dict[str, float]) -> None:
+        """Write back one keyword's expansion (empty maps included)."""
+        if scores:
+            postings = sorted(
+                ((str(code), float(score))
+                 for code, score in scores.items()),
+                key=lambda item: ((0, len(item[0]), item[0])
+                                  if item[0].isdigit()
+                                  else (1, 0, item[0])))
+        else:
+            postings = [_EMPTY_SENTINEL]
+        self._store.put_postings(self._namespace, self._key(keyword),
+                                 postings)
+
+    def close(self) -> None:
+        self._store.close()

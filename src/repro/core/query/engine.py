@@ -113,6 +113,25 @@ class XOntoRankEngine:
                             node_weights=node_weights,
                             tracer=self.tracer)
 
+    def attach_ontology_cache(self, store: IndexStore) -> "OntoScoreCache | None":
+        """Read OntoScore expansions through a persisted cache store.
+
+        Binds ``store`` to this engine's ontology fingerprint, strategy
+        and expansion parameters (invalidating any mismatched cache
+        generation it holds) and attaches it to the strategy computer.
+        Returns the attached :class:`~repro.core.ontoscore.cache
+        .OntoScoreCache`, or ``None`` for the ontology-free XRANK
+        strategy, which has nothing to cache.
+        """
+        if self.ontology is None or self.strategy == XRANK:
+            return None
+        from ..ontoscore.cache import OntoScoreCache, expansion_params
+        cache = OntoScoreCache(
+            store, self.ontology.fingerprint(), self.strategy,
+            expansion_params(self.config), stats=self.stats)
+        self.ontoscore.attach_persistent_cache(cache)
+        return cache
+
     # ------------------------------------------------------------------
     # Backward-compatible views into the layered services
     # ------------------------------------------------------------------

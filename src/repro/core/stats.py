@@ -91,6 +91,15 @@ CODEC_LAZY_LISTS = "storage.codec.lazy_lists"
 #: Posting lists a block-capable store could only serve eagerly (raw
 #: records: lists the compact codec cannot represent).
 CODEC_RAW_FALLBACKS = "storage.codec.raw_fallbacks"
+#: OntoScore expansions served from the persisted expansion cache.
+ONTOLOGY_CACHE_HITS = "ontology.cache.hits"
+#: OntoScore expansions computed because the cache had no entry
+#: (the expansion is written back afterwards).
+ONTOLOGY_CACHE_MISSES = "ontology.cache.misses"
+#: Cache generations discarded because the store's descriptor
+#: (ontology fingerprint, strategy, expansion parameters) did not
+#: match the attaching computation.
+ONTOLOGY_CACHE_INVALIDATIONS = "ontology.cache.invalidations"
 
 # ----------------------------------------------------------------------
 # Serving-layer counters (repro.server; see docs/SERVING.md). One

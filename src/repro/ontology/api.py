@@ -12,6 +12,14 @@ Creation Module. This module provides the same operations in-process:
 * the ``onto(D, v)`` function of Section III, mapping a code node's
   ontological reference to the concept node it denotes, across a
   collection of registered ontological systems.
+
+The service is a **facade over two representations per system**: the
+persisted concept indexes of :mod:`repro.ontology.indexes` (registered
+with :meth:`TerminologyService.register_indexes`; resolution never
+touches the graph) and the in-memory :class:`Ontology` graph
+(:meth:`TerminologyService.register`; also the fallback when a concept
+payload is missing from the index layer). Every resolution runs under
+an ``ontology.resolve`` span annotated with which layer answered.
 """
 
 from __future__ import annotations
@@ -19,8 +27,10 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable
 
+from ..core.obs.tracer import NULL_TRACER
 from ..ir.tokenizer import tokenize
 from ..xmldoc.model import OntologicalReference
+from .indexes import TOKEN_PREFIX, NAME_STRATEGY, OntologyIndexes
 from .model import Concept, Ontology, OntologyError
 
 
@@ -33,15 +43,18 @@ class TerminologyService:
     concept node a code node references.
     """
 
-    def __init__(self, ontologies: Iterable[Ontology] = ()) -> None:
+    def __init__(self, ontologies: Iterable[Ontology] = (),
+                 tracer=None) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._systems: dict[str, Ontology] = {}
         self._term_index: dict[str, dict[str, list[str]]] = {}
+        self._indexes: dict[str, OntologyIndexes] = {}
         for ontology in ontologies:
             self.register(ontology)
 
     # ------------------------------------------------------------------
     def register(self, ontology: Ontology) -> None:
-        """Add an ontological system and index its terms."""
+        """Add an ontological system and index its terms in memory."""
         if ontology.system_code in self._systems:
             raise OntologyError(
                 f"system {ontology.system_code} already registered")
@@ -52,6 +65,18 @@ class TerminologyService:
                 index[self._normalize(term)].append(concept.code)
         self._term_index[ontology.system_code] = dict(index)
 
+    def register_indexes(self, indexes: OntologyIndexes) -> None:
+        """Add a system backed by persisted concept indexes.
+
+        The same system may also be graph-registered; the index layer
+        then answers first and the graph only serves as fallback for
+        payloads the index cannot produce.
+        """
+        if indexes.system_code in self._indexes:
+            raise OntologyError(
+                f"system {indexes.system_code} already index-backed")
+        self._indexes[indexes.system_code] = indexes
+
     @staticmethod
     def _normalize(term: str) -> str:
         return " ".join(tokenize(term))
@@ -60,7 +85,10 @@ class TerminologyService:
     # System access
     # ------------------------------------------------------------------
     def systems(self) -> list[str]:
-        return list(self._systems)
+        codes = list(self._systems)
+        codes.extend(code for code in self._indexes
+                     if code not in self._systems)
+        return codes
 
     def ontology(self, system_code: str) -> Ontology:
         try:
@@ -69,16 +97,42 @@ class TerminologyService:
             raise OntologyError(
                 f"unknown ontological system {system_code}") from None
 
+    def indexes(self, system_code: str) -> OntologyIndexes | None:
+        """The persisted index layer of a system, if registered."""
+        return self._indexes.get(system_code)
+
     def __contains__(self, system_code: str) -> bool:
-        return system_code in self._systems
+        return system_code in self._systems or system_code in self._indexes
 
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
+    def _concept_via_layers(self, system_code: str,
+                            concept_code: str) -> Concept | None:
+        """Index layer first, graph fallback; ``None`` when neither
+        representation knows the code."""
+        indexes = self._indexes.get(system_code)
+        if indexes is not None:
+            concept = indexes.concept(concept_code)
+            if concept is not None:
+                return concept
+        ontology = self._systems.get(system_code)
+        if ontology is not None and concept_code in ontology:
+            return ontology.concept(concept_code)
+        return None
+
     def concept_for_code(self, system_code: str, concept_code: str,
                          ) -> Concept:
         """Resolve a concept code within a system."""
-        return self.ontology(system_code).concept(concept_code)
+        if (system_code not in self._systems
+                and system_code not in self._indexes):
+            raise OntologyError(
+                f"unknown ontological system {system_code}")
+        concept = self._concept_via_layers(system_code, concept_code)
+        if concept is None:
+            raise OntologyError(
+                f"unknown concept {concept_code} in {system_code}")
+        return concept
 
     def resolve(self, reference: OntologicalReference) -> Concept | None:
         """The paper's ``onto(D, v)``: code node reference → concept.
@@ -87,26 +141,46 @@ class TerminologyService:
         the code is unknown (real CDA corpora reference systems, such as
         LOINC section codes, that are not part of the search ontology).
         """
-        ontology = self._systems.get(reference.system_code)
-        if ontology is None:
-            return None
-        if reference.concept_code not in ontology:
-            return None
-        return ontology.concept(reference.concept_code)
+        with self.tracer.span("ontology.resolve",
+                              system=reference.system_code,
+                              code=reference.concept_code) as span:
+            concept = self._concept_via_layers(reference.system_code,
+                                               reference.concept_code)
+            span.annotate(found=concept is not None)
+            return concept
 
     def lookup_term(self, term: str,
                     system_code: str | None = None) -> list[Concept]:
-        """Concepts whose terms match ``term`` after normalization."""
+        """Concepts whose terms match ``term`` after normalization.
+
+        Ambiguous terms (one synonym shared by several concepts) return
+        every match; index-backed systems order preferred-term matches
+        before synonym matches.
+        """
         normalized = self._normalize(term)
         if not normalized:
             return []
-        results: list[Concept] = []
-        for code, index in self._term_index.items():
-            if system_code is not None and code != system_code:
-                continue
-            ontology = self._systems[code]
-            for concept_code in index.get(normalized, ()):
-                results.append(ontology.concept(concept_code))
+        with self.tracer.span("ontology.resolve", term=normalized) as span:
+            results: list[Concept] = []
+            via_index = 0
+            for code in self.systems():
+                if system_code is not None and code != system_code:
+                    continue
+                indexes = self._indexes.get(code)
+                if indexes is not None:
+                    for concept_code, _weight in indexes.names.lookup(
+                            normalized):
+                        concept = self._concept_via_layers(code,
+                                                           concept_code)
+                        if concept is not None:
+                            results.append(concept)
+                            via_index += 1
+                    continue
+                ontology = self._systems[code]
+                for concept_code in self._term_index[code].get(
+                        normalized, ()):
+                    results.append(ontology.concept(concept_code))
+            span.annotate(hits=len(results), via_index=via_index)
         return results
 
     def match_in_text(self, text: str, system_code: str | None = None,
@@ -144,12 +218,21 @@ class TerminologyService:
 
         Section V-B defines the indexing Vocabulary as the union of words
         in the ontological systems and in the documents; this provides
-        the ontology half.
+        the ontology half. Graph-registered systems tokenize their
+        description texts; index-only systems read the token keys of
+        their persisted :class:`~repro.ontology.indexes.NameIndex`.
         """
         words: set[str] = set()
-        for code, ontology in self._systems.items():
+        for code in self.systems():
             if system_code is not None and code != system_code:
                 continue
-            for concept in ontology.concepts():
-                words.update(tokenize(concept.description_text()))
+            ontology = self._systems.get(code)
+            if ontology is not None:
+                for concept in ontology.concepts():
+                    words.update(tokenize(concept.description_text()))
+                continue
+            indexes = self._indexes[code]
+            for key in indexes.store.keywords(NAME_STRATEGY):
+                if key.startswith(TOKEN_PREFIX):
+                    words.add(key[len(TOKEN_PREFIX):])
         return words

@@ -1,0 +1,459 @@
+"""Persisted concept indexes: the ontology service's index layer.
+
+The paper's terminology access runs through the UMLS API, which answers
+string -> concept and code -> concept queries against SNOMED's >350k
+concepts without the caller ever holding the graph. This module gives
+:class:`~repro.ontology.api.TerminologyService` the same property:
+three lookup structures are built once from an ontology (or a concept
+*stream*, so a 10^5..10^6-concept synthetic SNOMED never has to be
+materialized) and persisted through any :class:`IndexStore` backend --
+the SQLite file and XMS1 mmap image included -- behind the usual
+manifest completion/checksum gates.
+
+* :class:`NameIndex` -- exact normalized name/synonym -> concepts, plus
+  a per-token index for partial matching;
+* :class:`XrefIndex` -- cross-references into foreign code systems
+  (ICD-10, LOINC, RxNorm), forward and reverse;
+* :class:`HierarchyIndex` -- is-a ancestor/descendant closure with hop
+  depth, precomputed so subsumption checks are one posting read.
+
+Storage layout (all plain :class:`IndexStore` primitives, so every
+backend and the differential ``canonical_dump`` contract apply
+unchanged):
+
+========================  =============================================
+posting namespace / key    contents
+========================  =============================================
+``onto.name``  ``e:<t>``  concepts whose normalized term equals ``t``
+                           (score 1.0 preferred / 0.5 synonym)
+``onto.name``  ``t:<w>``  concepts with token ``w`` in some term
+``onto.xref``  ``f:<c>``  foreign refs of concept ``c`` as
+                           ``"<system> <code>"`` postings
+``onto.xref``  ``r:<s> <f>``  concepts cross-referenced to foreign
+                           code ``f`` of system ``s``
+``onto.hier``  ``a:<c>``  ancestors of ``c`` (score = min hop depth)
+``onto.hier``  ``d:<c>``  descendants of ``c`` (score = min hop depth)
+========================  =============================================
+
+Concept payloads (preferred term, synonyms, tag, xrefs) live in
+metadata rows ``onto.concept:<code>``; the index version, ontology
+fingerprint and system identity in ``onto.index.*`` rows. Posting
+lists are sorted with all-digit codes in numeric order, so pure
+concept-code lists satisfy the XPB1 compact-block codec's canonical
+ordering and mmap images stay compact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator
+
+from ..core.obs.tracer import NULL_TRACER
+from ..ir.tokenizer import tokenize
+from ..storage.interface import IncompatibleIndexError, IndexStore
+from ..storage.manifest import (BUILD_COMPLETE, BUILD_COMPLETE_KEY,
+                                CHECKSUM_KEY_PREFIX,
+                                CORPUS_FINGERPRINT_KEY,
+                                MANIFEST_VERSION, MANIFEST_VERSION_KEY,
+                                corpus_fingerprint, mark_build_started,
+                                require_complete, store_checksum)
+from .model import (IS_A, Concept, FingerprintAccumulator, Ontology,
+                    OntologyError)
+
+#: Posting namespaces (the stores' *strategy* axis).
+NAME_STRATEGY = "onto.name"
+XREF_STRATEGY = "onto.xref"
+HIER_STRATEGY = "onto.hier"
+ONTOLOGY_INDEX_STRATEGIES = (NAME_STRATEGY, XREF_STRATEGY, HIER_STRATEGY)
+
+#: Key prefixes within each namespace.
+EXACT_PREFIX = "e:"
+TOKEN_PREFIX = "t:"
+FORWARD_PREFIX = "f:"
+REVERSE_PREFIX = "r:"
+ANCESTOR_PREFIX = "a:"
+DESCENDANT_PREFIX = "d:"
+
+#: Metadata rows.
+INDEX_VERSION_KEY = "onto.index.version"
+INDEX_VERSION = "1"
+FINGERPRINT_KEY = "onto.index.fingerprint"
+SYSTEM_KEY = "onto.index.system"
+NAME_KEY = "onto.index.name"
+CONCEPT_COUNT_KEY = "onto.index.concepts"
+CONCEPT_KEY_PREFIX = "onto.concept:"
+
+#: Name-match weights: an exact preferred-term hit outranks a synonym.
+PREFERRED_WEIGHT = 1.0
+SYNONYM_WEIGHT = 0.5
+
+
+def normalize_term(term: str) -> str:
+    """Canonical form of a concept term for exact-match lookup."""
+    return " ".join(tokenize(term))
+
+
+def _posting_order(code: str) -> tuple[int, int, str]:
+    """Sort key keeping all-digit concept codes in numeric order (the
+    codec's canonical Dewey order for single-component keys); non-digit
+    codes sort after them, lexicographically."""
+    if code.isdigit() and (code == "0" or not code.startswith("0")):
+        return (0, len(code), code)
+    return (1, 0, code)
+
+
+def _weights_to_postings(weights: dict[str, float],
+                         ) -> list[tuple[str, float]]:
+    return [(code, weights[code])
+            for code in sorted(weights, key=_posting_order)]
+
+
+class _IndexReader:
+    """Shared posting-read plumbing of the three index views."""
+
+    def __init__(self, store: IndexStore, strategy: str) -> None:
+        self._store = store
+        self._strategy = strategy
+
+    def _read(self, key: str) -> list[tuple[str, float]]:
+        return self._store.get_postings(self._strategy, key)
+
+
+class NameIndex(_IndexReader):
+    """Exact and per-token name/synonym -> concept lookup."""
+
+    def __init__(self, store: IndexStore) -> None:
+        super().__init__(store, NAME_STRATEGY)
+
+    def lookup(self, term: str) -> list[tuple[str, float]]:
+        """Concept codes whose normalized name or synonym equals
+        ``term`` (after normalization), best match weight first."""
+        normalized = normalize_term(term)
+        if not normalized:
+            return []
+        matches = self._read(EXACT_PREFIX + normalized)
+        return sorted(matches, key=lambda item: (-item[1], item[0]))
+
+    def lookup_token(self, token: str) -> list[tuple[str, float]]:
+        """Concepts with ``token`` anywhere in a name or synonym."""
+        normalized = normalize_term(token)
+        if not normalized or " " in normalized:
+            return []
+        return self._read(TOKEN_PREFIX + normalized)
+
+
+class XrefIndex(_IndexReader):
+    """Cross-references between the ontology and foreign code systems."""
+
+    def __init__(self, store: IndexStore) -> None:
+        super().__init__(store, XREF_STRATEGY)
+
+    def forward(self, code: str) -> list[tuple[str, str]]:
+        """``(system, foreign_code)`` pairs a concept maps onto."""
+        pairs = []
+        for packed, _score in self._read(FORWARD_PREFIX + code):
+            system, _, foreign = packed.partition(" ")
+            pairs.append((system, foreign))
+        return pairs
+
+    def reverse(self, system: str, foreign_code: str) -> list[str]:
+        """Concept codes cross-referenced to a foreign code."""
+        key = f"{REVERSE_PREFIX}{system} {foreign_code}"
+        return [code for code, _score in self._read(key)]
+
+
+class HierarchyIndex(_IndexReader):
+    """Precomputed is-a closure with minimum hop depth."""
+
+    def __init__(self, store: IndexStore) -> None:
+        super().__init__(store, HIER_STRATEGY)
+
+    def ancestors(self, code: str) -> dict[str, int]:
+        """All is-a ancestors of ``code`` -> minimum hop depth."""
+        return {ancestor: int(depth) for ancestor, depth
+                in self._read(ANCESTOR_PREFIX + code)}
+
+    def descendants(self, code: str) -> dict[str, int]:
+        """All is-a descendants of ``code`` -> minimum hop depth."""
+        return {descendant: int(depth) for descendant, depth
+                in self._read(DESCENDANT_PREFIX + code)}
+
+    def is_subsumed_by(self, code: str, ancestor: str) -> bool:
+        """Whether ``ancestor`` lies on some is-a path above ``code``."""
+        return code == ancestor or ancestor in self.ancestors(code)
+
+
+class OntologyIndexes:
+    """Read facade over a store holding the three persisted indexes.
+
+    Opening validates the manifest completion marker and the index
+    version, so a half-written or foreign store is rejected with the
+    usual storage taxonomy instead of returning empty lookups.
+    """
+
+    def __init__(self, store: IndexStore) -> None:
+        require_complete(store)
+        version = store.get_metadata(INDEX_VERSION_KEY)
+        if version != INDEX_VERSION:
+            raise IncompatibleIndexError(
+                f"ontology index version {version!r} "
+                f"(supported: {INDEX_VERSION!r})")
+        self._store = store
+        self.names = NameIndex(store)
+        self.xrefs = XrefIndex(store)
+        self.hierarchy = HierarchyIndex(store)
+        self.fingerprint = store.get_metadata(FINGERPRINT_KEY, "")
+        self.system_code = store.get_metadata(SYSTEM_KEY, "")
+        self.ontology_name = store.get_metadata(NAME_KEY, "")
+        self.concept_count = int(
+            store.get_metadata(CONCEPT_COUNT_KEY, "0") or "0")
+
+    @property
+    def store(self) -> IndexStore:
+        return self._store
+
+    def concept(self, code: str) -> Concept | None:
+        """Reconstruct a concept from its payload row (``None`` when the
+        code is unknown)."""
+        payload = self._store.get_metadata(CONCEPT_KEY_PREFIX + code)
+        if payload is None:
+            return None
+        preferred, synonyms, tag, xrefs = json.loads(payload)
+        return Concept(code, preferred, tuple(synonyms), tag,
+                       tuple((system, foreign)
+                             for system, foreign in xrefs))
+
+    def close(self) -> None:
+        self._store.close()
+
+
+class _IndexBuildState:
+    """Accumulates the three indexes from a single concept/edge pass."""
+
+    def __init__(self, system_code: str, name: str) -> None:
+        self.system_code = system_code
+        self.name = name
+        self.accumulator = FingerprintAccumulator(system_code, name)
+        self.payloads: dict[str, str] = {}
+        self.exact: dict[str, dict[str, float]] = {}
+        self.tokens: dict[str, dict[str, float]] = {}
+        self.forward: dict[str, list[tuple[str, str]]] = {}
+        self.reverse: dict[str, dict[str, float]] = {}
+        self.parents: dict[str, list[str]] = {}
+        self.edge_count = 0
+
+    # ------------------------------------------------------------------
+    def add_concept(self, concept: Concept) -> None:
+        code = concept.code
+        if code in self.payloads:
+            raise OntologyError(f"duplicate concept {code}")
+        self.accumulator.add_concept(concept)
+        self.payloads[code] = json.dumps(
+            [concept.preferred_term, list(concept.synonyms),
+             concept.semantic_tag, [list(pair) for pair in concept.xrefs]],
+            separators=(",", ":"))
+        self.parents.setdefault(code, [])
+        for term, weight in ((concept.preferred_term, PREFERRED_WEIGHT),
+                             *((synonym, SYNONYM_WEIGHT)
+                               for synonym in concept.synonyms)):
+            normalized = normalize_term(term)
+            if not normalized:
+                continue
+            bucket = self.exact.setdefault(normalized, {})
+            bucket[code] = max(bucket.get(code, 0.0), weight)
+            for token in set(normalized.split()):
+                token_bucket = self.tokens.setdefault(token, {})
+                token_bucket[code] = max(token_bucket.get(code, 0.0),
+                                         weight)
+        for system, foreign in concept.xrefs:
+            self.forward.setdefault(code, []).append((system, foreign))
+            key = f"{system} {foreign}"
+            self.reverse.setdefault(key, {})[code] = 1.0
+
+    def add_edge(self, source: str, type: str, destination: str) -> None:
+        self.accumulator.add_relationship(source, type, destination)
+        self.edge_count += 1
+        if type == IS_A:
+            self.parents.setdefault(source, []).append(destination)
+
+    # ------------------------------------------------------------------
+    def hierarchy_closure(self) -> tuple[dict[str, dict[str, int]],
+                                         dict[str, dict[str, int]]]:
+        """Min-depth ancestor and descendant closures over is-a.
+
+        Kahn's topological order over the parent DAG: each node's
+        ancestor map is its parents plus their (already final) ancestor
+        maps shifted one hop; a cycle leaves nodes unprocessed and
+        raises, mirroring ``Ontology.validate``.
+        """
+        children: dict[str, list[str]] = {}
+        indegree: dict[str, int] = {}
+        for code in self.payloads:
+            parents = [parent for parent in self.parents.get(code, ())
+                       if parent in self.payloads]
+            indegree[code] = len(parents)
+            for parent in parents:
+                children.setdefault(parent, []).append(code)
+        queue = [code for code, degree in indegree.items()
+                 if degree == 0]
+        ancestors: dict[str, dict[str, int]] = {}
+        processed = 0
+        while queue:
+            code = queue.pop()
+            processed += 1
+            closure: dict[str, int] = {}
+            for parent in self.parents.get(code, ()):
+                if parent not in self.payloads:
+                    continue
+                if 1 < closure.get(parent, 1 << 30):
+                    closure[parent] = 1
+                for ancestor, depth in ancestors[parent].items():
+                    if depth + 1 < closure.get(ancestor, 1 << 30):
+                        closure[ancestor] = depth + 1
+            ancestors[code] = closure
+            for child in children.get(code, ()):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    queue.append(child)
+        if processed != len(self.payloads):
+            raise OntologyError("is-a cycle detected during index build")
+        descendants: dict[str, dict[str, int]] = {}
+        for code, closure in ancestors.items():
+            for ancestor, depth in closure.items():
+                descendants.setdefault(ancestor, {})[code] = depth
+        return ancestors, descendants
+
+
+def _entries_from_ontology(ontology: Ontology,
+                           state: _IndexBuildState) -> None:
+    for concept in ontology.concepts():
+        state.add_concept(concept)
+    for edge in ontology.relationships():
+        state.add_edge(edge.source, edge.type, edge.destination)
+
+
+def _entries_from_stream(entries: Iterable, state: _IndexBuildState,
+                         ) -> None:
+    # ``entries`` yields ConceptEntry-shaped items (see
+    # repro.ontology.snomed): the concept plus its is-a parents,
+    # outgoing attributes, and incoming edges from already-streamed
+    # concepts. Edges may reference concepts that stream later, so
+    # they are only fingerprinted/bucketed, never resolved here.
+    for entry in entries:
+        state.add_concept(entry.concept)
+        code = entry.concept.code
+        for parent in entry.parents:
+            state.add_edge(code, IS_A, parent)
+        for type, destination in entry.attributes:
+            state.add_edge(code, type, destination)
+        for origin, type in entry.incoming:
+            state.add_edge(origin, type, code)
+
+
+def build_ontology_indexes(source, store: IndexStore, *,
+                           system_code: str | None = None,
+                           name: str | None = None,
+                           tracer=None) -> OntologyIndexes:
+    """Build and persist the three concept indexes into ``store``.
+
+    ``source`` is either an :class:`Ontology` or an *iterable of
+    concept entries* (:class:`repro.ontology.snomed.ConceptEntry`) --
+    the streamed form never materializes the graph, which is what makes
+    the 10^5+-concept builds tractable. The store ends manifest-complete
+    with per-namespace checksums and the ontology content fingerprint,
+    so :class:`OntologyIndexes` and the cache layer can verify identity
+    on open.
+    """
+    if tracer is None:
+        tracer = NULL_TRACER
+    if isinstance(source, Ontology):
+        state = _IndexBuildState(source.system_code, source.name)
+    else:
+        if system_code is None:
+            raise OntologyError(
+                "streamed index builds need an explicit system_code")
+        state = _IndexBuildState(system_code, name or "")
+    with tracer.span("ontology.index.build",
+                     system=state.system_code) as span:
+        if isinstance(source, Ontology):
+            _entries_from_ontology(source, state)
+        else:
+            _entries_from_stream(source, state)
+        ancestors, descendants = state.hierarchy_closure()
+        mark_build_started(store)
+        store.put_postings_many(
+            NAME_STRATEGY,
+            _name_posting_items(state))
+        store.put_postings_many(
+            XREF_STRATEGY,
+            _xref_posting_items(state))
+        store.put_postings_many(
+            HIER_STRATEGY,
+            _hierarchy_posting_items(ancestors, descendants))
+        fingerprint = state.accumulator.hexdigest()
+        store.put_metadata_many(
+            [(CONCEPT_KEY_PREFIX + code, payload)
+             for code, payload in state.payloads.items()])
+        store.put_metadata_many([
+            (INDEX_VERSION_KEY, INDEX_VERSION),
+            (FINGERPRINT_KEY, fingerprint),
+            (SYSTEM_KEY, state.system_code),
+            (NAME_KEY, state.name),
+            (CONCEPT_COUNT_KEY, str(len(state.payloads))),
+            (MANIFEST_VERSION_KEY, MANIFEST_VERSION),
+            # The ontology's identity lives in FINGERPRINT_KEY; the
+            # manifest's corpus fingerprint must describe the (empty)
+            # document set so `repro verify-index` recomputes clean.
+            (CORPUS_FINGERPRINT_KEY, corpus_fingerprint(())),
+        ])
+        store.put_metadata_many(
+            [(CHECKSUM_KEY_PREFIX + strategy,
+              store_checksum(store, strategy))
+             for strategy in ONTOLOGY_INDEX_STRATEGIES])
+        # Completion marker strictly last: a crash anywhere above
+        # leaves a store that OntologyIndexes refuses to open.
+        store.put_metadata(BUILD_COMPLETE_KEY, BUILD_COMPLETE)
+        span.annotate(concepts=len(state.payloads),
+                      relationships=state.edge_count,
+                      name_keys=len(state.exact) + len(state.tokens))
+    return OntologyIndexes(store)
+
+
+def _name_posting_items(state: _IndexBuildState,
+                        ) -> Iterator[tuple[str, list[tuple[str, float]]]]:
+    for normalized in sorted(state.exact):
+        yield (EXACT_PREFIX + normalized,
+               _weights_to_postings(state.exact[normalized]))
+    for token in sorted(state.tokens):
+        yield (TOKEN_PREFIX + token,
+               _weights_to_postings(state.tokens[token]))
+
+
+def _xref_posting_items(state: _IndexBuildState,
+                        ) -> Iterator[tuple[str, list[tuple[str, float]]]]:
+    for code in sorted(state.forward, key=_posting_order):
+        pairs = sorted(set(state.forward[code]))
+        yield (FORWARD_PREFIX + code,
+               [(f"{system} {foreign}", 1.0) for system, foreign in pairs])
+    for key in sorted(state.reverse):
+        yield (REVERSE_PREFIX + key,
+               _weights_to_postings(state.reverse[key]))
+
+
+def _hierarchy_posting_items(
+        ancestors: dict[str, dict[str, int]],
+        descendants: dict[str, dict[str, int]],
+        ) -> Iterator[tuple[str, list[tuple[str, float]]]]:
+    for code in sorted(ancestors, key=_posting_order):
+        closure = ancestors[code]
+        if closure:
+            yield (ANCESTOR_PREFIX + code,
+                   [(ancestor, float(closure[ancestor])) for ancestor
+                    in sorted(closure, key=_posting_order)])
+    for code in sorted(descendants, key=_posting_order):
+        closure = descendants[code]
+        if closure:
+            yield (DESCENDANT_PREFIX + code,
+                   [(descendant, float(closure[descendant]))
+                    for descendant
+                    in sorted(closure, key=_posting_order)])

@@ -11,6 +11,9 @@ reloaded without re-running the generator:
 * ``descriptions.tsv``-- ``code <TAB> type <TAB> term`` where type is
   ``P`` (preferred) or ``S`` (synonym)
 * ``relationships.tsv``-- ``source <TAB> type <TAB> destination``
+* ``xrefs.tsv``       -- ``code <TAB> system <TAB> foreign_code``
+  (cross-references into other code systems, SNOMED's map refsets;
+  optional on load so pre-xref directories keep loading)
 
 Files carry a single header line. Round-trip equality is covered by a
 property test.
@@ -26,6 +29,7 @@ from .model import Concept, Ontology, OntologyError
 CONCEPTS_FILE = "concepts.tsv"
 DESCRIPTIONS_FILE = "descriptions.tsv"
 RELATIONSHIPS_FILE = "relationships.tsv"
+XREFS_FILE = "xrefs.tsv"
 METADATA_FILE = "system.tsv"
 
 _PREFERRED = "P"
@@ -57,6 +61,12 @@ def save_ontology(ontology: Ontology, directory: str) -> None:
         handle.write("source\ttype\tdestination\n")
         for edge in ontology.relationships():
             handle.write(f"{edge.source}\t{edge.type}\t{edge.destination}\n")
+    with open(os.path.join(directory, XREFS_FILE), "w",
+              encoding="utf-8") as handle:
+        handle.write("code\tsystem\tforeign_code\n")
+        for concept in ontology.concepts():
+            for system, foreign in concept.xrefs:
+                handle.write(f"{concept.code}\t{system}\t{foreign}\n")
 
 
 def load_ontology(directory: str) -> Ontology:
@@ -84,14 +94,25 @@ def load_ontology(directory: str) -> Ontology:
             synonyms[code].append(term)
         else:
             raise OntologyError(f"unknown description type {kind!r}")
+    xrefs: dict[str, list[tuple[str, str]]] = defaultdict(list)
+    xrefs_path = os.path.join(directory, XREFS_FILE)
+    if os.path.exists(xrefs_path):  # optional: pre-xref directories
+        for code, system, foreign in _read_rows(xrefs_path, columns=3):
+            if code not in tags:
+                raise OntologyError(f"xref for unknown concept {code}")
+            xrefs[code].append((system, foreign))
     for code, tag in tags.items():
         if code not in preferred:
             raise OntologyError(f"concept {code} has no preferred term")
         ontology.add_concept(Concept(code, preferred[code],
-                                     tuple(synonyms.get(code, ())), tag))
+                                     tuple(synonyms.get(code, ())), tag,
+                                     tuple(xrefs.get(code, ()))))
     for source, type, destination in _read_rows(
             os.path.join(directory, RELATIONSHIPS_FILE), columns=3):
-        ontology.add_relationship(source, type, destination)
+        # Cycle checking is deferred to the closing validate() toposort;
+        # the incremental ancestor walk is quadratic over a bulk load.
+        ontology.add_relationship(source, type, destination,
+                                  check_cycles=False)
     ontology.validate()
     return ontology
 

@@ -12,6 +12,7 @@ SNOMED-CT-shaped instance of it.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Iterable, Iterator
@@ -27,13 +28,17 @@ class Concept:
     ``code`` is the concept's identifier within its ontological system
     (SNOMED codes are numeric strings such as ``"195967001"``);
     ``preferred_term`` is the display name; ``synonyms`` are additional
-    natural-language terms describing the same concept.
+    natural-language terms describing the same concept; ``xrefs`` are
+    cross-references into *other* code systems as ``(system_code,
+    foreign_code)`` pairs (SNOMED ships these as ICD-10 / LOINC map
+    refsets -- they carry no term text, so they never feed IR scoring).
     """
 
     code: str
     preferred_term: str
     synonyms: tuple[str, ...] = ()
     semantic_tag: str = ""
+    xrefs: tuple[tuple[str, str], ...] = ()
 
     @property
     def terms(self) -> tuple[str, ...]:
@@ -73,6 +78,50 @@ class OntologyError(ValueError):
     """Raised on structurally invalid ontology operations."""
 
 
+class FingerprintAccumulator:
+    """Order-independent content fingerprint over ontology rows.
+
+    Each concept and relationship hashes to one fixed-size row digest;
+    the fingerprint is the SHA-256 of the *sorted* row digests plus a
+    header naming the system. Sorting makes the result independent of
+    insertion order, so a streaming generator (which never materializes
+    the graph) and :meth:`Ontology.fingerprint` (which walks a built
+    graph) agree byte for byte on the same content.
+    """
+
+    _VERSION = "XOF1"
+    #: Field/record separators (control characters never appear in
+    #: terms, codes or tags, so rows cannot collide by concatenation).
+    _FS = "\x1d"
+    _RS = "\x1e"
+    _PS = "\x1f"
+
+    def __init__(self, system_code: str, name: str = "") -> None:
+        header = self._FS.join((self._VERSION, system_code,
+                                name or system_code))
+        self._header = header.encode("utf-8")
+        self._rows: list[bytes] = []
+
+    def add_concept(self, concept: Concept) -> None:
+        row = self._FS.join((
+            "C", concept.code, concept.preferred_term,
+            self._RS.join(concept.synonyms), concept.semantic_tag,
+            self._RS.join(f"{system}{self._PS}{code}"
+                          for system, code in concept.xrefs)))
+        self._rows.append(hashlib.sha256(row.encode("utf-8")).digest())
+
+    def add_relationship(self, source: str, type: str,
+                         destination: str) -> None:
+        row = self._FS.join(("R", source, type, destination))
+        self._rows.append(hashlib.sha256(row.encode("utf-8")).digest())
+
+    def hexdigest(self) -> str:
+        digest = hashlib.sha256(self._header)
+        for row in sorted(self._rows):
+            digest.update(row)
+        return digest.hexdigest()
+
+
 class Ontology:
     """A mutable concept graph with the adjacency indexes XOntoRank needs.
 
@@ -92,6 +141,7 @@ class Ontology:
         # attribute-relationship adjacency (everything except is-a)
         self._outgoing: dict[str, list[Relationship]] = defaultdict(list)
         self._incoming: dict[str, list[Relationship]] = defaultdict(list)
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -100,6 +150,7 @@ class Ontology:
         if concept.code in self._concepts:
             raise OntologyError(f"duplicate concept code {concept.code}")
         self._concepts[concept.code] = concept
+        self._fingerprint = None
         return concept
 
     def new_concept(self, code: str, preferred_term: str,
@@ -110,12 +161,17 @@ class Ontology:
                                         tuple(synonyms), semantic_tag))
 
     def add_relationship(self, source: str, type: str,
-                         destination: str) -> Relationship:
+                         destination: str,
+                         check_cycles: bool = True) -> Relationship:
         """Add a typed edge. Duplicate edges are rejected.
 
         ``is-a`` edges are checked against cycle creation: the taxonomy
         must remain a DAG (Section IV-B: "cycles are not permitted based
-        on subclass relationships").
+        on subclass relationships"). The check walks the destination's
+        ancestor closure, which is quadratic over a bulk load; a builder
+        whose edge order provably cannot close a cycle (every new edge
+        leaves a freshly created leaf) passes ``check_cycles=False`` and
+        relies on the final :meth:`validate` toposort instead.
         """
         for code in (source, destination):
             if code not in self._concepts:
@@ -125,9 +181,11 @@ class Ontology:
         edge = Relationship(source, type, destination)
         if edge in self._edge_set:
             raise OntologyError(f"duplicate relationship {edge}")
-        if type == IS_A and self.is_subsumed_by(destination, source):
+        if (check_cycles and type == IS_A
+                and self.is_subsumed_by(destination, source)):
             raise OntologyError(
                 f"is-a edge {source} -> {destination} would create a cycle")
+        self._fingerprint = None
         self._edge_set.add(edge)
         self._relationships.append(edge)
         if type == IS_A:
@@ -293,6 +351,27 @@ class Ontology:
     # ------------------------------------------------------------------
     # Statistics / integrity
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content fingerprint (hex SHA-256) of the whole graph.
+
+        Identical content -- concepts (terms, tags, xrefs) plus edges,
+        regardless of insertion order -- yields an identical digest; any
+        mutation changes it. Versioned persistent artifacts derived from
+        an ontology (concept indexes, the OntoScore expansion cache) key
+        on this digest to detect staleness. The digest is cached until
+        the next mutation, so repeated reads are free.
+        """
+        if self._fingerprint is None:
+            accumulator = FingerprintAccumulator(self.system_code,
+                                                 self.name)
+            for concept in self._concepts.values():
+                accumulator.add_concept(concept)
+            for edge in self._relationships:
+                accumulator.add_relationship(edge.source, edge.type,
+                                             edge.destination)
+            self._fingerprint = accumulator.hexdigest()
+        return self._fingerprint
+
     def stats(self) -> dict[str, int]:
         """Size summary used by benchmarks and documentation."""
         is_a_count = sum(len(parents) for parents in self._parents.values())

@@ -23,13 +23,21 @@ plus term text, both of which this substitute preserves.
 from __future__ import annotations
 
 import random
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
-from .model import Ontology
+from .model import IS_A, Concept, Ontology
 
 #: The OID by which CDA documents reference SNOMED CT (Figure 1).
 SNOMED_SYSTEM_CODE = "2.16.840.1.113883.6.96"
 SNOMED_NAME = "SNOMED CT"
+
+#: Foreign code systems the synthetic cross-references target (the OIDs
+#: CDA uses for ICD-10, LOINC and RxNorm). SNOMED ships such mappings
+#: as refsets; the XrefIndex resolves them both ways.
+ICD10_SYSTEM_CODE = "2.16.840.1.113883.6.3"
+LOINC_SYSTEM_CODE = "2.16.840.1.113883.6.1"
+RXNORM_SYSTEM_CODE = "2.16.840.1.113883.6.88"
 
 # Relationship types (non-taxonomic "attribute" relationships). SNOMED's
 # own attribute inventory is larger; these are the kinds exercised by the
@@ -441,37 +449,108 @@ _ASTHMA_SUBTYPES: Sequence[str] = (
 
 _ASTHMA_DIRECT_SUBCLASSES = 26  # Asthma attack + subtypes + padding
 
+#: Curated cross-references of the core (well-known public mappings).
+_CORE_XREFS: dict[str, tuple[tuple[str, str], ...]] = {
+    ASTHMA: ((ICD10_SYSTEM_CODE, "J45"),),
+    BRONCHITIS: ((ICD10_SYSTEM_CODE, "J40"),),
+    PNEUMONIA: ((ICD10_SYSTEM_CODE, "J18"),),
+    ATRIAL_FIBRILLATION: ((ICD10_SYSTEM_CODE, "I48"),),
+    ATRIAL_FLUTTER: ((ICD10_SYSTEM_CODE, "I48"),),
+    CARDIAC_ARREST: ((ICD10_SYSTEM_CODE, "I46"),),
+    FEVER: ((ICD10_SYSTEM_CODE, "R50"),),
+    BODY_HEIGHT: ((LOINC_SYSTEM_CODE, "8302-2"),),
+    BODY_WEIGHT: ((LOINC_SYSTEM_CODE, "29463-7"),),
+    BODY_TEMPERATURE: ((LOINC_SYSTEM_CODE, "8310-5"),),
+    HEART_RATE: ((LOINC_SYSTEM_CODE, "8867-4"),),
+    BLOOD_PRESSURE: ((LOINC_SYSTEM_CODE, "85354-9"),),
+    ACETAMINOPHEN: ((RXNORM_SYSTEM_CODE, "161"),),
+    ASPIRIN: ((RXNORM_SYSTEM_CODE, "1191"),),
+    IBUPROFEN: ((RXNORM_SYSTEM_CODE, "5640"),),
+}
 
-def build_core_ontology() -> Ontology:
-    """The curated clinical core: every concept the paper exercises."""
-    ontology = Ontology(SNOMED_SYSTEM_CODE, SNOMED_NAME)
-    for code, term, synonyms, tag in _CORE_CONCEPTS:
-        ontology.new_concept(code, term, synonyms, tag)
+
+@dataclass(frozen=True)
+class ConceptEntry:
+    """One streamed generator row: a concept plus its outgoing edges.
+
+    ``parents`` are is-a destinations, ``attributes`` are ``(type,
+    destination)`` pairs leaving the concept, and ``incoming`` are
+    ``(source, type)`` pairs pointing *into* it (a later stage may hang
+    an edge off an earlier concept -- causative-agent points
+    disorder -> organism). Edges may reference concepts that appear
+    *later* in the stream (the curated core is a graph, not a tree), so
+    stream consumers buffer edges until the concept pass completes.
+    """
+
+    concept: Concept
+    parents: tuple[str, ...] = ()
+    attributes: tuple[tuple[str, str], ...] = ()
+    incoming: tuple[tuple[str, str], ...] = ()
+
+
+def _core_entries() -> Iterator[ConceptEntry]:
+    """The curated core as a stream of :class:`ConceptEntry` rows."""
+    parents_of: dict[str, list[str]] = {}
+    attributes_of: dict[str, list[tuple[str, str]]] = {}
     for child, parent in _CORE_IS_A:
-        ontology.add_is_a(child, parent)
+        parents_of.setdefault(child, []).append(parent)
     for source, type, destination in _CORE_ATTRIBUTES:
-        ontology.add_relationship(source, type, destination)
-    _pad_asthma_subclasses(ontology)
-    ontology.validate()
-    return ontology
-
-
-def _pad_asthma_subclasses(ontology: Ontology) -> None:
-    """Give Asthma exactly 26 direct subclasses (paper Section IV-B)."""
+        attributes_of.setdefault(source, []).append((type, destination))
+    for code, term, synonyms, tag in _CORE_CONCEPTS:
+        yield ConceptEntry(
+            Concept(code, term, synonyms, tag,
+                    _CORE_XREFS.get(code, ())),
+            tuple(parents_of.get(code, ())),
+            tuple(attributes_of.get(code, ())))
+    # Pad Asthma to exactly 26 direct subclasses (paper Section IV-B).
     code_counter = 910000000
     for name in _ASTHMA_SUBTYPES:
         code = str(code_counter)
         code_counter += 1
-        ontology.new_concept(code, name, (), "disorder")
-        ontology.add_is_a(code, ASTHMA)
-        ontology.add_relationship(code, FINDING_SITE_OF, BRONCHIAL_STRUCTURE)
-    existing = ontology.subclass_count(ASTHMA)
+        yield ConceptEntry(Concept(code, name, (), "disorder"),
+                           (ASTHMA,),
+                           ((FINDING_SITE_OF, BRONCHIAL_STRUCTURE),))
+    existing = 1 + len(_ASTHMA_SUBTYPES)  # Asthma attack + named subtypes
     for index in range(_ASTHMA_DIRECT_SUBCLASSES - existing):
         code = str(code_counter)
         code_counter += 1
-        ontology.new_concept(code, f"Asthma variant type {index + 1}", (),
-                             "disorder")
-        ontology.add_is_a(code, ASTHMA)
+        yield ConceptEntry(
+            Concept(code, f"Asthma variant type {index + 1}", (),
+                    "disorder"),
+            (ASTHMA,))
+
+
+def materialize(entries: Iterator[ConceptEntry] | Sequence[ConceptEntry],
+                validate: bool = True) -> Ontology:
+    """Build an :class:`Ontology` from a stream of entries.
+
+    Concepts land as they arrive; edges are buffered until the stream
+    ends because they may point forward. Cycle checking is deferred to
+    the single final :meth:`~Ontology.validate` toposort -- the
+    incremental ancestor-walk check is quadratic over a bulk load.
+    """
+    ontology = Ontology(SNOMED_SYSTEM_CODE, SNOMED_NAME)
+    edges: list[tuple[str, str, str]] = []
+    for entry in entries:
+        ontology.add_concept(entry.concept)
+        source = entry.concept.code
+        for parent in entry.parents:
+            edges.append((source, IS_A, parent))
+        for type, destination in entry.attributes:
+            edges.append((source, type, destination))
+        for origin, type in entry.incoming:
+            edges.append((origin, type, source))
+    for source, type, destination in edges:
+        ontology.add_relationship(source, type, destination,
+                                  check_cycles=False)
+    if validate:
+        ontology.validate()
+    return ontology
+
+
+def build_core_ontology() -> Ontology:
+    """The curated clinical core: every concept the paper exercises."""
+    return materialize(_core_entries())
 
 
 # ----------------------------------------------------------------------
@@ -514,33 +593,88 @@ _ORGANISM_WORDS = ("Streptococcus", "Staphylococcus", "Haemophilus",
                    "Enterococcus", "Moraxella", "Legionella")
 
 
+#: Generated-concept budget at ``scale=1.0`` (groupers included).
+_BASE_GENERATED = 355
+
+#: Stage shares of the generated budget after the fixed groupers.
+_ANATOMY_SHARE = 0.20
+_DISORDER_SHARE = 0.50
+_DRUG_SHARE = 0.25
+
+
 class SyntheticSnomedBuilder:
     """Deterministic procedural expansion of the curated core.
 
-    ``scale`` controls the number of generated concepts; the default of
-    ``1.0`` yields roughly 2,500 concepts, a laptop-sized stand-in whose
-    *shape* (fan-outs, DAG depth, attribute-edge density) follows
-    SNOMED's. All randomness flows from ``seed``.
+    ``scale`` multiplies the generated-concept budget (``1.0`` yields
+    ~500 concepts including the core); ``target_concepts`` sets an
+    absolute total instead, sized for the 10^5-10^6 decade sweeps. The
+    shape (fan-outs, DAG depth, synonym/xref density, attribute-edge
+    density) follows SNOMED's at every size.
+
+    :meth:`stream` yields :class:`ConceptEntry` rows one at a time
+    without materializing a graph -- consumers that only need one pass
+    (the persisted concept indexes, the content fingerprint) stay
+    O(1)-ish in memory; :meth:`build` materializes an
+    :class:`Ontology` from the same stream.
+
+    All randomness flows from one ``random.Random(seed)`` instance
+    threaded through every generation stage in a fixed order, so equal
+    seeds give byte-identical ontologies (a regression test serializes
+    two builds and compares bytes).
     """
 
-    def __init__(self, scale: float = 1.0, seed: int = 20090331) -> None:
+    def __init__(self, scale: float = 1.0, seed: int = 20090331,
+                 target_concepts: int | None = None) -> None:
         if scale <= 0:
             raise ValueError("scale must be positive")
+        if target_concepts is not None and target_concepts < 1:
+            raise ValueError("target_concepts must be positive")
         self.scale = scale
         self.seed = seed
+        self.target_concepts = target_concepts
         self._next_code = 920000000
 
     # ------------------------------------------------------------------
     def build(self) -> Ontology:
-        ontology = build_core_ontology()
+        """Materialize the streamed expansion as an :class:`Ontology`."""
+        return materialize(self.stream())
+
+    def stream(self) -> Iterator[ConceptEntry]:
+        """All concepts (core first, then generated), one entry each."""
+        self._next_code = 920000000
         rng = random.Random(self.seed)
-        self._generate_top_level_groupers(ontology, rng)
-        sites = self._generate_anatomy(ontology, rng)
-        disorders = self._generate_disorders(ontology, rng, sites)
-        self._generate_drugs(ontology, rng, disorders)
-        self._generate_organisms(ontology, rng, disorders)
-        ontology.validate()
-        return ontology
+        core_count = 0
+        for entry in _core_entries():
+            core_count += 1
+            yield entry
+        budget = self._generated_budget(core_count)
+        sites: list[tuple[str, str]] = [
+            (HEART_STRUCTURE, "heart structure"),
+            (LUNG_STRUCTURE, "lung structure"),
+            (BRONCHIAL_STRUCTURE, "bronchial structure"),
+            (AORTIC_STRUCTURE, "aortic structure"),
+            (CARDIAC_VENTRICLE, "cardiac ventricular structure"),
+            (ATRIUM_STRUCTURE, "cardiac atrium structure"),
+            (REGION_OF_THORAX, "region of thorax")]
+        disorders: list[str] = []
+        groupers = min(budget, 43)
+        remaining = budget - groupers
+        anatomy_count = int(remaining * _ANATOMY_SHARE)
+        disorder_count = int(remaining * _DISORDER_SHARE)
+        drug_count = int(remaining * _DRUG_SHARE)
+        organism_count = remaining - anatomy_count - disorder_count \
+            - drug_count
+        yield from self._generate_top_level_groupers(rng, groupers)
+        yield from self._generate_anatomy(rng, anatomy_count, sites)
+        yield from self._generate_disorders(rng, disorder_count, sites,
+                                            disorders)
+        yield from self._generate_drugs(rng, drug_count)
+        yield from self._generate_organisms(rng, organism_count, disorders)
+
+    def _generated_budget(self, core_count: int) -> int:
+        if self.target_concepts is not None:
+            return max(0, self.target_concepts - core_count)
+        return int(_BASE_GENERATED * self.scale)
 
     def _fresh_code(self) -> str:
         code = str(self._next_code)
@@ -548,8 +682,9 @@ class SyntheticSnomedBuilder:
         return code
 
     # ------------------------------------------------------------------
-    def _generate_top_level_groupers(self, ontology: Ontology,
-                                     rng: random.Random) -> None:
+    def _generate_top_level_groupers(self, rng: random.Random,
+                                     budget: int,
+                                     ) -> Iterator[ConceptEntry]:
         """High-level grouper concepts under each top axis.
 
         SNOMED's top concepts have dozens of direct children ("Clinical
@@ -563,54 +698,53 @@ class SyntheticSnomedBuilder:
                    "hepatic", "ocular", "auditory", "metabolic",
                    "lymphatic", "renal", "vascular", "gastrointestinal",
                    "neurologic", "dermatologic", "obstetric", "psychiatric")
+        entries: list[ConceptEntry] = []
         for system in systems:
-            code = self._fresh_code()
-            ontology.new_concept(code, f"Disorder of {system} system", (),
-                                 "disorder")
-            ontology.add_is_a(code, CLINICAL_FINDING)
+            entries.append(ConceptEntry(
+                Concept(self._fresh_code(),
+                        f"Disorder of {system} system", (), "disorder"),
+                (CLINICAL_FINDING,)))
         for system in systems[:12]:
-            code = self._fresh_code()
-            ontology.new_concept(code, f"Structure of {system} system",
-                                 (), "body structure")
-            ontology.add_is_a(code, BODY_STRUCTURE)
+            entries.append(ConceptEntry(
+                Concept(self._fresh_code(),
+                        f"Structure of {system} system", (),
+                        "body structure"),
+                (BODY_STRUCTURE,)))
         for index in range(10):
-            code = self._fresh_code()
-            ontology.new_concept(code,
-                                 f"Agent class {chr(ord('A') + index)}",
-                                 (), "product")
-            ontology.add_is_a(code, PHARMACEUTICAL_PRODUCT)
+            entries.append(ConceptEntry(
+                Concept(self._fresh_code(),
+                        f"Agent class {chr(ord('A') + index)}", (),
+                        "product"),
+                (PHARMACEUTICAL_PRODUCT,)))
+        yield from entries[:budget]
 
-    def _generate_anatomy(self, ontology: Ontology,
-                          rng: random.Random) -> list[str]:
-        """Grow the body-structure axis; returns generated site codes."""
-        count = int(60 * self.scale)
-        parents = [HEART_STRUCTURE, LUNG_STRUCTURE, BRONCHIAL_STRUCTURE,
-                   AORTIC_STRUCTURE, CARDIAC_VENTRICLE, ATRIUM_STRUCTURE,
-                   REGION_OF_THORAX]
+    def _generate_anatomy(self, rng: random.Random, count: int,
+                          sites: list[tuple[str, str]],
+                          ) -> Iterator[ConceptEntry]:
+        """Grow the body-structure axis; appends onto ``sites``."""
         organs = ("cardiac", "pulmonary", "bronchial", "aortic",
                   "ventricular", "atrial", "thoracic")
-        generated: list[str] = []
         for _ in range(count):
-            parent_index = rng.randrange(len(parents))
-            parent = parents[parent_index]
+            parent_index = rng.randrange(len(sites))
+            parent, _parent_term = sites[parent_index]
             organ = organs[parent_index % len(organs)]
             part = rng.choice(_ANATOMY_WORDS)
             qualifier = rng.choice(("left", "right", "anterior",
                                     "posterior", "superior", "inferior"))
             code = self._fresh_code()
-            term = f"Structure of {qualifier} {organ} {part}"
-            ontology.new_concept(code, term, (f"{qualifier} {organ} {part}",),
-                                 "body structure")
-            ontology.add_is_a(code, parent)
-            ontology.add_relationship(code, PART_OF, parent)
-            generated.append(code)
-            parents.append(code)  # allow deeper nesting
-        return generated
+            phrase = f"{qualifier} {organ} {part}"
+            sites.append((code, phrase))  # allow deeper nesting
+            yield ConceptEntry(
+                Concept(code, f"Structure of {phrase}", (phrase,),
+                        "body structure"),
+                (parent,),
+                ((PART_OF, parent),))
 
-    def _generate_disorders(self, ontology: Ontology, rng: random.Random,
-                            sites: list[str]) -> list[str]:
-        """Grow the clinical-finding axis; returns disorder codes."""
-        count = int(160 * self.scale)
+    def _generate_disorders(self, rng: random.Random, count: int,
+                            sites: list[tuple[str, str]],
+                            generated: list[str],
+                            ) -> Iterator[ConceptEntry]:
+        """Grow the clinical-finding axis; appends onto ``generated``."""
         # Intermediate taxonomy nodes receive most generated children so
         # their is-a fan-outs approach SNOMED's (tens of subclasses per
         # grouping concept); the fan-out is what gives the upward 1/N
@@ -621,80 +755,109 @@ class SyntheticSnomedBuilder:
                    CARDIAC_FUNCTION_DISORDER, STRUCTURAL_HEART_DISORDER,
                    PERICARDIUM_DISORDER, GREAT_VESSEL_ANOMALY,
                    LOWER_RESPIRATORY_DISORDER]
-        generated: list[str] = []
-        for _ in range(count):
-            parent = rng.choice(parents)
-            site = rng.choice(sites) if sites else HEART_STRUCTURE
-            site_term = ontology.concept(site).preferred_term
+        associated: set[tuple[str, str]] = set()
+        base = len(parents)
+        for index in range(count):
+            # The first few passes round-robin the curated intermediates
+            # so each is guaranteed a SNOMED-like fan-out (>= 5 direct
+            # subclasses) before random assignment takes over.
+            if index < base * 5:
+                parent = parents[index % base]
+            else:
+                parent = rng.choice(parents)
+            site, site_term = rng.choice(sites)
             site_words = site_term.removeprefix("Structure of ")
             morphology = rng.choice(_MORPHOLOGY_WORDS)
             severity = rng.choice(_SEVERITY_WORDS)
             code = self._fresh_code()
             term = f"{severity.capitalize()} {morphology} of {site_words}"
-            ontology.new_concept(code, term, (f"{site_words} {morphology}",),
-                                 "disorder")
-            ontology.add_is_a(code, parent)
-            ontology.add_relationship(code, FINDING_SITE_OF, site)
+            synonyms = [f"{site_words} {morphology}"]
+            if rng.random() < 0.15:
+                # an acronym synonym, as SNOMED carries for many findings
+                initials = "".join(word[0] for word in term.split()
+                                   if word[0].isalpha()).upper()
+                synonyms.append(initials)
+            xrefs: tuple[tuple[str, str], ...] = ()
+            if rng.random() < 0.6:
+                icd = (f"{rng.choice('IJKQR')}{rng.randrange(10, 100)}"
+                       f".{rng.randrange(0, 10)}")
+                xrefs = ((ICD10_SYSTEM_CODE, icd),)
+            attributes: list[tuple[str, str]] = [(FINDING_SITE_OF, site)]
             if rng.random() < 0.25 and generated:
                 other = rng.choice(generated)
-                if (other != code and not ontology.has_relationship(
-                        code, ASSOCIATED_WITH, other)):
-                    ontology.add_relationship(code, ASSOCIATED_WITH, other)
+                if other != code and (code, other) not in associated:
+                    associated.add((code, other))
+                    attributes.append((ASSOCIATED_WITH, other))
             generated.append(code)
+            entry_parents: tuple[str, ...] = (parent,)
+            yield ConceptEntry(
+                Concept(code, term, tuple(synonyms), "disorder", xrefs),
+                entry_parents, tuple(attributes))
             if rng.random() < 0.3:
                 parents.append(code)
-        return generated
 
-    def _generate_drugs(self, ontology: Ontology, rng: random.Random,
-                        disorders: list[str]) -> list[str]:
-        """Grow the pharmaceutical axis; returns drug codes."""
-        count = int(80 * self.scale)
+    def _generate_drugs(self, rng: random.Random, count: int,
+                        ) -> Iterator[ConceptEntry]:
+        """Grow the pharmaceutical axis."""
         classes = [ANTIARRHYTHMIC_AGENT, BRONCHODILATOR, ANALGESIC,
                    ANTIBIOTIC, DIURETIC, PHARMACEUTICAL_PRODUCT]
-        generated: list[str] = []
-        seen_names: set[str] = set()
+        seen_names: dict[str, int] = {}
         for _ in range(count):
             stem = rng.choice(_DRUG_STEMS)
             suffix = rng.choice(_DRUG_SUFFIXES)
             name = (stem + suffix).capitalize()
-            if name in seen_names:
-                name = f"{name} {rng.randrange(2, 99)}"
-            seen_names.add(name)
+            repeat = seen_names.get(name, 0)
+            seen_names[name] = repeat + 1
+            if repeat:
+                name = f"{name} {repeat + 1}"
             code = self._fresh_code()
-            ontology.new_concept(code, name, (), "product")
+            synonyms: tuple[str, ...] = ()
+            if rng.random() < 0.3:
+                synonyms = (f"{name} hydrochloride",)
+            xrefs = ()
+            if rng.random() < 0.5:
+                xrefs = ((RXNORM_SYSTEM_CODE,
+                          str(rng.randrange(10000, 999999))),)
             drug_class = rng.choice(classes)
-            ontology.add_is_a(code, drug_class)
+            attributes = []
             context = _CLASS_CONTEXTS.get(drug_class)
             if context is not None:
-                ontology.add_relationship(code, ASSOCIATED_WITH, context)
-            generated.append(code)
-        return generated
+                attributes.append((ASSOCIATED_WITH, context))
+            yield ConceptEntry(
+                Concept(code, name, synonyms, "product", xrefs),
+                (drug_class,), tuple(attributes))
 
-    def _generate_organisms(self, ontology: Ontology, rng: random.Random,
-                            disorders: list[str]) -> list[str]:
-        """A small organism axis feeding causative-agent links."""
-        generated: list[str] = []
-        parent = ontology.new_concept(self._fresh_code(), "Organism", (),
-                                      "organism")
+    def _generate_organisms(self, rng: random.Random, count: int,
+                            disorders: list[str],
+                            ) -> Iterator[ConceptEntry]:
+        """An organism axis feeding causative-agent links."""
+        root = self._fresh_code()
+        yield ConceptEntry(Concept(root, "Organism", (), "organism"))
         species = ("pneumoniae", "aureus", "influenzae", "pyogenes",
                    "faecalis", "aeruginosa", "albicans")
-        count = max(4, int(12 * self.scale))
+        count = max(4, count - 1)
+        seen_names: dict[str, int] = {}
+        caused: set[tuple[str, str]] = set()
         for _ in range(count):
             genus = rng.choice(_ORGANISM_WORDS)
             name = f"{genus} {rng.choice(species)}"
+            repeat = seen_names.get(name, 0)
+            seen_names[name] = repeat + 1
+            if repeat:
+                name = f"{name} strain {repeat + 1}"
             code = self._fresh_code()
-            ontology.new_concept(code, name, (), "organism")
-            ontology.add_is_a(code, parent.code)
+            incoming: tuple[tuple[str, str], ...] = ()
             if disorders and rng.random() < 0.7:
                 disorder = rng.choice(disorders)
-                if not ontology.has_relationship(disorder, CAUSATIVE_AGENT,
-                                                 code):
-                    ontology.add_relationship(disorder, CAUSATIVE_AGENT, code)
-            generated.append(code)
-        return generated
+                if (disorder, code) not in caused:
+                    caused.add((disorder, code))
+                    incoming = ((disorder, CAUSATIVE_AGENT),)
+            yield ConceptEntry(Concept(code, name, (), "organism"),
+                               (root,), incoming=incoming)
 
 
-def build_synthetic_snomed(scale: float = 1.0,
-                           seed: int = 20090331) -> Ontology:
+def build_synthetic_snomed(scale: float = 1.0, seed: int = 20090331,
+                           target_concepts: int | None = None) -> Ontology:
     """Build the full synthetic SNOMED: curated core + expansion."""
-    return SyntheticSnomedBuilder(scale=scale, seed=seed).build()
+    return SyntheticSnomedBuilder(scale=scale, seed=seed,
+                                  target_concepts=target_concepts).build()

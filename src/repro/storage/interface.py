@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from abc import ABC, abstractmethod
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from .errors import (CorruptIndexError, IncompatibleIndexError,
                      StorageError, TransientStorageError)
@@ -65,6 +65,21 @@ class IndexStore(ABC):
     def posting_count(self, strategy: str, keyword: str) -> int:
         """Number of postings without materializing the list."""
 
+    def put_postings_many(
+            self, strategy: str,
+            items: Iterable[tuple[str, Sequence[EncodedPosting]]]) -> None:
+        """Store many posting lists of one strategy.
+
+        Semantically equivalent to calling :meth:`put_postings` per
+        item; the default does exactly that. Transactional backends
+        override this to land the whole batch under one transaction --
+        the difference between hundreds and hundreds of thousands of
+        lists per second, which the ontology index build (10^5+ keys)
+        depends on.
+        """
+        for keyword, postings in items:
+            self.put_postings(strategy, keyword, postings)
+
     # ------------------------------------------------------------------
     # Documents
     # ------------------------------------------------------------------
@@ -100,6 +115,14 @@ class IndexStore(ABC):
     @abstractmethod
     def metadata_keys(self) -> Iterator[str]:
         """All stored metadata keys (any order)."""
+
+    def put_metadata_many(self,
+                          items: Iterable[tuple[str, str]]) -> None:
+        """Store many metadata entries; same batching contract as
+        :meth:`put_postings_many` (default loops, transactional
+        backends override with one transaction)."""
+        for key, value in items:
+            self.put_metadata(key, value)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -30,7 +30,7 @@ import sqlite3
 import threading
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 from .errors import (CorruptIndexError, StorageError,
                      TransientStorageError)
@@ -200,6 +200,26 @@ class SQLiteStore(IndexStore):
                 ((strategy, keyword, position, dewey, float(score))
                  for position, (dewey, score) in enumerate(postings)))
 
+    def put_postings_many(
+            self, strategy: str,
+            items: Iterable[tuple[str, Sequence[EncodedPosting]]]) -> None:
+        # One transaction for the whole batch: per-list transactions
+        # commit (fsync) each list and cap throughput at a few hundred
+        # lists per second, which the ontology indexes (10^5+ keys per
+        # build) cannot afford.
+        with self._guarded(), self._connection:
+            for keyword, postings in items:
+                self._connection.execute(
+                    "DELETE FROM postings "
+                    "WHERE strategy = ? AND keyword = ?",
+                    (strategy, keyword))
+                self._connection.executemany(
+                    "INSERT INTO postings "
+                    "(strategy, keyword, position, dewey, score) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    ((strategy, keyword, position, dewey, float(score))
+                     for position, (dewey, score) in enumerate(postings)))
+
     def get_postings(self, strategy: str, keyword: str,
                      ) -> list[EncodedPosting]:
         with self.tracer.span("storage.sqlite.read",
@@ -262,6 +282,13 @@ class SQLiteStore(IndexStore):
             self._connection.execute(
                 "INSERT OR REPLACE INTO metadata (key, value) "
                 "VALUES (?, ?)", (key, value))
+
+    def put_metadata_many(self,
+                          items: Iterable[tuple[str, str]]) -> None:
+        with self._guarded(), self._connection:
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO metadata (key, value) "
+                "VALUES (?, ?)", items)
 
     def get_metadata(self, key: str, default: str | None = None,
                      ) -> str | None:

@@ -1,0 +1,165 @@
+"""Unit tests for the persisted concept indexes (the index layer)."""
+
+import pytest
+
+from repro.ontology.indexes import (ONTOLOGY_INDEX_STRATEGIES,
+                                    OntologyIndexes,
+                                    build_ontology_indexes)
+from repro.ontology.model import OntologyError
+from repro.ontology.snomed import (ASTHMA, CLINICAL_FINDING,
+                                   ICD10_SYSTEM_CODE, SNOMED_NAME,
+                                   SNOMED_SYSTEM_CODE,
+                                   SyntheticSnomedBuilder,
+                                   build_core_ontology)
+from repro.storage.interface import (CorruptIndexError,
+                                     IncompatibleIndexError,
+                                     canonical_dump)
+from repro.storage.memory_store import MemoryStore
+from repro.storage.mmap_store import MmapStore, atomic_mmap_build
+from repro.storage.sqlite_store import SQLiteStore
+
+
+@pytest.fixture(scope="module")
+def core_indexes():
+    return build_ontology_indexes(build_core_ontology(), MemoryStore())
+
+
+class TestNameIndex:
+    def test_exact_lookup_normalizes(self, core_indexes):
+        assert core_indexes.names.lookup("aSTHma") == [(ASTHMA, 1.0)]
+
+    def test_synonym_weight_below_preferred(self, core_indexes):
+        matches = core_indexes.names.lookup("bronchial asthma")
+        assert (ASTHMA, 0.5) in matches
+
+    def test_unknown_and_empty_terms(self, core_indexes):
+        assert core_indexes.names.lookup("zebra stampede") == []
+        assert core_indexes.names.lookup("   ") == []
+
+    def test_token_lookup(self, core_indexes):
+        codes = [code for code, _weight
+                 in core_indexes.names.lookup_token("asthma")]
+        assert ASTHMA in codes
+        assert len(codes) > 1  # the asthma subtypes share the token
+
+    def test_token_lookup_rejects_phrases(self, core_indexes):
+        assert core_indexes.names.lookup_token("asthma attack") == []
+
+
+class TestXrefIndex:
+    def test_forward(self, core_indexes):
+        assert ((ICD10_SYSTEM_CODE, "J45")
+                in core_indexes.xrefs.forward(ASTHMA))
+
+    def test_reverse(self, core_indexes):
+        assert core_indexes.xrefs.reverse(
+            ICD10_SYSTEM_CODE, "J45") == [ASTHMA]
+
+    def test_miss_is_empty(self, core_indexes):
+        assert core_indexes.xrefs.forward("nonexistent") == []
+        assert core_indexes.xrefs.reverse(ICD10_SYSTEM_CODE,
+                                          "Z99") == []
+
+
+class TestHierarchyIndex:
+    def test_ancestors_with_depth(self, core_indexes):
+        ancestors = core_indexes.hierarchy.ancestors(ASTHMA)
+        assert CLINICAL_FINDING in ancestors
+        assert ancestors[CLINICAL_FINDING] >= 1
+
+    def test_descendants_mirror_ancestors(self, core_indexes):
+        descendants = core_indexes.hierarchy.descendants(
+            CLINICAL_FINDING)
+        assert descendants[ASTHMA] == (
+            core_indexes.hierarchy.ancestors(ASTHMA)[CLINICAL_FINDING])
+
+    def test_is_subsumed_by(self, core_indexes):
+        assert core_indexes.hierarchy.is_subsumed_by(ASTHMA,
+                                                     CLINICAL_FINDING)
+        assert core_indexes.hierarchy.is_subsumed_by(ASTHMA, ASTHMA)
+        assert not core_indexes.hierarchy.is_subsumed_by(
+            CLINICAL_FINDING, ASTHMA)
+
+    def test_depths_match_graph_walk(self, core_indexes):
+        ontology = build_core_ontology()
+        ancestors = core_indexes.hierarchy.ancestors(ASTHMA)
+        assert set(ancestors) == ontology.ancestors(ASTHMA)
+
+
+class TestPayloads:
+    def test_concept_round_trip(self, core_indexes):
+        ontology = build_core_ontology()
+        for concept in ontology.concepts():
+            assert core_indexes.concept(concept.code) == concept
+
+    def test_unknown_concept_is_none(self, core_indexes):
+        assert core_indexes.concept("000000") is None
+
+    def test_identity_metadata(self, core_indexes):
+        assert core_indexes.system_code == SNOMED_SYSTEM_CODE
+        assert core_indexes.concept_count == len(build_core_ontology())
+        assert (core_indexes.fingerprint
+                == build_core_ontology().fingerprint())
+
+
+class TestPersistence:
+    def test_backends_are_byte_identical(self, tmp_path):
+        ontology = build_core_ontology()
+        memory = MemoryStore()
+        sqlite = SQLiteStore(str(tmp_path / "onto.db"))
+        mmap_path = str(tmp_path / "onto.xms")
+        build_ontology_indexes(ontology, memory)
+        build_ontology_indexes(ontology, sqlite)
+        with atomic_mmap_build(mmap_path) as writer:
+            build_ontology_indexes(ontology, writer)
+        dumps = {canonical_dump(store, ONTOLOGY_INDEX_STRATEGIES)
+                 for store in (memory, sqlite, MmapStore(mmap_path))}
+        assert len(dumps) == 1
+
+    def test_reopen_from_sqlite(self, tmp_path):
+        path = str(tmp_path / "onto.db")
+        build_ontology_indexes(build_core_ontology(), SQLiteStore(path))
+        reopened = OntologyIndexes(SQLiteStore(path, read_only=True))
+        assert reopened.names.lookup("Asthma") == [(ASTHMA, 1.0)]
+        assert reopened.concept(ASTHMA).preferred_term == "Asthma"
+
+    def test_incomplete_store_rejected(self):
+        store = MemoryStore()
+        with pytest.raises(CorruptIndexError):
+            OntologyIndexes(store)
+
+    def test_version_mismatch_rejected(self):
+        store = MemoryStore()
+        build_ontology_indexes(build_core_ontology(), store)
+        store.put_metadata("onto.index.version", "999")
+        with pytest.raises(IncompatibleIndexError):
+            OntologyIndexes(store)
+
+
+class TestStreamedBuild:
+    def test_stream_matches_materialized(self):
+        builder = SyntheticSnomedBuilder(seed=5)
+        streamed = MemoryStore()
+        materialized = MemoryStore()
+        from_stream = build_ontology_indexes(
+            builder.stream(), streamed,
+            system_code=SNOMED_SYSTEM_CODE, name=SNOMED_NAME)
+        from_graph = build_ontology_indexes(builder.build(),
+                                            materialized)
+        assert from_stream.fingerprint == from_graph.fingerprint
+        assert (canonical_dump(streamed, ONTOLOGY_INDEX_STRATEGIES)
+                == canonical_dump(materialized,
+                                  ONTOLOGY_INDEX_STRATEGIES))
+
+    def test_stream_requires_system_code(self):
+        builder = SyntheticSnomedBuilder(seed=5)
+        with pytest.raises(OntologyError):
+            build_ontology_indexes(builder.stream(), MemoryStore())
+
+    def test_build_span_emitted(self):
+        from repro.core.obs.tracer import Tracer
+        tracer = Tracer()
+        build_ontology_indexes(build_core_ontology(), MemoryStore(),
+                               tracer=tracer)
+        names = [span.name for span in tracer.finished()]
+        assert "ontology.index.build" in names

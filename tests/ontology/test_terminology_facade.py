@@ -1,0 +1,150 @@
+"""TerminologyService as a facade over the index layer.
+
+Covers every fallback path explicitly: unknown names, ambiguous
+synonyms, xref misses, and the graph answering when no index layer is
+registered (or when the index layer lacks a payload).
+"""
+
+import pytest
+
+from repro.ontology.api import TerminologyService
+from repro.ontology.indexes import build_ontology_indexes
+from repro.ontology.model import Concept, Ontology, OntologyError
+from repro.ontology.snomed import (ASTHMA, SNOMED_SYSTEM_CODE,
+                                   build_core_ontology)
+from repro.storage.memory_store import MemoryStore
+from repro.xmldoc.model import OntologicalReference
+
+
+@pytest.fixture(scope="module")
+def index_backed():
+    """A service whose only system is index-backed (no graph at all)."""
+    indexes = build_ontology_indexes(build_core_ontology(),
+                                     MemoryStore())
+    service = TerminologyService()
+    service.register_indexes(indexes)
+    return service
+
+
+@pytest.fixture(scope="module")
+def dual_backed():
+    """The same system registered both ways (index first, graph
+    fallback)."""
+    ontology = build_core_ontology()
+    service = TerminologyService([ontology])
+    service.register_indexes(
+        build_ontology_indexes(ontology, MemoryStore()))
+    return service
+
+
+def _ambiguous_ontology() -> Ontology:
+    ontology = Ontology("test.system", "ambiguity fixture")
+    ontology.add_concept(Concept("1", "Cold", ("common cold",),
+                                 "disorder"))
+    ontology.add_concept(Concept("2", "Cold sensation",
+                                 ("cold",), "finding"))
+    return ontology
+
+
+class TestIndexBackedResolution:
+    def test_lookup_never_touches_graph(self, index_backed):
+        # No graph is registered at all: a hit proves the index layer
+        # answered alone.
+        with pytest.raises(OntologyError):
+            index_backed.ontology(SNOMED_SYSTEM_CODE)
+        concepts = index_backed.lookup_term("Asthma")
+        assert [c.code for c in concepts] == [ASTHMA]
+
+    def test_unknown_name_returns_empty(self, index_backed):
+        assert index_backed.lookup_term("zebra stampede") == []
+
+    def test_resolve_and_miss(self, index_backed):
+        hit = index_backed.resolve(
+            OntologicalReference(SNOMED_SYSTEM_CODE, ASTHMA))
+        assert hit.code == ASTHMA
+        assert index_backed.resolve(
+            OntologicalReference(SNOMED_SYSTEM_CODE, "000")) is None
+        assert index_backed.resolve(
+            OntologicalReference("unregistered", ASTHMA)) is None
+
+    def test_concept_for_code_errors(self, index_backed):
+        with pytest.raises(OntologyError):
+            index_backed.concept_for_code("unregistered", ASTHMA)
+        with pytest.raises(OntologyError):
+            index_backed.concept_for_code(SNOMED_SYSTEM_CODE, "000")
+
+    def test_xref_miss_is_empty_not_error(self, index_backed):
+        indexes = index_backed.indexes(SNOMED_SYSTEM_CODE)
+        assert indexes.xrefs.forward("000") == []
+        assert indexes.xrefs.reverse("no.such.system", "X00") == []
+
+    def test_vocabulary_from_token_keys(self, index_backed):
+        vocabulary = index_backed.vocabulary()
+        assert "asthma" in vocabulary
+        assert "theophylline" in vocabulary
+
+    def test_membership_and_systems(self, index_backed):
+        assert SNOMED_SYSTEM_CODE in index_backed
+        assert index_backed.systems() == [SNOMED_SYSTEM_CODE]
+
+
+class TestAmbiguousSynonym:
+    def test_all_matches_returned_preferred_first(self):
+        service = TerminologyService()
+        service.register_indexes(
+            build_ontology_indexes(_ambiguous_ontology(),
+                                   MemoryStore()))
+        matches = service.lookup_term("cold")
+        # Ambiguity is surfaced, not swallowed: both concepts come
+        # back, the preferred-term match ("Cold") before the synonym.
+        assert [c.code for c in matches] == ["1", "2"]
+
+    def test_graph_path_also_returns_all(self):
+        service = TerminologyService([_ambiguous_ontology()])
+        assert {c.code for c in service.lookup_term("cold")} == {"1", "2"}
+
+
+class TestGraphFallback:
+    def test_index_layer_absent_falls_back_to_graph(self):
+        service = TerminologyService([build_core_ontology()])
+        assert service.indexes(SNOMED_SYSTEM_CODE) is None
+        concepts = service.lookup_term("Asthma")
+        assert [c.code for c in concepts] == [ASTHMA]
+        assert service.resolve(
+            OntologicalReference(SNOMED_SYSTEM_CODE, ASTHMA)) is not None
+
+    def test_dual_backed_prefers_index(self, dual_backed):
+        assert dual_backed.lookup_term("Asthma")[0].code == ASTHMA
+        assert dual_backed.systems() == [SNOMED_SYSTEM_CODE]
+
+    def test_missing_payload_falls_back_to_graph(self):
+        ontology = build_core_ontology()
+        store = MemoryStore()
+        build_ontology_indexes(ontology, store)
+        # Simulate an index whose payload row was lost: the facade
+        # must fall through to the graph representation.
+        store._metadata.pop("onto.concept:" + ASTHMA)
+        service = TerminologyService([ontology])
+        from repro.ontology.indexes import OntologyIndexes
+        service.register_indexes(OntologyIndexes(store))
+        concept = service.concept_for_code(SNOMED_SYSTEM_CODE, ASTHMA)
+        assert concept.preferred_term == "Asthma"
+
+    def test_duplicate_index_registration_rejected(self, dual_backed):
+        with pytest.raises(OntologyError):
+            dual_backed.register_indexes(
+                build_ontology_indexes(build_core_ontology(),
+                                       MemoryStore()))
+
+
+class TestResolveSpan:
+    def test_resolution_emits_ontology_resolve_span(self):
+        from repro.core.obs.tracer import Tracer
+        tracer = Tracer()
+        service = TerminologyService([build_core_ontology()],
+                                     tracer=tracer)
+        service.resolve(OntologicalReference(SNOMED_SYSTEM_CODE,
+                                             ASTHMA))
+        service.lookup_term("asthma")
+        names = [span.name for span in tracer.finished()]
+        assert names.count("ontology.resolve") == 2

@@ -449,3 +449,74 @@ class TestMmapStoreFormat:
         code = main(["compact", "--store", mmap_store])
         assert code == 2
         assert "rebuild" in capsys.readouterr().err
+
+
+class TestBuildOntology:
+    def test_from_data_directory(self, data_dir, tmp_path, capsys):
+        store = str(tmp_path / "onto.db")
+        assert main(["build-ontology", "--data", data_dir,
+                     "--store", store]) == 0
+        captured = capsys.readouterr()
+        assert "built ontology indexes:" in captured.out
+        assert "ontology fingerprint:" in captured.out
+        assert os.path.exists(store)
+
+    def test_synthetic_stream_to_mmap(self, tmp_path, capsys):
+        store = str(tmp_path / "onto.xms")
+        assert main(["build-ontology", "--store", store,
+                     "--store-format", "mmap",
+                     "--target-concepts", "500",
+                     "--ontology-seed", "9"]) == 0
+        captured = capsys.readouterr()
+        assert "built ontology indexes:" in captured.out
+        assert main(["verify-index", "--store", store]) == 0
+
+    def test_built_store_resolves_terms(self, data_dir, tmp_path):
+        store = str(tmp_path / "onto.db")
+        assert main(["build-ontology", "--data", data_dir,
+                     "--store", store]) == 0
+        from repro.ontology.api import TerminologyService
+        from repro.ontology.indexes import OntologyIndexes
+        from repro.storage.sqlite_store import SQLiteStore
+        service = TerminologyService()
+        service.register_indexes(
+            OntologyIndexes(SQLiteStore(store, read_only=True)))
+        assert service.lookup_term("asthma")
+
+
+class TestOntologyCacheFlag:
+    def test_cold_then_warm_summary(self, data_dir, tmp_path, capsys):
+        cache = str(tmp_path / "cache.db")
+        store_a = str(tmp_path / "a.db")
+        store_b = str(tmp_path / "b.db")
+        assert main(["index", "--data", data_dir, "--store", store_a,
+                     "--ontology-cache", cache]) == 0
+        cold = capsys.readouterr().out
+        assert "ontology-cache:" in cold
+        assert "hits=0" in cold
+        assert main(["index", "--data", data_dir, "--store", store_b,
+                     "--ontology-cache", cache]) == 0
+        warm = capsys.readouterr().out
+        assert "misses=0" in warm
+
+    def test_xrank_ignores_cache(self, data_dir, tmp_path, capsys):
+        cache = str(tmp_path / "cache.db")
+        store = str(tmp_path / "x.db")
+        assert main(["index", "--data", data_dir, "--store", store,
+                     "--strategy", "xrank",
+                     "--ontology-cache", cache]) == 0
+        assert "ontology-cache:" not in capsys.readouterr().out
+
+
+class TestServeCorpusFlag:
+    def test_malformed_spec_rejected(self, data_dir, capsys):
+        code = main(["serve", "--data", data_dir,
+                     "--corpus", "no-equals-sign"])
+        assert code == 2
+        assert "NAME=PATH" in capsys.readouterr().err
+
+    def test_duplicate_name_rejected(self, data_dir, capsys):
+        code = main(["serve", "--data", data_dir,
+                     "--corpus", f"default={data_dir}"])
+        assert code == 2
+        assert "duplicate" in capsys.readouterr().err
