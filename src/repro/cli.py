@@ -556,7 +556,23 @@ def command_search(args: argparse.Namespace) -> int:
         code = _load_stores(engine, args)
         if code != 0:
             return code
-    results = engine.search(args.query, k=args.k)
+    if getattr(args, "narrative", False):
+        try:
+            engine.enable_narrative()
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    outcome = engine.search_outcome(args.query, k=args.k)
+    results = outcome.results
+    effective_query = args.query
+    if outcome.narrative is not None:
+        mapping = outcome.narrative
+        effective_query = mapping.query
+        print(f"narrative query mapped to: {mapping.query}")
+        for m in mapping.mappings:
+            target = (f"-> {m.concept_code} ({m.term!r})"
+                      if m.concept_code else "kept as plain keywords")
+            print(f"  [{m.method}] {m.phrase!r} {target}")
     exit_code = 0
     if not results:
         print("no results")
@@ -565,7 +581,7 @@ def command_search(args: argparse.Namespace) -> int:
         print(f"#{rank}  score={result.score:.3f}  "
               f"{result.dewey.encode()}")
         if args.explain:
-            explanation = engine.explain(result, args.query)
+            explanation = engine.explain(result, effective_query)
             for item in explanation.evidence:
                 print(f"    {item.describe()}")
         fragment = engine.fragment_text(result)
@@ -897,6 +913,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default=10,
                         help="number of results (positive; bounded "
                              "top-k evaluation)")
+    search.add_argument("--narrative", action="store_true",
+                        help="treat the query as free clinical "
+                             "narrative: extract phrases, map them to "
+                             "ontology concepts (exact/synonym/parent "
+                             "fallback) and search the mapped keywords")
     search.add_argument("--explain", action="store_true",
                         help="print per-keyword evidence")
     search.add_argument("--fragment-lines", type=int, default=6)

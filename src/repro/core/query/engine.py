@@ -183,8 +183,39 @@ class XOntoRankEngine:
                           results=len(context.results))
             if context.partial:
                 span.annotate(partial=True)
-            return SearchOutcome(results=context.results,
-                                 partial=context.partial)
+            return SearchOutcome(
+                results=context.results, partial=context.partial,
+                narrative=context.extras.get("narrative"))
+
+    def enable_narrative(self, mapper=None):
+        """Insert the clinical-narrative mapping stage before ``parse``.
+
+        String queries are then treated as free narrative text and
+        mapped to concept keywords (see
+        :mod:`repro.core.query.narrative`); pre-parsed
+        :class:`KeywordQuery` objects still pass through untouched.
+        Returns the active mapper. Raises ``ValueError`` without an
+        ontology (or explicit ``mapper``) to map against, or when the
+        stage is already installed.
+        """
+        from .narrative import NarrativeQueryMapper, NarrativeStage
+        if mapper is None:
+            if self.terminology is None:
+                if self.ontology is None:
+                    raise ValueError(
+                        "narrative mapping needs an ontology (or an "
+                        "explicit mapper built on a TerminologyService)")
+                self.terminology = TerminologyService([self.ontology])
+            mapper = NarrativeQueryMapper(self.terminology,
+                                          tracer=self.tracer,
+                                          stats=self.stats)
+        self.pipeline.insert_before("parse", NarrativeStage(mapper))
+        return mapper
+
+    def disable_narrative(self) -> None:
+        """Remove the narrative stage; the pipeline (and every result)
+        is byte-identical to one that never had it."""
+        self.pipeline.remove("narrative")
 
     def search_naive(self, query: str | KeywordQuery,
                      k: int | None = None) -> list[QueryResult]:

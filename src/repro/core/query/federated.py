@@ -209,6 +209,7 @@ class FederatedEngine:
                 shard_corpus, ontology, strategy=strategy,
                 config=config, tracer=tracer, stats=self.stats,
                 builder=scoped))
+        self._narrative_mapper = None
 
     def _resolver(self):
         self.terminology = None
@@ -222,6 +223,30 @@ class FederatedEngine:
     @property
     def shard_count(self) -> int:
         return self.sharded.shard_count
+
+    def enable_narrative(self, mapper=None):
+        """Treat string queries as clinical narrative: map them to
+        concept keywords *once*, before the shard fan-out (each shard
+        then receives the same pre-parsed :class:`KeywordQuery`, so the
+        federated identity contract applies to the mapped query).
+        Returns the active mapper; raises ``ValueError`` without an
+        ontology to map against.
+        """
+        if mapper is None:
+            if self.terminology is None:
+                raise ValueError(
+                    "narrative mapping needs an ontology (or an "
+                    "explicit mapper built on a TerminologyService)")
+            from .narrative import NarrativeQueryMapper
+            mapper = NarrativeQueryMapper(self.terminology,
+                                          tracer=self.tracer,
+                                          stats=self.stats)
+        self._narrative_mapper = mapper
+        return mapper
+
+    def disable_narrative(self) -> None:
+        """String queries parse as curated keywords again."""
+        self._narrative_mapper = None
 
     def _fan_out(self, task: Callable[[XOntoRankEngine, int], Value],
                  ) -> list[Value]:
@@ -291,6 +316,11 @@ class FederatedEngine:
         with self.tracer.span("query.federated_search",
                               strategy=self.strategy,
                               shards=self.shard_count) as span:
+            narrative = None
+            if self._narrative_mapper is not None \
+                    and isinstance(query, str):
+                narrative = self._narrative_mapper.map(query)
+                query = narrative.query
             parsed = (KeywordQuery.parse(query)
                       if isinstance(query, str) else query)
 
@@ -335,7 +365,8 @@ class FederatedEngine:
             if degraded:
                 span.annotate(degraded_shards=len(degraded))
             return SearchOutcome(results=merged, partial=partial,
-                                 degraded_shards=degraded)
+                                 degraded_shards=degraded,
+                                 narrative=narrative)
 
     def dil_for(self, keyword: Keyword) -> DeweyInvertedList:
         """The *global* DIL of a keyword: shard DILs re-merged (mostly

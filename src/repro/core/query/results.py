@@ -50,11 +50,16 @@ class SearchOutcome:
       because their circuit breaker was open or their store failed
       (surfaced as ``X-Degraded-Shards``). Always empty for an exact,
       fully-served answer.
+    * ``narrative`` -- the
+      :class:`~repro.core.query.narrative.NarrativeMapping` provenance
+      when the query arrived as free clinical text and was mapped to
+      keywords first; ``None`` on the curated-keyword path.
     """
 
     results: list[QueryResult]
     partial: bool = False
     degraded_shards: tuple[int, ...] = ()
+    narrative: object = None
 
     @property
     def exact(self) -> bool:

@@ -102,6 +102,28 @@ ONTOLOGY_CACHE_MISSES = "ontology.cache.misses"
 ONTOLOGY_CACHE_INVALIDATIONS = "ontology.cache.invalidations"
 
 # ----------------------------------------------------------------------
+# Narrative query front-end (repro.core.query.narrative).
+# ----------------------------------------------------------------------
+#: Narrative texts mapped into keyword queries.
+NARRATIVE_QUERIES = "query.narrative.queries"
+#: Candidate clinical phrases considered (in-vocabulary spans plus
+#: out-of-vocabulary leftover runs).
+NARRATIVE_PHRASES = "query.narrative.phrases"
+#: Phrases whose text equals a concept's preferred term.
+NARRATIVE_MAPPED_EXACT = "query.narrative.mapped_exact"
+#: Phrases that matched a concept through a synonym.
+NARRATIVE_MAPPED_SYNONYM = "query.narrative.mapped_synonym"
+#: Out-of-vocabulary phrases rescued by the parent-term fallback (the
+#: emitted keyword names an ancestor concept of the phrase's token
+#: candidates).
+NARRATIVE_MAPPED_PARENT = "query.narrative.mapped_parent"
+#: Phrases no concept could be found for; their content tokens are
+#: kept as plain keywords (never silently dropped).
+NARRATIVE_KEYWORD_FALLBACKS = "query.narrative.keyword_fallbacks"
+#: Mapped concepts trimmed by the specificity cap (``max_keywords``).
+NARRATIVE_CONCEPTS_DROPPED = "query.narrative.concepts_dropped"
+
+# ----------------------------------------------------------------------
 # Serving-layer counters (repro.server; see docs/SERVING.md). One
 # registry per server process collects them, and /metrics dumps the
 # whole registry as JSON.

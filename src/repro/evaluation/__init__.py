@@ -4,14 +4,18 @@ the published query workload, and the survey protocol of Section VII."""
 from .kendall import (average_matrices, distance_matrix, kendall_tau_topk)
 from .metrics import (SurveyRow, precision_at_k, recall_at_k, run_survey)
 from .oracle import Judgment, RelevanceOracle, expert_selection
-from .workload import (PUBLISHED, RECONSTRUCTED, SYNTHESIZED,
-                       TABLE1_WORKLOAD, WORKLOAD, WorkloadQuery,
-                       table1_queries, table2_queries)
+from .workload import (NARRATIVE_WORKLOAD, PUBLISHED, RECONSTRUCTED,
+                       STOPWORD_GLUE, SYNONYM_PHRASING, SYNTHESIZED,
+                       TABLE1_WORKLOAD, WORKLOAD, NarrativeVariant,
+                       WorkloadQuery, narrative_queries, table1_queries,
+                       table2_queries)
 
 __all__ = [
-    "Judgment", "PUBLISHED", "RECONSTRUCTED", "RelevanceOracle",
-    "SYNTHESIZED", "SurveyRow", "TABLE1_WORKLOAD", "WORKLOAD",
-    "WorkloadQuery", "average_matrices", "distance_matrix",
-    "expert_selection", "kendall_tau_topk", "precision_at_k",
-    "recall_at_k", "run_survey", "table1_queries", "table2_queries",
+    "Judgment", "NARRATIVE_WORKLOAD", "NarrativeVariant", "PUBLISHED",
+    "RECONSTRUCTED", "RelevanceOracle", "STOPWORD_GLUE",
+    "SYNONYM_PHRASING", "SYNTHESIZED", "SurveyRow", "TABLE1_WORKLOAD",
+    "WORKLOAD", "WorkloadQuery", "average_matrices", "distance_matrix",
+    "expert_selection", "kendall_tau_topk", "narrative_queries",
+    "precision_at_k", "recall_at_k", "run_survey", "table1_queries",
+    "table2_queries",
 ]

@@ -74,6 +74,96 @@ WORKLOAD: tuple[WorkloadQuery, ...] = (
 #: The subset shown in Table I.
 TABLE1_WORKLOAD: tuple[WorkloadQuery, ...] = WORKLOAD[:10]
 
+#: Narrative-variant styles.
+STOPWORD_GLUE = "glue"        # curated terms embedded in stopword glue
+SYNONYM_PHRASING = "synonym"  # at least one term replaced by a synonym
+
+
+@dataclass(frozen=True)
+class NarrativeVariant:
+    """A free-text paraphrase of one curated workload query.
+
+    The paper's workload assumes curated keyword queries; the narrative
+    front-end relaxes that to clinical prose. Each variant restates a
+    curated query the way a chart note would: the same clinical content
+    wrapped in function words (``glue``), optionally phrased through an
+    ontology synonym instead of the preferred term (``synonym``). Glue
+    tokens are drawn exclusively from the tokenizer's stopword list so
+    the curated query remains the variant's exact information content.
+    """
+
+    variant_id: str
+    query_id: str   # the curated WorkloadQuery this paraphrases
+    text: str       # the clinical-narrative phrasing
+    style: str      # STOPWORD_GLUE or SYNONYM_PHRASING
+
+
+#: One narrative paraphrase per curated query. The synonym-style rows
+#: use phrasings attested in the synthetic SNOMED's synonym lists
+#: (paracetamol/acetaminophen, adrenaline/epinephrine, SVT, ...).
+NARRATIVE_WORKLOAD: tuple[NarrativeVariant, ...] = (
+    NarrativeVariant("N1", "Q1",
+                     "was in cardiac arrest with coarctation",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N2", "Q2",
+                     "neonatal cyanosis and was on a carbapenem",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N3", "Q3",
+                     "on ibuprofen for a supraventricular arrhythmia",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N4", "Q4",
+                     "pericardial effusion with regurgitant flow",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N5", "Q5",
+                     "was on amiodarone for supraventricular arrhythmia",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N6", "Q6",
+                     "supraventricular arrhythmia and was on paracetamol",
+                     SYNONYM_PHRASING),
+    NarrativeVariant("N7", "Q7",
+                     "theophylline for the bronchial structure",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N8", "Q8",
+                     "adrenaline to the heart structure",
+                     SYNONYM_PHRASING),
+    NarrativeVariant("N9", "Q9",
+                     "has bronchial asthma and is on theophylline",
+                     SYNONYM_PHRASING),
+    NarrativeVariant("N10", "Q10",
+                     "atrial fibrillation and on digoxin",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N11", "Q11",
+                     "cyanosis from tetralogy of fallot",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N12", "Q12",
+                     "a ventricular septal defect and on furosemide",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N13", "Q13",
+                     "was in cardiopulmonary arrest and is on amiodarone",
+                     SYNONYM_PHRASING),
+    NarrativeVariant("N14", "Q14",
+                     "bronchitis and on salbutamol",
+                     SYNONYM_PHRASING),
+    NarrativeVariant("N15", "Q15",
+                     "pneumonia and was on meropenem",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N16", "Q16",
+                     "the mitral valve with regurgitation",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N17", "Q17",
+                     "pericardial effusion and on furosemide",
+                     STOPWORD_GLUE),
+    NarrativeVariant("N18", "Q18",
+                     "febrile and was on acetaminophen",
+                     SYNONYM_PHRASING),
+    NarrativeVariant("N19", "Q19",
+                     "has svt and is on propranolol",
+                     SYNONYM_PHRASING),
+    NarrativeVariant("N20", "Q20",
+                     "coarctation at the aortic structure",
+                     STOPWORD_GLUE),
+)
+
 
 def table1_queries() -> list[WorkloadQuery]:
     """The ten Table I rows."""
@@ -83,3 +173,10 @@ def table1_queries() -> list[WorkloadQuery]:
 def table2_queries() -> list[WorkloadQuery]:
     """The twenty queries the Kendall-tau matrix averages over."""
     return list(WORKLOAD)
+
+
+def narrative_queries() -> list[tuple[WorkloadQuery, NarrativeVariant]]:
+    """Each curated query paired with its narrative paraphrase."""
+    by_id = {query.query_id: query for query in WORKLOAD}
+    return [(by_id[variant.query_id], variant)
+            for variant in NARRATIVE_WORKLOAD]

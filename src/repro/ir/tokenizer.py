@@ -38,6 +38,20 @@ def tokenize_without_stopwords(
     return [token for token in tokenize(text) if token not in stopwords]
 
 
+def normalize_term(term: str) -> str:
+    """Canonical form of a term for exact-match lookup.
+
+    This is the *single* normalization both the persisted
+    :class:`~repro.ontology.indexes.NameIndex` keys and the
+    :class:`~repro.ontology.api.TerminologyService` graph-side term
+    index use, so a query-side term always hits the same bucket its
+    ontology-side twin was filed under. Hyphenated clinical terms
+    ("X-ray", "super-morbidly obese") normalize to their split tokens
+    ("x ray") on both sides by construction.
+    """
+    return " ".join(tokenize(term))
+
+
 @dataclass(frozen=True)
 class Keyword:
     """One query keyword: a single token or a quoted phrase.

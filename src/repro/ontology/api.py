@@ -18,8 +18,9 @@ persisted concept indexes of :mod:`repro.ontology.indexes` (registered
 with :meth:`TerminologyService.register_indexes`; resolution never
 touches the graph) and the in-memory :class:`Ontology` graph
 (:meth:`TerminologyService.register`; also the fallback when a concept
-payload is missing from the index layer). Every resolution runs under
-an ``ontology.resolve`` span annotated with which layer answered.
+payload is missing from the index layer). Code resolution runs under an
+``ontology.resolve`` span and term lookup under ``ontology.lookup_term``,
+each annotated with which layer answered.
 """
 
 from __future__ import annotations
@@ -28,7 +29,7 @@ from collections import defaultdict
 from typing import Iterable
 
 from ..core.obs.tracer import NULL_TRACER
-from ..ir.tokenizer import tokenize
+from ..ir.tokenizer import normalize_term, tokenize
 from ..xmldoc.model import OntologicalReference
 from .indexes import TOKEN_PREFIX, NAME_STRATEGY, OntologyIndexes
 from .model import Concept, Ontology, OntologyError
@@ -77,9 +78,9 @@ class TerminologyService:
                 f"system {indexes.system_code} already index-backed")
         self._indexes[indexes.system_code] = indexes
 
-    @staticmethod
-    def _normalize(term: str) -> str:
-        return " ".join(tokenize(term))
+    # The one true normalization, shared with the persisted NameIndex
+    # keys (see ``repro.ir.tokenizer.normalize_term``).
+    _normalize = staticmethod(normalize_term)
 
     # ------------------------------------------------------------------
     # System access
@@ -160,7 +161,8 @@ class TerminologyService:
         normalized = self._normalize(term)
         if not normalized:
             return []
-        with self.tracer.span("ontology.resolve", term=normalized) as span:
+        with self.tracer.span("ontology.lookup_term",
+                              term=normalized) as span:
             results: list[Concept] = []
             via_index = 0
             for code in self.systems():

@@ -49,7 +49,7 @@ import json
 from typing import Iterable, Iterator
 
 from ..core.obs.tracer import NULL_TRACER
-from ..ir.tokenizer import tokenize
+from ..ir.tokenizer import normalize_term
 from ..storage.interface import IncompatibleIndexError, IndexStore
 from ..storage.manifest import (BUILD_COMPLETE, BUILD_COMPLETE_KEY,
                                 CHECKSUM_KEY_PREFIX,
@@ -88,9 +88,11 @@ PREFERRED_WEIGHT = 1.0
 SYNONYM_WEIGHT = 0.5
 
 
-def normalize_term(term: str) -> str:
-    """Canonical form of a concept term for exact-match lookup."""
-    return " ".join(tokenize(term))
+# ``normalize_term`` is imported (and re-exported) from
+# ``repro.ir.tokenizer``: the service facade and the persisted index
+# provably share one normalization (hyphen/apostrophe handling
+# included) because there is only one implementation.
+normalize_term = normalize_term
 
 
 def _posting_order(code: str) -> tuple[int, int, str]:

@@ -253,6 +253,8 @@ class ServerApp:
         if not query:
             return 400, {"error": "missing required parameter: q"}, {}
         corpus = request.param("corpus") or "default"
+        narrative = (request.param("narrative") or "") \
+            .lower() in ("1", "true", "yes")
         try:
             k = self._int_param(request, "k", minimum=1)
             timeout_ms = self._int_param(request, "timeout_ms",
@@ -277,13 +279,17 @@ class ServerApp:
                     return await loop.run_in_executor(
                         self._executor,
                         functools.partial(self.service.execute, corpus,
-                                          query, k, deadline))
+                                          query, k, deadline,
+                                          narrative=narrative))
             finally:
                 self.admission.release()
 
         try:
+            # The narrative flag is part of the coalescing key: a
+            # narrative evaluation of the same text maps to different
+            # keywords, so followers must not share its leader.
             outcome = await self.coalescer.run(
-                (corpus, query, k), lead,
+                (corpus, query, k, narrative), lead,
                 timeout=(deadline.remaining()
                          if deadline is not None else None))
         except _Shed:
@@ -319,6 +325,17 @@ class ServerApp:
                         for rank, result
                         in enumerate(outcome.results, start=1)],
         }
+        if outcome.narrative is not None:
+            mapping = outcome.narrative
+            body["narrative"] = {
+                "mapped_query": str(mapping.query),
+                "mappings": [{"phrase": m.phrase,
+                              "method": m.method,
+                              "concept": m.concept_code,
+                              "term": m.term,
+                              "weight": round(m.weight, 4)}
+                             for m in mapping.mappings],
+            }
         return 200, body, headers
 
     @staticmethod

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import replace
 from typing import Callable, Iterator
 
 from ..core.deadline import Deadline, deadline_scope
@@ -53,6 +54,8 @@ class CorpusHandle:
         self.name = name
         self.engine = engine
         self.breakers = breakers
+        self._narrative_mapper = None
+        self._narrative_lock = threading.Lock()
 
     @property
     def shard_count(self) -> int:
@@ -60,6 +63,27 @@ class CorpusHandle:
 
     def breaker_states(self) -> list[str]:
         return [breaker.state for breaker in self.breakers]
+
+    def narrative_mapper(self):
+        """The corpus's narrative mapper, built lazily on first use.
+
+        Per-request opt-in (``narrative=1``) must not mutate the warm
+        engine's pipeline -- a globally inserted stage would remap
+        every concurrent curated query -- so the mapper lives here and
+        the service applies it per request. Raises ``ValueError`` when
+        the engine has no terminology to map against (XRANK corpora).
+        """
+        with self._narrative_lock:
+            if self._narrative_mapper is None:
+                terminology = getattr(self.engine, "terminology", None)
+                if terminology is None:
+                    raise ValueError(
+                        f"corpus {self.name!r} has no ontology; "
+                        f"narrative mapping is unavailable")
+                from ..core.query.narrative import NarrativeQueryMapper
+                self._narrative_mapper = NarrativeQueryMapper(
+                    terminology, stats=self.engine.stats)
+            return self._narrative_mapper
 
 
 class SearchService:
@@ -112,9 +136,17 @@ class SearchService:
     # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
-    def execute(self, corpus: str, query: str, k: int | None = None,
-                deadline: Deadline | None = None) -> SearchOutcome:
+    def execute(self, corpus: str, query, k: int | None = None,
+                deadline: Deadline | None = None, *,
+                narrative: bool = False) -> SearchOutcome:
         """One breaker-guarded, deadline-scoped search.
+
+        ``narrative=True`` maps the query string through the corpus's
+        clinical-narrative mapper first and annotates the outcome with
+        the mapping provenance; the mapping happens once, before
+        execution, so coalesced followers and shard fan-outs all see
+        the same keywords. With ``narrative=False`` (the default) the
+        path is byte-identical to before the mapper existed.
 
         Returns the (possibly degraded/partial) outcome; raises
         :class:`UnknownCorpusError` for an unregistered corpus and
@@ -123,6 +155,10 @@ class SearchService:
         escape -- they become degraded shards.
         """
         handle = self.corpus(corpus)
+        mapping = None
+        if narrative and isinstance(query, str):
+            mapping = handle.narrative_mapper().map(query)
+            query = mapping.query
         with deadline_scope(deadline):
             if isinstance(handle.engine, FederatedEngine):
                 outcome = self._execute_federated(handle, query, k,
@@ -134,9 +170,11 @@ class SearchService:
             self.stats.increment(SERVER_DEGRADED_RESPONSES)
         if outcome.partial:
             self.stats.increment(SERVER_PARTIAL_RESPONSES)
+        if mapping is not None:
+            outcome = replace(outcome, narrative=mapping)
         return outcome
 
-    def _execute_federated(self, handle: CorpusHandle, query: str,
+    def _execute_federated(self, handle: CorpusHandle, query,
                            k: int | None,
                            deadline: Deadline | None) -> SearchOutcome:
         engine = handle.engine
@@ -161,7 +199,7 @@ class SearchService:
                 breaker.record_success()
         return outcome
 
-    def _execute_single(self, handle: CorpusHandle, query: str,
+    def _execute_single(self, handle: CorpusHandle, query,
                         k: int | None,
                         deadline: Deadline | None) -> SearchOutcome:
         breaker = handle.breakers[0]

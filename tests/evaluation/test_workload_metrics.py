@@ -6,9 +6,12 @@ from repro.core.query.results import QueryResult
 from repro.evaluation.metrics import (precision_at_k, recall_at_k,
                                       run_survey)
 from repro.evaluation.oracle import RelevanceOracle
-from repro.evaluation.workload import (PUBLISHED, TABLE1_WORKLOAD,
-                                       WORKLOAD, table1_queries,
+from repro.evaluation.workload import (NARRATIVE_WORKLOAD, PUBLISHED,
+                                       STOPWORD_GLUE, SYNONYM_PHRASING,
+                                       TABLE1_WORKLOAD, WORKLOAD,
+                                       narrative_queries, table1_queries,
                                        table2_queries)
+from repro.ir.tokenizer import tokenize_without_stopwords
 from repro.xmldoc.dewey import DeweyID
 
 
@@ -37,6 +40,35 @@ class TestWorkload:
         assert all(query.provenance in ("published", "reconstructed",
                                         "synthesized")
                    for query in WORKLOAD)
+
+
+class TestNarrativeWorkload:
+    def test_one_variant_per_curated_query(self):
+        assert len(NARRATIVE_WORKLOAD) == len(WORKLOAD)
+        assert {variant.query_id for variant in NARRATIVE_WORKLOAD} == \
+            {query.query_id for query in WORKLOAD}
+        ids = [variant.variant_id for variant in NARRATIVE_WORKLOAD]
+        assert len(ids) == len(set(ids))
+
+    def test_pairs_align(self):
+        for curated, variant in narrative_queries():
+            assert variant.query_id == curated.query_id
+
+    def test_styles_valid_and_both_exercised(self):
+        styles = [variant.style for variant in NARRATIVE_WORKLOAD]
+        assert set(styles) <= {STOPWORD_GLUE, SYNONYM_PHRASING}
+        assert styles.count(SYNONYM_PHRASING) >= 5
+
+    def test_glue_variants_add_only_stopwords(self):
+        """A glue-style paraphrase must carry exactly the curated
+        query's information content: every non-stopword token of the
+        narrative text already occurs in the curated query."""
+        for curated, variant in narrative_queries():
+            if variant.style != STOPWORD_GLUE:
+                continue
+            curated_tokens = set(tokenize_without_stopwords(curated.text))
+            variant_tokens = set(tokenize_without_stopwords(variant.text))
+            assert variant_tokens == curated_tokens, variant.variant_id
 
 
 def make_result(encoded, score):

@@ -138,7 +138,10 @@ class TestGraphFallback:
 
 
 class TestResolveSpan:
-    def test_resolution_emits_ontology_resolve_span(self):
+    def test_each_operation_emits_its_own_span(self):
+        # Code resolution and term lookup are distinct operations and
+        # must not share a span name, or term-lookup latency gets
+        # misattributed to code resolution in profiles.
         from repro.core.obs.tracer import Tracer
         tracer = Tracer()
         service = TerminologyService([build_core_ontology()],
@@ -147,4 +150,68 @@ class TestResolveSpan:
                                              ASTHMA))
         service.lookup_term("asthma")
         names = [span.name for span in tracer.finished()]
-        assert names.count("ontology.resolve") == 2
+        assert names.count("ontology.resolve") == 1
+        assert names.count("ontology.lookup_term") == 1
+
+    def test_lookup_term_span_attributes(self):
+        from repro.core.obs.tracer import Tracer
+        tracer = Tracer()
+        service = TerminologyService([build_core_ontology()],
+                                     tracer=tracer)
+        service.lookup_term("Asthma")
+        span = [s for s in tracer.finished()
+                if s.name == "ontology.lookup_term"][0]
+        assert span.attributes["term"] == "asthma"
+        assert span.attributes["hits"] == 1
+
+
+class TestSharedNormalization:
+    """Hyphenated clinical terms resolve identically on both paths.
+
+    The query side tokenizes "X-ray" to ["x", "ray"]; the index/graph
+    side must file terms under the same normalization or hyphenated
+    ontology terms become unreachable from narrative text.
+    """
+
+    def _hyphen_ontology(self) -> Ontology:
+        ontology = Ontology("test.hyphen", "hyphen fixture")
+        ontology.add_concept(Concept("10", "X-ray", ("radiograph",),
+                                     "procedure"))
+        ontology.add_concept(Concept("20", "Super-morbidly obese",
+                                     ("super morbid obesity",),
+                                     "finding"))
+        return ontology
+
+    def test_normalizations_are_the_same_function(self):
+        from repro.ir.tokenizer import normalize_term
+        from repro.ontology import indexes
+        assert indexes.normalize_term is normalize_term
+        assert TerminologyService._normalize is normalize_term
+
+    @pytest.mark.parametrize("query", ["X-ray", "x-ray", "x ray",
+                                       "X-Ray"])
+    def test_hyphenated_term_resolves_via_index(self, query):
+        service = TerminologyService()
+        service.register_indexes(
+            build_ontology_indexes(self._hyphen_ontology(),
+                                   MemoryStore()))
+        assert [c.code for c in service.lookup_term(query)] == ["10"]
+
+    @pytest.mark.parametrize("query", ["X-ray", "x-ray", "x ray",
+                                       "X-Ray"])
+    def test_hyphenated_term_resolves_via_graph(self, query):
+        service = TerminologyService([self._hyphen_ontology()])
+        assert [c.code for c in service.lookup_term(query)] == ["10"]
+
+    def test_multiword_hyphenated_term_both_paths(self):
+        indexed = TerminologyService()
+        indexed.register_indexes(
+            build_ontology_indexes(self._hyphen_ontology(),
+                                   MemoryStore()))
+        graphed = TerminologyService([self._hyphen_ontology()])
+        for service in (indexed, graphed):
+            hits = service.lookup_term("super-morbidly obese")
+            assert [c.code for c in hits] == ["20"]
+            # And the un-hyphenated spelling hits the same bucket.
+            assert [c.code for c in
+                    service.lookup_term("super morbidly obese")] == ["20"]

@@ -243,3 +243,52 @@ class TestDrain:
         with pytest.raises(OSError):
             HTTPConnection("127.0.0.1", port, timeout=1).request(
                 "GET", "/healthz")
+
+
+class TestNarrativeParam:
+    @pytest.fixture(scope="class")
+    def onto_server(self, figure1_corpus, core_ontology):
+        service = SearchService()
+        service.add_corpus("default",
+                           XOntoRankEngine(figure1_corpus, core_ontology))
+        fixture = ServerThread(service, ServerConfig(
+            port=0, max_concurrency=4, max_queue=8,
+            default_timeout_ms=5000)).start()
+        yield fixture
+        fixture.stop()
+
+    def test_narrative_param_maps_and_annotates(self, onto_server,
+                                                figure1_corpus,
+                                                core_ontology):
+        status, _, body = onto_server.get_json(
+            "/search?q=asthma+and+medications&narrative=1&k=3")
+        assert status == 200
+        reference = XOntoRankEngine(figure1_corpus, core_ontology)
+        reference.enable_narrative()
+        expected = reference.search_outcome("asthma and medications", k=3)
+        assert [entry["dewey"] for entry in body["results"]] \
+            == [result.dewey.encode() for result in expected.results]
+        assert body["narrative"]["mapped_query"] \
+            == str(expected.narrative.query)
+        methods = {entry["method"]
+                   for entry in body["narrative"]["mappings"]}
+        assert "exact" in methods
+
+    def test_narrative_off_is_byte_identical(self, onto_server,
+                                             figure1_corpus,
+                                             core_ontology):
+        status, _, body = onto_server.get_json("/search?q=asthma&k=3")
+        assert status == 200
+        assert "narrative" not in body
+        plain = XOntoRankEngine(figure1_corpus, core_ontology)
+        assert [entry["dewey"] for entry in body["results"]] \
+            == [result.dewey.encode()
+                for result in plain.search("asthma", k=3)]
+
+    def test_narrative_without_ontology_is_400(self, server):
+        # The module server's default corpus runs bare XRANK -- no
+        # terminology, so the mapping is unavailable, not silent.
+        status, _, body = server.get_json(
+            "/search?q=asthma&narrative=1")
+        assert status == 400
+        assert "narrative" in body["error"]

@@ -67,6 +67,27 @@ class TestIndexAndSearch:
         assert code in (0, 1)
         capsys.readouterr()
 
+    def test_narrative_flag(self, data_dir, capsys):
+        code = main(["search", "--data", data_dir, "--narrative",
+                     "was febrile and on acetaminophen", "-k", "2"])
+        captured = capsys.readouterr()
+        assert code in (0, 1)
+        # The synonym phrasing is normalized to the preferred terms
+        # before the engine runs, and the mapping is printed.
+        assert "narrative query mapped to: acetaminophen fever" \
+            in captured.out
+        assert "[synonym] 'febrile' -> " in captured.out
+
+    def test_narrative_without_ontology_errors(self, data_dir, capsys):
+        # Bare XRANK loads no terminology, so the flag must fail
+        # loudly instead of silently searching the raw prose.
+        code = main(["search", "--data", data_dir, "--strategy", "xrank",
+                     "--narrative", "was febrile", "-k", "2"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "narrative" in captured.err.lower() \
+            or "narrative" in captured.out.lower()
+
 
 class TestEvaluate:
     def test_survey_table(self, data_dir, capsys):
